@@ -1,0 +1,49 @@
+// Ablation: where does the dataflow gain come from?
+// Decomposes the Fig. 15/16 gap on the modeled testbed into
+//  (a) removing fork/barrier overhead + straggler absorption
+//      (dataflow with the same coarse chunks as OpenMP),
+//  (b) fine-grained time-targeted chunks, and
+//  (c) chunk-level pipelining between dependent loops.
+
+#include <cstdio>
+
+#include <psim/testbed.hpp>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace benchutil;
+    print_title("Ablation", "barrier removal vs chunking vs pipelining");
+
+    auto tb = psim::paper_testbed();
+    print_row({"threads", "omp", "df_coarse", "df_fine_NP", "df_fine_P"});
+    for (int t : {8, 16, 24, 32}) {
+        psim::sim_options o;
+        o.threads = t;
+        o.iterations = tb.iterations;
+
+        o.chunking = psim::chunk_mode::omp_static;
+        double const omp = simulate_fork_join(tb.machine, tb.airfoil, o).total_s;
+
+        // (a) same chunk granularity as omp, but no global barriers.
+        o.chunk_pipelining = false;
+        double const coarse =
+            simulate_dataflow(tb.machine, tb.airfoil, o).total_s;
+
+        // (b) + fine time-targeted chunks, loop-level sync only.
+        o.chunking = psim::chunk_mode::persistent;
+        double const fine_np =
+            simulate_dataflow(tb.machine, tb.airfoil, o).total_s;
+
+        // (c) + chunk-level pipelining between dependent loops.
+        o.chunk_pipelining = true;
+        double const fine_p =
+            simulate_dataflow(tb.machine, tb.airfoil, o).total_s;
+
+        print_row({std::to_string(t), fmt(omp), fmt(coarse), fmt(fine_np),
+                   fmt(fine_p)});
+    }
+    std::printf("\nColumns are seconds; each step to the right enables one "
+                "more mechanism of the paper's redesign.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: chunk-size policy sweep on the modeled testbed, plus a
+// host-measured sweep of the real hpxlite chunkers.
+//
+// Separates the two ingredients of Fig. 17: chunk *granularity*
+// (static-per-thread vs time-targeted) and chunk-time *alignment across
+// loops* (auto per loop vs persistent domain).
+
+#include <cstdio>
+#include <vector>
+
+#include <hpxlite/hpxlite.hpp>
+#include <psim/testbed.hpp>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace benchutil;
+    print_title("Ablation", "chunk-size policies (modeled + host-measured)");
+
+    auto tb = psim::paper_testbed();
+    print_row({"threads", "omp_static", "par_static", "auto", "persistent"});
+    for (int t : {8, 16, 24, 32}) {
+        psim::sim_options o;
+        o.threads = t;
+        o.iterations = tb.iterations;
+        std::vector<std::string> row{std::to_string(t)};
+        for (auto cm :
+             {psim::chunk_mode::omp_static, psim::chunk_mode::hpx_static,
+              psim::chunk_mode::auto_chunk, psim::chunk_mode::persistent}) {
+            o.chunking = cm;
+            row.push_back(
+                fmt(simulate_dataflow(tb.machine, tb.airfoil, o).total_s));
+        }
+        print_row(row);
+    }
+
+    std::printf("\n[host-measured] 2M-element loop under each hpxlite "
+                "chunker on this machine:\n");
+    hpxlite::init();
+    std::size_t const n = 2'000'000;
+    std::vector<double> v(n, 1.0);
+    namespace ex = hpxlite::execution;
+    auto time_with = [&](ex::chunker ck) {
+        hpxlite::util::stopwatch sw;
+        hpxlite::parallel::for_loop(
+            ex::par.with(std::move(ck)), std::size_t{0}, n,
+            [&](std::size_t i) { v[i] = v[i] * 1.0001 + 0.5; });
+        return sw.elapsed_s() * 1e3;
+    };
+    std::printf("  static_chunk_size{0}     : %8.3f ms\n",
+                time_with(ex::static_chunk_size{}));
+    std::printf("  static_chunk_size{4096}  : %8.3f ms\n",
+                time_with(ex::static_chunk_size{4096}));
+    std::printf("  dynamic_chunk_size{4096} : %8.3f ms\n",
+                time_with(ex::dynamic_chunk_size{4096}));
+    std::printf("  auto_chunk_size{100us}   : %8.3f ms\n",
+                time_with(ex::auto_chunk_size{}));
+    ex::chunk_domain dom;
+    std::printf("  persistent (calibrating) : %8.3f ms\n",
+                time_with(ex::persistent_auto_chunk_size{&dom}));
+    std::printf("  persistent (calibrated)  : %8.3f ms  (domain target %lld ns)\n",
+                time_with(ex::persistent_auto_chunk_size{&dom}),
+                static_cast<long long>(dom.target_ns()));
+    hpxlite::finalize();
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 20: data transfer rate of the prefetching iterator for
+// different prefetch_distance_factor values.
+//
+// Paper observations reproduced here:
+//  * very small distances prefetch too aggressively/too late — the cost
+//    dominates the gains and impedes scaling;
+//  * very large distances prefetch data that is evicted before use —
+//    no improvement;
+//  * distance factor ~15 is the sweet spot for the Airfoil-class loop.
+
+#include <cstdio>
+
+#include <psim/testbed.hpp>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace benchutil;
+    print_title("Figure 20",
+                "transfer rate vs prefetch_distance_factor");
+
+    auto tb = psim::paper_testbed();
+    auto stream = psim::stream_workload(50'000'000, 3);
+    double const distances[] = {1, 2, 5, 10, 15, 25, 50, 100, 200};
+
+    print_row({"threads", "d=1", "d=5", "d=15", "d=50", "d=200"}, 10);
+    for (int t : psim::paper_thread_counts()) {
+        std::vector<std::string> row{std::to_string(t)};
+        for (double d : {1.0, 5.0, 15.0, 50.0, 200.0}) {
+            psim::sim_options o;
+            o.threads = t;
+            o.iterations = 5;
+            o.chunking = psim::chunk_mode::persistent;
+            o.prefetch = true;
+            o.prefetch_distance = d;
+            row.push_back(
+                fmt(simulate_dataflow(tb.machine, stream, o).bandwidth_gbs(), 1));
+        }
+        print_row(row, 10);
+    }
+
+    std::printf("\nfull sweep at 32 threads (GB/s):\n");
+    double best_d = 0.0;
+    double best_bw = 0.0;
+    for (double d : distances) {
+        psim::sim_options o;
+        o.threads = 32;
+        o.iterations = 5;
+        o.chunking = psim::chunk_mode::persistent;
+        o.prefetch = true;
+        o.prefetch_distance = d;
+        double const bw =
+            simulate_dataflow(tb.machine, stream, o).bandwidth_gbs();
+        std::printf("  distance %6.0f : %8.1f\n", d, bw);
+        if (bw > best_bw) {
+            best_bw = bw;
+            best_d = d;
+        }
+    }
+    std::printf("\npaper: prefetch_distance_factor = 15 performs best; "
+                "modeled best: %.0f\n", best_d);
+    return 0;
+}

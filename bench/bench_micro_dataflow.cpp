@@ -1,0 +1,70 @@
+// Microbenchmarks of dataflow/when_all: DAG construction and execution
+// overhead per node — the cost the paper's redesign pays per op_par_loop.
+
+#include <benchmark/benchmark.h>
+
+#include <hpxlite/hpxlite.hpp>
+
+namespace {
+
+void bm_dataflow_ready_args(benchmark::State& state) {
+    hpxlite::init();
+    for (auto _ : state) {
+        auto f = hpxlite::dataflow(
+            hpxlite::unwrapped([](int a, int b) { return a + b; }),
+            hpxlite::make_ready_future(1), hpxlite::make_ready_future(2));
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(bm_dataflow_ready_args);
+
+void bm_dataflow_chain(benchmark::State& state) {
+    hpxlite::init();
+    auto const depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto f = hpxlite::make_ready_future(0);
+        for (int i = 0; i < depth; ++i) {
+            f = hpxlite::dataflow(
+                hpxlite::unwrapped([](int x) { return x + 1; }), std::move(f));
+        }
+        benchmark::DoNotOptimize(f.get());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(bm_dataflow_chain)->Arg(1)->Arg(16)->Arg(128);
+
+void bm_when_all_vector(benchmark::State& state) {
+    hpxlite::init();
+    auto const width = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        std::vector<hpxlite::future<int>> fs;
+        fs.reserve(width);
+        for (std::size_t i = 0; i < width; ++i) {
+            fs.push_back(hpxlite::make_ready_future(static_cast<int>(i)));
+        }
+        auto all = hpxlite::when_all(std::move(fs)).get();
+        benchmark::DoNotOptimize(all.size());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(width));
+}
+BENCHMARK(bm_when_all_vector)->Arg(4)->Arg(64);
+
+void bm_dataflow_diamond(benchmark::State& state) {
+    hpxlite::init();
+    for (auto _ : state) {
+        auto src = hpxlite::async([] { return 1; }).share();
+        auto l = hpxlite::dataflow(
+            hpxlite::unwrapped([](int x) { return x * 2; }), src);
+        auto r = hpxlite::dataflow(
+            hpxlite::unwrapped([](int x) { return x * 3; }), src);
+        auto join = hpxlite::dataflow(
+            hpxlite::unwrapped([](int a, int b) { return a + b; }),
+            std::move(l), std::move(r));
+        benchmark::DoNotOptimize(join.get());
+    }
+}
+BENCHMARK(bm_dataflow_diamond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

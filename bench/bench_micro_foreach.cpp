@@ -1,0 +1,87 @@
+// Microbenchmarks of parallel::for_each / for_loop under the different
+// chunkers — the per-chunk scheduling overhead the paper's Section IV-B
+// sets out to control.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include <hpxlite/hpxlite.hpp>
+
+namespace {
+
+namespace ex = hpxlite::execution;
+
+void bm_for_loop_seq(benchmark::State& state) {
+    auto const n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n, 1.0);
+    for (auto _ : state) {
+        hpxlite::parallel::for_loop(ex::seq, std::size_t{0}, n,
+                                    [&](std::size_t i) { v[i] += 1.0; });
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(bm_for_loop_seq)->Arg(1000)->Arg(100000);
+
+void bm_for_loop_par_static(benchmark::State& state) {
+    hpxlite::init();
+    auto const n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n, 1.0);
+    auto pol = ex::par.with(ex::static_chunk_size{});
+    for (auto _ : state) {
+        hpxlite::parallel::for_loop(pol, std::size_t{0}, n,
+                                    [&](std::size_t i) { v[i] += 1.0; });
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(bm_for_loop_par_static)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void bm_for_loop_par_auto(benchmark::State& state) {
+    hpxlite::init();
+    auto const n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n, 1.0);
+    auto pol = ex::par.with(ex::auto_chunk_size{});
+    for (auto _ : state) {
+        hpxlite::parallel::for_loop(pol, std::size_t{0}, n,
+                                    [&](std::size_t i) { v[i] += 1.0; });
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(bm_for_loop_par_auto)->Arg(100000)->Arg(1000000);
+
+void bm_for_loop_par_persistent(benchmark::State& state) {
+    hpxlite::init();
+    auto const n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n, 1.0);
+    ex::chunk_domain dom;
+    auto pol = ex::par.with(ex::persistent_auto_chunk_size{&dom});
+    for (auto _ : state) {
+        hpxlite::parallel::for_loop(pol, std::size_t{0}, n,
+                                    [&](std::size_t i) { v[i] += 1.0; });
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(bm_for_loop_par_persistent)->Arg(100000)->Arg(1000000);
+
+void bm_transform_reduce(benchmark::State& state) {
+    hpxlite::init();
+    auto const n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> v(n, 0.5);
+    for (auto _ : state) {
+        double const s = hpxlite::parallel::transform_reduce(
+            ex::par, v.begin(), v.end(), 0.0,
+            [](double a, double b) { return a + b; },
+            [](double x) { return x * x; });
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(bm_transform_reduce)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

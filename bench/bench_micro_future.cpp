@@ -1,0 +1,73 @@
+// Microbenchmarks of the hpxlite LCO primitives (google-benchmark):
+// future creation/fulfilment, continuation chaining, async round trips.
+
+#include <benchmark/benchmark.h>
+
+#include <hpxlite/hpxlite.hpp>
+
+namespace {
+
+void bm_make_ready_future(benchmark::State& state) {
+    for (auto _ : state) {
+        auto f = hpxlite::make_ready_future(42);
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(bm_make_ready_future);
+
+void bm_promise_set_get(benchmark::State& state) {
+    for (auto _ : state) {
+        hpxlite::promise<int> p;
+        auto f = p.get_future();
+        p.set_value(7);
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(bm_promise_set_get);
+
+void bm_then_chain(benchmark::State& state) {
+    hpxlite::init();
+    auto const depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto f = hpxlite::make_ready_future(0);
+        for (int i = 0; i < depth; ++i) {
+            f = f.then([](hpxlite::future<int>&& x) { return x.get() + 1; });
+        }
+        benchmark::DoNotOptimize(f.get());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(bm_then_chain)->Arg(1)->Arg(8)->Arg(64);
+
+void bm_async_roundtrip(benchmark::State& state) {
+    hpxlite::init();
+    for (auto _ : state) {
+        auto f = hpxlite::async([] { return 1; });
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(bm_async_roundtrip);
+
+void bm_shared_future_fanout(benchmark::State& state) {
+    hpxlite::init();
+    auto const width = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto sf = hpxlite::async([] { return 3; }).share();
+        std::vector<hpxlite::future<int>> fs;
+        fs.reserve(static_cast<std::size_t>(width));
+        for (int i = 0; i < width; ++i) {
+            fs.push_back(
+                sf.then([](hpxlite::shared_future<int> x) { return x.get(); }));
+        }
+        int acc = 0;
+        for (auto& f : fs) {
+            acc += f.get();
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(bm_shared_future_fanout)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Microbenchmarks of the OP2 layer on this host: plan construction,
+// per-backend loop dispatch overhead, and a mini-Airfoil step.
+
+#include <benchmark/benchmark.h>
+
+#include <airfoil/app.hpp>
+#include <airfoil/mesh.hpp>
+#include <op2/op2.hpp>
+
+namespace {
+
+airfoil::mesh const& bench_mesh() {
+    static airfoil::mesh m = [] {
+        airfoil::mesh_params p;
+        p.nx = 60;
+        p.ny = 30;
+        return airfoil::make_mesh(p);
+    }();
+    return m;
+}
+
+void bm_plan_build(benchmark::State& state) {
+    auto const& m = bench_mesh();
+    auto edges = op2::op_decl_set(m.nedge, "edges");
+    auto cells = op2::op_decl_set(m.ncell, "cells");
+    auto pecell = op2::op_decl_map(edges, cells, 2, m.pecell, "pecell");
+    auto res = op2::op_decl_dat_zero<double>(cells, 4, "double", "res");
+    std::array<op2::op_arg, 2> args{
+        op2::op_arg_dat(res, 0, pecell, 4, "double", op2::OP_INC),
+        op2::op_arg_dat(res, 1, pecell, 4, "double", op2::OP_INC)};
+    auto const part = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto plan = op2::plan_build(edges, args, part);
+        benchmark::DoNotOptimize(plan.ncolors);
+    }
+}
+BENCHMARK(bm_plan_build)->Arg(64)->Arg(128)->Arg(512);
+
+void bm_airfoil_step(benchmark::State& state) {
+    hpxlite::init();
+    auto const& m = bench_mesh();
+    auto prob = airfoil::make_problem(m);
+    airfoil::app_config cfg;
+    cfg.niter = 1;
+    cfg.be = state.range(0) == 0   ? op2::backend::seq
+             : state.range(0) == 1 ? op2::backend::fork_join
+                                   : op2::backend::hpx;
+    for (auto _ : state) {
+        auto r = airfoil::run(prob, cfg);
+        benchmark::DoNotOptimize(r.final_rms);
+    }
+    state.SetLabel(op2::to_string(cfg.be));
+}
+BENCHMARK(bm_airfoil_step)->Arg(0)->Arg(1)->Arg(2);
+
+void bm_loop_dispatch_overhead(benchmark::State& state) {
+    hpxlite::init();
+    auto set = op2::op_decl_set(64, "tiny");
+    auto d = op2::op_decl_dat_zero<double>(set, 1, "double", "d");
+    op2::loop_options opts;
+    for (auto _ : state) {
+        op2::op_par_loop_fork_join(opts, "tiny", set,
+                                   [](double* x) { *x += 1.0; },
+                                   op2::op_arg_dat(d, -1, op2::OP_ID, 1,
+                                                   "double", op2::OP_RW));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(bm_loop_dispatch_overhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Loop interleaving (paper Figures 10-11): the future returned by one
+// op_par_loop feeds the next; independent loops overlap, dependent loops
+// wait exactly for what they need — no global barriers.
+//
+// The demo issues four loops over two independent data sets and prints
+// the observed completion order, demonstrating that the two independent
+// chains interleave while each chain stays internally ordered.
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include <op2/op2.hpp>
+
+int main() {
+    hpxlite::init();
+
+    std::size_t const n = 200'000;
+    op2::op_set cells = op2::op_decl_set(n, "cells");
+    op2::op_dat a = op2::op_decl_dat_zero<double>(cells, 1, "double", "a");
+    op2::op_dat b = op2::op_decl_dat_zero<double>(cells, 1, "double", "b");
+
+    std::atomic<int> order{0};
+    std::array<int, 4> completed{};
+
+    op2::loop_options opts;
+    opts.part_size = 1024;
+
+    auto mark = [&](int slot) {
+        return [&completed, &order, slot] {
+            completed[static_cast<std::size_t>(slot)] =
+                order.fetch_add(1) + 1;
+        };
+    };
+
+    // Chain A: a = 1; a += 1  (dependent: must run in order)
+    auto fa1 = op2::op_par_loop_hpx(
+        opts, "a_init", cells, [](double* x) { *x = 1.0; },
+        op2::op_arg_dat(a, -1, op2::OP_ID, 1, "double", op2::OP_WRITE));
+    auto fa1m = fa1.then([m = mark(0)](auto&&) { m(); });
+
+    auto fa2 = op2::op_par_loop_hpx(
+        opts, "a_inc", cells, [](double* x) { *x += 1.0; },
+        op2::op_arg_dat(a, -1, op2::OP_ID, 1, "double", op2::OP_RW));
+    auto fa2m = fa2.then([m = mark(1)](auto&&) { m(); });
+
+    // Chain B: b = 10; b *= 2  (independent of chain A)
+    auto fb1 = op2::op_par_loop_hpx(
+        opts, "b_init", cells, [](double* x) { *x = 10.0; },
+        op2::op_arg_dat(b, -1, op2::OP_ID, 1, "double", op2::OP_WRITE));
+    auto fb1m = fb1.then([m = mark(2)](auto&&) { m(); });
+
+    auto fb2 = op2::op_par_loop_hpx(
+        opts, "b_mul", cells, [](double* x) { *x *= 2.0; },
+        op2::op_arg_dat(b, -1, op2::OP_ID, 1, "double", op2::OP_RW));
+    auto fb2m = fb2.then([m = mark(3)](auto&&) { m(); });
+
+    fa2m.wait();
+    fb2m.wait();
+    fa1m.wait();
+    fb1m.wait();
+    op2::op_fence_all();
+
+    std::printf("completion order (1 = first):\n");
+    std::printf("  chain A: a=1 -> #%d,  a+=1 -> #%d\n", completed[0],
+                completed[1]);
+    std::printf("  chain B: b=10 -> #%d,  b*=2 -> #%d\n", completed[2],
+                completed[3]);
+    std::printf("invariants: A1 before A2: %s, B1 before B2: %s\n",
+                completed[0] < completed[1] ? "yes" : "NO",
+                completed[2] < completed[3] ? "yes" : "NO");
+
+    double const a0 = a.view<double>()[0];
+    double const b0 = b.view<double>()[0];
+    std::printf("results: a[0] = %.1f (expect 2), b[0] = %.1f (expect 20)\n",
+                a0, b0);
+
+    hpxlite::finalize();
+    return 0;
+}

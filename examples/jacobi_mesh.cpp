@@ -1,0 +1,124 @@
+// Jacobi relaxation on an unstructured grid — the second canonical OP2
+// demo application ("jac"), expressed through this library's API and run
+// on the HPX dataflow backend.
+//
+// Solves the 5-point Laplace problem A u = f on an n x n interior grid:
+// the off-diagonal entries live on "edges" (node-pairs), the update loop
+// gathers neighbour contributions indirectly (OP_INC) exactly like the
+// Airfoil residual loop, and a global reduction tracks convergence.
+//
+// Demonstrates:
+//  * a numerically verifiable app that is NOT Airfoil,
+//  * asynchronous iteration issue: all Jacobi sweeps are issued up
+//    front, chained only through their true data dependencies,
+//  * global reductions under the dataflow backend.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include <op2/op2.hpp>
+
+namespace {
+
+constexpr std::size_t kN = 48;        // interior grid is kN x kN
+constexpr int kIters = 200;
+
+std::size_t node_id(std::size_t i, std::size_t j) { return j * kN + i; }
+
+}  // namespace
+
+int main() {
+    hpxlite::init();
+
+    std::size_t const nnode = kN * kN;
+    // Horizontal + vertical neighbour pairs.
+    std::vector<int> etab;
+    for (std::size_t j = 0; j < kN; ++j) {
+        for (std::size_t i = 0; i + 1 < kN; ++i) {
+            etab.push_back(static_cast<int>(node_id(i, j)));
+            etab.push_back(static_cast<int>(node_id(i + 1, j)));
+        }
+    }
+    for (std::size_t j = 0; j + 1 < kN; ++j) {
+        for (std::size_t i = 0; i < kN; ++i) {
+            etab.push_back(static_cast<int>(node_id(i, j)));
+            etab.push_back(static_cast<int>(node_id(i, j + 1)));
+        }
+    }
+    std::size_t const nedge = etab.size() / 2;
+
+    op2::op_set nodes = op2::op_decl_set(nnode, "nodes");
+    op2::op_set edges = op2::op_decl_set(nedge, "edges");
+    op2::op_map ppedge = op2::op_decl_map(edges, nodes, 2, etab, "ppedge");
+
+    // RHS: point source in the middle; u starts at zero.
+    std::vector<double> f(nnode, 0.0);
+    f[node_id(kN / 2, kN / 2)] = 1.0;
+    op2::op_dat p_f = op2::op_decl_dat(nodes, 1, "double", f, "p_f");
+    op2::op_dat p_u = op2::op_decl_dat_zero<double>(nodes, 1, "double", "p_u");
+    op2::op_dat p_du = op2::op_decl_dat_zero<double>(nodes, 1, "double", "p_du");
+
+    op2::loop_options opts;
+    opts.part_size = 64;
+
+    // Jacobi: du = f + 1/4 * sum(neighbour u); then u <- du, track |du-u|.
+    auto res_kernel = [](double const* u1, double const* u2, double* du1,
+                         double* du2) {
+        *du1 += 0.25 * *u2;
+        *du2 += 0.25 * *u1;
+    };
+    auto update_kernel = [](double const* f_, double* u, double* du,
+                            double* delta) {
+        double const next = *f_ + *du;
+        *delta += (next - *u) * (next - *u);
+        *u = next;
+        *du = 0.0;
+    };
+
+    std::vector<double> deltas(kIters, 0.0);  // stable reduction slots
+    for (int it = 0; it < kIters; ++it) {
+        (void)op2::op_par_loop_hpx(
+            opts, "res", edges, res_kernel,
+            op2::op_arg_dat(p_u, 0, ppedge, 1, "double", op2::OP_READ),
+            op2::op_arg_dat(p_u, 1, ppedge, 1, "double", op2::OP_READ),
+            op2::op_arg_dat(p_du, 0, ppedge, 1, "double", op2::OP_INC),
+            op2::op_arg_dat(p_du, 1, ppedge, 1, "double", op2::OP_INC));
+        (void)op2::op_par_loop_hpx(
+            opts, "update", nodes, update_kernel,
+            op2::op_arg_dat(p_f, -1, op2::OP_ID, 1, "double", op2::OP_READ),
+            op2::op_arg_dat(p_u, -1, op2::OP_ID, 1, "double", op2::OP_RW),
+            op2::op_arg_dat(p_du, -1, op2::OP_ID, 1, "double", op2::OP_RW),
+            op2::op_arg_gbl(&deltas[static_cast<std::size_t>(it)], 1,
+                            "double", op2::OP_INC));
+    }
+    op2::op_fence_all();  // the only synchronisation point
+
+    std::printf("Jacobi on %zux%zu grid, %d sweeps (all issued "
+                "asynchronously):\n", kN, kN, kIters);
+    for (int it = 0; it < kIters; it += 40) {
+        std::printf("  sweep %4d   ||u_next - u|| = %.6e\n", it,
+                    std::sqrt(deltas[static_cast<std::size_t>(it)]));
+    }
+    double const first = std::sqrt(deltas[0]);
+    double const last = std::sqrt(deltas[kIters - 1]);
+    std::printf("  final        ||u_next - u|| = %.6e\n", last);
+
+    double const u_mid = p_u.view<double>()[node_id(kN / 2, kN / 2)];
+    std::printf("u at the source: %.6f (expect > 1, finite)\n", u_mid);
+
+    // Jacobi converges linearly with rate ~cos(pi/kN); after kIters
+    // sweeps the update norm must have dropped by well over an order of
+    // magnitude and be monotonically decreasing at the tail.
+    bool monotone_tail = true;
+    for (int it = kIters / 2; it + 1 < kIters; ++it) {
+        monotone_tail = monotone_tail &&
+                        deltas[static_cast<std::size_t>(it + 1)] <=
+                            deltas[static_cast<std::size_t>(it)] * 1.0001;
+    }
+    bool const ok = last < 0.1 * first && monotone_tail &&
+                    std::isfinite(u_mid) && u_mid > 1.0;
+    std::printf("converged: %s\n", ok ? "yes" : "NO");
+    hpxlite::finalize();
+    return ok ? 0 : 1;
+}

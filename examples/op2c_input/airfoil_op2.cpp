@@ -1,0 +1,66 @@
+// Sample OP2 application source (classic OP2 API style) used to
+// demonstrate the op2c source-to-source translator:
+//   build/src/op2c/op2c --backend=both -o /tmp/op2c_out \
+//       examples/op2c_input/airfoil_op2.cpp
+#include "op_seq.h"
+
+int main(int argc, char** argv) {
+  op_set nodes  = op_decl_set(nnode,  "nodes");
+  op_set edges  = op_decl_set(nedge,  "edges");
+  op_set bedges = op_decl_set(nbedge, "bedges");
+  op_set cells  = op_decl_set(ncell,  "cells");
+
+  op_map pedge   = op_decl_map(edges,  nodes, 2, edge,   "pedge");
+  op_map pecell  = op_decl_map(edges,  cells, 2, ecell,  "pecell");
+  op_map pbedge  = op_decl_map(bedges, nodes, 2, bedge,  "pbedge");
+  op_map pbecell = op_decl_map(bedges, cells, 1, becell, "pbecell");
+  op_map pcell   = op_decl_map(cells,  nodes, 4, cell,   "pcell");
+
+  op_dat p_bound = op_decl_dat(bedges, 1, "int",    bound, "p_bound");
+  op_dat p_x     = op_decl_dat(nodes,  2, "double", x,     "p_x");
+  op_dat p_q     = op_decl_dat(cells,  4, "double", q,     "p_q");
+  op_dat p_qold  = op_decl_dat(cells,  4, "double", qold,  "p_qold");
+  op_dat p_adt   = op_decl_dat(cells,  1, "double", adt,   "p_adt");
+  op_dat p_res   = op_decl_dat(cells,  4, "double", res,   "p_res");
+
+  for (int iter = 1; iter <= niter; iter++) {
+    op_par_loop(save_soln, "save_soln", cells,
+                op_arg_dat(p_q,    -1, OP_ID, 4, "double", OP_READ),
+                op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_WRITE));
+
+    for (int k = 0; k < 2; k++) {
+      op_par_loop(adt_calc, "adt_calc", cells,
+                  op_arg_dat(p_x,   0, pcell, 2, "double", OP_READ),
+                  op_arg_dat(p_x,   1, pcell, 2, "double", OP_READ),
+                  op_arg_dat(p_x,   2, pcell, 2, "double", OP_READ),
+                  op_arg_dat(p_x,   3, pcell, 2, "double", OP_READ),
+                  op_arg_dat(p_q,  -1, OP_ID, 4, "double", OP_READ),
+                  op_arg_dat(p_adt,-1, OP_ID, 1, "double", OP_WRITE));
+
+      op_par_loop(res_calc, "res_calc", edges,
+                  op_arg_dat(p_x,    0, pedge,  2, "double", OP_READ),
+                  op_arg_dat(p_x,    1, pedge,  2, "double", OP_READ),
+                  op_arg_dat(p_q,    0, pecell, 4, "double", OP_READ),
+                  op_arg_dat(p_q,    1, pecell, 4, "double", OP_READ),
+                  op_arg_dat(p_adt,  0, pecell, 1, "double", OP_READ),
+                  op_arg_dat(p_adt,  1, pecell, 1, "double", OP_READ),
+                  op_arg_dat(p_res,  0, pecell, 4, "double", OP_INC),
+                  op_arg_dat(p_res,  1, pecell, 4, "double", OP_INC));
+
+      op_par_loop(bres_calc, "bres_calc", bedges,
+                  op_arg_dat(p_x,     0, pbedge,  2, "double", OP_READ),
+                  op_arg_dat(p_x,     1, pbedge,  2, "double", OP_READ),
+                  op_arg_dat(p_q,     0, pbecell, 4, "double", OP_READ),
+                  op_arg_dat(p_adt,   0, pbecell, 1, "double", OP_READ),
+                  op_arg_dat(p_res,   0, pbecell, 4, "double", OP_INC),
+                  op_arg_dat(p_bound,-1, OP_ID,   1, "int",    OP_READ));
+
+      op_par_loop(update, "update", cells,
+                  op_arg_dat(p_qold,-1, OP_ID, 4, "double", OP_READ),
+                  op_arg_dat(p_q,   -1, OP_ID, 4, "double", OP_WRITE),
+                  op_arg_dat(p_res, -1, OP_ID, 4, "double", OP_RW),
+                  op_arg_dat(p_adt, -1, OP_ID, 1, "double", OP_READ),
+                  op_arg_gbl(&rms,   1, "double", OP_INC));
+    }
+  }
+}

@@ -1,0 +1,59 @@
+// The prefetching iterator of Section V (Figures 13-14): wrap a loop
+// range and its containers in a prefetcher context; for_each then
+// prefetches the next chunk of every container while executing the
+// current one, in sequential or parallel mode (Table I policies).
+
+#include <cstdio>
+#include <vector>
+
+#include <hpxlite/hpxlite.hpp>
+
+int main() {
+    hpxlite::init();
+
+    std::size_t const n = 4'000'000;
+    std::vector<double> c1(n, 1.0);
+    std::vector<double> c2(n, 2.0);
+    std::vector<float> c3(n, 3.0F);  // mixed element types are supported
+
+    // Figure 14, almost verbatim:
+    std::size_t const prefetch_distance_factor = 15;
+    auto ctx = hpxlite::parallel::make_prefetcher_context(
+        0, n, prefetch_distance_factor, c1, c2, c3);
+
+    auto body = [&](std::size_t i) {
+        c1[i] = c2[i] + static_cast<double>(c3[i]);
+        c2[i] = c1[i] * 0.5;
+        c3[i] = static_cast<float>(c2[i]);
+    };
+
+    {
+        hpxlite::util::stopwatch sw;
+        hpxlite::parallel::for_each(hpxlite::parallel::par, ctx.begin(),
+                                    ctx.end(), body);
+        std::printf("parallel + prefetch  : %8.3f ms\n", sw.elapsed_s() * 1e3);
+    }
+    {
+        hpxlite::util::irange r(0, n);
+        hpxlite::util::stopwatch sw;
+        hpxlite::parallel::for_each(hpxlite::parallel::par, r.begin(), r.end(),
+                                    body);
+        std::printf("parallel, no prefetch: %8.3f ms\n", sw.elapsed_s() * 1e3);
+    }
+    {
+        // The same context works with the asynchronous policy: issue the
+        // loop, keep working, collect the future later.
+        hpxlite::util::stopwatch sw;
+        auto f = hpxlite::parallel::for_each(
+            hpxlite::parallel::par(hpxlite::parallel::task), ctx.begin(),
+            ctx.end(), body);
+        double const issue_ms = sw.elapsed_s() * 1e3;
+        f.wait();
+        std::printf("par(task) + prefetch : %8.3f ms (issued in %.4f ms)\n",
+                    sw.elapsed_s() * 1e3, issue_ms);
+    }
+
+    std::printf("c1[42] = %.4f\n", c1[42]);
+    hpxlite::finalize();
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the mesh of Figure 1 of the paper — 9 nodes and 12 edges
+// on a 3x3 grid — declared through the OP2 API and processed with an
+// edge loop that gathers node values and a node loop that normalises
+// them, on all three backends.
+
+#include <cstdio>
+#include <vector>
+
+#include <op2/op2.hpp>
+
+int main() {
+    hpxlite::init();
+
+    // --- Figure 1 mesh: 9 nodes, 12 edges of a 3x3 grid ---------------
+    op2::op_set nodes = op2::op_decl_set(9, "nodes");
+    op2::op_set edges = op2::op_decl_set(12, "edges");
+
+    // The edge->node connectivity from the paper's Section II-A listing.
+    std::vector<int> edge_map = {0, 1, 1, 2, 2, 5, 5, 4, 4, 3, 3, 6,
+                                 6, 7, 7, 8, 0, 3, 1, 4, 2, 5, 3, 6};
+    op2::op_map pedge = op2::op_decl_map(edges, nodes, 2, edge_map, "pedge");
+
+    std::vector<double> node_values = {5.3, 1.2, 0.2, 3.4, 5.4,
+                                       6.2, 3.2, 2.5, 0.9};
+    std::vector<double> edge_weights(12, 1.0);
+    op2::op_dat d_node =
+        op2::op_decl_dat(nodes, 1, "double", node_values, "data_node");
+    op2::op_dat d_edge =
+        op2::op_decl_dat(edges, 1, "double", edge_weights, "data_edge");
+    op2::op_dat d_sum = op2::op_decl_dat_zero<double>(nodes, 1, "double", "sum");
+
+    // Edge kernel: scatter each edge's weighted endpoint values.
+    auto scatter = [](double const* w, double const* n1, double const* n2,
+                      double* s1, double* s2) {
+        *s1 += *w * *n2;  // each node accumulates its neighbour's value
+        *s2 += *w * *n1;
+    };
+
+    auto args = [&] {
+        return std::make_tuple(
+            op2::op_arg_dat(d_edge, -1, op2::OP_ID, 1, "double", op2::OP_READ),
+            op2::op_arg_dat(d_node, 0, pedge, 1, "double", op2::OP_READ),
+            op2::op_arg_dat(d_node, 1, pedge, 1, "double", op2::OP_READ),
+            op2::op_arg_dat(d_sum, 0, pedge, 1, "double", op2::OP_INC),
+            op2::op_arg_dat(d_sum, 1, pedge, 1, "double", op2::OP_INC));
+    };
+
+    // 1. Sequential reference.
+    {
+        auto [a0, a1, a2, a3, a4] = args();
+        op2::op_par_loop_seq("scatter", edges, scatter, a0, a1, a2, a3, a4);
+    }
+    auto ref = op2::op_fetch_data<double>(d_sum);
+
+    // 2. Fork-join (OpenMP-style) backend.
+    {
+        for (auto& x : d_sum.view<double>()) {
+            x = 0.0;
+        }
+        op2::loop_options opts;
+        opts.part_size = 4;
+        auto [a0, a1, a2, a3, a4] = args();
+        op2::op_par_loop_fork_join(opts, "scatter", edges, scatter, a0, a1, a2,
+                                   a3, a4);
+    }
+
+    // 3. HPX dataflow backend: issue the scatter and a dependent
+    //    normalisation loop; they chain automatically through d_sum.
+    {
+        for (auto& x : d_sum.view<double>()) {
+            x = 0.0;
+        }
+        op2::loop_options opts;
+        opts.part_size = 4;
+        auto [a0, a1, a2, a3, a4] = args();
+        auto f1 = op2::op_par_loop_hpx(opts, "scatter", edges, scatter, a0, a1,
+                                       a2, a3, a4);
+        auto f2 = op2::op_par_loop_hpx(
+            opts, "halve", nodes, [](double* s) { *s *= 0.5; },
+            op2::op_arg_dat(d_sum, -1, op2::OP_ID, 1, "double", op2::OP_RW));
+        f2.wait();  // f1 is implicitly ordered before f2 (RAW on d_sum)
+    }
+
+    std::printf("node  neighbour-sum (seq)   half-sum (dataflow)\n");
+    auto final_sum = op2::op_fetch_data<double>(d_sum);
+    for (std::size_t i = 0; i < 9; ++i) {
+        std::printf("%4zu  %19.2f   %19.2f\n", i, ref[i], final_sum[i]);
+    }
+
+    hpxlite::finalize();
+    return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <airfoil/mesh.hpp>
+#include <op2/op2.hpp>
+
+namespace airfoil {
+
+/// Configuration of one Airfoil run.
+struct app_config {
+    mesh_params mesh;
+    int niter = 100;  ///< outer pseudo-time iterations (paper: 1000)
+    op2::backend be = op2::backend::seq;
+    op2::loop_options opts;
+    /// Record sqrt(rms/ncell) every `rms_stride` iterations (>=1).
+    int rms_stride = 1;
+};
+
+/// Outcome of one run.
+struct app_result {
+    std::vector<double> rms_history;  ///< sampled residual trajectory
+    double final_rms = 0.0;
+    double elapsed_s = 0.0;           ///< wall-clock of the iteration loop
+    std::vector<double> q_final;      ///< final conserved state (ncell*4)
+};
+
+/// The OP2 view of the Airfoil mesh: declared sets, maps, and dats.
+/// Kept alive for the duration of the simulation.
+struct problem {
+    op2::op_set nodes, edges, bedges, cells;
+    op2::op_map pedge, pecell, pbedge, pbecell, pcell;
+    op2::op_dat p_bound, p_x, p_q, p_qold, p_adt, p_res;
+    std::size_t ncell = 0;
+};
+
+/// Declare all OP2 entities for `m`.
+problem make_problem(mesh const& m);
+
+/// Run the five-loop Airfoil iteration (paper Fig. 2) on the configured
+/// backend:
+///  * seq / fork_join: loops execute synchronously (fork_join has the
+///    OpenMP-style global barrier after every loop);
+///  * hpx: all 2*niter*5 loops are *issued* up front and chained through
+///    dat futures (dataflow interleaving, Section IV); the run fences at
+///    the end.
+app_result run(app_config const& cfg);
+
+/// Convenience: run on an existing problem (shared by tests/benches).
+app_result run(problem& prob, app_config const& cfg);
+
+}  // namespace airfoil

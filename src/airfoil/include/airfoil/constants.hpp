@@ -1,0 +1,30 @@
+#pragma once
+
+// Flow constants of the OP2 Airfoil benchmark (Giles et al.; paper
+// Section II-B). Values match the reference airfoil.cpp.
+
+#include <array>
+#include <cmath>
+
+namespace airfoil {
+
+inline constexpr double gam = 1.4;    ///< ratio of specific heats
+inline constexpr double gm1 = 0.4;    ///< gam - 1
+inline constexpr double cfl = 0.9;    ///< CFL number
+inline constexpr double eps = 0.05;   ///< numerical smoothing coefficient
+inline constexpr double mach = 0.4;   ///< free-stream Mach number
+
+/// Free-stream conserved state [rho, rho*u, rho*v, rho*E], initialised
+/// exactly like the reference: p = r = 1, u = sqrt(gam*p/r)*mach, v = 0.
+inline std::array<double, 4> make_qinf() noexcept {
+    double const p = 1.0;
+    double const r = 1.0;
+    double const u = std::sqrt(gam * p / r) * mach;
+    double const e = p / (r * gm1) + 0.5 * u * u;
+    return {r, r * u, 0.0, r * e};
+}
+
+/// Global free-stream state used by bres_calc (far-field boundaries).
+inline const std::array<double, 4> qinf = make_qinf();
+
+}  // namespace airfoil

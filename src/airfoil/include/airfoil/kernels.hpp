@@ -1,0 +1,134 @@
+#pragma once
+
+// The five user kernels of the OP2 Airfoil benchmark, reproduced from
+// the reference implementation (save_soln.h, adt_calc.h, res_calc.h,
+// bres_calc.h, update.h). Each kernel operates on one element of its
+// loop's iteration set and receives one pointer per op_arg.
+
+#include <cmath>
+
+#include <airfoil/constants.hpp>
+
+namespace airfoil::kernels {
+
+/// Direct loop over cells: snapshot the solution (q -> qold).
+inline void save_soln(double const* q, double* qold) {
+    for (int n = 0; n < 4; ++n) {
+        qold[n] = q[n];
+    }
+}
+
+/// Direct-ish loop over cells (indirect reads of the 4 corner nodes):
+/// compute the area/timestep measure per cell.
+inline void adt_calc(double const* x1, double const* x2, double const* x3,
+                     double const* x4, double const* q, double* adt) {
+    double const ri = 1.0 / q[0];
+    double const u = ri * q[1];
+    double const v = ri * q[2];
+    double const c = std::sqrt(gam * gm1 * (ri * q[3] - 0.5 * (u * u + v * v)));
+
+    double dx = x2[0] - x1[0];
+    double dy = x2[1] - x1[1];
+    double a = std::fabs(u * dy - v * dx) + c * std::sqrt(dx * dx + dy * dy);
+
+    dx = x3[0] - x2[0];
+    dy = x3[1] - x2[1];
+    a += std::fabs(u * dy - v * dx) + c * std::sqrt(dx * dx + dy * dy);
+
+    dx = x4[0] - x3[0];
+    dy = x4[1] - x3[1];
+    a += std::fabs(u * dy - v * dx) + c * std::sqrt(dx * dx + dy * dy);
+
+    dx = x1[0] - x4[0];
+    dy = x1[1] - x4[1];
+    a += std::fabs(u * dy - v * dx) + c * std::sqrt(dx * dx + dy * dy);
+
+    *adt = a / cfl;
+}
+
+/// Indirect loop over interior edges: accumulate fluxes into the two
+/// adjacent cells (OP_INC; needs colouring).
+inline void res_calc(double const* x1, double const* x2, double const* q1,
+                     double const* q2, double const* adt1, double const* adt2,
+                     double* res1, double* res2) {
+    double const dx = x1[0] - x2[0];
+    double const dy = x1[1] - x2[1];
+
+    double ri = 1.0 / q1[0];
+    double const p1 = gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+    double const vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+    ri = 1.0 / q2[0];
+    double const p2 = gm1 * (q2[3] - 0.5 * ri * (q2[1] * q2[1] + q2[2] * q2[2]));
+    double const vol2 = ri * (q2[1] * dy - q2[2] * dx);
+
+    double const mu = 0.5 * ((*adt1) + (*adt2)) * eps;
+
+    double f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0]);
+    res1[0] += f;
+    res2[0] -= f;
+    f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) +
+        mu * (q1[1] - q2[1]);
+    res1[1] += f;
+    res2[1] -= f;
+    f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) +
+        mu * (q1[2] - q2[2]);
+    res1[2] += f;
+    res2[2] -= f;
+    f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3]);
+    res1[3] += f;
+    res2[3] -= f;
+}
+
+/// Indirect loop over boundary edges: wall (bound == 1) applies the
+/// pressure force; far-field (bound == 2) fluxes against qinf.
+inline void bres_calc(double const* x1, double const* x2, double const* q1,
+                      double const* adt1, double* res1, int const* bound) {
+    double const dx = x1[0] - x2[0];
+    double const dy = x1[1] - x2[1];
+
+    double ri = 1.0 / q1[0];
+    double const p1 = gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+
+    if (*bound == 1) {
+        res1[1] += +p1 * dy;
+        res1[2] += -p1 * dx;
+        return;
+    }
+
+    double const vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+    ri = 1.0 / qinf[0];
+    double const p2 =
+        gm1 * (qinf[3] - 0.5 * ri * (qinf[1] * qinf[1] + qinf[2] * qinf[2]));
+    double const vol2 = ri * (qinf[1] * dy - qinf[2] * dx);
+
+    double const mu = (*adt1) * eps;
+
+    double f = 0.5 * (vol1 * q1[0] + vol2 * qinf[0]) + mu * (q1[0] - qinf[0]);
+    res1[0] += f;
+    f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * qinf[1] + p2 * dy) +
+        mu * (q1[1] - qinf[1]);
+    res1[1] += f;
+    f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * qinf[2] - p2 * dx) +
+        mu * (q1[2] - qinf[2]);
+    res1[2] += f;
+    f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (qinf[3] + p2)) +
+        mu * (q1[3] - qinf[3]);
+    res1[3] += f;
+}
+
+/// Direct loop over cells: advance the solution one pseudo-time step and
+/// accumulate the global RMS residual (op_arg_gbl OP_INC).
+inline void update(double const* qold, double* q, double* res,
+                   double const* adt, double* rms) {
+    double const adti = 1.0 / (*adt);
+    for (int n = 0; n < 4; ++n) {
+        double const del = adti * res[n];
+        q[n] = qold[n] - del;
+        res[n] = 0.0;
+        *rms += del * del;
+    }
+}
+
+}  // namespace airfoil::kernels

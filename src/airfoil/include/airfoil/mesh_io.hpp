@@ -1,0 +1,40 @@
+#pragma once
+
+// Reader/writer for the OP2 Airfoil grid file format (new_grid.dat):
+//
+//   nnode ncell nedge nbedge
+//   <nnode  lines>  x y                      (node coordinates)
+//   <ncell  lines>  n0 n1 n2 n3              (cell -> 4 nodes)
+//   <nedge  lines>  n1 n2 c1 c2              (edge -> nodes + cells)
+//   <nbedge lines>  n1 n2 c  b               (bedge -> nodes, cell, bound)
+//
+// The paper's input (~720K nodes) ships in exactly this layout; we use
+// the same format so meshes round-trip with stock OP2 tooling.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include <airfoil/mesh.hpp>
+
+namespace airfoil {
+
+/// Raised on malformed input (bad header, truncated body, out-of-range
+/// connectivity).
+class mesh_io_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Serialise `m` in new_grid.dat layout.
+void write_mesh(std::ostream& os, mesh const& m);
+void write_mesh_file(std::string const& path, mesh const& m);
+
+/// Parse a new_grid.dat stream. The q_init field is set to the free
+/// stream (the file format does not carry flow state). Throws
+/// mesh_io_error on malformed input; the result always passes
+/// check_mesh() range validation.
+mesh read_mesh(std::istream& is);
+mesh read_mesh_file(std::string const& path);
+
+}  // namespace airfoil

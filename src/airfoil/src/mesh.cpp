@@ -1,0 +1,202 @@
+#include <airfoil/mesh.hpp>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include <airfoil/constants.hpp>
+
+namespace airfoil {
+
+namespace {
+
+/// Smooth compact bump centred mid-channel (the "airfoil" surface).
+double bump(double x, double length, double h) {
+    double const t = (x - 0.5 * length) / (0.15 * length);
+    return h * std::exp(-t * t);
+}
+
+}  // namespace
+
+mesh make_mesh(mesh_params const& p) {
+    if (p.nx < 2 || p.ny < 2) {
+        throw std::invalid_argument("make_mesh: nx and ny must be >= 2");
+    }
+    std::size_t const nx = p.nx;
+    std::size_t const ny = p.ny;
+
+    mesh m;
+    m.nnode = (nx + 1) * (ny + 1);
+    m.ncell = nx * ny;
+    m.nedge = (nx - 1) * ny + nx * (ny - 1);  // interior vertical + horizontal
+    m.nbedge = 2 * nx + 2 * ny;
+
+    auto node_id = [&](std::size_t i, std::size_t j) {
+        return static_cast<int>(j * (nx + 1) + i);
+    };
+    auto cell_id = [&](std::size_t i, std::size_t j) {
+        return static_cast<int>(j * nx + i);
+    };
+
+    // --- node coordinates: rectangle with a lower-wall bump that decays
+    // linearly toward the upper wall.
+    m.x.resize(m.nnode * 2);
+    for (std::size_t j = 0; j <= ny; ++j) {
+        for (std::size_t i = 0; i <= nx; ++i) {
+            double const xf = p.length * static_cast<double>(i) /
+                              static_cast<double>(nx);
+            double const yf = p.height * static_cast<double>(j) /
+                              static_cast<double>(ny);
+            double const blend =
+                1.0 - static_cast<double>(j) / static_cast<double>(ny);
+            auto const n = static_cast<std::size_t>(node_id(i, j));
+            m.x[2 * n] = xf;
+            m.x[2 * n + 1] = yf + bump(xf, p.length, p.bump_height) * blend;
+        }
+    }
+
+    // --- cells: corner nodes counter-clockwise.
+    m.pcell.resize(m.ncell * 4);
+    for (std::size_t j = 0; j < ny; ++j) {
+        for (std::size_t i = 0; i < nx; ++i) {
+            auto const c = static_cast<std::size_t>(cell_id(i, j));
+            m.pcell[4 * c + 0] = node_id(i, j);
+            m.pcell[4 * c + 1] = node_id(i + 1, j);
+            m.pcell[4 * c + 2] = node_id(i + 1, j + 1);
+            m.pcell[4 * c + 3] = node_id(i, j + 1);
+        }
+    }
+
+    // --- interior edges. Orientation: normal (y1-y2, x2-x1) points out
+    // of pecell[0] into pecell[1].
+    m.pedge.reserve(m.nedge * 2);
+    m.pecell.reserve(m.nedge * 2);
+    // Vertical edges at x-line i (1..nx-1) between cells (i-1,j)|(i,j):
+    // nodes bottom->top, normal points in -x, i.e. out of the RIGHT cell.
+    for (std::size_t j = 0; j < ny; ++j) {
+        for (std::size_t i = 1; i < nx; ++i) {
+            m.pedge.push_back(node_id(i, j));
+            m.pedge.push_back(node_id(i, j + 1));
+            m.pecell.push_back(cell_id(i, j));      // right cell (c1)
+            m.pecell.push_back(cell_id(i - 1, j));  // left cell  (c2)
+        }
+    }
+    // Horizontal edges at y-line j (1..ny-1) between cells (i,j-1)|(i,j):
+    // nodes left->right, normal points in +y, i.e. out of the LOWER cell.
+    for (std::size_t j = 1; j < ny; ++j) {
+        for (std::size_t i = 0; i < nx; ++i) {
+            m.pedge.push_back(node_id(i, j));
+            m.pedge.push_back(node_id(i + 1, j));
+            m.pecell.push_back(cell_id(i, j - 1));  // lower cell (c1)
+            m.pecell.push_back(cell_id(i, j));      // upper cell (c2)
+        }
+    }
+
+    // --- boundary edges; normals must point out of the domain.
+    m.pbedge.reserve(m.nbedge * 2);
+    m.pbecell.reserve(m.nbedge);
+    m.bound.reserve(m.nbedge);
+    // Bottom (j=0), the "airfoil" wall (bound=1): outward normal -y
+    // => nodes right->left.
+    for (std::size_t i = 0; i < nx; ++i) {
+        m.pbedge.push_back(node_id(i + 1, 0));
+        m.pbedge.push_back(node_id(i, 0));
+        m.pbecell.push_back(cell_id(i, 0));
+        m.bound.push_back(1);
+    }
+    // Top (j=ny), far-field (bound=2): outward +y => nodes left->right.
+    for (std::size_t i = 0; i < nx; ++i) {
+        m.pbedge.push_back(node_id(i, ny));
+        m.pbedge.push_back(node_id(i + 1, ny));
+        m.pbecell.push_back(cell_id(i, ny - 1));
+        m.bound.push_back(2);
+    }
+    // Left (i=0), far-field: outward -x => nodes bottom->top.
+    for (std::size_t j = 0; j < ny; ++j) {
+        m.pbedge.push_back(node_id(0, j));
+        m.pbedge.push_back(node_id(0, j + 1));
+        m.pbecell.push_back(cell_id(0, j));
+        m.bound.push_back(2);
+    }
+    // Right (i=nx), far-field: outward +x => nodes top->bottom.
+    for (std::size_t j = 0; j < ny; ++j) {
+        m.pbedge.push_back(node_id(nx, j + 1));
+        m.pbedge.push_back(node_id(nx, j));
+        m.pbecell.push_back(cell_id(nx - 1, j));
+        m.bound.push_back(2);
+    }
+
+    // --- initial state: uniform free stream.
+    m.q_init.resize(m.ncell * 4);
+    for (std::size_t c = 0; c < m.ncell; ++c) {
+        for (std::size_t n = 0; n < 4; ++n) {
+            m.q_init[4 * c + n] = qinf[n];
+        }
+    }
+    return m;
+}
+
+std::string check_mesh(mesh const& m) {
+    auto fail = [](std::string msg) { return msg; };
+
+    if (m.x.size() != m.nnode * 2) return fail("x size mismatch");
+    if (m.pcell.size() != m.ncell * 4) return fail("pcell size mismatch");
+    if (m.pedge.size() != m.nedge * 2) return fail("pedge size mismatch");
+    if (m.pecell.size() != m.nedge * 2) return fail("pecell size mismatch");
+    if (m.pbedge.size() != m.nbedge * 2) return fail("pbedge size mismatch");
+    if (m.pbecell.size() != m.nbedge) return fail("pbecell size mismatch");
+    if (m.bound.size() != m.nbedge) return fail("bound size mismatch");
+    if (m.q_init.size() != m.ncell * 4) return fail("q_init size mismatch");
+
+    auto node_ok = [&](int n) {
+        return n >= 0 && static_cast<std::size_t>(n) < m.nnode;
+    };
+    auto cell_ok = [&](int c) {
+        return c >= 0 && static_cast<std::size_t>(c) < m.ncell;
+    };
+    for (int n : m.pcell) {
+        if (!node_ok(n)) return fail("pcell entry out of range");
+    }
+    for (int n : m.pedge) {
+        if (!node_ok(n)) return fail("pedge entry out of range");
+    }
+    for (int c : m.pecell) {
+        if (!cell_ok(c)) return fail("pecell entry out of range");
+    }
+    for (int n : m.pbedge) {
+        if (!node_ok(n)) return fail("pbedge entry out of range");
+    }
+    for (int c : m.pbecell) {
+        if (!cell_ok(c)) return fail("pbecell entry out of range");
+    }
+    for (int b : m.bound) {
+        if (b != 1 && b != 2) return fail("bound code must be 1 or 2");
+    }
+    for (std::size_t e = 0; e < m.nedge; ++e) {
+        if (m.pecell[2 * e] == m.pecell[2 * e + 1]) {
+            return fail("edge with identical cells");
+        }
+        if (m.pedge[2 * e] == m.pedge[2 * e + 1]) {
+            return fail("edge with identical nodes");
+        }
+    }
+
+    // Every cell must be bounded by exactly 4 (interior + boundary) edges.
+    std::vector<int> edges_per_cell(m.ncell, 0);
+    for (std::size_t e = 0; e < m.nedge; ++e) {
+        ++edges_per_cell[static_cast<std::size_t>(m.pecell[2 * e])];
+        ++edges_per_cell[static_cast<std::size_t>(m.pecell[2 * e + 1])];
+    }
+    for (std::size_t e = 0; e < m.nbedge; ++e) {
+        ++edges_per_cell[static_cast<std::size_t>(m.pbecell[e])];
+    }
+    for (std::size_t c = 0; c < m.ncell; ++c) {
+        if (edges_per_cell[c] != 4) {
+            return fail("cell " + std::to_string(c) +
+                        " bounded by != 4 edges");
+        }
+    }
+    return {};
+}
+
+}  // namespace airfoil

@@ -1,0 +1,140 @@
+#include <airfoil/mesh_io.hpp>
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include <airfoil/constants.hpp>
+
+namespace airfoil {
+
+namespace {
+
+void check_range(long v, std::size_t limit, char const* what) {
+    if (v < 0 || static_cast<std::size_t>(v) >= limit) {
+        throw mesh_io_error(std::string("mesh_io: ") + what +
+                            " index out of range: " + std::to_string(v));
+    }
+}
+
+}  // namespace
+
+void write_mesh(std::ostream& os, mesh const& m) {
+    os << m.nnode << ' ' << m.ncell << ' ' << m.nedge << ' ' << m.nbedge
+       << '\n';
+    os.precision(17);
+    for (std::size_t n = 0; n < m.nnode; ++n) {
+        os << m.x[2 * n] << ' ' << m.x[2 * n + 1] << '\n';
+    }
+    for (std::size_t c = 0; c < m.ncell; ++c) {
+        os << m.pcell[4 * c] << ' ' << m.pcell[4 * c + 1] << ' '
+           << m.pcell[4 * c + 2] << ' ' << m.pcell[4 * c + 3] << '\n';
+    }
+    for (std::size_t e = 0; e < m.nedge; ++e) {
+        os << m.pedge[2 * e] << ' ' << m.pedge[2 * e + 1] << ' '
+           << m.pecell[2 * e] << ' ' << m.pecell[2 * e + 1] << '\n';
+    }
+    for (std::size_t e = 0; e < m.nbedge; ++e) {
+        os << m.pbedge[2 * e] << ' ' << m.pbedge[2 * e + 1] << ' '
+           << m.pbecell[e] << ' ' << m.bound[e] << '\n';
+    }
+}
+
+void write_mesh_file(std::string const& path, mesh const& m) {
+    std::ofstream f(path);
+    if (!f) {
+        throw mesh_io_error("mesh_io: cannot open for writing: " + path);
+    }
+    write_mesh(f, m);
+}
+
+mesh read_mesh(std::istream& is) {
+    mesh m;
+    long nnode = -1;
+    long ncell = -1;
+    long nedge = -1;
+    long nbedge = -1;
+    if (!(is >> nnode >> ncell >> nedge >> nbedge) || nnode < 0 ||
+        ncell < 0 || nedge < 0 || nbedge < 0) {
+        throw mesh_io_error("mesh_io: malformed header");
+    }
+    m.nnode = static_cast<std::size_t>(nnode);
+    m.ncell = static_cast<std::size_t>(ncell);
+    m.nedge = static_cast<std::size_t>(nedge);
+    m.nbedge = static_cast<std::size_t>(nbedge);
+
+    m.x.resize(m.nnode * 2);
+    for (std::size_t n = 0; n < m.nnode; ++n) {
+        if (!(is >> m.x[2 * n] >> m.x[2 * n + 1])) {
+            throw mesh_io_error("mesh_io: truncated node coordinates");
+        }
+    }
+
+    m.pcell.resize(m.ncell * 4);
+    for (std::size_t c = 0; c < m.ncell * 4; ++c) {
+        long v = 0;
+        if (!(is >> v)) {
+            throw mesh_io_error("mesh_io: truncated cell connectivity");
+        }
+        check_range(v, m.nnode, "cell node");
+        m.pcell[c] = static_cast<int>(v);
+    }
+
+    m.pedge.resize(m.nedge * 2);
+    m.pecell.resize(m.nedge * 2);
+    for (std::size_t e = 0; e < m.nedge; ++e) {
+        long n1 = 0;
+        long n2 = 0;
+        long c1 = 0;
+        long c2 = 0;
+        if (!(is >> n1 >> n2 >> c1 >> c2)) {
+            throw mesh_io_error("mesh_io: truncated edge list");
+        }
+        check_range(n1, m.nnode, "edge node");
+        check_range(n2, m.nnode, "edge node");
+        check_range(c1, m.ncell, "edge cell");
+        check_range(c2, m.ncell, "edge cell");
+        m.pedge[2 * e] = static_cast<int>(n1);
+        m.pedge[2 * e + 1] = static_cast<int>(n2);
+        m.pecell[2 * e] = static_cast<int>(c1);
+        m.pecell[2 * e + 1] = static_cast<int>(c2);
+    }
+
+    m.pbedge.resize(m.nbedge * 2);
+    m.pbecell.resize(m.nbedge);
+    m.bound.resize(m.nbedge);
+    for (std::size_t e = 0; e < m.nbedge; ++e) {
+        long n1 = 0;
+        long n2 = 0;
+        long c = 0;
+        long b = 0;
+        if (!(is >> n1 >> n2 >> c >> b)) {
+            throw mesh_io_error("mesh_io: truncated boundary-edge list");
+        }
+        check_range(n1, m.nnode, "bedge node");
+        check_range(n2, m.nnode, "bedge node");
+        check_range(c, m.ncell, "bedge cell");
+        m.pbedge[2 * e] = static_cast<int>(n1);
+        m.pbedge[2 * e + 1] = static_cast<int>(n2);
+        m.pbecell[e] = static_cast<int>(c);
+        m.bound[e] = static_cast<int>(b);
+    }
+
+    m.q_init.resize(m.ncell * 4);
+    for (std::size_t c = 0; c < m.ncell; ++c) {
+        for (std::size_t k = 0; k < 4; ++k) {
+            m.q_init[4 * c + k] = qinf[k];
+        }
+    }
+    return m;
+}
+
+mesh read_mesh_file(std::string const& path) {
+    std::ifstream f(path);
+    if (!f) {
+        throw mesh_io_error("mesh_io: cannot open: " + path);
+    }
+    return read_mesh(f);
+}
+
+}  // namespace airfoil

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <variant>
+
+#include <hpxlite/execution/chunkers.hpp>
+#include <hpxlite/execution/policy.hpp>
+#include <hpxlite/lcos/future.hpp>
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/timing.hpp>
+
+namespace hpxlite::parallel::detail {
+
+using execution::detail::chunk_plan;
+
+/// Decide the chunking for `n` iterations under chunker `ck`.
+/// Time-based chunkers probe by executing f(0..p-1) inline; the plan's
+/// `probed` field reports how many iterations were consumed that way.
+template <typename F>
+chunk_plan resolve_chunk(execution::chunker const& ck, std::size_t n,
+                         std::size_t workers, F& f) {
+    namespace ed = execution::detail;
+    chunk_plan plan;
+
+    auto probe = [&]() -> std::int64_t {
+        std::size_t const p = ed::probe_count(n);
+        util::stopwatch sw;
+        for (std::size_t i = 0; i < p; ++i) {
+            f(i);
+        }
+        std::int64_t elapsed = sw.elapsed_ns();
+        plan.probed = p;
+        std::int64_t per_iter = elapsed / static_cast<std::int64_t>(p);
+        return per_iter > 0 ? per_iter : 1;
+    };
+
+    if (auto const* sc = std::get_if<execution::static_chunk_size>(&ck)) {
+        std::size_t chunk = sc->size;
+        if (chunk == 0) {
+            chunk = n / (4 * workers);
+        }
+        plan.chunk = ed::clamp_chunk(chunk, n, workers);
+    } else if (auto const* dc =
+                   std::get_if<execution::dynamic_chunk_size>(&ck)) {
+        plan.self_scheduling = true;
+        plan.chunk = ed::clamp_chunk(dc->size, n, workers);
+    } else if (auto const* ac = std::get_if<execution::auto_chunk_size>(&ck)) {
+        plan.per_iter_ns = probe();
+        plan.chunk = ed::clamp_chunk(
+            static_cast<std::size_t>(ac->target_ns / plan.per_iter_ns), n,
+            workers);
+    } else {
+        auto const& pc = std::get<execution::persistent_auto_chunk_size>(ck);
+        auto& domain =
+            pc.domain != nullptr ? *pc.domain : execution::global_chunk_domain();
+        plan.per_iter_ns = probe();
+        if (domain.calibrated()) {
+            // Dependent loop: equalise chunk *time* with the first loop.
+            plan.chunk = ed::clamp_chunk(
+                static_cast<std::size_t>(domain.target_ns() / plan.per_iter_ns),
+                n, workers);
+        } else {
+            // Calibrating loop: pick a chunk like auto_chunk_size would,
+            // then persist the achieved chunk execution time.
+            plan.chunk = ed::clamp_chunk(
+                static_cast<std::size_t>(pc.default_target_ns /
+                                         plan.per_iter_ns),
+                n, workers);
+            domain.record(static_cast<std::int64_t>(plan.chunk) *
+                          plan.per_iter_ns);
+        }
+    }
+    return plan;
+}
+
+/// Execute f(i) for i in [0, n) under a parallel task policy; completion
+/// (or the first thrown exception) is delivered through the returned
+/// future.
+template <typename F>
+lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
+                              std::size_t n, F f) {
+    auto& pool = pol.pool != nullptr ? *pol.pool : hpxlite::get_pool();
+    if (n == 0) {
+        return lcos::make_ready_future();
+    }
+
+    chunk_plan const plan = resolve_chunk(pol.chunk, n, pool.size(), f);
+    std::size_t const begin = plan.probed;
+    if (begin >= n) {
+        return lcos::make_ready_future();
+    }
+
+    struct frame_t {
+        explicit frame_t(F fn) : f(std::move(fn)) {}
+        F f;
+        std::atomic<std::size_t> remaining{0};
+        std::atomic<std::size_t> next{0};  // self-scheduling cursor
+        util::spinlock emtx;
+        std::exception_ptr error;
+        lcos::detail::state_ptr<void> st =
+            std::make_shared<lcos::detail::shared_state<void>>();
+
+        void run_range(std::size_t b, std::size_t e) {
+            try {
+                for (std::size_t i = b; i < e; ++i) {
+                    f(i);
+                }
+            } catch (...) {
+                std::lock_guard<util::spinlock> lk(emtx);
+                if (!error) {
+                    error = std::current_exception();
+                }
+            }
+        }
+
+        void finish_one() {
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::exception_ptr e;
+                {
+                    std::lock_guard<util::spinlock> lk(emtx);
+                    e = error;
+                }
+                if (e) {
+                    st->set_exception(std::move(e));
+                } else {
+                    st->set_value();
+                }
+            }
+        }
+    };
+
+    auto frame = std::make_shared<frame_t>(std::move(f));
+    auto result = lcos::future<void>(frame->st);
+
+    if (plan.self_scheduling) {
+        std::size_t const grain = plan.chunk;
+        std::size_t const span = n - begin;
+        std::size_t const nworkers =
+            std::min(pool.size(), (span + grain - 1) / grain);
+        frame->remaining.store(nworkers, std::memory_order_relaxed);
+        for (std::size_t w = 0; w < nworkers; ++w) {
+            pool.submit([frame, begin, n, grain] {
+                for (;;) {
+                    std::size_t const i =
+                        begin + frame->next.fetch_add(
+                                    grain, std::memory_order_relaxed);
+                    if (i >= n) {
+                        break;
+                    }
+                    frame->run_range(i, std::min(i + grain, n));
+                }
+                frame->finish_one();
+            });
+        }
+    } else {
+        std::size_t const chunk = plan.chunk;
+        std::size_t const span = n - begin;
+        std::size_t const nchunks = (span + chunk - 1) / chunk;
+        frame->remaining.store(nchunks, std::memory_order_relaxed);
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            std::size_t const b = begin + c * chunk;
+            std::size_t const e = std::min(b + chunk, n);
+            pool.submit([frame, b, e] {
+                frame->run_range(b, e);
+                frame->finish_one();
+            });
+        }
+    }
+    return result;
+}
+
+/// Synchronous counterpart of bulk_async (helps the pool while waiting).
+template <typename F>
+void bulk_sync(execution::parallel_policy const& pol, std::size_t n, F f) {
+    execution::parallel_task_policy tp;
+    tp.chunk = pol.chunk;
+    tp.pool = pol.pool;
+    bulk_async(tp, n, std::move(f)).get();
+}
+
+}  // namespace hpxlite::parallel::detail

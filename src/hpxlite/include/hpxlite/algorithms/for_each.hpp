@@ -1,0 +1,70 @@
+#pragma once
+
+#include <iterator>
+#include <type_traits>
+#include <utility>
+
+#include <hpxlite/algorithms/detail/bulk.hpp>
+#include <hpxlite/execution/policy.hpp>
+#include <hpxlite/lcos/future.hpp>
+
+namespace hpxlite::parallel {
+
+/// hpx::parallel::for_each over a random-access range.
+///
+/// Synchronous policies (`seq`, `par`) return `last`; task policies
+/// (`seq(task)`, `par(task)`) return a future<Iterator>. The parallel
+/// variants honour the policy's chunk-size parameter (static / dynamic /
+/// auto / persistent_auto).
+template <typename It, typename F>
+It for_each(execution::sequenced_policy const&, It first, It last, F f) {
+    for (It it = first; it != last; ++it) {
+        f(*it);
+    }
+    return last;
+}
+
+template <typename It, typename F>
+lcos::future<It> for_each(execution::sequenced_task_policy const&, It first,
+                          It last, F f) {
+    return lcos::async([first, last, f = std::move(f)]() mutable {
+        for (It it = first; it != last; ++it) {
+            f(*it);
+        }
+        return last;
+    });
+}
+
+template <typename It, typename F>
+It for_each(execution::parallel_policy const& pol, It first, It last, F f) {
+    static_assert(
+        std::is_base_of_v<std::random_access_iterator_tag,
+                          typename std::iterator_traits<It>::iterator_category>,
+        "parallel for_each requires random-access iterators");
+    auto const n = static_cast<std::size_t>(last - first);
+    detail::bulk_sync(pol, n,
+                      [first, f = std::move(f)](std::size_t i) mutable {
+                          f(first[static_cast<std::ptrdiff_t>(i)]);
+                      });
+    return last;
+}
+
+template <typename It, typename F>
+lcos::future<It> for_each(execution::parallel_task_policy const& pol, It first,
+                          It last, F f) {
+    static_assert(
+        std::is_base_of_v<std::random_access_iterator_tag,
+                          typename std::iterator_traits<It>::iterator_category>,
+        "parallel for_each requires random-access iterators");
+    auto const n = static_cast<std::size_t>(last - first);
+    auto done = detail::bulk_async(
+        pol, n, [first, f = std::move(f)](std::size_t i) mutable {
+            f(first[static_cast<std::ptrdiff_t>(i)]);
+        });
+    return done.then([last](lcos::future<void>&& d) {
+        d.get();  // propagate exceptions
+        return last;
+    });
+}
+
+}  // namespace hpxlite::parallel

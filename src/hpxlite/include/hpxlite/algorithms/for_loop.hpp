@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include <hpxlite/algorithms/detail/bulk.hpp>
+#include <hpxlite/execution/policy.hpp>
+#include <hpxlite/lcos/future.hpp>
+
+namespace hpxlite::parallel {
+
+/// Index-based parallel loop: f(i) for i in [lo, hi).
+/// Synchronous policies return void; task policies return future<void>.
+template <typename Int, typename F>
+void for_loop(execution::sequenced_policy const&, Int lo, Int hi, F f) {
+    for (Int i = lo; i < hi; ++i) {
+        f(i);
+    }
+}
+
+template <typename Int, typename F>
+lcos::future<void> for_loop(execution::sequenced_task_policy const&, Int lo,
+                            Int hi, F f) {
+    return lcos::async([lo, hi, f = std::move(f)]() mutable {
+        for (Int i = lo; i < hi; ++i) {
+            f(i);
+        }
+    });
+}
+
+template <typename Int, typename F>
+void for_loop(execution::parallel_policy const& pol, Int lo, Int hi, F f) {
+    if (hi <= lo) {
+        return;
+    }
+    auto const n = static_cast<std::size_t>(hi - lo);
+    detail::bulk_sync(pol, n, [lo, f = std::move(f)](std::size_t i) mutable {
+        f(static_cast<Int>(lo + static_cast<Int>(i)));
+    });
+}
+
+template <typename Int, typename F>
+lcos::future<void> for_loop(execution::parallel_task_policy const& pol, Int lo,
+                            Int hi, F f) {
+    if (hi <= lo) {
+        return lcos::make_ready_future();
+    }
+    auto const n = static_cast<std::size_t>(hi - lo);
+    return detail::bulk_async(pol, n,
+                              [lo, f = std::move(f)](std::size_t i) mutable {
+                                  f(static_cast<Int>(lo + static_cast<Int>(i)));
+                              });
+}
+
+}  // namespace hpxlite::parallel

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include <hpxlite/algorithms/detail/bulk.hpp>
+#include <hpxlite/execution/policy.hpp>
+#include <hpxlite/lcos/future.hpp>
+
+namespace hpxlite::parallel {
+
+namespace detail {
+
+/// Split [0, n) into K near-equal subranges, compute per-subrange
+/// partials with `partial_of(b, e)`, then fold them with `combine`.
+template <typename T, typename PartialOf, typename Combine>
+T partitioned_reduce(execution::parallel_policy const& pol, std::size_t n,
+                     T init, PartialOf partial_of, Combine combine) {
+    if (n == 0) {
+        return init;
+    }
+    auto& pool = pol.pool != nullptr ? *pol.pool : hpxlite::get_pool();
+    std::size_t const k =
+        std::min<std::size_t>(n, std::max<std::size_t>(1, 4 * pool.size()));
+    std::vector<T> partials(k, init);
+    std::size_t const base = n / k;
+    std::size_t const rem = n % k;
+    execution::parallel_policy part_pol = pol;
+    part_pol.chunk = execution::static_chunk_size{1};
+    bulk_sync(part_pol, k, [&](std::size_t j) {
+        std::size_t const b = j * base + std::min(j, rem);
+        std::size_t const e = b + base + (j < rem ? 1 : 0);
+        partials[j] = partial_of(b, e);
+    });
+    T acc = init;
+    for (auto& p : partials) {
+        acc = combine(std::move(acc), std::move(p));
+    }
+    return acc;
+}
+
+}  // namespace detail
+
+/// transform_reduce: init ⊕ conv(x0) ⊕ conv(x1) ⊕ ... with ⊕ = reduce_op.
+/// reduce_op must be associative & commutative for the parallel overloads.
+template <typename It, typename T, typename Reduce, typename Convert>
+T transform_reduce(execution::sequenced_policy const&, It first, It last,
+                   T init, Reduce reduce_op, Convert conv) {
+    T acc = std::move(init);
+    for (; first != last; ++first) {
+        acc = reduce_op(std::move(acc), conv(*first));
+    }
+    return acc;
+}
+
+template <typename It, typename T, typename Reduce, typename Convert>
+T transform_reduce(execution::parallel_policy const& pol, It first, It last,
+                   T init, Reduce reduce_op, Convert conv) {
+    auto const n = static_cast<std::size_t>(last - first);
+    if (n == 0) {
+        return init;
+    }
+    return detail::partitioned_reduce<T>(
+        pol, n, init,
+        [first, &reduce_op, &conv](std::size_t b, std::size_t e) {
+            auto const pb = static_cast<std::ptrdiff_t>(b);
+            T acc = conv(first[pb]);
+            for (std::size_t i = b + 1; i < e; ++i) {
+                acc = reduce_op(std::move(acc),
+                                conv(first[static_cast<std::ptrdiff_t>(i)]));
+            }
+            return acc;
+        },
+        reduce_op);
+}
+
+/// Plain reduce with a binary op (default std::plus-like usage).
+template <typename It, typename T, typename Op>
+T reduce(execution::sequenced_policy const& pol, It first, It last, T init,
+         Op op) {
+    return transform_reduce(pol, first, last, std::move(init), std::move(op),
+                            [](auto const& x) { return x; });
+}
+
+template <typename It, typename T, typename Op>
+T reduce(execution::parallel_policy const& pol, It first, It last, T init,
+         Op op) {
+    return transform_reduce(pol, first, last, std::move(init), std::move(op),
+                            [](auto const& x) { return x; });
+}
+
+template <typename It, typename T>
+T reduce(execution::parallel_policy const& pol, It first, It last, T init) {
+    return reduce(pol, first, last, std::move(init),
+                  [](auto a, auto b) { return a + b; });
+}
+
+}  // namespace hpxlite::parallel

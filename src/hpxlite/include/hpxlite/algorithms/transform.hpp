@@ -1,0 +1,63 @@
+#pragma once
+
+#include <iterator>
+#include <utility>
+
+#include <hpxlite/algorithms/detail/bulk.hpp>
+#include <hpxlite/execution/policy.hpp>
+#include <hpxlite/lcos/future.hpp>
+
+namespace hpxlite::parallel {
+
+/// dest[i] = op(first[i]) for the whole range.
+template <typename It, typename Out, typename Op>
+Out transform(execution::sequenced_policy const&, It first, It last, Out dest,
+              Op op) {
+    for (; first != last; ++first, ++dest) {
+        *dest = op(*first);
+    }
+    return dest;
+}
+
+template <typename It, typename Out, typename Op>
+Out transform(execution::parallel_policy const& pol, It first, It last,
+              Out dest, Op op) {
+    auto const n = static_cast<std::size_t>(last - first);
+    detail::bulk_sync(pol, n,
+                      [first, dest, op = std::move(op)](std::size_t i) mutable {
+                          auto const k = static_cast<std::ptrdiff_t>(i);
+                          dest[k] = op(first[k]);
+                      });
+    return dest + static_cast<std::ptrdiff_t>(n);
+}
+
+template <typename It, typename Out, typename Op>
+lcos::future<Out> transform(execution::parallel_task_policy const& pol,
+                            It first, It last, Out dest, Op op) {
+    auto const n = static_cast<std::size_t>(last - first);
+    auto done = detail::bulk_async(
+        pol, n, [first, dest, op = std::move(op)](std::size_t i) mutable {
+            auto const k = static_cast<std::ptrdiff_t>(i);
+            dest[k] = op(first[k]);
+        });
+    return done.then([dest, n](lcos::future<void>&& d) {
+        d.get();
+        return dest + static_cast<std::ptrdiff_t>(n);
+    });
+}
+
+/// Binary transform: dest[i] = op(a[i], b[i]).
+template <typename ItA, typename ItB, typename Out, typename Op>
+Out transform(execution::parallel_policy const& pol, ItA a_first, ItA a_last,
+              ItB b_first, Out dest, Op op) {
+    auto const n = static_cast<std::size_t>(a_last - a_first);
+    detail::bulk_sync(
+        pol, n,
+        [a_first, b_first, dest, op = std::move(op)](std::size_t i) mutable {
+            auto const k = static_cast<std::ptrdiff_t>(i);
+            dest[k] = op(a_first[k], b_first[k]);
+        });
+    return dest + static_cast<std::ptrdiff_t>(n);
+}
+
+}  // namespace hpxlite::parallel

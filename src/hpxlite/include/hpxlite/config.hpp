@@ -1,0 +1,30 @@
+// hpxlite: a compact, from-scratch reimplementation of the HPX runtime
+// constructs used by "Redesigning OP2 Compiler to Use HPX Runtime
+// Asynchronous Techniques" (Khatami, Kaiser, Ramanujam; IPPS 2017):
+// futures, dataflow, execution policies, chunk-size controls, parallel
+// algorithms and the prefetching iterator.
+//
+// This header defines build-wide constants and small utilities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpxlite {
+
+/// Assumed cache line size in bytes. The prefetching iterator derives its
+/// per-container prefetch stride from this (see Section V of the paper:
+/// "prefetch_distance_factor is designed to be determined based on the
+/// length of the cache line").
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Library version, mirrored from the top-level CMake project version.
+struct version_info {
+    int major = 0;
+    int minor = 1;
+    int patch = 0;
+};
+
+constexpr version_info version() noexcept { return {}; }
+
+}  // namespace hpxlite

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+
+namespace hpxlite::execution {
+
+/// Fixed chunk size. size == 0 means "n / (4 * workers)" at run time.
+struct static_chunk_size {
+    std::size_t size = 0;
+};
+
+/// Self-scheduling: workers repeatedly grab `size` iterations from a
+/// shared counter. Good for irregular per-iteration cost.
+struct dynamic_chunk_size {
+    std::size_t size = 1024;
+};
+
+/// Time-targeted chunking: probe a handful of iterations, derive the
+/// per-iteration cost, then size chunks so each takes ~target_ns.
+/// (Mirrors hpx::parallel::auto_chunk_size.)
+struct auto_chunk_size {
+    std::int64_t target_ns = 100'000;  // 100 us per chunk
+};
+
+/// Shared calibration state for persistent_auto_chunk_size.
+///
+/// The *first* loop executed against a given domain fixes the target
+/// chunk execution time; every subsequent loop (typically the dependent
+/// loops interleaved with the first through dataflow) probes its own
+/// per-iteration cost and solves for the chunk size giving the *same
+/// chunk execution time* (paper Fig. 12b: chunk1/chunk2/chunk3 differ in
+/// size but equalise in duration).
+class chunk_domain {
+public:
+    /// Record the measured chunk time of the calibrating loop.
+    /// Only the first record wins; later calls are ignored.
+    void record(std::int64_t chunk_time_ns) noexcept {
+        std::int64_t expected = 0;
+        target_.compare_exchange_strong(expected, chunk_time_ns,
+                                        std::memory_order_acq_rel);
+    }
+
+    [[nodiscard]] std::int64_t target_ns() const noexcept {
+        return target_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] bool calibrated() const noexcept { return target_ns() != 0; }
+
+    void reset() noexcept { target_.store(0, std::memory_order_release); }
+
+private:
+    std::atomic<std::int64_t> target_{0};
+};
+
+/// The execution policy parameter proposed by the paper (Section IV-B):
+/// equalise chunk *execution times* across dependent loops sharing a
+/// chunk_domain. With domain == nullptr a process-global domain is used.
+struct persistent_auto_chunk_size {
+    chunk_domain* domain = nullptr;
+    /// Target used by the calibrating (first) loop.
+    std::int64_t default_target_ns = 100'000;
+};
+
+/// Tagged union over all chunk-size parameters understood by the
+/// parallel algorithms.
+using chunker =
+    std::variant<static_chunk_size, dynamic_chunk_size, auto_chunk_size,
+                 persistent_auto_chunk_size>;
+
+/// The process-global chunk domain used when persistent_auto_chunk_size
+/// is constructed without an explicit domain.
+chunk_domain& global_chunk_domain();
+
+namespace detail {
+
+/// Decision produced by resolve_chunk(): how to partition `n` iterations.
+struct chunk_plan {
+    std::size_t chunk = 1;      // iterations per task
+    bool self_scheduling = false;
+    // When the chunker required probing, iterations [0, probed) have
+    // already been executed inline by resolve_chunk.
+    std::size_t probed = 0;
+    // Domain to calibrate with the achieved chunk time (or nullptr).
+    chunk_domain* calibrate = nullptr;
+    std::int64_t per_iter_ns = 0;
+};
+
+/// Number of iterations to probe for time-based chunkers.
+std::size_t probe_count(std::size_t n) noexcept;
+
+/// Clamp helper shared by the chunk heuristics.
+std::size_t clamp_chunk(std::size_t chunk, std::size_t n,
+                        std::size_t workers) noexcept;
+
+}  // namespace detail
+
+}  // namespace hpxlite::execution

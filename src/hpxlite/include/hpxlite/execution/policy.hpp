@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+
+#include <hpxlite/execution/chunkers.hpp>
+#include <hpxlite/threads/thread_pool.hpp>
+
+namespace hpxlite::execution {
+
+/// Tag passed to a policy's call operator to obtain its asynchronous
+/// (task) variant: `par(task)`, `seq(task)` — Table I of the paper.
+struct task_policy_tag {
+    explicit constexpr task_policy_tag() = default;
+};
+inline constexpr task_policy_tag task{};
+
+class sequenced_task_policy;
+class parallel_task_policy;
+
+/// Sequential execution (Table I: `seq`).
+class sequenced_policy {
+public:
+    sequenced_task_policy operator()(task_policy_tag) const noexcept;
+};
+
+/// Sequential + asynchronous (Table I: `seq(task)`): the algorithm runs
+/// as a single task and returns a future.
+class sequenced_task_policy {};
+
+/// Parallel execution (Table I: `par`). Carries a chunk-size parameter
+/// and (optionally) a specific pool; defaults to the global runtime pool.
+class parallel_policy {
+public:
+    parallel_task_policy operator()(task_policy_tag) const noexcept;
+
+    /// Return a copy of this policy using chunker `c`
+    /// (e.g. `par.with(persistent_auto_chunk_size{})`).
+    [[nodiscard]] parallel_policy with(chunker c) const {
+        parallel_policy p(*this);
+        p.chunk = std::move(c);
+        return p;
+    }
+
+    [[nodiscard]] parallel_policy on(threads::thread_pool& target) const {
+        parallel_policy p(*this);
+        p.pool = &target;
+        return p;
+    }
+
+    chunker chunk = auto_chunk_size{};
+    threads::thread_pool* pool = nullptr;  // nullptr → global pool
+};
+
+/// Parallel + asynchronous (Table I: `par(task)`): returns a future.
+class parallel_task_policy {
+public:
+    [[nodiscard]] parallel_task_policy with(chunker c) const {
+        parallel_task_policy p(*this);
+        p.chunk = std::move(c);
+        return p;
+    }
+
+    [[nodiscard]] parallel_task_policy on(threads::thread_pool& target) const {
+        parallel_task_policy p(*this);
+        p.pool = &target;
+        return p;
+    }
+
+    chunker chunk = auto_chunk_size{};
+    threads::thread_pool* pool = nullptr;
+};
+
+inline sequenced_task_policy sequenced_policy::operator()(
+    task_policy_tag) const noexcept {
+    return {};
+}
+
+inline parallel_task_policy parallel_policy::operator()(
+    task_policy_tag) const noexcept {
+    parallel_task_policy p;
+    p.chunk = chunk;
+    p.pool = pool;
+    return p;
+}
+
+inline const sequenced_policy seq{};
+inline const parallel_policy par{};
+
+template <typename P>
+struct is_task_policy : std::false_type {};
+template <>
+struct is_task_policy<sequenced_task_policy> : std::true_type {};
+template <>
+struct is_task_policy<parallel_task_policy> : std::true_type {};
+template <typename P>
+inline constexpr bool is_task_policy_v = is_task_policy<std::decay_t<P>>::value;
+
+template <typename P>
+struct is_parallel_policy : std::false_type {};
+template <>
+struct is_parallel_policy<parallel_policy> : std::true_type {};
+template <>
+struct is_parallel_policy<parallel_task_policy> : std::true_type {};
+template <typename P>
+inline constexpr bool is_parallel_policy_v =
+    is_parallel_policy<std::decay_t<P>>::value;
+
+template <typename P>
+struct is_execution_policy : std::false_type {};
+template <>
+struct is_execution_policy<sequenced_policy> : std::true_type {};
+template <>
+struct is_execution_policy<sequenced_task_policy> : std::true_type {};
+template <>
+struct is_execution_policy<parallel_policy> : std::true_type {};
+template <>
+struct is_execution_policy<parallel_task_policy> : std::true_type {};
+template <typename P>
+inline constexpr bool is_execution_policy_v =
+    is_execution_policy<std::decay_t<P>>::value;
+
+}  // namespace hpxlite::execution
+
+namespace hpxlite {
+namespace parallel {
+using execution::par;
+using execution::seq;
+using execution::task;
+}  // namespace parallel
+}  // namespace hpxlite

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include <hpxlite/lcos/future.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace hpxlite::lcos {
+
+namespace detail {
+
+/// Frame shared between the dataflow call-site and the continuations
+/// hooked onto its future arguments. Holds the callable and all arguments
+/// until the last future becomes ready, then schedules the invocation on
+/// the pool. The result is published through `result`.
+template <typename F, typename Tuple, typename R>
+struct dataflow_frame
+  : std::enable_shared_from_this<dataflow_frame<F, Tuple, R>> {
+    dataflow_frame(F f, Tuple t) : fn(std::move(f)), args(std::move(t)) {}
+
+    F fn;
+    Tuple args;
+    std::atomic<std::size_t> pending{1};  // +1 armer sentinel
+    state_ptr<R> result = std::make_shared<lcos::detail::shared_state<R>>();
+
+    void arm() {
+        auto self = this->shared_from_this();
+        std::apply(
+            [&](auto&... as) {
+                (
+                    [&](auto& a) {
+                        using A = std::decay_t<decltype(a)>;
+                        if constexpr (is_future_v<A>) {
+                            if (a.valid()) {
+                                auto st = get_state(a);
+                                if (!st->is_ready()) {
+                                    pending.fetch_add(
+                                        1, std::memory_order_relaxed);
+                                    st->add_continuation(
+                                        [self] { self->notify(); });
+                                }
+                            }
+                        }
+                    }(as),
+                    ...);
+            },
+            args);
+        notify();  // release sentinel
+    }
+
+    void notify() {
+        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            auto self = this->shared_from_this();
+            hpxlite::get_pool().submit([self] { self->execute(); });
+        }
+    }
+
+    void execute() {
+        invoke_into_state<R>(result, std::move(fn), std::move(args));
+    }
+};
+
+}  // namespace detail
+
+/// hpx::lcos::local::dataflow: defer invoking `f(args...)` until every
+/// future among `args` is ready, then run it on the pool. Future
+/// arguments are passed through *as (ready) futures*; combine with
+/// hpxlite::unwrapped to receive plain values. Returns the result as a
+/// future (unwrapped one level when `f` itself returns a future).
+///
+/// Chained dataflows form the implicit execution DAG the paper relies on
+/// for interleaving OP2 loops (Figures 6–11).
+template <typename F, typename... Ts>
+auto dataflow(F&& f, Ts&&... ts)
+    -> future<unwrap_result_t<
+        std::invoke_result_t<std::decay_t<F>, std::decay_t<Ts>&&...>>> {
+    using tuple_t = std::tuple<std::decay_t<Ts>...>;
+    using R0 = std::invoke_result_t<std::decay_t<F>, std::decay_t<Ts>&&...>;
+    using R = unwrap_result_t<R0>;
+    auto frame =
+        std::make_shared<detail::dataflow_frame<std::decay_t<F>, tuple_t, R>>(
+            std::decay_t<F>(std::forward<F>(f)),
+            tuple_t(std::forward<Ts>(ts)...));
+    auto result = frame->result;
+    frame->arm();
+    return future<R>(std::move(result));
+}
+
+}  // namespace hpxlite::lcos
+
+namespace hpxlite {
+using lcos::dataflow;
+}

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/spinlock.hpp>
+#include <hpxlite/util/unique_function.hpp>
+
+namespace hpxlite::lcos::detail {
+
+/// Thrown on protocol violations (double set, get on invalid future, ...).
+class future_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+template <typename T>
+struct state_storage {
+    std::optional<T> value;
+
+    template <typename... A>
+    void emplace(A&&... a) {
+        value.emplace(std::forward<A>(a)...);
+    }
+};
+
+template <>
+struct state_storage<void> {
+    void emplace() {}
+};
+
+/// The shared state behind future/promise/dataflow.
+///
+/// Continuations registered before the state becomes ready run on the
+/// thread that fulfils the state (they must therefore be cheap — the
+/// library only ever registers "decrement a counter / reschedule on the
+/// pool" callbacks). Continuations registered after readiness run inline.
+///
+/// wait() *helps*: a pool worker blocked on an unready state executes
+/// other pending tasks instead of sleeping, so waiting inside tasks can
+/// never deadlock the pool (essential on small machines).
+template <typename T>
+class shared_state {
+public:
+    using continuation_type = util::unique_function;
+
+    shared_state() = default;
+    shared_state(shared_state const&) = delete;
+    shared_state& operator=(shared_state const&) = delete;
+
+    [[nodiscard]] bool is_ready() const noexcept {
+        return ready_.load(std::memory_order_acquire);
+    }
+
+    template <typename... A>
+    void set_value(A&&... a) {
+        std::vector<continuation_type> conts;
+        {
+            std::lock_guard<util::spinlock> lk(mtx_);
+            if (ready_.load(std::memory_order_relaxed)) {
+                throw future_error("shared_state: value already set");
+            }
+            storage_.emplace(std::forward<A>(a)...);
+            ready_.store(true, std::memory_order_release);
+            conts.swap(continuations_);
+        }
+        cv_.notify_all();
+        for (auto& c : conts) {
+            c();
+        }
+    }
+
+    void set_exception(std::exception_ptr e) {
+        std::vector<continuation_type> conts;
+        {
+            std::lock_guard<util::spinlock> lk(mtx_);
+            if (ready_.load(std::memory_order_relaxed)) {
+                throw future_error("shared_state: value already set");
+            }
+            eptr_ = std::move(e);
+            ready_.store(true, std::memory_order_release);
+            conts.swap(continuations_);
+        }
+        cv_.notify_all();
+        for (auto& c : conts) {
+            c();
+        }
+    }
+
+    [[nodiscard]] bool has_exception() const {
+        std::lock_guard<util::spinlock> lk(mtx_);
+        return static_cast<bool>(eptr_);
+    }
+
+    void wait() {
+        if (is_ready()) {
+            return;
+        }
+        auto& pool = hpxlite::get_pool();
+        if (pool.on_worker_thread()) {
+            // Cooperative wait: keep the core busy with other tasks.
+            while (!is_ready()) {
+                if (!pool.run_one()) {
+                    std::this_thread::yield();
+                }
+            }
+        } else {
+            std::unique_lock<util::spinlock> lk(mtx_);
+            cv_.wait(lk, [this] { return is_ready(); });
+        }
+    }
+
+    /// Move the value out (future::get). Rethrows a stored exception.
+    decltype(auto) move_value() {
+        wait();
+        rethrow_if_exception();
+        if constexpr (!std::is_void_v<T>) {
+            return std::move(*storage_.value);
+        }
+    }
+
+    /// Reference to the value (shared_future::get).
+    template <typename U = T>
+    std::enable_if_t<!std::is_void_v<U>, U const&> value_ref() {
+        wait();
+        rethrow_if_exception();
+        return *storage_.value;
+    }
+
+    void wait_and_rethrow() {
+        wait();
+        rethrow_if_exception();
+    }
+
+    /// Register `c`. Runs inline immediately when already ready.
+    void add_continuation(continuation_type c) {
+        {
+            std::lock_guard<util::spinlock> lk(mtx_);
+            if (!ready_.load(std::memory_order_relaxed)) {
+                continuations_.push_back(std::move(c));
+                return;
+            }
+        }
+        c();
+    }
+
+private:
+    void rethrow_if_exception() {
+        std::exception_ptr e;
+        {
+            std::lock_guard<util::spinlock> lk(mtx_);
+            e = eptr_;
+        }
+        if (e) {
+            std::rethrow_exception(e);
+        }
+    }
+
+    mutable util::spinlock mtx_;
+    std::condition_variable_any cv_;
+    std::atomic<bool> ready_{false};
+    std::exception_ptr eptr_;
+    state_storage<T> storage_;
+    std::vector<continuation_type> continuations_;
+};
+
+}  // namespace hpxlite::lcos::detail

@@ -1,0 +1,390 @@
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include <hpxlite/lcos/detail/shared_state.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace hpxlite::lcos {
+
+template <typename T>
+class future;
+template <typename T>
+class shared_future;
+template <typename T>
+class promise;
+
+// ---------------------------------------------------------------------------
+// traits
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct is_future : std::false_type {};
+template <typename T>
+struct is_future<future<T>> : std::true_type {};
+template <typename T>
+struct is_future<shared_future<T>> : std::true_type {};
+
+/// True for future<T> and shared_future<T> (after decay).
+template <typename T>
+inline constexpr bool is_future_v = is_future<std::decay_t<T>>::value;
+
+template <typename T>
+struct future_value {
+    using type = T;
+};
+template <typename T>
+struct future_value<future<T>> {
+    using type = T;
+};
+template <typename T>
+struct future_value<shared_future<T>> {
+    using type = T;
+};
+
+/// future<T> -> T; shared_future<T> -> T; U -> U.
+template <typename T>
+using future_value_t = typename future_value<std::decay_t<T>>::type;
+
+/// future<future<T>> collapses to future<T> (one level).
+template <typename T>
+struct unwrap_result {
+    using type = T;
+};
+template <typename T>
+struct unwrap_result<future<T>> {
+    using type = T;
+};
+template <typename T>
+struct unwrap_result<shared_future<T>> {
+    using type = T;
+};
+template <typename T>
+using unwrap_result_t = typename unwrap_result<T>::type;
+
+namespace detail {
+
+template <typename T>
+using state_ptr = std::shared_ptr<lcos::detail::shared_state<T>>;
+
+// Accessors kept in detail so user code cannot reach the shared state.
+template <typename T>
+state_ptr<T> const& get_state(future<T> const& f);
+template <typename T>
+state_ptr<T> const& get_state(shared_future<T> const& f);
+
+template <typename T>
+future<T> make_future_from_state(state_ptr<T> st);
+
+/// Invoke `f(args...)` and deposit the result (or exception) into `rs`.
+/// When the invocation itself returns a future, forward that inner
+/// future's eventual result instead (one-level unwrapping).
+template <typename R, typename F, typename Tuple>
+void invoke_into_state(state_ptr<R> const& rs, F&& f, Tuple&& args);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// future<T>
+// ---------------------------------------------------------------------------
+
+/// A single-owner handle to an asynchronously produced value.
+///
+/// Mirrors hpx::future: move-only, `get()` consumes the value, `then()`
+/// attaches a continuation executed on the runtime's pool, `share()`
+/// converts to a copyable shared_future.
+template <typename T>
+class future {
+public:
+    using value_type = T;
+
+    future() noexcept = default;
+    explicit future(detail::state_ptr<T> st) noexcept : state_(std::move(st)) {}
+
+    future(future&&) noexcept = default;
+    future& operator=(future&&) noexcept = default;
+    future(future const&) = delete;
+    future& operator=(future const&) = delete;
+
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+    [[nodiscard]] bool is_ready() const {
+        ensure_valid();
+        return state_->is_ready();
+    }
+
+    void wait() const {
+        ensure_valid();
+        state_->wait();
+    }
+
+    /// Blocks (cooperatively on workers) and returns the value, consuming
+    /// this future. Rethrows a stored exception.
+    T get() {
+        ensure_valid();
+        auto st = std::move(state_);
+        if constexpr (std::is_void_v<T>) {
+            st->move_value();
+        } else {
+            return st->move_value();
+        }
+    }
+
+    /// Convert to a copyable shared_future, consuming this future.
+    shared_future<T> share() noexcept { return shared_future<T>(std::move(state_)); }
+
+    /// Attach a continuation `f(future<T>&&)`; returns the continuation's
+    /// result as a future (unwrapped one level if `f` itself returns a
+    /// future). The continuation runs on the global pool.
+    template <typename F>
+    auto then(F&& f) -> future<unwrap_result_t<std::invoke_result_t<F, future<T>&&>>> {
+        ensure_valid();
+        using R0 = std::invoke_result_t<F, future<T>&&>;
+        using R = unwrap_result_t<R0>;
+        auto rs = std::make_shared<lcos::detail::shared_state<R>>();
+        auto st = std::move(state_);
+        st->add_continuation(
+            [st, rs, fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
+                hpxlite::get_pool().submit(
+                    [st = std::move(st), rs = std::move(rs),
+                     fn = std::move(fn)]() mutable {
+                        detail::invoke_into_state<R>(
+                            rs, std::move(fn),
+                            std::forward_as_tuple(future<T>(std::move(st))));
+                    });
+            });
+        return future<R>(std::move(rs));
+    }
+
+private:
+    void ensure_valid() const {
+        if (!state_) {
+            throw lcos::detail::future_error("future: no shared state");
+        }
+    }
+
+    friend detail::state_ptr<T> const& detail::get_state<T>(future<T> const&);
+
+    detail::state_ptr<T> state_;
+};
+
+// ---------------------------------------------------------------------------
+// shared_future<T>
+// ---------------------------------------------------------------------------
+
+/// Copyable future; `get()` returns a const reference (or void).
+template <typename T>
+class shared_future {
+public:
+    using value_type = T;
+
+    shared_future() noexcept = default;
+    explicit shared_future(detail::state_ptr<T> st) noexcept
+      : state_(std::move(st)) {}
+    shared_future(future<T>&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : shared_future(std::move(f).share()) {}
+
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+    [[nodiscard]] bool is_ready() const {
+        ensure_valid();
+        return state_->is_ready();
+    }
+
+    void wait() const {
+        ensure_valid();
+        state_->wait();
+    }
+
+    decltype(auto) get() const {
+        ensure_valid();
+        if constexpr (std::is_void_v<T>) {
+            state_->wait_and_rethrow();
+        } else {
+            return state_->template value_ref<T>();
+        }
+    }
+
+    template <typename F>
+    auto then(F&& f) const
+        -> future<unwrap_result_t<std::invoke_result_t<F, shared_future<T>>>> {
+        ensure_valid();
+        using R0 = std::invoke_result_t<F, shared_future<T>>;
+        using R = unwrap_result_t<R0>;
+        auto rs = std::make_shared<lcos::detail::shared_state<R>>();
+        auto st = state_;
+        st->add_continuation(
+            [st, rs, fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
+                hpxlite::get_pool().submit(
+                    [st = std::move(st), rs = std::move(rs),
+                     fn = std::move(fn)]() mutable {
+                        detail::invoke_into_state<R>(
+                            rs, std::move(fn),
+                            std::forward_as_tuple(shared_future<T>(st)));
+                    });
+            });
+        return future<R>(std::move(rs));
+    }
+
+private:
+    void ensure_valid() const {
+        if (!state_) {
+            throw lcos::detail::future_error("shared_future: no shared state");
+        }
+    }
+
+    friend detail::state_ptr<T> const& detail::get_state<T>(shared_future<T> const&);
+
+    detail::state_ptr<T> state_;
+};
+
+// ---------------------------------------------------------------------------
+// promise<T>
+// ---------------------------------------------------------------------------
+
+/// Producer side of a future. Destroying an unfulfilled promise stores a
+/// broken_promise exception.
+template <typename T>
+class promise {
+public:
+    promise() : state_(std::make_shared<lcos::detail::shared_state<T>>()) {}
+
+    promise(promise&&) noexcept = default;
+    promise& operator=(promise&&) noexcept = default;
+    promise(promise const&) = delete;
+    promise& operator=(promise const&) = delete;
+
+    ~promise() {
+        if (state_ && !state_->is_ready()) {
+            state_->set_exception(std::make_exception_ptr(
+                lcos::detail::future_error("broken promise")));
+        }
+    }
+
+    future<T> get_future() {
+        if (future_taken_) {
+            throw lcos::detail::future_error("promise: future already retrieved");
+        }
+        future_taken_ = true;
+        return future<T>(state_);
+    }
+
+    template <typename... A>
+    void set_value(A&&... a) {
+        state_->set_value(std::forward<A>(a)...);
+    }
+
+    void set_exception(std::exception_ptr e) {
+        state_->set_exception(std::move(e));
+    }
+
+private:
+    detail::state_ptr<T> state_;
+    bool future_taken_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+state_ptr<T> const& get_state(future<T> const& f) {
+    return f.state_;
+}
+template <typename T>
+state_ptr<T> const& get_state(shared_future<T> const& f) {
+    return f.state_;
+}
+
+template <typename T>
+future<T> make_future_from_state(state_ptr<T> st) {
+    return future<T>(std::move(st));
+}
+
+template <typename R, typename F, typename Tuple>
+void invoke_into_state(state_ptr<R> const& rs, F&& f, Tuple&& args) {
+    using R0 = decltype(std::apply(std::forward<F>(f), std::forward<Tuple>(args)));
+    try {
+        if constexpr (is_future_v<R0>) {
+            // One-level unwrap: wait for the inner future, then forward.
+            R0 inner = std::apply(std::forward<F>(f), std::forward<Tuple>(args));
+            auto ist = get_state(inner);
+            ist->add_continuation([ist, rs]() mutable {
+                try {
+                    if constexpr (std::is_void_v<R>) {
+                        ist->wait_and_rethrow();
+                        rs->set_value();
+                    } else {
+                        rs->set_value(ist->move_value());
+                    }
+                } catch (...) {
+                    rs->set_exception(std::current_exception());
+                }
+            });
+        } else if constexpr (std::is_void_v<R0>) {
+            std::apply(std::forward<F>(f), std::forward<Tuple>(args));
+            rs->set_value();
+        } else {
+            rs->set_value(
+                std::apply(std::forward<F>(f), std::forward<Tuple>(args)));
+        }
+    } catch (...) {
+        rs->set_exception(std::current_exception());
+    }
+}
+
+}  // namespace detail
+
+/// A future that is already ready, holding `value`.
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& value) {
+    auto st = std::make_shared<lcos::detail::shared_state<std::decay_t<T>>>();
+    st->set_value(std::forward<T>(value));
+    return future<std::decay_t<T>>(std::move(st));
+}
+
+inline future<void> make_ready_future() {
+    auto st = std::make_shared<lcos::detail::shared_state<void>>();
+    st->set_value();
+    return future<void>(std::move(st));
+}
+
+/// A future that is already holding an exception.
+template <typename T>
+future<T> make_exceptional_future(std::exception_ptr e) {
+    auto st = std::make_shared<lcos::detail::shared_state<T>>();
+    st->set_exception(std::move(e));
+    return future<T>(std::move(st));
+}
+
+/// Launch `f(args...)` on the global pool; returns its result as a future.
+template <typename F, typename... Args>
+auto async(F&& f, Args&&... args)
+    -> future<unwrap_result_t<std::invoke_result_t<F, Args...>>> {
+    using R0 = std::invoke_result_t<F, Args...>;
+    using R = unwrap_result_t<R0>;
+    auto rs = std::make_shared<lcos::detail::shared_state<R>>();
+    hpxlite::get_pool().submit(
+        [rs, fn = std::decay_t<F>(std::forward<F>(f)),
+         tup = std::make_tuple(std::decay_t<Args>(std::forward<Args>(args))...)]() mutable {
+            detail::invoke_into_state<R>(rs, std::move(fn), std::move(tup));
+        });
+    return future<R>(std::move(rs));
+}
+
+}  // namespace hpxlite::lcos
+
+namespace hpxlite {
+using lcos::async;
+using lcos::future;
+using lcos::is_future_v;
+using lcos::make_exceptional_future;
+using lcos::make_ready_future;
+using lcos::promise;
+using lcos::shared_future;
+}  // namespace hpxlite

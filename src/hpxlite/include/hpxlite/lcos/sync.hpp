@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <thread>
+
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/spinlock.hpp>
+
+namespace hpxlite::lcos {
+
+namespace detail {
+
+/// Cooperative wait shared by the sync LCOs: workers help execute pool
+/// tasks instead of blocking, external threads spin-yield.
+template <typename Pred>
+void cooperative_wait(Pred&& ready) {
+    if (ready()) {
+        return;
+    }
+    auto& pool = hpxlite::get_pool();
+    while (!ready()) {
+        if (!pool.on_worker_thread() || !pool.run_one()) {
+            std::this_thread::yield();
+        }
+    }
+}
+
+}  // namespace detail
+
+/// Manual-reset event: threads wait until some thread calls set().
+class event {
+public:
+    void set() noexcept { flag_.store(true, std::memory_order_release); }
+
+    void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+    [[nodiscard]] bool occurred() const noexcept {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+    void wait() const {
+        detail::cooperative_wait([this] { return occurred(); });
+    }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+/// Single-use countdown latch (LCO flavour of std::latch, but with
+/// help-while-waiting so it is safe to wait on from pool workers).
+class latch {
+public:
+    explicit latch(std::ptrdiff_t count) : count_(count) {}
+
+    void count_down(std::ptrdiff_t n = 1) noexcept {
+        count_.fetch_sub(n, std::memory_order_acq_rel);
+    }
+
+    [[nodiscard]] bool is_ready() const noexcept {
+        return count_.load(std::memory_order_acquire) <= 0;
+    }
+
+    void wait() const {
+        detail::cooperative_wait([this] { return is_ready(); });
+    }
+
+    void arrive_and_wait() {
+        count_down();
+        wait();
+    }
+
+private:
+    std::atomic<std::ptrdiff_t> count_;
+};
+
+/// Cyclic barrier for a fixed number of participants. Used by the
+/// fork-join (OpenMP-style) OP2 backend to model the implicit barrier at
+/// the end of `#pragma omp parallel for`.
+class barrier {
+public:
+    explicit barrier(std::size_t participants)
+      : participants_(participants) {}
+
+    /// Block until all participants have arrived (cooperatively on pool
+    /// workers). Reusable across rounds.
+    void arrive_and_wait() {
+        std::size_t const my_round = round_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            participants_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            round_.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+            detail::cooperative_wait([this, my_round] {
+                return round_.load(std::memory_order_acquire) != my_round;
+            });
+        }
+    }
+
+private:
+    std::size_t const participants_;
+    std::atomic<std::size_t> arrived_{0};
+    std::atomic<std::size_t> round_{0};
+};
+
+}  // namespace hpxlite::lcos

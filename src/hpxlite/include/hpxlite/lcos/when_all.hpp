@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <hpxlite/lcos/future.hpp>
+
+namespace hpxlite::lcos {
+
+namespace detail {
+
+/// Shared frame for when_all: counts unready inputs; the last one to
+/// become ready publishes the (now all-ready) container of futures.
+template <typename Container>
+struct when_all_frame {
+    explicit when_all_frame(Container c) : inputs(std::move(c)) {}
+
+    Container inputs;
+    std::atomic<std::size_t> pending{1};  // +1 sentinel held by the armer
+    state_ptr<Container> result = std::make_shared<
+        lcos::detail::shared_state<Container>>();
+
+    void notify() {
+        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            result->set_value(std::move(inputs));
+        }
+    }
+};
+
+template <typename Frame, typename Fut>
+void arm_one(std::shared_ptr<Frame> const& frame, Fut& f) {
+    if (!f.valid()) {
+        return;  // ignore empty futures, matching hpx::when_all
+    }
+    auto st = get_state(f);
+    if (st->is_ready()) {
+        return;
+    }
+    frame->pending.fetch_add(1, std::memory_order_relaxed);
+    st->add_continuation([frame] { frame->notify(); });
+}
+
+}  // namespace detail
+
+/// Wait for all futures in a vector; the returned future delivers the
+/// vector back with every element ready.
+template <typename T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
+    using container = std::vector<future<T>>;
+    auto frame =
+        std::make_shared<detail::when_all_frame<container>>(std::move(futures));
+    for (auto& f : frame->inputs) {
+        detail::arm_one(frame, f);
+    }
+    auto result = frame->result;
+    frame->notify();  // release sentinel
+    return future<container>(std::move(result));
+}
+
+template <typename T>
+future<std::vector<shared_future<T>>> when_all(
+    std::vector<shared_future<T>> futures) {
+    using container = std::vector<shared_future<T>>;
+    auto frame =
+        std::make_shared<detail::when_all_frame<container>>(std::move(futures));
+    for (auto& f : frame->inputs) {
+        detail::arm_one(frame, f);
+    }
+    auto result = frame->result;
+    frame->notify();
+    return future<container>(std::move(result));
+}
+
+/// Variadic when_all over a mix of future<> / shared_future<> objects.
+/// Delivers a tuple of the (ready) futures.
+template <typename... Futs,
+          typename = std::enable_if_t<(is_future_v<Futs> && ...)>>
+future<std::tuple<std::decay_t<Futs>...>> when_all(Futs&&... futs) {
+    using container = std::tuple<std::decay_t<Futs>...>;
+    auto frame = std::make_shared<detail::when_all_frame<container>>(
+        container(std::forward<Futs>(futs)...));
+    std::apply([&](auto&... fs) { (detail::arm_one(frame, fs), ...); },
+               frame->inputs);
+    auto result = frame->result;
+    frame->notify();
+    return future<container>(std::move(result));
+}
+
+inline future<std::tuple<>> when_all() {
+    return make_ready_future(std::tuple<>());
+}
+
+}  // namespace hpxlite::lcos
+
+namespace hpxlite {
+using lcos::when_all;
+}

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <hpxlite/util/spinlock.hpp>
+#include <hpxlite/util/unique_function.hpp>
+
+namespace hpxlite::threads {
+
+/// A fixed-size worker pool with per-worker queues and work stealing.
+///
+/// Design notes (see DESIGN.md):
+///  * Workers pop LIFO from their own queue (cache-friendly for nested
+///    spawns) and steal FIFO from victims (good for load balance).
+///  * `run_one()` lets *any* thread — worker or external — execute one
+///    pending task. future::wait() uses it to "help" instead of blocking,
+///    which is what makes nested waits deadlock-free even with one OS
+///    thread in the pool.
+///  * Sleeping workers park on a condition variable; `submit` wakes one.
+class thread_pool {
+public:
+    using task_type = util::unique_function;
+
+    /// Create a pool with `num_threads` OS worker threads (>= 1).
+    explicit thread_pool(std::size_t num_threads);
+
+    thread_pool(thread_pool const&) = delete;
+    thread_pool& operator=(thread_pool const&) = delete;
+
+    /// Joins all workers. Pending tasks are drained before shutdown.
+    ~thread_pool();
+
+    /// Schedule `t` for execution. Thread-safe. Tasks submitted from a
+    /// worker thread go to that worker's local queue.
+    void submit(task_type t);
+
+    /// Execute one pending task if any is available.
+    /// @return true if a task was executed.
+    bool run_one();
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// True when the calling thread is one of *this* pool's workers.
+    [[nodiscard]] bool on_worker_thread() const noexcept;
+
+    /// Index of the calling worker in [0, size()), or size() for external
+    /// threads. Used by parallel algorithms for per-worker scratch space.
+    [[nodiscard]] std::size_t worker_index() const noexcept;
+
+    /// Block until no task is queued or running. Intended for tests.
+    void wait_idle();
+
+    /// Total number of tasks executed since construction (approximate,
+    /// relaxed counter). Exposed for the micro benches.
+    [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct worker_queue {
+        util::spinlock mtx;
+        std::deque<task_type> tasks;
+    };
+
+    void worker_loop(std::size_t index);
+    bool try_pop(std::size_t index, task_type& out);
+    bool try_steal(std::size_t thief, task_type& out);
+    bool try_pop_global(task_type& out);
+
+    std::vector<std::unique_ptr<worker_queue>> queues_;
+    worker_queue global_queue_;
+
+    std::vector<std::thread> workers_;
+
+    std::mutex sleep_mtx_;
+    std::condition_variable sleep_cv_;
+
+    std::mutex idle_mtx_;
+    std::condition_variable idle_cv_;
+
+    std::atomic<std::size_t> pending_{0};  // queued + running
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<bool> stop_{false};
+};
+
+}  // namespace hpxlite::threads

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+namespace hpxlite::util {
+
+/// Random-access counting iterator over std::size_t, the hpxlite stand-in
+/// for boost::irange used in the paper's listings.
+class counting_iterator {
+public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = std::size_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::size_t const*;
+    using reference = std::size_t;
+
+    counting_iterator() noexcept = default;
+    explicit counting_iterator(std::size_t v) noexcept : v_(v) {}
+
+    reference operator*() const noexcept { return v_; }
+    reference operator[](difference_type k) const noexcept {
+        return v_ + static_cast<std::size_t>(k);
+    }
+
+    counting_iterator& operator++() noexcept {
+        ++v_;
+        return *this;
+    }
+    counting_iterator operator++(int) noexcept {
+        auto t = *this;
+        ++v_;
+        return t;
+    }
+    counting_iterator& operator--() noexcept {
+        --v_;
+        return *this;
+    }
+    counting_iterator operator--(int) noexcept {
+        auto t = *this;
+        --v_;
+        return t;
+    }
+    counting_iterator& operator+=(difference_type k) noexcept {
+        v_ += static_cast<std::size_t>(k);
+        return *this;
+    }
+    counting_iterator& operator-=(difference_type k) noexcept {
+        v_ -= static_cast<std::size_t>(k);
+        return *this;
+    }
+
+    friend counting_iterator operator+(counting_iterator it,
+                                       difference_type k) noexcept {
+        return it += k;
+    }
+    friend counting_iterator operator+(difference_type k,
+                                       counting_iterator it) noexcept {
+        return it += k;
+    }
+    friend counting_iterator operator-(counting_iterator it,
+                                       difference_type k) noexcept {
+        return it -= k;
+    }
+    friend difference_type operator-(counting_iterator a,
+                                     counting_iterator b) noexcept {
+        return static_cast<difference_type>(a.v_) -
+               static_cast<difference_type>(b.v_);
+    }
+    friend bool operator==(counting_iterator a, counting_iterator b) noexcept {
+        return a.v_ == b.v_;
+    }
+    friend bool operator!=(counting_iterator a, counting_iterator b) noexcept {
+        return a.v_ != b.v_;
+    }
+    friend bool operator<(counting_iterator a, counting_iterator b) noexcept {
+        return a.v_ < b.v_;
+    }
+    friend bool operator<=(counting_iterator a, counting_iterator b) noexcept {
+        return a.v_ <= b.v_;
+    }
+    friend bool operator>(counting_iterator a, counting_iterator b) noexcept {
+        return a.v_ > b.v_;
+    }
+    friend bool operator>=(counting_iterator a, counting_iterator b) noexcept {
+        return a.v_ >= b.v_;
+    }
+
+private:
+    std::size_t v_ = 0;
+};
+
+/// Half-open index range [begin, end), analogous to boost::irange.
+class irange {
+public:
+    irange(std::size_t b, std::size_t e) noexcept : b_(b), e_(e < b ? b : e) {}
+
+    [[nodiscard]] counting_iterator begin() const noexcept {
+        return counting_iterator(b_);
+    }
+    [[nodiscard]] counting_iterator end() const noexcept {
+        return counting_iterator(e_);
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return e_ - b_; }
+
+private:
+    std::size_t b_;
+    std::size_t e_;
+};
+
+}  // namespace hpxlite::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace hpxlite::util {
+
+/// A test-and-test-and-set spinlock with exponential backoff.
+///
+/// Satisfies Lockable, so it can be used with std::unique_lock and
+/// std::condition_variable_any. Used to protect the short critical sections
+/// of future shared states and the pool queues, where a full std::mutex
+/// would be disproportionate.
+class spinlock {
+public:
+    spinlock() noexcept = default;
+    spinlock(spinlock const&) = delete;
+    spinlock& operator=(spinlock const&) = delete;
+
+    void lock() noexcept {
+        int spins = 0;
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire)) {
+                return;
+            }
+            while (flag_.load(std::memory_order_relaxed)) {
+                if (++spins < 64) {
+                    // busy-wait a short while before yielding
+#if defined(__x86_64__) || defined(__i386__)
+                    __builtin_ia32_pause();
+#endif
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        }
+    }
+
+    bool try_lock() noexcept {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+}  // namespace hpxlite::util

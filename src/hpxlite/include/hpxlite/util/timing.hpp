@@ -1,0 +1,38 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hpxlite::util {
+
+/// Monotonic wall-clock helpers used by the auto chunkers and the benches.
+using clock = std::chrono::steady_clock;
+
+inline std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/// Simple stopwatch: `elapsed_ns()` since construction or last `reset()`.
+class stopwatch {
+public:
+    stopwatch() noexcept : start_(clock::now()) {}
+
+    void reset() noexcept { start_ = clock::now(); }
+
+    [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   clock::now() - start_)
+            .count();
+    }
+
+    [[nodiscard]] double elapsed_s() const noexcept {
+        return static_cast<double>(elapsed_ns()) * 1e-9;
+    }
+
+private:
+    clock::time_point start_;
+};
+
+}  // namespace hpxlite::util

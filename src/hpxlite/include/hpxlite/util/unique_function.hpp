@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hpxlite::util {
+
+/// A move-only replacement for std::function<void()>.
+///
+/// Tasks routinely capture promises and futures, which are move-only, so
+/// std::function (which requires CopyConstructible targets) cannot hold
+/// them. Uses a small-buffer optimisation for targets up to 48 bytes.
+class unique_function {
+    static constexpr std::size_t sbo_size = 48;
+    static constexpr std::size_t sbo_align = alignof(std::max_align_t);
+
+    struct vtable {
+        void (*invoke)(void* obj);
+        void (*move_to)(void* from, void* to) noexcept;
+        void (*destroy)(void* obj) noexcept;
+        bool heap;
+    };
+
+    template <typename F, bool Heap>
+    static vtable const* vtable_for() {
+        static constexpr vtable vt{
+            // invoke
+            +[](void* obj) {
+                if constexpr (Heap) {
+                    (*static_cast<F*>(*static_cast<void**>(obj)))();
+                } else {
+                    (*static_cast<F*>(obj))();
+                }
+            },
+            // move_to
+            +[](void* from, void* to) noexcept {
+                if constexpr (Heap) {
+                    *static_cast<void**>(to) = *static_cast<void**>(from);
+                    *static_cast<void**>(from) = nullptr;
+                } else {
+                    ::new (to) F(std::move(*static_cast<F*>(from)));
+                    static_cast<F*>(from)->~F();
+                }
+            },
+            // destroy
+            +[](void* obj) noexcept {
+                if constexpr (Heap) {
+                    delete static_cast<F*>(*static_cast<void**>(obj));
+                } else {
+                    static_cast<F*>(obj)->~F();
+                }
+            },
+            Heap};
+        return &vt;
+    }
+
+public:
+    unique_function() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, unique_function> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    unique_function(F&& f) {  // NOLINT(google-explicit-constructor)
+        using D = std::decay_t<F>;
+        if constexpr (sizeof(D) <= sbo_size && alignof(D) <= sbo_align &&
+                      std::is_nothrow_move_constructible_v<D>) {
+            ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+            vt_ = vtable_for<D, false>();
+        } else {
+            *reinterpret_cast<void**>(buffer_) = new D(std::forward<F>(f));
+            vt_ = vtable_for<D, true>();
+        }
+    }
+
+    unique_function(unique_function&& other) noexcept { move_from(other); }
+
+    unique_function& operator=(unique_function&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    unique_function(unique_function const&) = delete;
+    unique_function& operator=(unique_function const&) = delete;
+
+    ~unique_function() { reset(); }
+
+    void operator()() {
+        vt_->invoke(buffer_);
+    }
+
+    explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    void reset() noexcept {
+        if (vt_ != nullptr) {
+            vt_->destroy(buffer_);
+            vt_ = nullptr;
+        }
+    }
+
+private:
+    void move_from(unique_function& other) noexcept {
+        if (other.vt_ != nullptr) {
+            other.vt_->move_to(other.buffer_, buffer_);
+            vt_ = other.vt_;
+            other.vt_ = nullptr;
+        }
+    }
+
+    alignas(sbo_align) unsigned char buffer_[sbo_size] = {};
+    vtable const* vt_ = nullptr;
+};
+
+}  // namespace hpxlite::util

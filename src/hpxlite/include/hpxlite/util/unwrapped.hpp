@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include <hpxlite/lcos/future.hpp>
+
+namespace hpxlite::util {
+
+namespace detail {
+
+template <typename T>
+decltype(auto) unwrap_arg(T&& t) {
+    if constexpr (lcos::is_future_v<T>) {
+        static_assert(!std::is_void_v<lcos::future_value_t<T>>,
+                      "unwrapped cannot forward future<void> as an argument");
+        return std::forward<T>(t).get();
+    } else {
+        return std::forward<T>(t);
+    }
+}
+
+}  // namespace detail
+
+/// `unwrapped(f)` adapts a callable so it can be used with dataflow:
+/// future arguments are replaced with their values (`.get()`), non-future
+/// arguments pass through unchanged. This mirrors hpx::util::unwrapped as
+/// used in Figures 7 and 8 of the paper.
+template <typename F>
+struct unwrapping_t {
+    F f;
+
+    template <typename... Ts>
+    decltype(auto) operator()(Ts&&... ts) {
+        return std::invoke(f, detail::unwrap_arg(std::forward<Ts>(ts))...);
+    }
+};
+
+template <typename F>
+unwrapping_t<std::decay_t<F>> unwrapped(F&& f) {
+    return {std::forward<F>(f)};
+}
+
+}  // namespace hpxlite::util
+
+namespace hpxlite {
+using util::unwrapped;
+}

@@ -1,0 +1,32 @@
+#include <hpxlite/execution/chunkers.hpp>
+
+#include <algorithm>
+
+namespace hpxlite::execution {
+
+chunk_domain& global_chunk_domain() {
+    static chunk_domain domain;
+    return domain;
+}
+
+namespace detail {
+
+std::size_t probe_count(std::size_t n) noexcept {
+    // ~1% of the loop, bounded so probing stays cheap but measurable.
+    return std::clamp<std::size_t>(n / 100, 1, 1024);
+}
+
+std::size_t clamp_chunk(std::size_t chunk, std::size_t n,
+                        std::size_t workers) noexcept {
+    if (chunk == 0) {
+        chunk = 1;
+    }
+    // Never fewer than one chunk per worker (when n allows it): chunking
+    // coarser than n/workers serialises the loop.
+    std::size_t const max_chunk = std::max<std::size_t>(1, n / std::max<std::size_t>(1, workers));
+    return std::min(chunk, max_chunk);
+}
+
+}  // namespace detail
+
+}  // namespace hpxlite::execution

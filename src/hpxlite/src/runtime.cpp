@@ -1,0 +1,62 @@
+#include <hpxlite/runtime.hpp>
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace hpxlite {
+
+namespace {
+
+std::mutex g_mtx;
+std::unique_ptr<threads::thread_pool> g_pool;
+
+std::size_t default_num_threads() {
+    if (char const* env = std::getenv("HPXLITE_NUM_THREADS")) {
+        try {
+            std::size_t n = std::stoul(env);
+            if (n > 0) {
+                return n;
+            }
+        } catch (...) {
+            // fall through to hardware concurrency
+        }
+    }
+    std::size_t hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+}
+
+}  // namespace
+
+void init(runtime_config cfg) {
+    std::size_t n = cfg.num_threads == 0 ? default_num_threads() : cfg.num_threads;
+    std::lock_guard<std::mutex> lk(g_mtx);
+    if (g_pool && g_pool->size() == n) {
+        return;
+    }
+    g_pool.reset();  // join old pool first
+    g_pool = std::make_unique<threads::thread_pool>(n);
+}
+
+void finalize() {
+    std::lock_guard<std::mutex> lk(g_mtx);
+    g_pool.reset();
+}
+
+threads::thread_pool& get_pool() {
+    {
+        std::lock_guard<std::mutex> lk(g_mtx);
+        if (g_pool) {
+            return *g_pool;
+        }
+    }
+    init();
+    std::lock_guard<std::mutex> lk(g_mtx);
+    return *g_pool;
+}
+
+std::size_t get_num_worker_threads() { return get_pool().size(); }
+
+}  // namespace hpxlite

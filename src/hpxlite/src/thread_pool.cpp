@@ -1,0 +1,143 @@
+#include <hpxlite/threads/thread_pool.hpp>
+
+#include <cassert>
+
+namespace hpxlite::threads {
+
+namespace {
+// Which pool (if any) the current OS thread belongs to, and its index.
+thread_local thread_pool const* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+}  // namespace
+
+thread_pool::thread_pool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = 1;
+    }
+    queues_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        queues_.push_back(std::make_unique<worker_queue>());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    wait_idle();
+    stop_.store(true, std::memory_order_release);
+    sleep_cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+bool thread_pool::on_worker_thread() const noexcept {
+    return tls_pool == this;
+}
+
+std::size_t thread_pool::worker_index() const noexcept {
+    return tls_pool == this ? tls_index : workers_.size();
+}
+
+void thread_pool::submit(task_type t) {
+    assert(t);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    if (on_worker_thread()) {
+        auto& q = *queues_[tls_index];
+        std::lock_guard<util::spinlock> lk(q.mtx);
+        q.tasks.push_back(std::move(t));
+    } else {
+        std::lock_guard<util::spinlock> lk(global_queue_.mtx);
+        global_queue_.tasks.push_back(std::move(t));
+    }
+    sleep_cv_.notify_one();
+}
+
+bool thread_pool::try_pop(std::size_t index, task_type& out) {
+    auto& q = *queues_[index];
+    std::lock_guard<util::spinlock> lk(q.mtx);
+    if (q.tasks.empty()) {
+        return false;
+    }
+    out = std::move(q.tasks.back());  // LIFO for locality
+    q.tasks.pop_back();
+    return true;
+}
+
+bool thread_pool::try_steal(std::size_t thief, task_type& out) {
+    std::size_t const n = queues_.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+        std::size_t const victim = (thief + k) % n;
+        auto& q = *queues_[victim];
+        std::lock_guard<util::spinlock> lk(q.mtx);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());  // FIFO steal
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool thread_pool::try_pop_global(task_type& out) {
+    std::lock_guard<util::spinlock> lk(global_queue_.mtx);
+    if (global_queue_.tasks.empty()) {
+        return false;
+    }
+    out = std::move(global_queue_.tasks.front());
+    global_queue_.tasks.pop_front();
+    return true;
+}
+
+bool thread_pool::run_one() {
+    task_type t;
+    bool found = false;
+    if (on_worker_thread()) {
+        found = try_pop(tls_index, t) || try_pop_global(t) ||
+                try_steal(tls_index, t);
+    } else {
+        found = try_pop_global(t) || try_steal(0, t);
+    }
+    if (!found) {
+        return false;
+    }
+    t();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        idle_cv_.notify_all();
+    }
+    return true;
+}
+
+void thread_pool::worker_loop(std::size_t index) {
+    tls_pool = this;
+    tls_index = index;
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (run_one()) {
+            continue;
+        }
+        // Nothing found anywhere: park until new work arrives.
+        std::unique_lock<std::mutex> lk(sleep_mtx_);
+        sleep_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+            return stop_.load(std::memory_order_acquire) ||
+                   pending_.load(std::memory_order_acquire) != 0;
+        });
+    }
+    tls_pool = nullptr;
+}
+
+void thread_pool::wait_idle() {
+    // Help while waiting so wait_idle() from a worker cannot deadlock.
+    while (pending_.load(std::memory_order_acquire) != 0) {
+        if (!run_one()) {
+            std::unique_lock<std::mutex> lk(idle_mtx_);
+            idle_cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
+                return pending_.load(std::memory_order_acquire) == 0;
+            });
+        }
+    }
+}
+
+}  // namespace hpxlite::threads

@@ -1,0 +1,41 @@
+#pragma once
+
+namespace op2 {
+
+/// How a kernel accesses an argument inside an op_par_loop.
+/// Mirrors the OP2 access descriptors (paper Section II-B):
+///  * OP_READ  — read only
+///  * OP_WRITE — write only (every element fully overwritten)
+///  * OP_RW    — read and write
+///  * OP_INC   — increment; commutative/associative updates, used for
+///               indirect accumulation (needs colouring) and for global
+///               reductions
+///  * OP_MIN / OP_MAX — global-reduction variants (OP2 extension)
+enum class op_access { OP_READ, OP_WRITE, OP_RW, OP_INC, OP_MIN, OP_MAX };
+
+// Namespace-scope aliases so user code reads like stock OP2.
+inline constexpr op_access OP_READ = op_access::OP_READ;
+inline constexpr op_access OP_WRITE = op_access::OP_WRITE;
+inline constexpr op_access OP_RW = op_access::OP_RW;
+inline constexpr op_access OP_INC = op_access::OP_INC;
+inline constexpr op_access OP_MIN = op_access::OP_MIN;
+inline constexpr op_access OP_MAX = op_access::OP_MAX;
+
+/// True when the access can modify data (WRITE/RW/INC/MIN/MAX).
+constexpr bool is_mutating(op_access a) noexcept {
+    return a != op_access::OP_READ;
+}
+
+constexpr char const* to_string(op_access a) noexcept {
+    switch (a) {
+        case op_access::OP_READ: return "OP_READ";
+        case op_access::OP_WRITE: return "OP_WRITE";
+        case op_access::OP_RW: return "OP_RW";
+        case op_access::OP_INC: return "OP_INC";
+        case op_access::OP_MIN: return "OP_MIN";
+        case op_access::OP_MAX: return "OP_MAX";
+    }
+    return "?";
+}
+
+}  // namespace op2

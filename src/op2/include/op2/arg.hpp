@@ -1,0 +1,168 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include <op2/access.hpp>
+#include <op2/dat.hpp>
+#include <op2/map.hpp>
+
+namespace op2 {
+
+namespace detail {
+
+/// Type-erased init/combine for global-reduction arguments.
+struct gbl_ops {
+    void (*init)(std::byte* priv, std::byte const* user, int dim) = nullptr;
+    void (*combine)(std::byte* user, std::byte const* priv, int dim,
+                    op_access acc) = nullptr;
+};
+
+template <typename T>
+gbl_ops make_gbl_ops() {
+    gbl_ops ops;
+    ops.init = [](std::byte* priv, std::byte const* user, int dim) {
+        auto* p = reinterpret_cast<T*>(priv);
+        auto const* u = reinterpret_cast<T const*>(user);
+        for (int d = 0; d < dim; ++d) {
+            // OP_INC partials start at the additive identity; MIN/MAX
+            // partials start at the user's current value so combining is
+            // uniform across access kinds.
+            p[d] = u[d];
+        }
+    };
+    ops.combine = [](std::byte* user, std::byte const* priv, int dim,
+                     op_access acc) {
+        auto* u = reinterpret_cast<T*>(user);
+        auto const* p = reinterpret_cast<T const*>(priv);
+        for (int d = 0; d < dim; ++d) {
+            switch (acc) {
+                case op_access::OP_INC: u[d] += p[d]; break;
+                case op_access::OP_MIN: u[d] = std::min(u[d], p[d]); break;
+                case op_access::OP_MAX: u[d] = std::max(u[d], p[d]); break;
+                default: break;
+            }
+        }
+    };
+    return ops;
+}
+
+template <typename T>
+void gbl_zero(std::byte* priv, int dim) {
+    auto* p = reinterpret_cast<T*>(priv);
+    for (int d = 0; d < dim; ++d) {
+        p[d] = T{};
+    }
+}
+
+}  // namespace detail
+
+/// One kernel argument of an op_par_loop: either data on a set (direct or
+/// indirect through a map) or a global scalar/array.
+struct op_arg {
+    // Dat argument ----------------------------------------------------
+    op_dat dat;      // invalid for global args
+    int idx = -1;    // -1 => direct; >= 0 => slot into map
+    op_map map;      // identity for direct args
+    int dim = 0;
+    op_access acc = op_access::OP_READ;
+
+    // Global argument ---------------------------------------------------
+    std::byte* gbl_data = nullptr;
+    std::size_t gbl_elem_bytes = 0;
+    detail::gbl_ops gbl;
+    void (*gbl_zero_fn)(std::byte*, int) = nullptr;
+
+    [[nodiscard]] bool is_gbl() const noexcept { return gbl_data != nullptr; }
+    [[nodiscard]] bool is_direct() const noexcept {
+        return !is_gbl() && map.is_identity();
+    }
+    [[nodiscard]] bool is_indirect() const noexcept {
+        return !is_gbl() && !map.is_identity();
+    }
+    /// Indirect accumulation needs conflict-free (coloured) execution.
+    [[nodiscard]] bool needs_coloring() const noexcept {
+        return is_indirect() && is_mutating(acc);
+    }
+    [[nodiscard]] std::size_t elem_bytes() const noexcept {
+        return is_gbl() ? gbl_elem_bytes : dat.elem_bytes();
+    }
+};
+
+/// Construct a dat argument (paper: op_arg_dat(p_q, -1, OP_ID, 4,
+/// "double", OP_READ)). Validates dimensions, the map target set and the
+/// type string against the dat's declaration.
+inline op_arg op_arg_dat(op_dat d, int idx, op_map const& m, int dim,
+                         std::string_view type, op_access acc) {
+    if (!d.valid()) {
+        throw std::invalid_argument("op_arg_dat: invalid dat");
+    }
+    if (dim != d.dim()) {
+        throw std::invalid_argument("op_arg_dat '" + d.name() +
+                                    "': dim mismatch");
+    }
+    if (type != d.type_name()) {
+        throw std::invalid_argument("op_arg_dat '" + d.name() +
+                                    "': type mismatch (dat is " +
+                                    d.type_name() + ", arg says " +
+                                    std::string(type) + ")");
+    }
+    if (m.is_identity()) {
+        if (idx != -1) {
+            throw std::invalid_argument("op_arg_dat '" + d.name() +
+                                        "': direct args require idx == -1");
+        }
+    } else {
+        if (idx < 0 || idx >= m.dim()) {
+            throw std::invalid_argument("op_arg_dat '" + d.name() +
+                                        "': map slot out of range");
+        }
+        if (!(m.to() == d.set())) {
+            throw std::invalid_argument(
+                "op_arg_dat '" + d.name() +
+                "': map target set does not match dat's set");
+        }
+        if (acc == op_access::OP_MIN || acc == op_access::OP_MAX) {
+            throw std::invalid_argument(
+                "op_arg_dat: OP_MIN/OP_MAX are only valid for op_arg_gbl");
+        }
+    }
+    op_arg a;
+    a.dat = std::move(d);
+    a.idx = idx;
+    a.map = m;
+    a.dim = dim;
+    a.acc = acc;
+    return a;
+}
+
+/// Construct a global argument (reduction for OP_INC/OP_MIN/OP_MAX,
+/// broadcast constant for OP_READ). `data` must stay alive for the
+/// duration of the loop (and until its future resolves, for the hpx
+/// backend).
+template <typename T>
+op_arg op_arg_gbl(T* data, int dim, std::string_view /*type*/, op_access acc) {
+    if (data == nullptr) {
+        throw std::invalid_argument("op_arg_gbl: null pointer");
+    }
+    if (dim <= 0) {
+        throw std::invalid_argument("op_arg_gbl: dim must be positive");
+    }
+    if (acc == op_access::OP_RW) {
+        throw std::invalid_argument("op_arg_gbl: OP_RW not supported");
+    }
+    op_arg a;
+    a.idx = -1;
+    a.dim = dim;
+    a.acc = acc;
+    a.gbl_data = reinterpret_cast<std::byte*>(data);
+    a.gbl_elem_bytes = sizeof(T);
+    a.gbl = detail::make_gbl_ops<T>();
+    a.gbl_zero_fn = &detail::gbl_zero<T>;
+    return a;
+}
+
+}  // namespace op2

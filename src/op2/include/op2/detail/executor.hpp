@@ -1,0 +1,252 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <hpxlite/config.hpp>
+#include <op2/arg.hpp>
+#include <op2/kernel_traits.hpp>
+#include <op2/loop_options.hpp>
+#include <op2/plan.hpp>
+#include <op2/set.hpp>
+
+namespace op2::detail {
+
+inline void prefetch_ro(void const* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, 0, 3);
+#else
+    (void)p;
+#endif
+}
+
+/// Pre-resolved per-argument state for the hot loop.
+struct arg_ctx {
+    std::byte* base = nullptr;   // dat storage (null for globals)
+    std::size_t stride = 0;      // bytes per set element (dim * elem)
+    int const* map = nullptr;    // mapping table (null for direct)
+    int mapdim = 0;
+    int idx = 0;
+    bool gbl = false;
+    // prefetch geometry (direct args only)
+    std::size_t pf_dist_bytes = 0;   // lookahead in bytes
+    std::size_t pf_stride_elems = 1; // issue one prefetch per this many elems
+};
+
+/// Backend-agnostic loop body: owns the kernel, the resolved argument
+/// contexts and the per-block global-reduction scratch. The backends
+/// differ only in *how* they distribute blocks over workers, which they
+/// inject through the `bulk` callable of execute().
+template <typename Kernel, std::size_t N>
+class loop_executor {
+public:
+    loop_executor(op_set set, std::array<op_arg, N> args, Kernel kernel,
+                  loop_options opts)
+      : set_(std::move(set)),
+        args_(std::move(args)),
+        kernel_(std::move(kernel)),
+        opts_(opts) {
+        static_assert(N == kernel_arity_v<Kernel>,
+                      "op_par_loop: argument count does not match kernel");
+    }
+
+    /// Check every argument against the iteration set. Throws
+    /// std::invalid_argument with the loop name on mismatch.
+    void validate(char const* name) const {
+        for (auto const& a : args_) {
+            if (a.is_gbl()) {
+                continue;
+            }
+            if (a.is_direct()) {
+                if (!(a.dat.set() == set_)) {
+                    throw std::invalid_argument(
+                        std::string("op_par_loop '") + name +
+                        "': direct dat '" + a.dat.name() +
+                        "' not defined on the iteration set");
+                }
+            } else {
+                if (!(a.map.from() == set_)) {
+                    throw std::invalid_argument(
+                        std::string("op_par_loop '") + name + "': map '" +
+                        a.map.name() + "' does not start at the iteration set");
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] std::span<op_arg const> args() const { return args_; }
+    [[nodiscard]] op_set const& set() const { return set_; }
+    [[nodiscard]] loop_options const& options() const { return opts_; }
+
+    /// Run the loop over `plan`, delegating the per-colour block sweep to
+    /// `bulk(blocks)` (which must execute run_block(b) for every b in
+    /// `blocks` and only return once all finished). Handles reduction
+    /// scratch setup and the final combine.
+    template <typename Bulk>
+    void execute(op_plan const& plan, Bulk&& bulk) {
+        setup(plan);
+        for (std::size_t c = 0; c < plan.ncolors; ++c) {
+            bulk(plan.blocks_of_color(c));
+        }
+        combine();
+    }
+
+    /// Execute one block of the plan (called from bulk).
+    void run_block(op_plan const& plan, std::size_t blk) {
+        std::byte* ptrs[N];
+        std::size_t const b = plan.offset[blk];
+        std::size_t const e = b + plan.nelems[blk];
+
+        // Per-block pointers for global args.
+        std::byte* gblp[N];
+        for (std::size_t j = 0; j < N; ++j) {
+            if (ctx_[j].gbl) {
+                gblp[j] = scratch_[j].empty()
+                              ? args_[j].gbl_data
+                              : scratch_[j].data() +
+                                    blk * args_[j].gbl_elem_bytes *
+                                        static_cast<std::size_t>(args_[j].dim);
+            } else {
+                gblp[j] = nullptr;
+            }
+        }
+
+        bool const pf = opts_.prefetch;
+        for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t j = 0; j < N; ++j) {
+                arg_ctx const& c = ctx_[j];
+                if (c.gbl) {
+                    ptrs[j] = gblp[j];
+                } else if (c.map != nullptr) {
+                    ptrs[j] =
+                        c.base +
+                        static_cast<std::size_t>(
+                            c.map[i * static_cast<std::size_t>(c.mapdim) +
+                                  static_cast<std::size_t>(c.idx)]) *
+                            c.stride;
+                } else {
+                    ptrs[j] = c.base + i * c.stride;
+                    if (pf && i % ctx_[j].pf_stride_elems == 0) {
+                        std::size_t const t = i * c.stride + c.pf_dist_bytes;
+                        if (t < dat_bytes_[j]) {
+                            prefetch_ro(c.base + t);
+                        }
+                    }
+                }
+            }
+            invoke_kernel(kernel_, ptrs);
+        }
+    }
+
+    /// Sequential reference execution — no plan, no privatisation; global
+    /// args use the user's pointer directly, like stock OP2's seq backend.
+    void run_sequential() {
+        std::byte* ptrs[N];
+        prepare_ctx();
+        std::size_t const n = set_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < N; ++j) {
+                arg_ctx const& c = ctx_[j];
+                if (c.gbl) {
+                    ptrs[j] = args_[j].gbl_data;
+                } else if (c.map != nullptr) {
+                    ptrs[j] =
+                        c.base +
+                        static_cast<std::size_t>(
+                            c.map[i * static_cast<std::size_t>(c.mapdim) +
+                                  static_cast<std::size_t>(c.idx)]) *
+                            c.stride;
+                } else {
+                    ptrs[j] = c.base + i * c.stride;
+                }
+            }
+            invoke_kernel(kernel_, ptrs);
+        }
+    }
+
+private:
+    void prepare_ctx() {
+        for (std::size_t j = 0; j < N; ++j) {
+            op_arg& a = args_[j];
+            arg_ctx c;
+            if (a.is_gbl()) {
+                c.gbl = true;
+            } else {
+                c.base = a.dat.raw();
+                c.stride = a.dat.elem_bytes() *
+                           static_cast<std::size_t>(a.dat.dim());
+                dat_bytes_[j] = a.dat.set().size() * c.stride;
+                if (a.is_indirect()) {
+                    c.map = a.map.table().data();
+                    c.mapdim = a.map.dim();
+                    c.idx = a.idx;
+                } else if (opts_.prefetch) {
+                    // One prefetch per cache line; lookahead expressed in
+                    // cache lines (the paper's distance factor).
+                    std::size_t const epl = std::max<std::size_t>(
+                        1, hpxlite::cache_line_size / std::max<std::size_t>(
+                                                          1, c.stride));
+                    c.pf_stride_elems = epl;
+                    c.pf_dist_bytes = opts_.prefetch_distance_factor *
+                                      hpxlite::cache_line_size;
+                }
+            }
+            ctx_[j] = c;
+        }
+    }
+
+    void setup(op_plan const& plan) {
+        prepare_ctx();
+        for (std::size_t j = 0; j < N; ++j) {
+            op_arg& a = args_[j];
+            scratch_[j].clear();
+            if (!a.is_gbl() || a.acc == op_access::OP_READ) {
+                continue;
+            }
+            // Privatise the reduction target per block.
+            std::size_t const bytes =
+                a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
+            scratch_[j].resize(bytes * plan.nblocks);
+            for (std::size_t blk = 0; blk < plan.nblocks; ++blk) {
+                std::byte* p = scratch_[j].data() + blk * bytes;
+                if (a.acc == op_access::OP_INC) {
+                    a.gbl_zero_fn(p, a.dim);
+                } else {
+                    a.gbl.init(p, a.gbl_data, a.dim);
+                }
+            }
+        }
+        nblocks_ = plan.nblocks;
+    }
+
+    void combine() {
+        for (std::size_t j = 0; j < N; ++j) {
+            op_arg& a = args_[j];
+            if (scratch_[j].empty()) {
+                continue;
+            }
+            std::size_t const bytes =
+                a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
+            for (std::size_t blk = 0; blk < nblocks_; ++blk) {
+                a.gbl.combine(a.gbl_data, scratch_[j].data() + blk * bytes,
+                              a.dim, a.acc);
+            }
+        }
+    }
+
+    op_set set_;
+    std::array<op_arg, N> args_;
+    Kernel kernel_;
+    loop_options opts_;
+
+    arg_ctx ctx_[N] = {};
+    std::size_t dat_bytes_[N] = {};
+    std::array<std::vector<std::byte>, N> scratch_;
+    std::size_t nblocks_ = 0;
+};
+
+}  // namespace op2::detail

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <type_traits>
+
+namespace op2::detail {
+
+/// Deduce the parameter pack of a user kernel (free function, function
+/// pointer, or lambda/functor with a non-overloaded operator()). OP2
+/// kernels take one pointer per op_arg, e.g.
+///     void save_soln(double const* q, double* qold);
+/// The backends use these types to cast the per-element gather pointers.
+template <typename K, typename = void>
+struct kernel_traits : kernel_traits<decltype(&K::operator())> {};
+
+template <typename R, typename... As>
+struct kernel_traits<R (*)(As...)> {
+    using args = std::tuple<As...>;
+    static constexpr std::size_t arity = sizeof...(As);
+};
+
+template <typename R, typename... As>
+struct kernel_traits<R (&)(As...)> : kernel_traits<R (*)(As...)> {};
+
+template <typename R, typename... As>
+struct kernel_traits<R(As...)> : kernel_traits<R (*)(As...)> {};
+
+template <typename C, typename R, typename... As>
+struct kernel_traits<R (C::*)(As...)> : kernel_traits<R (*)(As...)> {};
+
+template <typename C, typename R, typename... As>
+struct kernel_traits<R (C::*)(As...) const> : kernel_traits<R (*)(As...)> {};
+
+template <typename K>
+using kernel_args_t = typename kernel_traits<std::decay_t<K>>::args;
+
+template <typename K>
+inline constexpr std::size_t kernel_arity_v =
+    kernel_traits<std::decay_t<K>>::arity;
+
+/// Invoke `k` with `ptrs[i]` cast to the kernel's i-th parameter type.
+template <typename K, std::size_t N, std::size_t... I>
+inline void invoke_kernel_impl(K& k, std::byte* const (&ptrs)[N],
+                               std::index_sequence<I...>) {
+    k(reinterpret_cast<std::tuple_element_t<I, kernel_args_t<K>>>(
+        ptrs[I])...);
+}
+
+template <typename K, std::size_t N>
+inline void invoke_kernel(K& k, std::byte* const (&ptrs)[N]) {
+    static_assert(N == kernel_arity_v<K>,
+                  "op_par_loop: number of op_args does not match the "
+                  "kernel's parameter count");
+    invoke_kernel_impl(k, ptrs, std::make_index_sequence<N>{});
+}
+
+}  // namespace op2::detail

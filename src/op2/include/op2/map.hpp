@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <op2/set.hpp>
+
+namespace op2 {
+
+namespace detail {
+struct map_impl {
+    op_set from;
+    op_set to;
+    int dim = 0;
+    std::vector<int> data;  // from.size() * dim entries, values < to.size()
+    std::string name;
+    std::uint64_t id = 0;
+};
+}  // namespace detail
+
+/// Connectivity between two sets: `dim` entries of the target set per
+/// element of the source set (paper: op_decl_map(edges, nodes, 2, ...)).
+/// A default-constructed op_map is the identity map OP_ID used for
+/// direct arguments.
+class op_map {
+public:
+    op_map() = default;
+
+    [[nodiscard]] bool is_identity() const noexcept { return impl_ == nullptr; }
+    [[nodiscard]] op_set const& from() const;
+    [[nodiscard]] op_set const& to() const;
+    [[nodiscard]] int dim() const noexcept { return impl_ ? impl_->dim : 1; }
+    [[nodiscard]] std::string const& name() const;
+    [[nodiscard]] std::uint64_t id() const noexcept {
+        return impl_ ? impl_->id : 0;
+    }
+
+    /// Target index of slot `j` of source element `e`.
+    [[nodiscard]] int operator()(std::size_t e, int j) const noexcept {
+        return impl_->data[e * static_cast<std::size_t>(impl_->dim) +
+                           static_cast<std::size_t>(j)];
+    }
+
+    [[nodiscard]] std::vector<int> const& table() const;
+
+    friend bool operator==(op_map const& a, op_map const& b) noexcept {
+        return a.impl_ == b.impl_;
+    }
+
+private:
+    explicit op_map(std::shared_ptr<detail::map_impl> p) noexcept
+      : impl_(std::move(p)) {}
+
+    friend op_map op_decl_map(op_set, op_set, int, std::vector<int>,
+                              std::string);
+
+    std::shared_ptr<detail::map_impl> impl_;
+};
+
+/// The identity map: direct access, element i maps to itself.
+inline const op_map OP_ID{};
+
+/// Declare a mapping table. Throws std::invalid_argument when the table
+/// size is not from.size()*dim or any entry is out of range for `to`.
+op_map op_decl_map(op_set from, op_set to, int dim, std::vector<int> data,
+                   std::string name);
+
+}  // namespace op2

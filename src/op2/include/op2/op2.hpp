@@ -1,0 +1,43 @@
+// Umbrella header for the op2hpx OP2 reimplementation: the unstructured-
+// mesh DSL (sets / maps / dats / parallel loops) with three backends —
+// sequential, fork-join ("OpenMP-style", global barrier per loop) and
+// HPX dataflow (asynchronous, future-chained). See DESIGN.md.
+#pragma once
+
+#include <op2/access.hpp>
+#include <op2/arg.hpp>
+#include <op2/dat.hpp>
+#include <op2/loop_options.hpp>
+#include <op2/map.hpp>
+#include <op2/par_loop.hpp>
+#include <op2/par_loop_hpx.hpp>
+#include <op2/plan.hpp>
+#include <op2/runtime.hpp>
+#include <op2/set.hpp>
+#include <op2/timing.hpp>
+
+namespace op2 {
+
+/// Unified entry point: dispatch on the globally configured backend.
+/// With backend::hpx the loop is only *issued*; use the returned future,
+/// op_fence()/op_fence_all() or op_fetch_data() before consuming results.
+template <typename Kernel, typename... Args>
+void op_par_loop(char const* name, op_set set, Kernel kernel, Args... args) {
+    auto const& cfg = global_config();
+    switch (cfg.be) {
+        case backend::seq:
+            op_par_loop_seq(name, std::move(set), std::move(kernel),
+                            std::move(args)...);
+            break;
+        case backend::fork_join:
+            op_par_loop_fork_join(cfg.opts, name, std::move(set),
+                                  std::move(kernel), std::move(args)...);
+            break;
+        case backend::hpx:
+            (void)op_par_loop_hpx(cfg.opts, name, std::move(set),
+                                  std::move(kernel), std::move(args)...);
+            break;
+    }
+}
+
+}  // namespace op2

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <op2/arg.hpp>
+#include <op2/set.hpp>
+
+namespace op2 {
+
+/// An execution plan for one (set, args, part_size) combination:
+/// the iteration set partitioned into contiguous blocks, and the blocks
+/// greedily coloured so that no two blocks of the same colour touch the
+/// same target element through any mutating indirect argument. Blocks of
+/// one colour can run concurrently without atomics; colours execute in
+/// sequence. This reproduces the blockId/offset_b/nelem structure of the
+/// OP2-generated loop in Fig. 4 of the paper.
+struct op_plan {
+    std::size_t set_size = 0;
+    std::size_t part_size = 0;
+    std::size_t nblocks = 0;
+
+    std::vector<std::size_t> offset;  // [nblocks] first element of block
+    std::vector<std::size_t> nelems;  // [nblocks] elements in block
+
+    std::size_t ncolors = 0;
+    std::vector<std::size_t> color_offset;  // [ncolors+1] ranges into blkmap
+    std::vector<std::size_t> blkmap;        // [nblocks] block ids, by colour
+
+    /// True when any argument required conflict colouring.
+    bool colored = false;
+
+    /// Blocks of colour c (ids into offset/nelems).
+    [[nodiscard]] std::span<std::size_t const> blocks_of_color(
+        std::size_t c) const {
+        return {blkmap.data() + color_offset[c],
+                color_offset[c + 1] - color_offset[c]};
+    }
+};
+
+/// Build (or fetch from the process-wide cache) the plan for executing
+/// `args` over `set` with the given block size. Plans are cached by
+/// (set, part_size, conflict-relevant maps), like op_plan_get in OP2.
+op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
+                        std::size_t part_size);
+
+/// Build a plan without consulting the cache (exposed for tests).
+op_plan plan_build(op_set const& set, std::span<op_arg const> args,
+                   std::size_t part_size);
+
+/// Drop all cached plans (tests / reinitialisation).
+void plan_cache_clear();
+
+/// Number of plans currently cached.
+std::size_t plan_cache_size();
+
+}  // namespace op2

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <hpxlite/lcos/future.hpp>
+#include <op2/dat.hpp>
+#include <op2/loop_options.hpp>
+
+namespace op2 {
+
+/// Which code path op_par_loop() dispatches to.
+enum class backend {
+    seq,        ///< sequential reference
+    fork_join,  ///< OpenMP-style: parallel blocks + global barrier per loop
+    hpx,        ///< dataflow: loops issued asynchronously, futures chained
+};
+
+constexpr char const* to_string(backend b) noexcept {
+    switch (b) {
+        case backend::seq: return "seq";
+        case backend::fork_join: return "fork_join";
+        case backend::hpx: return "hpx";
+    }
+    return "?";
+}
+
+/// Process-wide configuration consumed by the unified op_par_loop().
+struct config {
+    backend be = backend::seq;
+    loop_options opts;
+};
+
+config& global_config();
+
+/// Convenience setters mirroring op_init-style configuration.
+void op_set_backend(backend b);
+void op_set_part_size(std::size_t part_size);
+
+/// Wait until every outstanding asynchronous loop touching `d` (writers
+/// and readers) has completed. No-op for data with no pending work.
+void op_fence(op_dat const& d);
+
+/// Wait for all asynchronous work on all declared dats. The hpx backend
+/// equivalent of the implicit barrier the other backends have after
+/// every loop — but called once, where the program actually needs the
+/// data.
+void op_fence_all();
+
+/// Fence `d` and copy its contents out as a typed vector.
+template <typename T>
+std::vector<T> op_fetch_data(op_dat d) {
+    op_fence(d);
+    auto v = d.view<T>();
+    return {v.begin(), v.end()};
+}
+
+}  // namespace op2

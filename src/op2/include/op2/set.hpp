@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace op2 {
+
+namespace detail {
+struct set_impl {
+    std::size_t size = 0;
+    std::string name;
+    std::uint64_t id = 0;
+};
+std::uint64_t next_entity_id() noexcept;
+}  // namespace detail
+
+/// A set of mesh entities (nodes, edges, cells, ...). Value-semantic
+/// handle; copies refer to the same underlying set.
+class op_set {
+public:
+    op_set() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+    [[nodiscard]] std::size_t size() const noexcept {
+        return impl_ ? impl_->size : 0;
+    }
+    [[nodiscard]] std::string const& name() const;
+    [[nodiscard]] std::uint64_t id() const noexcept {
+        return impl_ ? impl_->id : 0;
+    }
+
+    friend bool operator==(op_set const& a, op_set const& b) noexcept {
+        return a.impl_ == b.impl_;
+    }
+
+private:
+    explicit op_set(std::shared_ptr<detail::set_impl> p) noexcept
+      : impl_(std::move(p)) {}
+
+    friend op_set op_decl_set(std::size_t, std::string);
+
+    std::shared_ptr<detail::set_impl> impl_;
+};
+
+/// Declare a set with `size` elements (paper: op_decl_set(9, nodes, "nodes")).
+op_set op_decl_set(std::size_t size, std::string name);
+
+}  // namespace op2

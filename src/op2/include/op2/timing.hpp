@@ -1,0 +1,47 @@
+#pragma once
+
+// Per-loop timing diagnostics, mirroring stock OP2's op_timers /
+// op_timing_output: every backend records wall time per op_par_loop call
+// site (keyed by loop name), so applications can see where time goes and
+// how it shifts between the fork-join and dataflow backends.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace op2 {
+
+/// Accumulated statistics of one loop name on one backend.
+struct loop_timing {
+    std::string name;
+    std::string backend;       // "seq" | "fork_join" | "hpx"
+    std::uint64_t count = 0;   // invocations
+    double total_s = 0.0;      // summed body wall time
+    double max_s = 0.0;        // slowest single invocation
+
+    [[nodiscard]] double mean_s() const {
+        return count == 0 ? 0.0 : total_s / static_cast<double>(count);
+    }
+};
+
+/// Enable/disable collection (enabled by default; recording costs one
+/// clock read per loop).
+void op_timing_enable(bool enabled);
+bool op_timing_enabled();
+
+/// Record one invocation (used by the backends; public for custom
+/// backends and tests).
+void op_timing_record(char const* name, char const* backend,
+                      double elapsed_s);
+
+/// Snapshot of all records, sorted by descending total time.
+std::vector<loop_timing> op_timing_snapshot();
+
+/// Reset all counters.
+void op_timing_reset();
+
+/// Pretty-print the table (op_timing_output analogue).
+void op_timing_output(std::ostream& os);
+
+}  // namespace op2

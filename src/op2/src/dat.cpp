@@ -1,0 +1,63 @@
+#include <op2/dat.hpp>
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include <op2/set.hpp>
+
+namespace op2 {
+
+namespace {
+// Registry of all declared dats: op_fence_all() needs to find every dat
+// with outstanding asynchronous work.
+std::mutex g_registry_mtx;
+std::vector<std::weak_ptr<detail::dat_impl>> g_registry;
+}  // namespace
+
+namespace detail {
+
+op_dat make_dat(op_set s, int dim, std::size_t elem_bytes,
+                std::string_view type, void const* init, std::string name) {
+    auto impl = std::make_shared<dat_impl>();
+    impl->set = std::move(s);
+    impl->dim = dim;
+    impl->elem_bytes = elem_bytes;
+    impl->type_name = std::string(type);
+    impl->name = std::move(name);
+    impl->id = next_entity_id();
+    std::size_t const bytes =
+        impl->set.size() * static_cast<std::size_t>(dim) * elem_bytes;
+    impl->data.resize(bytes);
+    if (init != nullptr && bytes > 0) {
+        std::memcpy(impl->data.data(), init, bytes);
+    }
+    {
+        std::lock_guard<std::mutex> lk(g_registry_mtx);
+        g_registry.push_back(impl);
+    }
+    return detail_make_dat(std::move(impl));
+}
+
+std::vector<std::shared_ptr<dat_impl>> all_dats() {
+    std::lock_guard<std::mutex> lk(g_registry_mtx);
+    std::vector<std::shared_ptr<dat_impl>> out;
+    out.reserve(g_registry.size());
+    for (auto it = g_registry.begin(); it != g_registry.end();) {
+        if (auto p = it->lock()) {
+            out.push_back(std::move(p));
+            ++it;
+        } else {
+            it = g_registry.erase(it);  // drop expired entries
+        }
+    }
+    return out;
+}
+
+}  // namespace detail
+
+op_dat detail_make_dat(std::shared_ptr<detail::dat_impl> p) {
+    return op_dat(std::move(p));
+}
+
+}  // namespace op2

@@ -1,0 +1,67 @@
+#include <op2/map.hpp>
+
+#include <stdexcept>
+
+namespace op2 {
+
+op_set const& op_map::from() const {
+    if (!impl_) {
+        throw std::logic_error("op_map: OP_ID has no source set");
+    }
+    return impl_->from;
+}
+
+op_set const& op_map::to() const {
+    if (!impl_) {
+        throw std::logic_error("op_map: OP_ID has no target set");
+    }
+    return impl_->to;
+}
+
+std::string const& op_map::name() const {
+    if (!impl_) {
+        throw std::logic_error("op_map: OP_ID has no name");
+    }
+    return impl_->name;
+}
+
+std::vector<int> const& op_map::table() const {
+    if (!impl_) {
+        throw std::logic_error("op_map: OP_ID has no table");
+    }
+    return impl_->data;
+}
+
+op_map op_decl_map(op_set from, op_set to, int dim, std::vector<int> data,
+                   std::string name) {
+    if (!from.valid() || !to.valid()) {
+        throw std::invalid_argument("op_decl_map '" + name +
+                                    "': invalid from/to set");
+    }
+    if (dim <= 0) {
+        throw std::invalid_argument("op_decl_map '" + name +
+                                    "': dim must be positive");
+    }
+    if (data.size() != from.size() * static_cast<std::size_t>(dim)) {
+        throw std::invalid_argument(
+            "op_decl_map '" + name + "': expected " +
+            std::to_string(from.size() * static_cast<std::size_t>(dim)) +
+            " entries, got " + std::to_string(data.size()));
+    }
+    for (int v : data) {
+        if (v < 0 || static_cast<std::size_t>(v) >= to.size()) {
+            throw std::invalid_argument("op_decl_map '" + name +
+                                        "': entry out of range of target set");
+        }
+    }
+    auto impl = std::make_shared<detail::map_impl>();
+    impl->from = std::move(from);
+    impl->to = std::move(to);
+    impl->dim = dim;
+    impl->data = std::move(data);
+    impl->name = std::move(name);
+    impl->id = detail::next_entity_id();
+    return op_map(std::move(impl));
+}
+
+}  // namespace op2

@@ -1,0 +1,195 @@
+#include <op2/plan.hpp>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+namespace op2 {
+
+namespace {
+
+using conflict_ref = std::pair<op_map, int>;  // (map, slot)
+
+/// Distinct (map, slot) pairs of mutating indirect args.
+std::vector<conflict_ref> conflict_refs(std::span<op_arg const> args) {
+    std::vector<conflict_ref> refs;
+    for (auto const& a : args) {
+        if (!a.needs_coloring()) {
+            continue;
+        }
+        bool dup = false;
+        for (auto const& r : refs) {
+            if (r.first == a.map && r.second == a.idx) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup) {
+            refs.emplace_back(a.map, a.idx);
+        }
+    }
+    return refs;
+}
+
+struct plan_key {
+    std::uint64_t set_id;
+    std::size_t part_size;
+    std::vector<std::pair<std::uint64_t, int>> refs;  // (map id, slot)
+
+    bool operator<(plan_key const& o) const {
+        return std::tie(set_id, part_size, refs) <
+               std::tie(o.set_id, o.part_size, o.refs);
+    }
+};
+
+std::mutex g_cache_mtx;
+std::map<plan_key, std::unique_ptr<op_plan>> g_cache;
+
+}  // namespace
+
+op_plan plan_build(op_set const& set, std::span<op_arg const> args,
+                   std::size_t part_size) {
+    if (!set.valid()) {
+        throw std::invalid_argument("plan_build: invalid set");
+    }
+    if (part_size == 0) {
+        part_size = 128;
+    }
+
+    op_plan plan;
+    plan.set_size = set.size();
+    plan.part_size = part_size;
+    std::size_t const n = set.size();
+    plan.nblocks = (n + part_size - 1) / part_size;
+    plan.offset.resize(plan.nblocks);
+    plan.nelems.resize(plan.nblocks);
+    for (std::size_t b = 0; b < plan.nblocks; ++b) {
+        plan.offset[b] = b * part_size;
+        plan.nelems[b] = std::min(part_size, n - plan.offset[b]);
+    }
+
+    auto refs = conflict_refs(args);
+    if (refs.empty() || plan.nblocks <= 1) {
+        plan.colored = false;
+        plan.ncolors = plan.nblocks == 0 ? 0 : 1;
+        plan.blkmap.resize(plan.nblocks);
+        for (std::size_t b = 0; b < plan.nblocks; ++b) {
+            plan.blkmap[b] = b;
+        }
+        plan.color_offset = {0, plan.nblocks};
+        if (plan.nblocks == 0) {
+            plan.color_offset = {0};
+        }
+        return plan;
+    }
+
+    // Iterative greedy colouring (OP2-style): per round, a block joins the
+    // current colour iff none of its indirect targets was claimed by an
+    // earlier block in the same round.
+    plan.colored = true;
+
+    // One mark array per distinct target set.
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> marks;
+    for (auto const& [mp, idx] : refs) {
+        (void)idx;
+        marks.try_emplace(mp.to().id(),
+                          std::vector<std::uint8_t>(mp.to().size(), 0));
+    }
+
+    std::vector<int> block_color(plan.nblocks, -1);
+    std::size_t remaining = plan.nblocks;
+    int color = 0;
+    while (remaining > 0) {
+        for (auto& [id, m] : marks) {
+            std::fill(m.begin(), m.end(), std::uint8_t{0});
+        }
+        for (std::size_t b = 0; b < plan.nblocks; ++b) {
+            if (block_color[b] != -1) {
+                continue;
+            }
+            bool conflict = false;
+            for (auto const& [mp, idx] : refs) {
+                auto const& m = marks.at(mp.to().id());
+                for (std::size_t e = plan.offset[b];
+                     e < plan.offset[b] + plan.nelems[b]; ++e) {
+                    if (m[static_cast<std::size_t>(mp(e, idx))] != 0) {
+                        conflict = true;
+                        break;
+                    }
+                }
+                if (conflict) {
+                    break;
+                }
+            }
+            if (conflict) {
+                continue;
+            }
+            block_color[b] = color;
+            --remaining;
+            for (auto const& [mp, idx] : refs) {
+                auto& m = marks.at(mp.to().id());
+                for (std::size_t e = plan.offset[b];
+                     e < plan.offset[b] + plan.nelems[b]; ++e) {
+                    m[static_cast<std::size_t>(mp(e, idx))] = 1;
+                }
+            }
+        }
+        ++color;
+    }
+
+    plan.ncolors = static_cast<std::size_t>(color);
+    plan.color_offset.assign(plan.ncolors + 1, 0);
+    for (std::size_t b = 0; b < plan.nblocks; ++b) {
+        ++plan.color_offset[static_cast<std::size_t>(block_color[b]) + 1];
+    }
+    for (std::size_t c = 0; c < plan.ncolors; ++c) {
+        plan.color_offset[c + 1] += plan.color_offset[c];
+    }
+    plan.blkmap.resize(plan.nblocks);
+    std::vector<std::size_t> cursor(plan.color_offset.begin(),
+                                    plan.color_offset.end() - 1);
+    for (std::size_t b = 0; b < plan.nblocks; ++b) {
+        plan.blkmap[cursor[static_cast<std::size_t>(block_color[b])]++] = b;
+    }
+    return plan;
+}
+
+op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
+                        std::size_t part_size) {
+    plan_key key;
+    key.set_id = set.id();
+    key.part_size = part_size;
+    for (auto const& [mp, idx] : conflict_refs(args)) {
+        key.refs.emplace_back(mp.id(), idx);
+    }
+    std::sort(key.refs.begin(), key.refs.end());
+
+    {
+        std::lock_guard<std::mutex> lk(g_cache_mtx);
+        auto it = g_cache.find(key);
+        if (it != g_cache.end()) {
+            return *it->second;
+        }
+    }
+    auto plan = std::make_unique<op_plan>(plan_build(set, args, part_size));
+    std::lock_guard<std::mutex> lk(g_cache_mtx);
+    auto [it, inserted] = g_cache.try_emplace(std::move(key), std::move(plan));
+    return *it->second;
+}
+
+void plan_cache_clear() {
+    std::lock_guard<std::mutex> lk(g_cache_mtx);
+    g_cache.clear();
+}
+
+std::size_t plan_cache_size() {
+    std::lock_guard<std::mutex> lk(g_cache_mtx);
+    return g_cache.size();
+}
+
+}  // namespace op2

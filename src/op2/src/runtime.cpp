@@ -1,0 +1,51 @@
+#include <op2/runtime.hpp>
+
+#include <mutex>
+
+namespace op2 {
+
+config& global_config() {
+    static config cfg;
+    return cfg;
+}
+
+void op_set_backend(backend b) { global_config().be = b; }
+
+void op_set_part_size(std::size_t part_size) {
+    global_config().opts.part_size = part_size;
+}
+
+namespace {
+
+void fence_impl(detail::dat_impl& di) {
+    hpxlite::shared_future<void> w;
+    std::vector<hpxlite::shared_future<void>> rs;
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(di.dep_mtx);
+        w = di.last_write;
+        rs = di.readers;
+    }
+    if (w.valid()) {
+        w.wait();
+    }
+    for (auto& r : rs) {
+        r.wait();
+    }
+}
+
+}  // namespace
+
+void op_fence(op_dat const& d) {
+    if (!d.valid()) {
+        return;
+    }
+    fence_impl(const_cast<op_dat&>(d).internal());
+}
+
+void op_fence_all() {
+    for (auto const& di : detail::all_dats()) {
+        fence_impl(*di);
+    }
+}
+
+}  // namespace op2

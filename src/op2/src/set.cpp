@@ -1,0 +1,30 @@
+#include <op2/set.hpp>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace op2 {
+
+namespace detail {
+std::uint64_t next_entity_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+std::string const& op_set::name() const {
+    if (!impl_) {
+        throw std::logic_error("op_set: invalid handle");
+    }
+    return impl_->name;
+}
+
+op_set op_decl_set(std::size_t size, std::string name) {
+    auto impl = std::make_shared<detail::set_impl>();
+    impl->size = size;
+    impl->name = std::move(name);
+    impl->id = detail::next_entity_id();
+    return op_set(std::move(impl));
+}
+
+}  // namespace op2

@@ -1,0 +1,80 @@
+#include <op2/timing.hpp>
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace op2 {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::mutex g_mtx;
+std::map<std::pair<std::string, std::string>, loop_timing> g_records;
+
+}  // namespace
+
+void op_timing_enable(bool enabled) {
+    g_enabled.store(enabled, std::memory_order_release);
+}
+
+bool op_timing_enabled() {
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+void op_timing_record(char const* name, char const* backend,
+                      double elapsed_s) {
+    if (!op_timing_enabled()) {
+        return;
+    }
+    std::lock_guard<std::mutex> lk(g_mtx);
+    auto& rec = g_records[{name, backend}];
+    if (rec.count == 0) {
+        rec.name = name;
+        rec.backend = backend;
+    }
+    ++rec.count;
+    rec.total_s += elapsed_s;
+    rec.max_s = std::max(rec.max_s, elapsed_s);
+}
+
+std::vector<loop_timing> op_timing_snapshot() {
+    std::vector<loop_timing> out;
+    {
+        std::lock_guard<std::mutex> lk(g_mtx);
+        out.reserve(g_records.size());
+        for (auto const& [key, rec] : g_records) {
+            out.push_back(rec);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](loop_timing const& a, loop_timing const& b) {
+                  return a.total_s > b.total_s;
+              });
+    return out;
+}
+
+void op_timing_reset() {
+    std::lock_guard<std::mutex> lk(g_mtx);
+    g_records.clear();
+}
+
+void op_timing_output(std::ostream& os) {
+    auto const snap = op_timing_snapshot();
+    os << "  " << std::left << std::setw(18) << "loop" << std::setw(11)
+       << "backend" << std::right << std::setw(10) << "count"
+       << std::setw(14) << "total(s)" << std::setw(14) << "mean(ms)"
+       << std::setw(14) << "max(ms)" << '\n';
+    for (auto const& r : snap) {
+        os << "  " << std::left << std::setw(18) << r.name << std::setw(11)
+           << r.backend << std::right << std::setw(10) << r.count
+           << std::setw(14) << std::fixed << std::setprecision(6) << r.total_s
+           << std::setw(14) << std::setprecision(4) << r.mean_s() * 1e3
+           << std::setw(14) << r.max_s * 1e3 << '\n';
+    }
+}
+
+}  // namespace op2

@@ -1,0 +1,75 @@
+#pragma once
+
+// The translator's intermediate representation: everything op2c needs to
+// know about an OP2 application to generate per-loop parallel wrappers,
+// mirroring the information the stock Python translator extracts.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace op2c {
+
+/// One op_arg_dat / op_arg_gbl inside an op_par_loop call.
+struct arg_info {
+    bool is_gbl = false;
+    std::string dat;     // dat handle expression (op_arg_dat)
+    std::string ptr;     // pointer expression (op_arg_gbl)
+    int idx = -1;        // map slot; -1 direct
+    std::string map;     // map handle expression or "OP_ID"
+    int dim = 0;
+    std::string type;    // "double", "float", "int", ...
+    std::string access;  // "OP_READ" | "OP_WRITE" | "OP_RW" | "OP_INC" | ...
+    std::string raw;     // original source text of the whole op_arg_* call
+
+    [[nodiscard]] bool is_direct() const {
+        return !is_gbl && (map == "OP_ID" || map.empty());
+    }
+    [[nodiscard]] bool is_indirect() const { return !is_gbl && !is_direct(); }
+};
+
+/// One op_par_loop call site.
+struct loop_info {
+    std::string name;    // the loop's string name ("save_soln")
+    std::string kernel;  // kernel function expression
+    std::string set;     // iteration set expression
+    std::vector<arg_info> args;
+    std::size_t line = 0;
+
+    [[nodiscard]] bool has_indirection() const {
+        for (auto const& a : args) {
+            if (a.is_indirect()) {
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+struct set_decl {
+    std::string var;   // receiving variable (best effort)
+    std::string size;  // size expression
+    std::string name;  // declared name string
+};
+
+struct map_decl {
+    std::string var, from, to;
+    int dim = 0;
+    std::string data, name;
+};
+
+struct dat_decl {
+    std::string var, set;
+    int dim = 0;
+    std::string type, data, name;
+};
+
+/// Everything extracted from one translation unit.
+struct program_info {
+    std::vector<set_decl> sets;
+    std::vector<map_decl> maps;
+    std::vector<dat_decl> dats;
+    std::vector<loop_info> loops;
+};
+
+}  // namespace op2c

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <op2c/ast.hpp>
+
+namespace op2c {
+
+/// Which backend wrappers to emit.
+enum class target {
+    omp,   ///< fork-join wrappers (stock OP2 OpenMP code path)
+    hpx,   ///< dataflow wrappers returning futures (the paper's redesign)
+    both,
+};
+
+struct codegen_options {
+    target tgt = target::both;
+    /// Pattern for the user-kernel include emitted at the top of each
+    /// wrapper; "{kernel}" is replaced by the kernel identifier. OP2
+    /// convention: each kernel lives in "<kernel>.h".
+    std::string kernel_include = "{kernel}.h";
+    /// Namespace the wrappers are generated into.
+    std::string gen_namespace = "op2c_gen";
+};
+
+struct generated_file {
+    std::string filename;
+    std::string contents;
+};
+
+/// Per-loop wrapper source, OpenMP-style (fork-join, implicit barrier):
+/// void op_par_loop_<name>_omp(loop_options, op_set, op_arg...).
+std::string generate_loop_wrapper_omp(loop_info const& lp,
+                                      codegen_options const& opt = {});
+
+/// Per-loop wrapper source, HPX dataflow style:
+/// shared_future<void> op_par_loop_<name>_hpx(loop_options, op_set, op_arg...)
+/// — the loop is issued asynchronously and its completion future is both
+/// returned and threaded onto the dats (paper Figs. 7-9).
+std::string generate_loop_wrapper_hpx(loop_info const& lp,
+                                      codegen_options const& opt = {});
+
+/// Master header declaring every generated wrapper.
+std::string generate_master_header(program_info const& prog,
+                                   codegen_options const& opt = {});
+
+/// All files for a program: one wrapper per loop per backend + master.
+std::vector<generated_file> generate(program_info const& prog,
+                                     codegen_options const& opt = {});
+
+}  // namespace op2c

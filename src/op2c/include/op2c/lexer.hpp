@@ -1,0 +1,50 @@
+#pragma once
+
+// Minimal C/C++ tokenizer for the op2c source-to-source translator.
+// The stock OP2 translator is a Python/Matlab script scanning for
+// op_decl_* and op_par_loop calls (paper Section II); op2c performs the
+// same scan natively. It does not need a full C++ grammar — only
+// identifiers, literals, punctuation and balanced parentheses.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace op2c {
+
+enum class token_kind {
+    identifier,
+    number,
+    string_lit,
+    char_lit,
+    punct,
+    end_of_file,
+};
+
+struct token {
+    token_kind kind = token_kind::end_of_file;
+    std::string text;        // literal text (string_lit keeps its quotes)
+    std::size_t offset = 0;  // byte offset in the source
+    std::size_t line = 1;    // 1-based source line
+
+    [[nodiscard]] bool is(token_kind k, std::string_view t = {}) const {
+        return kind == k && (t.empty() || text == t);
+    }
+    [[nodiscard]] bool is_ident(std::string_view t) const {
+        return kind == token_kind::identifier && text == t;
+    }
+    [[nodiscard]] bool is_punct(std::string_view t) const {
+        return kind == token_kind::punct && text == t;
+    }
+};
+
+/// Tokenize `source`. Comments, whitespace and preprocessor directives
+/// are skipped. Never throws on malformed input — the translator is a
+/// scanner, not a validator; unterminated literals run to end of line.
+std::vector<token> tokenize(std::string_view source);
+
+/// Strip the quotes from a string literal token ("name" -> name).
+std::string unquote(std::string_view string_literal);
+
+}  // namespace op2c

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include <op2c/ast.hpp>
+#include <op2c/lexer.hpp>
+
+namespace op2c {
+
+/// Raised when a recognised OP2 call is malformed (wrong arity, missing
+/// name string, unbalanced parentheses inside a call, ...).
+class parse_error : public std::runtime_error {
+public:
+    parse_error(std::size_t line, std::string const& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Scan `source` for op_decl_set/map/dat and op_par_loop calls and build
+/// the IR. Unrelated code is ignored, like the stock translator does.
+///
+/// Both call shapes are recognised:
+///  * classic OP2:  op_par_loop(kernel, "name", set, op_arg_dat(...), ...)
+///  * op2hpx     :  op_par_loop("name", set, kernel, op_arg_dat(...), ...)
+program_info parse_program(std::string_view source);
+
+}  // namespace op2c

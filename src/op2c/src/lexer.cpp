@@ -1,0 +1,157 @@
+#include <op2c/lexer.hpp>
+
+#include <cctype>
+
+namespace op2c {
+
+namespace {
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_cont(char c) {
+    return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<token> tokenize(std::string_view src) {
+    std::vector<token> out;
+    std::size_t i = 0;
+    std::size_t line = 1;
+    std::size_t const n = src.size();
+
+    auto push = [&](token_kind k, std::size_t begin, std::size_t end) {
+        token t;
+        t.kind = k;
+        t.text = std::string(src.substr(begin, end - begin));
+        t.offset = begin;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        char const c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+            continue;
+        }
+        // comments
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n') {
+                ++i;
+            }
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n') {
+                    ++line;
+                }
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        // preprocessor directives: skip the line (continuations too)
+        if (c == '#') {
+            while (i < n && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    ++line;
+                    ++i;
+                }
+                ++i;
+            }
+            continue;
+        }
+        // string literal
+        if (c == '"') {
+            std::size_t const begin = i++;
+            while (i < n && src[i] != '"' && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    ++i;
+                }
+                ++i;
+            }
+            if (i < n && src[i] == '"') {
+                ++i;
+            }
+            push(token_kind::string_lit, begin, i);
+            continue;
+        }
+        // char literal
+        if (c == '\'') {
+            std::size_t const begin = i++;
+            while (i < n && src[i] != '\'' && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n) {
+                    ++i;
+                }
+                ++i;
+            }
+            if (i < n && src[i] == '\'') {
+                ++i;
+            }
+            push(token_kind::char_lit, begin, i);
+            continue;
+        }
+        // identifier / keyword
+        if (ident_start(c)) {
+            std::size_t const begin = i;
+            while (i < n && ident_cont(src[i])) {
+                ++i;
+            }
+            push(token_kind::identifier, begin, i);
+            continue;
+        }
+        // number (ints, floats, hex, exponents — scanned loosely)
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+            std::size_t const begin = i;
+            while (i < n &&
+                   (ident_cont(src[i]) || src[i] == '.' ||
+                    ((src[i] == '+' || src[i] == '-') && i > begin &&
+                     (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                      src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+                ++i;
+            }
+            push(token_kind::number, begin, i);
+            continue;
+        }
+        // multi-char punctuation we care about (::, ->, etc.)
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            push(token_kind::punct, i, i + 2);
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            push(token_kind::punct, i, i + 2);
+            i += 2;
+            continue;
+        }
+        push(token_kind::punct, i, i + 1);
+        ++i;
+    }
+
+    token eof;
+    eof.kind = token_kind::end_of_file;
+    eof.offset = n;
+    eof.line = line;
+    out.push_back(std::move(eof));
+    return out;
+}
+
+std::string unquote(std::string_view s) {
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+        s = s.substr(1, s.size() - 2);
+    }
+    return std::string(s);
+}
+
+}  // namespace op2c

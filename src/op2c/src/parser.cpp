@@ -1,0 +1,258 @@
+#include <op2c/parser.hpp>
+
+#include <cstdlib>
+#include <optional>
+
+namespace op2c {
+
+namespace {
+
+struct call_args {
+    // One entry per top-level argument: [first, last) token indices and
+    // the raw source slice.
+    struct arg {
+        std::size_t first = 0;
+        std::size_t last = 0;
+        std::string text;
+    };
+    std::vector<arg> args;
+    std::size_t end_index = 0;   // token index just past the ')'
+    std::size_t end_offset = 0;  // byte offset just past the ')'
+};
+
+/// Parse a balanced call starting at tokens[open] == '('.
+call_args split_call(std::vector<token> const& toks, std::size_t open,
+                     std::string_view source, std::size_t line) {
+    if (!toks[open].is_punct("(")) {
+        throw parse_error(line, "expected '(' after OP2 call name");
+    }
+    call_args out;
+    int depth = 1;
+    std::size_t i = open + 1;
+    std::size_t arg_first = i;
+
+    auto close_arg = [&](std::size_t last_tok, std::size_t end_off) {
+        if (last_tok > arg_first) {
+            std::size_t const b = toks[arg_first].offset;
+            call_args::arg a;
+            a.first = arg_first;
+            a.last = last_tok;
+            a.text = std::string(source.substr(b, end_off - b));
+            // trim
+            while (!a.text.empty() && (a.text.back() == ' ' ||
+                                       a.text.back() == '\n' ||
+                                       a.text.back() == '\t')) {
+                a.text.pop_back();
+            }
+            out.args.push_back(std::move(a));
+        }
+    };
+
+    for (;; ++i) {
+        if (toks[i].kind == token_kind::end_of_file) {
+            throw parse_error(line, "unterminated OP2 call");
+        }
+        if (toks[i].is_punct("(") || toks[i].is_punct("[") ||
+            toks[i].is_punct("{")) {
+            ++depth;
+        } else if (toks[i].is_punct(")") || toks[i].is_punct("]") ||
+                   toks[i].is_punct("}")) {
+            --depth;
+            if (depth == 0) {
+                close_arg(i, toks[i].offset);
+                out.end_index = i + 1;
+                out.end_offset = toks[i].offset + 1;
+                return out;
+            }
+        } else if (depth == 1 && toks[i].is_punct(",")) {
+            close_arg(i, toks[i].offset);
+            arg_first = i + 1;
+        }
+    }
+}
+
+std::optional<int> parse_int(std::vector<token> const& toks,
+                             call_args::arg const& a) {
+    // Accept `N` or `-N`.
+    if (a.last - a.first == 1 && toks[a.first].kind == token_kind::number) {
+        return std::atoi(toks[a.first].text.c_str());
+    }
+    if (a.last - a.first == 2 && toks[a.first].is_punct("-") &&
+        toks[a.first + 1].kind == token_kind::number) {
+        return -std::atoi(toks[a.first + 1].text.c_str());
+    }
+    return std::nullopt;
+}
+
+std::string string_payload(std::vector<token> const& toks,
+                           call_args::arg const& a) {
+    if (a.last - a.first == 1 &&
+        toks[a.first].kind == token_kind::string_lit) {
+        return unquote(toks[a.first].text);
+    }
+    return {};
+}
+
+arg_info parse_op_arg(std::vector<token> const& toks, std::size_t name_tok,
+                      std::string_view source, std::size_t line) {
+    bool const gbl = toks[name_tok].is_ident("op_arg_gbl");
+    auto call = split_call(toks, name_tok + 1, source, line);
+
+    arg_info a;
+    a.is_gbl = gbl;
+    std::size_t const b = toks[name_tok].offset;
+    a.raw = std::string(source.substr(b, call.end_offset - b));
+
+    if (gbl) {
+        if (call.args.size() != 4) {
+            throw parse_error(line, "op_arg_gbl expects 4 arguments, got " +
+                                        std::to_string(call.args.size()));
+        }
+        a.ptr = call.args[0].text;
+        auto dim = parse_int(toks, call.args[1]);
+        if (!dim) {
+            throw parse_error(line, "op_arg_gbl: dim must be an integer literal");
+        }
+        a.dim = *dim;
+        a.type = string_payload(toks, call.args[2]);
+        a.access = call.args[3].text;
+        return a;
+    }
+
+    if (call.args.size() != 6) {
+        throw parse_error(line, "op_arg_dat expects 6 arguments, got " +
+                                    std::to_string(call.args.size()));
+    }
+    a.dat = call.args[0].text;
+    auto idx = parse_int(toks, call.args[1]);
+    if (!idx) {
+        throw parse_error(line, "op_arg_dat: idx must be an integer literal");
+    }
+    a.idx = *idx;
+    a.map = call.args[2].text;
+    auto dim = parse_int(toks, call.args[3]);
+    if (!dim) {
+        throw parse_error(line, "op_arg_dat: dim must be an integer literal");
+    }
+    a.dim = *dim;
+    a.type = string_payload(toks, call.args[4]);
+    a.access = call.args[5].text;
+    if (a.access != "OP_READ" && a.access != "OP_WRITE" && a.access != "OP_RW" &&
+        a.access != "OP_INC" && a.access != "OP_MIN" && a.access != "OP_MAX") {
+        throw parse_error(line, "unknown access mode '" + a.access + "'");
+    }
+    return a;
+}
+
+/// Best-effort capture of `var =` immediately preceding a decl call.
+std::string preceding_var(std::vector<token> const& toks, std::size_t name_tok) {
+    if (name_tok >= 2 && toks[name_tok - 1].is_punct("=") &&
+        toks[name_tok - 2].kind == token_kind::identifier) {
+        return toks[name_tok - 2].text;
+    }
+    return {};
+}
+
+}  // namespace
+
+program_info parse_program(std::string_view source) {
+    auto toks = tokenize(source);
+    program_info prog;
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        auto const& t = toks[i];
+        if (t.kind != token_kind::identifier || !toks[i + 1].is_punct("(")) {
+            continue;
+        }
+
+        if (t.text == "op_decl_set") {
+            auto call = split_call(toks, i + 1, source, t.line);
+            if (call.args.size() != 2) {
+                throw parse_error(t.line, "op_decl_set expects 2 arguments");
+            }
+            set_decl d;
+            d.var = preceding_var(toks, i);
+            d.size = call.args[0].text;
+            d.name = string_payload(toks, call.args[1]);
+            prog.sets.push_back(std::move(d));
+            i = call.end_index - 1;
+        } else if (t.text == "op_decl_map") {
+            auto call = split_call(toks, i + 1, source, t.line);
+            if (call.args.size() != 5) {
+                throw parse_error(t.line, "op_decl_map expects 5 arguments");
+            }
+            map_decl d;
+            d.var = preceding_var(toks, i);
+            d.from = call.args[0].text;
+            d.to = call.args[1].text;
+            auto dim = parse_int(toks, call.args[2]);
+            d.dim = dim.value_or(0);
+            d.data = call.args[3].text;
+            d.name = string_payload(toks, call.args[4]);
+            prog.maps.push_back(std::move(d));
+            i = call.end_index - 1;
+        } else if (t.text == "op_decl_dat") {
+            auto call = split_call(toks, i + 1, source, t.line);
+            if (call.args.size() != 5) {
+                throw parse_error(t.line, "op_decl_dat expects 5 arguments");
+            }
+            dat_decl d;
+            d.var = preceding_var(toks, i);
+            d.set = call.args[0].text;
+            auto dim = parse_int(toks, call.args[1]);
+            d.dim = dim.value_or(0);
+            d.type = string_payload(toks, call.args[2]);
+            d.data = call.args[3].text;
+            d.name = string_payload(toks, call.args[4]);
+            prog.dats.push_back(std::move(d));
+            i = call.end_index - 1;
+        } else if (t.text == "op_par_loop" ||
+                   t.text.rfind("op_par_loop_", 0) == 0) {
+            auto call = split_call(toks, i + 1, source, t.line);
+            if (call.args.size() < 4) {
+                throw parse_error(t.line,
+                                  "op_par_loop expects kernel, name, set and "
+                                  "at least one op_arg");
+            }
+            loop_info lp;
+            lp.line = t.line;
+
+            // Leading triple: classic (kernel, "name", set) or op2hpx
+            // ("name", set, kernel).
+            std::string const s0 = string_payload(toks, call.args[0]);
+            std::string const s1 = string_payload(toks, call.args[1]);
+            if (!s0.empty()) {
+                lp.name = s0;
+                lp.set = call.args[1].text;
+                lp.kernel = call.args[2].text;
+            } else if (!s1.empty()) {
+                lp.kernel = call.args[0].text;
+                lp.name = s1;
+                lp.set = call.args[2].text;
+            } else {
+                throw parse_error(t.line,
+                                  "op_par_loop: could not locate the loop "
+                                  "name string literal");
+            }
+
+            for (std::size_t k = 3; k < call.args.size(); ++k) {
+                auto const& a = call.args[k];
+                if (toks[a.first].is_ident("op_arg_dat") ||
+                    toks[a.first].is_ident("op_arg_gbl")) {
+                    lp.args.push_back(
+                        parse_op_arg(toks, a.first, source, toks[a.first].line));
+                } else {
+                    throw parse_error(toks[a.first].line,
+                                      "op_par_loop: argument " +
+                                          std::to_string(k) +
+                                          " is not an op_arg_dat/op_arg_gbl");
+                }
+            }
+            prog.loops.push_back(std::move(lp));
+            i = call.end_index - 1;
+        }
+    }
+    return prog;
+}
+
+}  // namespace op2c

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace psim::detail {
+
+/// splitmix64 — cheap, high-quality 64-bit mixing for deterministic
+/// per-(entity, index) pseudo-randomness without carrying RNG state.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Uniform in [0, 1).
+inline double uniform01(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Approximately standard-normal deviate from a hash (Irwin-Hall with 4
+/// uniforms; plenty for jitter modelling and fully deterministic).
+inline double normalish(std::uint64_t h) noexcept {
+    double s = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        h = mix64(h + static_cast<std::uint64_t>(i) + 1);
+        s += uniform01(h);
+    }
+    return (s - 2.0) / 0.5773502691896258;  // std of Irwin-Hall(4) = 1/sqrt(3)
+}
+
+}  // namespace psim::detail

@@ -1,0 +1,33 @@
+#pragma once
+
+namespace psim {
+
+/// Analytic model of the software-prefetching iterator (paper Section V).
+///
+/// The prefetch distance d is expressed in cache lines (the paper's
+/// prefetch_distance_factor). Three competing effects shape Fig. 20:
+///  * timeliness: lines requested too late (small d) are still in flight
+///    when the loop reaches them — modelled as 1 - exp(-d/late_scale);
+///  * retention: lines requested too early (large d) are evicted before
+///    use — modelled as exp(-(d/evict_scale)^2);
+///  * issue overhead: every prefetch instruction costs a little; smaller
+///    d means the savings shrink while the per-line cost stays, so tiny
+///    distances lose ("very small prefetcher distances ... more data to
+///    be prefetched, which becomes more expensive").
+struct memory_model {
+    double late_scale = 4.0;       ///< cache lines until timely
+    double evict_scale = 110.0;    ///< cache lines until eviction dominates
+    double issue_overhead_frac = 0.05;  ///< overhead as a fraction of the
+                                        ///< stall one line costs, per issue
+
+    /// Fraction of the memory-stall time removed at distance d (can be
+    /// slightly negative for pathological distances).
+    [[nodiscard]] double stall_reduction(double distance_lines) const noexcept;
+};
+
+/// Effective per-block cost: compute part + residual memory stalls.
+/// `block_us`/`mem_frac` from loop_class; prefetch off => unchanged.
+double effective_block_us(double block_us, double mem_frac, bool prefetch,
+                          double distance_lines, memory_model const& mm) noexcept;
+
+}  // namespace psim

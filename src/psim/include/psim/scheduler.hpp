@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include <psim/machine.hpp>
+#include <psim/memory.hpp>
+#include <psim/workload.hpp>
+
+namespace psim {
+
+/// How the runtime sizes chunks of blocks (Section IV-B of the paper).
+enum class chunk_mode {
+    omp_static,   ///< blocks/threads per worker (OpenMP static schedule)
+    hpx_static,   ///< blocks/threads per chunk (HPX 0.9.x `par` default)
+    auto_chunk,   ///< ~target_chunk_us worth of blocks, per loop
+    persistent,   ///< equal chunk *time* across loops (the paper's policy)
+};
+
+struct sim_options {
+    int threads = 1;
+    int iterations = 100;
+    chunk_mode chunking = chunk_mode::hpx_static;
+    double target_chunk_us = 100.0;  ///< auto/persistent chunk-time target
+    bool prefetch = false;
+    double prefetch_distance = 15.0;  ///< cache lines
+    memory_model mem;
+    std::uint64_t seed = 42;          ///< jitter/imbalance reproducibility
+    /// Dataflow only: let chunk j of a dependent loop start once the
+    /// *corresponding fraction* of each producer loop has completed
+    /// (Fig. 12: "the execution of each chunk in a loop depends on the
+    /// execution of the chunks in the previous loop"). When false, a
+    /// dependent loop waits for producers to finish entirely.
+    bool chunk_pipelining = true;
+};
+
+struct sim_result {
+    double total_s = 0.0;          ///< simulated wall-clock
+    double busy_frac = 0.0;        ///< mean worker utilisation
+    std::uint64_t tasks = 0;       ///< chunks executed
+    double bytes_streamed = 0.0;   ///< for bandwidth figures
+    [[nodiscard]] double bandwidth_gbs() const noexcept {
+        return total_s > 0.0 ? bytes_streamed / total_s * 1e-9 : 0.0;
+    }
+};
+
+/// Fork-join execution (the stock OP2/OpenMP code path of Fig. 4):
+/// every loop is a parallel region; every colour ends in a barrier that
+/// waits for the slowest worker; loops never overlap.
+sim_result simulate_fork_join(machine_model const& m, workload const& w,
+                              sim_options const& o);
+
+/// Dataflow execution (the paper's redesign, Section IV): loop instances
+/// form a DAG through their dats; chunks of ready loops are greedily
+/// scheduled onto the earliest-free worker (work stealing); no global
+/// barriers — only true dependencies serialise.
+sim_result simulate_dataflow(machine_model const& m, workload const& w,
+                             sim_options const& o);
+
+}  // namespace psim

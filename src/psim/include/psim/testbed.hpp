@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include <psim/machine.hpp>
+#include <psim/memory.hpp>
+#include <psim/scheduler.hpp>
+#include <psim/workload.hpp>
+
+namespace psim {
+
+/// The calibrated model of the paper's experimental setup (Section VI):
+/// Airfoil (~720K nodes, 1.5M edges) on 2x Xeon E5-2630, HT on, 32 HW
+/// threads, HPX 0.9.99.
+struct testbed {
+    machine_model machine;
+    workload airfoil;
+    memory_model mem;
+    int iterations = 100;  ///< simulated outer iterations per data point
+};
+
+/// Construct the calibrated testbed.
+testbed paper_testbed();
+
+/// The thread counts the paper sweeps (HT engaged beyond 16).
+std::vector<int> paper_thread_counts();
+
+}  // namespace psim

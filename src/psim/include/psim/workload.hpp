@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psim {
+
+/// Static description of one op_par_loop call site, as the simulator
+/// sees it: a bag of blocks (mini-partitions) with a mean per-block cost,
+/// grouped into conflict colours.
+struct loop_class {
+    std::string name;
+    std::size_t blocks = 1;
+    double block_us = 10.0;       ///< mean compute+memory cost per block
+    double block_cv = 0.25;       ///< per-block cost variability
+    int colors = 1;               ///< plan colours (serialised sub-phases)
+    double mem_frac = 0.35;       ///< fraction of block_us that is memory
+                                  ///< stall (prefetchable, Figs. 18-20)
+    double bytes_per_block = 0.0; ///< streamed bytes (bandwidth figures)
+};
+
+/// One iteration's issue sequence plus dependency edges. Positions index
+/// `issue_order`; cross-iteration edges connect position `from` of
+/// iteration i to position `to` of iteration i+1.
+struct workload {
+    std::vector<loop_class> loops;
+
+    struct edge {
+        int from;
+        int to;
+    };
+    std::vector<int> issue_order;   ///< loop-class index per issue position
+    std::vector<edge> intra_deps;   ///< within one iteration
+    std::vector<edge> cross_deps;   ///< previous iteration -> this one
+
+    [[nodiscard]] double serial_work_us() const;  ///< one iteration's work
+};
+
+/// The Airfoil workload (paper Section II-B): 720K-node/1.5M-edge mesh,
+/// five loops, the inner k-loop executed twice per iteration:
+///   save_soln; { adt_calc; res_calc; bres_calc; update; } x2
+/// Dependencies mirror the dats: q, qold, adt, res chains (Fig. 10-11).
+/// `part_size` is the plan block size (OP2 default 128).
+workload airfoil_workload(std::size_t ncell = 720'000 * 1,
+                          std::size_t nedge = 1'500'000,
+                          std::size_t nbedge = 4'800,
+                          std::size_t part_size = 128);
+
+/// A streaming loop over `n` elements of `ncontainers` double arrays
+/// (the Fig. 14 micro-workload behind the bandwidth figures 19-20).
+workload stream_workload(std::size_t n, int ncontainers,
+                         std::size_t part_size = 4096);
+
+}  // namespace psim

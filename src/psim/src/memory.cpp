@@ -1,0 +1,37 @@
+#include <psim/memory.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace psim {
+
+double memory_model::stall_reduction(double d) const noexcept {
+    if (d <= 0.0) {
+        return 0.0;
+    }
+    // Timeliness: a prefetch issued d lines ahead has had time to
+    // complete with probability ~ 1 - exp(-d/late_scale).
+    double const timely = 1.0 - std::exp(-d / late_scale);
+    // Retention: the earlier the prefetch, the likelier eviction before
+    // use (capacity/competition), ~ gaussian fall-off.
+    double const retained = std::exp(-(d / evict_scale) * (d / evict_scale));
+    // Issue overhead: one prefetch instruction per line regardless of d;
+    // at small d the useful window shrinks while the cost stays, so the
+    // relative overhead grows like 1/d.
+    double const overhead = issue_overhead_frac * (1.0 + 4.0 / d);
+    return std::clamp(timely * retained - overhead, -0.25, 1.0);
+}
+
+double effective_block_us(double block_us, double mem_frac, bool prefetch,
+                          double distance_lines,
+                          memory_model const& mm) noexcept {
+    if (!prefetch) {
+        return block_us;
+    }
+    double const stall = block_us * mem_frac;
+    double const compute = block_us - stall;
+    double const reduction = mm.stall_reduction(distance_lines);
+    return compute + stall * (1.0 - reduction);
+}
+
+}  // namespace psim

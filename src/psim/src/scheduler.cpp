@@ -1,0 +1,328 @@
+#include <psim/scheduler.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include <psim/detail/rng.hpp>
+
+namespace psim {
+
+namespace {
+
+using detail::hash_combine;
+using detail::normalish;
+
+/// Per-class block cost factors (deterministic imbalance) with prefix
+/// sums so any contiguous block range costs O(1) to evaluate.
+struct class_profile {
+    double block_us_eff = 0.0;        // mean, after the memory model
+    std::vector<double> prefix;       // prefix[i] = sum of factors [0, i)
+
+    [[nodiscard]] double range_us(std::size_t b, std::size_t e) const {
+        return (prefix[e] - prefix[b]) * block_us_eff;
+    }
+};
+
+std::vector<class_profile> build_profiles(workload const& w,
+                                          sim_options const& o) {
+    std::vector<class_profile> out(w.loops.size());
+    for (std::size_t li = 0; li < w.loops.size(); ++li) {
+        auto const& lc = w.loops[li];
+        class_profile p;
+        p.block_us_eff = effective_block_us(lc.block_us, lc.mem_frac,
+                                            o.prefetch, o.prefetch_distance,
+                                            o.mem);
+        p.prefix.resize(lc.blocks + 1);
+        p.prefix[0] = 0.0;
+        for (std::size_t b = 0; b < lc.blocks; ++b) {
+            double const z =
+                normalish(hash_combine(o.seed, hash_combine(li, b)));
+            double const f = std::max(0.25, 1.0 + lc.block_cv * z);
+            p.prefix[b + 1] = p.prefix[b] + f;
+        }
+        out[li] = std::move(p);
+    }
+    return out;
+}
+
+/// Per-(worker, loop-instance) speed multiplier: OS/HT/turbo jitter.
+double worker_speed(machine_model const& m, sim_options const& o,
+                    std::uint64_t instance, int worker) {
+    double const sigma = m.jitter(o.threads);
+    double const z = normalish(hash_combine(
+        o.seed ^ 0xabcdef1234567890ULL,
+        hash_combine(instance, static_cast<std::uint64_t>(worker))));
+    return std::max(0.4, 1.0 + sigma * z) * m.base_speed(o.threads);
+}
+
+/// Colour c of a loop covers the contiguous block range [cb, ce).
+void color_range(loop_class const& lc, int c, std::size_t& cb,
+                 std::size_t& ce) {
+    auto const nc = static_cast<std::size_t>(lc.colors);
+    std::size_t const base = lc.blocks / nc;
+    std::size_t const rem = lc.blocks % nc;
+    auto const cc = static_cast<std::size_t>(c);
+    cb = cc * base + std::min(cc, rem);
+    ce = cb + base + (cc < rem ? 1 : 0);
+}
+
+double total_bytes(workload const& w, sim_options const& o) {
+    double bytes = 0.0;
+    for (int pos : w.issue_order) {
+        auto const& lc = w.loops[static_cast<std::size_t>(pos)];
+        bytes += static_cast<double>(lc.blocks) * lc.bytes_per_block;
+    }
+    return bytes * static_cast<double>(o.iterations);
+}
+
+}  // namespace
+
+sim_result simulate_fork_join(machine_model const& m, workload const& w,
+                              sim_options const& o) {
+    int const T = std::max(1, std::min(o.threads, m.max_threads()));
+    auto const profiles = build_profiles(w, o);
+
+    double t_us = 0.0;
+    double busy_us = 0.0;
+    std::uint64_t tasks = 0;
+
+    std::size_t const P = w.issue_order.size();
+    for (int it = 0; it < o.iterations; ++it) {
+        for (std::size_t pos = 0; pos < P; ++pos) {
+            auto const li = static_cast<std::size_t>(w.issue_order[pos]);
+            auto const& lc = w.loops[li];
+            auto const& prof = profiles[li];
+            std::uint64_t const inst =
+                static_cast<std::uint64_t>(it) * P + pos;
+
+            t_us += m.fork_cost_us(T);
+            for (int c = 0; c < lc.colors; ++c) {
+                std::size_t cb = 0;
+                std::size_t ce = 0;
+                color_range(lc, c, cb, ce);
+                std::size_t const bc = ce - cb;
+                // OpenMP static schedule: contiguous equal shares.
+                double slowest = 0.0;
+                auto const tt = static_cast<std::size_t>(T);
+                std::size_t const base = bc / tt;
+                std::size_t const rem = bc % tt;
+                std::size_t cursor = cb;
+                for (int wk = 0; wk < T; ++wk) {
+                    std::size_t const share =
+                        base + (static_cast<std::size_t>(wk) < rem ? 1 : 0);
+                    if (share == 0) {
+                        continue;
+                    }
+                    double const work =
+                        prof.range_us(cursor, cursor + share) /
+                        worker_speed(m, o, inst, wk);
+                    cursor += share;
+                    busy_us += work;
+                    slowest = std::max(slowest, work);
+                    ++tasks;
+                }
+                // The barrier at the end of the colour waits for the
+                // slowest worker — the fork-join tax.
+                t_us += slowest + m.barrier_cost_us(T);
+            }
+        }
+    }
+
+    sim_result r;
+    r.total_s = t_us * 1e-6;
+    r.busy_frac = t_us > 0.0 ? busy_us / (static_cast<double>(T) * t_us) : 0.0;
+    r.tasks = tasks;
+    r.bytes_streamed = total_bytes(w, o);
+    return r;
+}
+
+namespace {
+
+/// Progress record of one executed loop instance: monotone chunk finish
+/// times, so a consumer can ask "when was fraction f of this loop done?".
+struct instance_progress {
+    std::vector<double> chunk_finish;  // running max, one per chunk
+
+    [[nodiscard]] double finish() const {
+        return chunk_finish.empty() ? 0.0 : chunk_finish.back();
+    }
+
+    /// Time at which fraction `f` (0, 1] of the instance had completed.
+    [[nodiscard]] double finish_at_fraction(double f) const {
+        if (chunk_finish.empty()) {
+            return 0.0;
+        }
+        auto const n = chunk_finish.size();
+        auto idx = static_cast<std::size_t>(
+            std::ceil(f * static_cast<double>(n))) ;
+        if (idx == 0) {
+            idx = 1;
+        }
+        if (idx > n) {
+            idx = n;
+        }
+        return chunk_finish[idx - 1];
+    }
+};
+
+}  // namespace
+
+sim_result simulate_dataflow(machine_model const& m, workload const& w,
+                             sim_options const& o) {
+    int const T = std::max(1, std::min(o.threads, m.max_threads()));
+    auto const profiles = build_profiles(w, o);
+
+    std::size_t const P = w.issue_order.size();
+    std::size_t const total_instances =
+        static_cast<std::size_t>(o.iterations) * P;
+    std::vector<instance_progress> progress(total_instances);
+
+    // Earliest-free worker queue: (free_time_us, worker id).
+    using slot = std::pair<double, int>;
+    std::priority_queue<slot, std::vector<slot>, std::greater<>> workers;
+    for (int wk = 0; wk < T; ++wk) {
+        workers.emplace(0.0, wk);
+    }
+
+    double busy_us = 0.0;
+    std::uint64_t tasks = 0;
+    double makespan = 0.0;
+    double persistent_target_us = 0.0;  // chunk_mode::persistent state
+
+    for (std::size_t inst = 0; inst < total_instances; ++inst) {
+        std::size_t const it = inst / P;
+        std::size_t const pos = inst % P;
+        auto const li = static_cast<std::size_t>(w.issue_order[pos]);
+        auto const& lc = w.loops[li];
+        auto const& prof = profiles[li];
+
+        // Producer instances this one depends on (through its dats).
+        std::vector<std::size_t> deps;
+        for (auto const& d : w.intra_deps) {
+            if (static_cast<std::size_t>(d.to) == pos) {
+                deps.push_back(it * P + static_cast<std::size_t>(d.from));
+            }
+        }
+        if (it > 0) {
+            for (auto const& d : w.cross_deps) {
+                if (static_cast<std::size_t>(d.to) == pos) {
+                    deps.push_back((it - 1) * P +
+                                   static_cast<std::size_t>(d.from));
+                }
+            }
+        }
+
+        // Chunk size in blocks for this loop.
+        auto chunk_of = [&](std::size_t bc) -> std::size_t {
+            auto const tt = static_cast<std::size_t>(T);
+            switch (o.chunking) {
+                case chunk_mode::omp_static:
+                    return std::max<std::size_t>(1, bc / tt + (bc % tt != 0));
+                case chunk_mode::hpx_static:
+                    // HPX 0.9.x `par` default static partitioning: chunks
+                    // equal in *size* (one per worker), so their execution
+                    // *times* differ across loops — the paper's Fig. 12a.
+                    return std::max<std::size_t>(1, bc / tt + (bc % tt != 0));
+                case chunk_mode::auto_chunk:
+                    return std::max<std::size_t>(
+                        1, static_cast<std::size_t>(std::llround(
+                               o.target_chunk_us / prof.block_us_eff)));
+                case chunk_mode::persistent: {
+                    if (persistent_target_us == 0.0) {
+                        // Calibrating loop: chunk picked automatically by
+                        // for_each (time-targeted), and its chunk *time*
+                        // becomes the persistent target (Fig. 12b).
+                        std::size_t const ch = std::max<std::size_t>(
+                            1, static_cast<std::size_t>(std::llround(
+                                   o.target_chunk_us / prof.block_us_eff)));
+                        persistent_target_us =
+                            static_cast<double>(ch) * prof.block_us_eff;
+                        return ch;
+                    }
+                    return std::max<std::size_t>(
+                        1, static_cast<std::size_t>(std::llround(
+                               persistent_target_us / prof.block_us_eff)));
+                }
+            }
+            return 1;
+        };
+
+        // Total chunk count (for fraction mapping).
+        std::size_t total_chunks = 0;
+        for (int c = 0; c < lc.colors; ++c) {
+            std::size_t cb = 0;
+            std::size_t ce = 0;
+            color_range(lc, c, cb, ce);
+            std::size_t const chunk = chunk_of(ce - cb);
+            total_chunks += (ce - cb + chunk - 1) / chunk;
+        }
+
+        auto& prog = progress[inst];
+        prog.chunk_finish.reserve(total_chunks);
+
+        double const issue_overhead = m.future_overhead_us;
+        double full_deps_ready = issue_overhead;
+        for (std::size_t d : deps) {
+            full_deps_ready =
+                std::max(full_deps_ready, progress[d].finish() + issue_overhead);
+        }
+
+        std::size_t k = 0;  // running chunk index across colours
+        double color_gate = 0.0;
+        double running_max = 0.0;
+        for (int c = 0; c < lc.colors; ++c) {
+            std::size_t cb = 0;
+            std::size_t ce = 0;
+            color_range(lc, c, cb, ce);
+            std::size_t const chunk = chunk_of(ce - cb);
+            double color_max = color_gate;
+            for (std::size_t b = cb; b < ce; b += chunk, ++k) {
+                std::size_t const e = std::min(b + chunk, ce);
+
+                // Chunk readiness: corresponding fraction of every
+                // producer (chunk pipelining) or full producer finish.
+                double ready = issue_overhead;
+                if (o.chunk_pipelining) {
+                    double const f = static_cast<double>(k + 1) /
+                                     static_cast<double>(total_chunks);
+                    for (std::size_t d : deps) {
+                        ready = std::max(ready, progress[d].finish_at_fraction(
+                                                    f) +
+                                                    issue_overhead);
+                    }
+                } else {
+                    ready = full_deps_ready;
+                }
+                ready = std::max(ready, color_gate);
+
+                auto [free_t, wk] = workers.top();
+                workers.pop();
+                double const start = std::max(ready, free_t);
+                double const dur =
+                    prof.range_us(b, e) / worker_speed(m, o, inst, wk) +
+                    m.task_spawn_us;
+                double const end = start + dur;
+                workers.emplace(end, wk);
+                busy_us += dur;
+                ++tasks;
+                color_max = std::max(color_max, end);
+                running_max = std::max(running_max, end);
+                prog.chunk_finish.push_back(running_max);
+            }
+            color_gate = color_max;  // colours serialise within the loop
+        }
+        makespan = std::max(makespan, prog.finish());
+    }
+
+    sim_result r;
+    r.total_s = makespan * 1e-6;
+    r.busy_frac =
+        makespan > 0.0 ? busy_us / (static_cast<double>(T) * makespan) : 0.0;
+    r.tasks = tasks;
+    r.bytes_streamed = total_bytes(w, o);
+    return r;
+}
+
+}  // namespace psim

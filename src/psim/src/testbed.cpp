@@ -1,0 +1,18 @@
+#include <psim/testbed.hpp>
+
+namespace psim {
+
+testbed paper_testbed() {
+    testbed tb;
+    tb.machine = machine_model{};           // defaults = 2x E5-2630, HT
+    tb.airfoil = airfoil_workload();        // 720K cells / 1.5M edges
+    tb.mem = memory_model{};                // sweet spot near distance 15
+    tb.iterations = 100;
+    return tb;
+}
+
+std::vector<int> paper_thread_counts() {
+    return {1, 2, 4, 8, 16, 24, 32};
+}
+
+}  // namespace psim

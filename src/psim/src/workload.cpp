@@ -1,0 +1,89 @@
+#include <psim/workload.hpp>
+
+#include <algorithm>
+
+namespace psim {
+
+double workload::serial_work_us() const {
+    double us = 0.0;
+    for (int pos : issue_order) {
+        auto const& lc = loops[static_cast<std::size_t>(pos)];
+        us += static_cast<double>(lc.blocks) * lc.block_us;
+    }
+    return us;
+}
+
+workload airfoil_workload(std::size_t ncell, std::size_t nedge,
+                          std::size_t nbedge, std::size_t part_size) {
+    auto blocks_of = [&](std::size_t n) {
+        return std::max<std::size_t>(1, (n + part_size - 1) / part_size);
+    };
+    double const scale = static_cast<double>(part_size) / 128.0;
+
+    workload w;
+    // Per-128-element block costs (us) estimated from per-element kernel
+    // costs on the paper-era Xeon: save ~60ns, adt ~260ns, res ~230ns,
+    // bres ~260ns, update ~130ns per element. mem_frac reflects how
+    // memory-bound each kernel is (save_soln is a pure copy).
+    w.loops = {
+        {"save_soln", blocks_of(ncell), 7.7 * scale, 0.18, 1, 0.58,
+         static_cast<double>(part_size) * 8 * 8.0},
+        {"adt_calc", blocks_of(ncell), 33.0 * scale, 0.22, 1, 0.26,
+         static_cast<double>(part_size) * 8 * 7.0},
+        {"res_calc", blocks_of(nedge), 29.0 * scale, 0.30, 3, 0.35,
+         static_cast<double>(part_size) * 8 * 13.0},
+        {"bres_calc", blocks_of(nbedge), 33.0 * scale, 0.30, 2, 0.25,
+         static_cast<double>(part_size) * 8 * 9.0},
+        {"update", blocks_of(ncell), 16.6 * scale, 0.20, 1, 0.42,
+         static_cast<double>(part_size) * 8 * 13.0},
+    };
+
+    // Issue order of one iteration (Fig. 2, k-loop unrolled twice):
+    // 0:save 1:adt 2:res 3:bres 4:update 5:adt 6:res 7:bres 8:update
+    w.issue_order = {0, 1, 2, 3, 4, 1, 2, 3, 4};
+
+    // Dependency edges between issue positions, derived from the dats
+    // exactly as op2::detail::collect_dependencies would:
+    //   res(adt RAW), bres(adt RAW, res WAW on res-dat),
+    //   update(save RAW qold, q WAR vs adt/res/bres reads, res RAW),
+    //   second half chains through update's q write.
+    w.intra_deps = {
+        {1, 2}, {1, 3}, {2, 3},                  // adt -> res -> bres
+        {0, 4}, {1, 4}, {2, 4}, {3, 4},          // -> update (k=0)
+        {4, 5},                                   // q written -> adt (k=1)
+        {4, 6}, {5, 6}, {5, 7}, {6, 7},           // k=1 chain
+        {0, 8}, {5, 8}, {6, 8}, {7, 8},           // -> update (k=1)
+    };
+    // Next iteration: save_soln and adt_calc read q written by update(k=1).
+    w.cross_deps = {
+        {8, 0},
+        {8, 1},
+    };
+    return w;
+}
+
+workload stream_workload(std::size_t n, int ncontainers,
+                         std::size_t part_size) {
+    workload w;
+    double const nc = static_cast<double>(ncontainers);
+    // Per-element: ~0.9ns compute + ~1.05ns memory stall per container.
+    double const compute_ns = 1.2;
+    double const stall_ns = 0.48 * nc;  // residual after the hardware prefetcher
+    double const block_us =
+        static_cast<double>(part_size) * (compute_ns + stall_ns) * 1e-3;
+    loop_class lc;
+    lc.name = "stream";
+    lc.blocks = std::max<std::size_t>(1, (n + part_size - 1) / part_size);
+    lc.block_us = block_us;
+    lc.block_cv = 0.10;
+    lc.colors = 1;
+    lc.mem_frac = stall_ns / (compute_ns + stall_ns);
+    lc.bytes_per_block = static_cast<double>(part_size) * 8.0 * nc;
+    w.loops = {lc};
+    w.issue_order = {0};
+    w.intra_deps = {};
+    w.cross_deps = {{0, 0}};  // iterations of the stream are dependent
+    return w;
+}
+
+}  // namespace psim

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <airfoil/app.hpp>
+
+namespace {
+
+class AirfoilAppTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+
+    static airfoil::app_config small_config(op2::backend be) {
+        airfoil::app_config cfg;
+        cfg.mesh.nx = 40;
+        cfg.mesh.ny = 20;
+        cfg.niter = 40;
+        cfg.rms_stride = 10;
+        cfg.be = be;
+        return cfg;
+    }
+};
+
+TEST_F(AirfoilAppTest, ProblemDeclaresAllEntities) {
+    auto m = airfoil::make_mesh({.nx = 8, .ny = 4});
+    auto p = airfoil::make_problem(m);
+    EXPECT_EQ(p.cells.size(), m.ncell);
+    EXPECT_EQ(p.nodes.size(), m.nnode);
+    EXPECT_EQ(p.edges.size(), m.nedge);
+    EXPECT_EQ(p.bedges.size(), m.nbedge);
+    EXPECT_EQ(p.pcell.dim(), 4);
+    EXPECT_EQ(p.pecell.dim(), 2);
+    EXPECT_EQ(p.pbecell.dim(), 1);
+    EXPECT_EQ(p.p_q.dim(), 4);
+    EXPECT_EQ(p.p_q.view<double>().size(), m.ncell * 4);
+}
+
+TEST_F(AirfoilAppTest, SeqRunProducesFiniteDecreasingResidual) {
+    auto r = airfoil::run(small_config(op2::backend::seq));
+    ASSERT_FALSE(r.rms_history.empty());
+    for (double rms : r.rms_history) {
+        ASSERT_TRUE(std::isfinite(rms));
+        ASSERT_GT(rms, 0.0);
+    }
+    EXPECT_LT(r.rms_history.back(), r.rms_history.front());
+}
+
+TEST_F(AirfoilAppTest, StateStaysPhysical) {
+    auto r = airfoil::run(small_config(op2::backend::seq));
+    for (std::size_t c = 0; c < r.q_final.size() / 4; ++c) {
+        ASSERT_GT(r.q_final[4 * c], 0.0) << "negative density, cell " << c;
+        ASSERT_TRUE(std::isfinite(r.q_final[4 * c + 3]));
+    }
+}
+
+TEST_F(AirfoilAppTest, ForkJoinMatchesSeq) {
+    auto seq = airfoil::run(small_config(op2::backend::seq));
+    auto fj = airfoil::run(small_config(op2::backend::fork_join));
+    ASSERT_EQ(seq.rms_history.size(), fj.rms_history.size());
+    for (std::size_t i = 0; i < seq.rms_history.size(); ++i) {
+        EXPECT_NEAR(fj.rms_history[i], seq.rms_history[i],
+                    1e-9 * (1.0 + seq.rms_history[i]));
+    }
+}
+
+TEST_F(AirfoilAppTest, HpxMatchesSeq) {
+    auto seq = airfoil::run(small_config(op2::backend::seq));
+    auto hx = airfoil::run(small_config(op2::backend::hpx));
+    ASSERT_EQ(seq.rms_history.size(), hx.rms_history.size());
+    for (std::size_t i = 0; i < seq.rms_history.size(); ++i) {
+        EXPECT_NEAR(hx.rms_history[i], seq.rms_history[i],
+                    1e-9 * (1.0 + seq.rms_history[i]));
+    }
+    // Final flow fields agree too.
+    ASSERT_EQ(seq.q_final.size(), hx.q_final.size());
+    for (std::size_t i = 0; i < seq.q_final.size(); ++i) {
+        ASSERT_NEAR(hx.q_final[i], seq.q_final[i],
+                    1e-8 * (1.0 + std::fabs(seq.q_final[i])));
+    }
+}
+
+TEST_F(AirfoilAppTest, PersistentChunkingPreservesResults) {
+    auto cfg = small_config(op2::backend::hpx);
+    hpxlite::execution::chunk_domain dom;
+    cfg.opts.chunk = hpxlite::execution::persistent_auto_chunk_size{&dom};
+    auto seq = airfoil::run(small_config(op2::backend::seq));
+    auto hx = airfoil::run(cfg);
+    for (std::size_t i = 0; i < seq.rms_history.size(); ++i) {
+        EXPECT_NEAR(hx.rms_history[i], seq.rms_history[i],
+                    1e-9 * (1.0 + seq.rms_history[i]));
+    }
+}
+
+TEST_F(AirfoilAppTest, PrefetchingPreservesResults) {
+    auto cfg = small_config(op2::backend::hpx);
+    cfg.opts.prefetch = true;
+    cfg.opts.prefetch_distance_factor = 15;
+    auto seq = airfoil::run(small_config(op2::backend::seq));
+    auto hx = airfoil::run(cfg);
+    for (std::size_t i = 0; i < seq.rms_history.size(); ++i) {
+        EXPECT_NEAR(hx.rms_history[i], seq.rms_history[i],
+                    1e-9 * (1.0 + seq.rms_history[i]));
+    }
+}
+
+TEST_F(AirfoilAppTest, RmsStrideControlsSampling) {
+    auto cfg = small_config(op2::backend::seq);
+    cfg.niter = 30;
+    cfg.rms_stride = 10;
+    auto r = airfoil::run(cfg);
+    EXPECT_EQ(r.rms_history.size(), 3u);
+    cfg.rms_stride = 1;
+    auto r2 = airfoil::run(cfg);
+    EXPECT_EQ(r2.rms_history.size(), 30u);
+}
+
+TEST_F(AirfoilAppTest, InvalidIterationCountThrows) {
+    auto cfg = small_config(op2::backend::seq);
+    cfg.niter = 0;
+    EXPECT_THROW(airfoil::run(cfg), std::invalid_argument);
+}
+
+TEST_F(AirfoilAppTest, ReusingProblemContinuesSimulation) {
+    auto m = airfoil::make_mesh({.nx = 20, .ny = 10});
+    auto p = airfoil::make_problem(m);
+    auto cfg = small_config(op2::backend::seq);
+    cfg.niter = 10;
+    cfg.rms_stride = 10;
+    auto r1 = airfoil::run(p, cfg);
+    auto r2 = airfoil::run(p, cfg);  // continues from r1's state
+    EXPECT_LT(r2.final_rms, r1.final_rms);
+}
+
+TEST_F(AirfoilAppTest, UniformFlowOnFlatChannelStaysSteady) {
+    // With no bump, free-stream flow through a rectangular channel is an
+    // exact steady state: the residual is (near) zero from step one.
+    airfoil::app_config cfg;
+    cfg.mesh.nx = 16;
+    cfg.mesh.ny = 8;
+    cfg.mesh.bump_height = 0.0;
+    cfg.niter = 5;
+    cfg.be = op2::backend::seq;
+    auto r = airfoil::run(cfg);
+    for (double rms : r.rms_history) {
+        ASSERT_LT(rms, 1e-12);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <airfoil/constants.hpp>
+#include <airfoil/kernels.hpp>
+
+namespace k = airfoil::kernels;
+
+namespace {
+
+TEST(Constants, DerivedValues) {
+    EXPECT_DOUBLE_EQ(airfoil::gm1, airfoil::gam - 1.0);
+    EXPECT_DOUBLE_EQ(airfoil::qinf[0], 1.0);
+    EXPECT_DOUBLE_EQ(airfoil::qinf[2], 0.0);
+    // u = sqrt(gam) * mach for p = r = 1
+    EXPECT_NEAR(airfoil::qinf[1], std::sqrt(1.4) * 0.4, 1e-12);
+    EXPECT_GT(airfoil::qinf[3], 0.0);
+}
+
+TEST(SaveSoln, CopiesAllFourComponents) {
+    double q[4] = {1.0, 2.0, 3.0, 4.0};
+    double qold[4] = {};
+    k::save_soln(q, qold);
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_DOUBLE_EQ(qold[n], q[n]);
+    }
+}
+
+TEST(AdtCalc, PositiveForPhysicalState) {
+    double const x1[2] = {0.0, 0.0};
+    double const x2[2] = {1.0, 0.0};
+    double const x3[2] = {1.0, 1.0};
+    double const x4[2] = {0.0, 1.0};
+    double adt = -1.0;
+    k::adt_calc(x1, x2, x3, x4, airfoil::qinf.data(), &adt);
+    EXPECT_GT(adt, 0.0);
+    EXPECT_TRUE(std::isfinite(adt));
+}
+
+TEST(AdtCalc, ScalesWithCellSize) {
+    // A larger cell has larger |edges| -> larger adt (smaller timestep
+    // limit 1/adt is handled in update).
+    double const a1[2] = {0, 0}, a2[2] = {1, 0}, a3[2] = {1, 1}, a4[2] = {0, 1};
+    double const b1[2] = {0, 0}, b2[2] = {2, 0}, b3[2] = {2, 2}, b4[2] = {0, 2};
+    double adt_small = 0.0, adt_big = 0.0;
+    k::adt_calc(a1, a2, a3, a4, airfoil::qinf.data(), &adt_small);
+    k::adt_calc(b1, b2, b3, b4, airfoil::qinf.data(), &adt_big);
+    EXPECT_NEAR(adt_big, 2.0 * adt_small, 1e-12);
+}
+
+TEST(ResCalc, AntisymmetricIncrements) {
+    // Whatever flows out of cell 1 must flow into cell 2.
+    double const x1[2] = {0.5, 0.0};
+    double const x2[2] = {0.5, 1.0};
+    double q1[4] = {1.0, 0.3, 0.1, 2.0};
+    double q2[4] = {1.1, 0.2, -0.1, 2.2};
+    double adt1 = 4.0, adt2 = 5.0;
+    double res1[4] = {}, res2[4] = {};
+    k::res_calc(x1, x2, q1, q2, &adt1, &adt2, res1, res2);
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_DOUBLE_EQ(res1[n], -res2[n]) << "component " << n;
+        EXPECT_TRUE(std::isfinite(res1[n]));
+    }
+}
+
+TEST(ResCalc, UniformFlowStillProducesDissipationFreeBalance) {
+    // With q1 == q2 the smoothing term vanishes and the flux is pure
+    // convection: increments are still exactly antisymmetric.
+    double const x1[2] = {0.0, 0.0};
+    double const x2[2] = {0.0, 1.0};
+    double q[4] = {airfoil::qinf[0], airfoil::qinf[1], airfoil::qinf[2],
+                   airfoil::qinf[3]};
+    double adt = 3.0;
+    double res1[4] = {}, res2[4] = {};
+    k::res_calc(x1, x2, q, q, &adt, &adt, res1, res2);
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_DOUBLE_EQ(res1[n], -res2[n]);
+    }
+}
+
+TEST(ResCalc, AccumulatesOntoExistingResidual) {
+    double const x1[2] = {0.5, 0.0};
+    double const x2[2] = {0.5, 1.0};
+    double q1[4] = {1.0, 0.3, 0.1, 2.0};
+    double q2[4] = {1.1, 0.2, -0.1, 2.2};
+    double adt1 = 4.0, adt2 = 5.0;
+    double res1[4] = {}, res2[4] = {};
+    k::res_calc(x1, x2, q1, q2, &adt1, &adt2, res1, res2);
+    double base0 = res1[0];
+    k::res_calc(x1, x2, q1, q2, &adt1, &adt2, res1, res2);
+    EXPECT_DOUBLE_EQ(res1[0], 2.0 * base0);  // += semantics
+}
+
+TEST(BresCalc, WallAppliesOnlyPressureForce) {
+    double const x1[2] = {1.0, 0.0};
+    double const x2[2] = {0.0, 0.0};  // bottom wall orientation
+    double q1[4] = {1.0, 0.4, 0.0, 2.5};
+    double adt1 = 4.0;
+    double res1[4] = {};
+    int bound = 1;
+    k::bres_calc(x1, x2, q1, &adt1, res1, &bound);
+    EXPECT_DOUBLE_EQ(res1[0], 0.0);  // no mass flux through a wall
+    EXPECT_DOUBLE_EQ(res1[3], 0.0);  // no energy flux either
+    EXPECT_NE(res1[2], 0.0);         // normal momentum feels pressure
+}
+
+TEST(BresCalc, FarFieldFluxesAgainstQinf) {
+    double const x1[2] = {0.0, 2.0};
+    double const x2[2] = {1.0, 2.0};
+    double q1[4] = {1.05, 0.5, 0.01, 2.3};
+    double adt1 = 4.0;
+    double res1[4] = {};
+    int bound = 2;
+    k::bres_calc(x1, x2, q1, &adt1, res1, &bound);
+    bool any = false;
+    for (double r : res1) {
+        EXPECT_TRUE(std::isfinite(r));
+        any = any || r != 0.0;
+    }
+    EXPECT_TRUE(any);
+}
+
+TEST(BresCalc, FarFieldAtFreeStreamIsNotWall) {
+    // At exactly q = qinf the far-field flux reduces to pure free-stream
+    // convection through the boundary (nonzero in general).
+    double const x1[2] = {0.0, 2.0};
+    double const x2[2] = {1.0, 2.0};
+    double q1[4] = {airfoil::qinf[0], airfoil::qinf[1], airfoil::qinf[2],
+                    airfoil::qinf[3]};
+    double adt1 = 4.0;
+    double res1[4] = {};
+    int bound = 2;
+    k::bres_calc(x1, x2, q1, &adt1, res1, &bound);
+    // Mass flux through a horizontal far-field edge with v=0 is zero.
+    EXPECT_NEAR(res1[0], 0.0, 1e-14);
+}
+
+TEST(Update, AdvancesAndZeroesResidual) {
+    double qold[4] = {1.0, 1.0, 1.0, 1.0};
+    double q[4] = {};
+    double res[4] = {0.2, -0.4, 0.0, 0.8};
+    double adt = 2.0;
+    double rms = 0.0;
+    k::update(qold, q, res, &adt, &rms);
+    EXPECT_DOUBLE_EQ(q[0], 1.0 - 0.1);
+    EXPECT_DOUBLE_EQ(q[1], 1.0 + 0.2);
+    EXPECT_DOUBLE_EQ(q[2], 1.0);
+    EXPECT_DOUBLE_EQ(q[3], 1.0 - 0.4);
+    for (double r : res) {
+        EXPECT_DOUBLE_EQ(r, 0.0);
+    }
+    EXPECT_NEAR(rms, 0.01 + 0.04 + 0.0 + 0.16, 1e-15);
+}
+
+TEST(Update, ZeroResidualLeavesStateUnchanged) {
+    double qold[4] = {1.0, 0.5, 0.0, 2.2};
+    double q[4] = {9, 9, 9, 9};
+    double res[4] = {};
+    double adt = 3.0;
+    double rms = 0.0;
+    k::update(qold, q, res, &adt, &rms);
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_DOUBLE_EQ(q[n], qold[n]);
+    }
+    EXPECT_DOUBLE_EQ(rms, 0.0);
+}
+
+TEST(Update, RmsAccumulates) {
+    double qold[4] = {1, 1, 1, 1};
+    double q[4];
+    double res[4] = {2.0, 0, 0, 0};
+    double adt = 1.0;
+    double rms = 1.0;  // pre-existing value: INC semantics
+    k::update(qold, q, res, &adt, &rms);
+    EXPECT_DOUBLE_EQ(rms, 5.0);
+}
+
+}  // namespace

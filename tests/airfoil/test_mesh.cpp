@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <airfoil/constants.hpp>
+#include <airfoil/mesh.hpp>
+
+using airfoil::make_mesh;
+using airfoil::mesh_params;
+
+TEST(Mesh, EntityCounts) {
+    mesh_params p;
+    p.nx = 10;
+    p.ny = 6;
+    auto m = make_mesh(p);
+    EXPECT_EQ(m.nnode, 11u * 7u);
+    EXPECT_EQ(m.ncell, 60u);
+    EXPECT_EQ(m.nedge, 9u * 6u + 10u * 5u);
+    EXPECT_EQ(m.nbedge, 2u * 10u + 2u * 6u);
+}
+
+TEST(Mesh, DefaultMeshPassesStructuralCheck) {
+    auto m = make_mesh();
+    EXPECT_EQ(airfoil::check_mesh(m), "");
+}
+
+TEST(Mesh, RejectsDegenerateDimensions) {
+    mesh_params p;
+    p.nx = 1;
+    EXPECT_THROW(make_mesh(p), std::invalid_argument);
+    p.nx = 4;
+    p.ny = 0;
+    EXPECT_THROW(make_mesh(p), std::invalid_argument);
+}
+
+TEST(Mesh, BoundaryCodesPartition) {
+    mesh_params p;
+    p.nx = 8;
+    p.ny = 4;
+    auto m = make_mesh(p);
+    std::size_t walls = 0;
+    std::size_t farfield = 0;
+    for (int b : m.bound) {
+        (b == 1 ? walls : farfield) += 1;
+    }
+    EXPECT_EQ(walls, p.nx);                      // bottom wall
+    EXPECT_EQ(farfield, p.nx + 2 * p.ny);        // top + sides
+}
+
+TEST(Mesh, BumpRaisesLowerWallOnly) {
+    mesh_params p;
+    p.nx = 40;
+    p.ny = 20;
+    p.bump_height = 0.1;
+    auto m = make_mesh(p);
+    // Mid-bottom node is lifted; top row stays flat.
+    std::size_t const mid_bottom = p.nx / 2;
+    EXPECT_GT(m.x[2 * mid_bottom + 1], 0.01);
+    std::size_t const top_row_start = p.ny * (p.nx + 1);
+    for (std::size_t i = 0; i <= p.nx; ++i) {
+        EXPECT_NEAR(m.x[2 * (top_row_start + i) + 1], p.height, 1e-12);
+    }
+    // Corners of the bottom are essentially unlifted (compact bump).
+    EXPECT_LT(m.x[1], 1e-3);
+}
+
+TEST(Mesh, ZeroBumpGivesRectangle) {
+    mesh_params p;
+    p.nx = 4;
+    p.ny = 3;
+    p.bump_height = 0.0;
+    auto m = make_mesh(p);
+    for (std::size_t j = 0; j <= p.ny; ++j) {
+        for (std::size_t i = 0; i <= p.nx; ++i) {
+            auto const n = j * (p.nx + 1) + i;
+            EXPECT_NEAR(m.x[2 * n],
+                        p.length * static_cast<double>(i) /
+                            static_cast<double>(p.nx),
+                        1e-12);
+            EXPECT_NEAR(m.x[2 * n + 1],
+                        p.height * static_cast<double>(j) /
+                            static_cast<double>(p.ny),
+                        1e-12);
+        }
+    }
+}
+
+TEST(Mesh, CellsAreCounterClockwise) {
+    auto m = make_mesh({.nx = 6, .ny = 4});
+    for (std::size_t c = 0; c < m.ncell; ++c) {
+        // Shoelace area of the quad must be positive (CCW).
+        double area = 0.0;
+        for (int k = 0; k < 4; ++k) {
+            auto const a = static_cast<std::size_t>(m.pcell[4 * c + k]);
+            auto const b =
+                static_cast<std::size_t>(m.pcell[4 * c + (k + 1) % 4]);
+            area += m.x[2 * a] * m.x[2 * b + 1] - m.x[2 * b] * m.x[2 * a + 1];
+        }
+        ASSERT_GT(area, 0.0) << "cell " << c;
+    }
+}
+
+TEST(Mesh, InteriorEdgeOrientationInvariant) {
+    // Normal (y1-y2, x2-x1) must point out of pecell[0] (towards
+    // pecell[1]): its dot product with (centroid2 - centroid1) > 0.
+    auto m = make_mesh({.nx = 7, .ny = 5});
+    auto centroid = [&](int cell, double& cx, double& cy) {
+        cx = cy = 0.0;
+        for (int k = 0; k < 4; ++k) {
+            auto const n = static_cast<std::size_t>(m.pcell[4 * cell + k]);
+            cx += 0.25 * m.x[2 * n];
+            cy += 0.25 * m.x[2 * n + 1];
+        }
+    };
+    for (std::size_t e = 0; e < m.nedge; ++e) {
+        auto const n1 = static_cast<std::size_t>(m.pedge[2 * e]);
+        auto const n2 = static_cast<std::size_t>(m.pedge[2 * e + 1]);
+        double const nx = m.x[2 * n1 + 1] - m.x[2 * n2 + 1];
+        double const ny = m.x[2 * n2] - m.x[2 * n1];
+        double c1x, c1y, c2x, c2y;
+        centroid(m.pecell[2 * e], c1x, c1y);
+        centroid(m.pecell[2 * e + 1], c2x, c2y);
+        ASSERT_GT(nx * (c2x - c1x) + ny * (c2y - c1y), 0.0) << "edge " << e;
+    }
+}
+
+TEST(Mesh, BoundaryEdgeNormalsPointOutward) {
+    auto m = make_mesh({.nx = 7, .ny = 5});
+    auto centroid = [&](int cell, double& cx, double& cy) {
+        cx = cy = 0.0;
+        for (int k = 0; k < 4; ++k) {
+            auto const n = static_cast<std::size_t>(m.pcell[4 * cell + k]);
+            cx += 0.25 * m.x[2 * n];
+            cy += 0.25 * m.x[2 * n + 1];
+        }
+    };
+    for (std::size_t e = 0; e < m.nbedge; ++e) {
+        auto const n1 = static_cast<std::size_t>(m.pbedge[2 * e]);
+        auto const n2 = static_cast<std::size_t>(m.pbedge[2 * e + 1]);
+        double const nx = m.x[2 * n1 + 1] - m.x[2 * n2 + 1];
+        double const ny = m.x[2 * n2] - m.x[2 * n1];
+        // Vector from cell centroid to edge midpoint ~ outward.
+        double cx, cy;
+        centroid(m.pbecell[e], cx, cy);
+        double const mx = 0.5 * (m.x[2 * n1] + m.x[2 * n2]);
+        double const my = 0.5 * (m.x[2 * n1 + 1] + m.x[2 * n2 + 1]);
+        ASSERT_GT(nx * (mx - cx) + ny * (my - cy), 0.0) << "bedge " << e;
+    }
+}
+
+TEST(Mesh, InitialStateIsFreeStream) {
+    auto m = make_mesh({.nx = 4, .ny = 3});
+    for (std::size_t c = 0; c < m.ncell; ++c) {
+        EXPECT_DOUBLE_EQ(m.q_init[4 * c], airfoil::qinf[0]);
+        EXPECT_DOUBLE_EQ(m.q_init[4 * c + 1], airfoil::qinf[1]);
+        EXPECT_DOUBLE_EQ(m.q_init[4 * c + 2], airfoil::qinf[2]);
+        EXPECT_DOUBLE_EQ(m.q_init[4 * c + 3], airfoil::qinf[3]);
+    }
+}
+
+// Property sweep: structural checker passes for many mesh shapes.
+class MeshSweep
+  : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MeshSweep, StructurallyConsistent) {
+    auto [nx, ny] = GetParam();
+    mesh_params p;
+    p.nx = nx;
+    p.ny = ny;
+    auto m = make_mesh(p);
+    EXPECT_EQ(airfoil::check_mesh(m), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MeshSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 2},
+                      std::pair<std::size_t, std::size_t>{2, 9},
+                      std::pair<std::size_t, std::size_t>{17, 13},
+                      std::pair<std::size_t, std::size_t>{64, 32},
+                      std::pair<std::size_t, std::size_t>{120, 60}));

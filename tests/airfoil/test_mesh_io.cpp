@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <airfoil/constants.hpp>
+#include <airfoil/mesh_io.hpp>
+
+using namespace airfoil;
+
+namespace {
+
+TEST(MeshIO, RoundTripPreservesEverything) {
+    auto m = make_mesh({.nx = 12, .ny = 7});
+    std::stringstream ss;
+    write_mesh(ss, m);
+    auto r = read_mesh(ss);
+    EXPECT_EQ(r.nnode, m.nnode);
+    EXPECT_EQ(r.ncell, m.ncell);
+    EXPECT_EQ(r.nedge, m.nedge);
+    EXPECT_EQ(r.nbedge, m.nbedge);
+    EXPECT_EQ(r.pcell, m.pcell);
+    EXPECT_EQ(r.pedge, m.pedge);
+    EXPECT_EQ(r.pecell, m.pecell);
+    EXPECT_EQ(r.pbedge, m.pbedge);
+    EXPECT_EQ(r.pbecell, m.pbecell);
+    EXPECT_EQ(r.bound, m.bound);
+    ASSERT_EQ(r.x.size(), m.x.size());
+    for (std::size_t i = 0; i < m.x.size(); ++i) {
+        ASSERT_DOUBLE_EQ(r.x[i], m.x[i]) << i;  // 17-digit round trip
+    }
+    EXPECT_EQ(check_mesh(r), "");
+}
+
+TEST(MeshIO, ReadMeshInitialisesFreeStream) {
+    auto m = make_mesh({.nx = 4, .ny = 3});
+    std::stringstream ss;
+    write_mesh(ss, m);
+    auto r = read_mesh(ss);
+    ASSERT_EQ(r.q_init.size(), r.ncell * 4);
+    EXPECT_DOUBLE_EQ(r.q_init[0], airfoil::qinf[0]);
+    EXPECT_DOUBLE_EQ(r.q_init[3], airfoil::qinf[3]);
+}
+
+TEST(MeshIO, HeaderFormatMatchesOp2Layout) {
+    auto m = make_mesh({.nx = 3, .ny = 2});
+    std::stringstream ss;
+    write_mesh(ss, m);
+    std::size_t nn = 0;
+    std::size_t nc = 0;
+    std::size_t ne = 0;
+    std::size_t nb = 0;
+    ss >> nn >> nc >> ne >> nb;
+    EXPECT_EQ(nn, m.nnode);
+    EXPECT_EQ(nc, m.ncell);
+    EXPECT_EQ(ne, m.nedge);
+    EXPECT_EQ(nb, m.nbedge);
+}
+
+TEST(MeshIO, MalformedHeaderThrows) {
+    std::stringstream ss("not a header");
+    EXPECT_THROW(read_mesh(ss), mesh_io_error);
+}
+
+TEST(MeshIO, NegativeCountsThrow) {
+    std::stringstream ss("-1 4 4 4");
+    EXPECT_THROW(read_mesh(ss), mesh_io_error);
+}
+
+TEST(MeshIO, TruncatedBodyThrows) {
+    auto m = make_mesh({.nx = 3, .ny = 2});
+    std::stringstream ss;
+    write_mesh(ss, m);
+    std::string whole = ss.str();
+    std::stringstream cut(whole.substr(0, whole.size() / 2));
+    EXPECT_THROW(read_mesh(cut), mesh_io_error);
+}
+
+TEST(MeshIO, OutOfRangeConnectivityThrows) {
+    // 1 node, 1 cell referencing node 7.
+    std::stringstream ss("1 1 0 0\n0.0 0.0\n0 0 0 7\n");
+    EXPECT_THROW(read_mesh(ss), mesh_io_error);
+}
+
+TEST(MeshIO, FileRoundTrip) {
+    auto m = make_mesh({.nx = 6, .ny = 4});
+    std::string const path = ::testing::TempDir() + "/op2hpx_grid.dat";
+    write_mesh_file(path, m);
+    auto r = read_mesh_file(path);
+    EXPECT_EQ(r.pecell, m.pecell);
+    EXPECT_EQ(check_mesh(r), "");
+}
+
+TEST(MeshIO, MissingFileThrows) {
+    EXPECT_THROW(read_mesh_file("/nonexistent/dir/grid.dat"), mesh_io_error);
+    EXPECT_THROW(write_mesh_file("/nonexistent/dir/grid.dat",
+                                 make_mesh({.nx = 2, .ny = 2})),
+                 mesh_io_error);
+}
+
+TEST(MeshIO, EmptyMeshSectionsAllowed) {
+    std::stringstream ss("0 0 0 0\n");
+    auto r = read_mesh(ss);
+    EXPECT_EQ(r.nnode, 0u);
+    EXPECT_EQ(r.nedge, 0u);
+}
+
+}  // namespace

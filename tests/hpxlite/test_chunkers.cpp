@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <hpxlite/algorithms/detail/bulk.hpp>
+#include <hpxlite/execution/chunkers.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace {
+
+namespace ex = hpxlite::execution;
+using hpxlite::parallel::detail::resolve_chunk;
+
+class ChunkerTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+
+    // A probe body with a controllable, nontrivial per-iteration cost.
+    static void spin(std::size_t) {
+        volatile double x = 1.0;
+        for (int i = 0; i < 50; ++i) {
+            x = x * 1.0001 + 0.5;
+        }
+    }
+};
+
+TEST_F(ChunkerTest, StaticExplicitSize) {
+    auto body = [](std::size_t) {};
+    auto plan = resolve_chunk(ex::static_chunk_size{64}, 1000, 4, body);
+    EXPECT_EQ(plan.chunk, 64u);
+    EXPECT_FALSE(plan.self_scheduling);
+    EXPECT_EQ(plan.probed, 0u);  // static never probes
+}
+
+TEST_F(ChunkerTest, StaticDefaultDerivesFromWorkers) {
+    auto body = [](std::size_t) {};
+    auto plan = resolve_chunk(ex::static_chunk_size{}, 1600, 4, body);
+    EXPECT_EQ(plan.chunk, 1600u / 16u);  // n / (4 * workers)
+}
+
+TEST_F(ChunkerTest, StaticClampedToWorkerShare) {
+    auto body = [](std::size_t) {};
+    // Requested chunk larger than n/workers would serialise: clamp.
+    auto plan = resolve_chunk(ex::static_chunk_size{10'000}, 1000, 4, body);
+    EXPECT_LE(plan.chunk, 250u);
+    EXPECT_GE(plan.chunk, 1u);
+}
+
+TEST_F(ChunkerTest, DynamicSelfSchedules) {
+    auto body = [](std::size_t) {};
+    auto plan = resolve_chunk(ex::dynamic_chunk_size{32}, 1000, 4, body);
+    EXPECT_TRUE(plan.self_scheduling);
+    EXPECT_EQ(plan.chunk, 32u);
+}
+
+TEST_F(ChunkerTest, AutoProbesAndTargetsTime) {
+    int executed = 0;
+    auto body = [&executed](std::size_t) {
+        ++executed;
+        spin(0);
+    };
+    auto plan = resolve_chunk(ex::auto_chunk_size{200'000}, 100'000, 4, body);
+    EXPECT_GT(plan.probed, 0u);
+    EXPECT_EQ(static_cast<std::size_t>(executed), plan.probed);
+    EXPECT_GT(plan.per_iter_ns, 0);
+    EXPECT_GE(plan.chunk, 1u);
+    EXPECT_LE(plan.chunk, 25'000u);  // never coarser than n/workers
+}
+
+TEST_F(ChunkerTest, ChunkDomainRecordFirstWins) {
+    ex::chunk_domain dom;
+    EXPECT_FALSE(dom.calibrated());
+    dom.record(500);
+    dom.record(900);
+    EXPECT_EQ(dom.target_ns(), 500);
+    dom.reset();
+    EXPECT_FALSE(dom.calibrated());
+    dom.record(900);
+    EXPECT_EQ(dom.target_ns(), 900);
+}
+
+TEST_F(ChunkerTest, PersistentCalibratesDomainOnFirstLoop) {
+    ex::chunk_domain dom;
+    auto body = [](std::size_t) { spin(0); };
+    auto plan = resolve_chunk(ex::persistent_auto_chunk_size{&dom}, 50'000, 4,
+                              body);
+    EXPECT_TRUE(dom.calibrated());
+    // The recorded target equals the calibrating loop's chunk time.
+    EXPECT_EQ(dom.target_ns(),
+              static_cast<std::int64_t>(plan.chunk) * plan.per_iter_ns);
+}
+
+TEST_F(ChunkerTest, PersistentEqualisesChunkTimeAcrossLoops) {
+    // Fig. 12b: loop 2 has ~4x the per-iteration cost of loop 1, so its
+    // chunk must come out ~4x smaller to equalise chunk execution time.
+    ex::chunk_domain dom;
+    auto cheap = [](std::size_t) { spin(0); };
+    auto costly = [](std::size_t) {
+        spin(0);
+        spin(0);
+        spin(0);
+        spin(0);
+    };
+    auto plan1 = resolve_chunk(ex::persistent_auto_chunk_size{&dom}, 200'000,
+                               4, cheap);
+    auto plan2 = resolve_chunk(ex::persistent_auto_chunk_size{&dom}, 200'000,
+                               4, costly);
+    ASSERT_GT(plan1.chunk, 0u);
+    ASSERT_GT(plan2.chunk, 0u);
+    double const t1 =
+        static_cast<double>(plan1.chunk) * static_cast<double>(plan1.per_iter_ns);
+    double const t2 =
+        static_cast<double>(plan2.chunk) * static_cast<double>(plan2.per_iter_ns);
+    // Chunk *times* should match within timing noise (generous 3x band:
+    // the probe is only ~1% of the loop).
+    EXPECT_LT(t2 / t1, 3.0);
+    EXPECT_GT(t2 / t1, 1.0 / 3.0);
+    // Chunk *sizes* must differ notably (costly loop => smaller chunks).
+    EXPECT_LT(plan2.chunk, plan1.chunk);
+}
+
+TEST_F(ChunkerTest, PersistentNullDomainUsesGlobal) {
+    ex::global_chunk_domain().reset();
+    auto body = [](std::size_t) { spin(0); };
+    (void)resolve_chunk(ex::persistent_auto_chunk_size{}, 10'000, 4, body);
+    EXPECT_TRUE(ex::global_chunk_domain().calibrated());
+    ex::global_chunk_domain().reset();
+}
+
+TEST_F(ChunkerTest, ProbeCountBounds) {
+    namespace ed = ex::detail;
+    EXPECT_EQ(ed::probe_count(1), 1u);
+    EXPECT_EQ(ed::probe_count(50), 1u);
+    EXPECT_EQ(ed::probe_count(10'000), 100u);
+    EXPECT_EQ(ed::probe_count(10'000'000), 1024u);  // capped
+}
+
+TEST_F(ChunkerTest, ClampChunkNeverZero) {
+    namespace ed = ex::detail;
+    EXPECT_EQ(ed::clamp_chunk(0, 100, 4), 1u);
+    EXPECT_EQ(ed::clamp_chunk(5, 100, 4), 5u);
+    EXPECT_EQ(ed::clamp_chunk(1000, 100, 4), 25u);
+    EXPECT_EQ(ed::clamp_chunk(7, 2, 16), 1u);  // tiny n, many workers
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include <hpxlite/lcos/dataflow.hpp>
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/unwrapped.hpp>
+
+namespace {
+
+class DataflowTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{2}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(DataflowTest, PlainValuesOnly) {
+    auto f = hpxlite::dataflow([](int a, int b) { return a + b; }, 2, 3);
+    EXPECT_EQ(f.get(), 5);
+}
+
+TEST_F(DataflowTest, ReceivesReadyFutures) {
+    auto f = hpxlite::dataflow(
+        [](hpxlite::future<int>&& a, int b) { return a.get() + b; },
+        hpxlite::make_ready_future(4), 6);
+    EXPECT_EQ(f.get(), 10);
+}
+
+TEST_F(DataflowTest, UnwrappedExtractsValues) {
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapped([](int a, int b, int c) { return a + b + c; }),
+        hpxlite::make_ready_future(1), 2, hpxlite::async([] { return 3; }));
+    EXPECT_EQ(f.get(), 6);
+}
+
+TEST_F(DataflowTest, WaitsForUnreadyInput) {
+    hpxlite::promise<int> p;
+    std::atomic<bool> ran{false};
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapped([&ran](int x) {
+            ran.store(true);
+            return x * 2;
+        }),
+        p.get_future());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(ran.load());
+    p.set_value(11);
+    EXPECT_EQ(f.get(), 22);
+    EXPECT_TRUE(ran.load());
+}
+
+TEST_F(DataflowTest, ChainedGraphExecutesInDependencyOrder) {
+    // Figure 6 semantics: F runs as soon as the last input arrives.
+    auto a = hpxlite::async([] { return 1; });
+    auto b = hpxlite::dataflow(hpxlite::unwrapped([](int x) { return x + 1; }),
+                               std::move(a));
+    auto c = hpxlite::dataflow(hpxlite::unwrapped([](int x) { return x * 10; }),
+                               std::move(b));
+    EXPECT_EQ(c.get(), 20);
+}
+
+TEST_F(DataflowTest, DiamondGraph) {
+    auto src = hpxlite::async([] { return 2; }).share();
+    auto l = hpxlite::dataflow(hpxlite::unwrapped([](int x) { return x + 1; }),
+                               src);
+    auto r = hpxlite::dataflow(hpxlite::unwrapped([](int x) { return x * 3; }),
+                               src);
+    auto join = hpxlite::dataflow(
+        hpxlite::unwrapped([](int a, int b) { return a + b; }), std::move(l),
+        std::move(r));
+    EXPECT_EQ(join.get(), 9);
+}
+
+TEST_F(DataflowTest, VoidResult) {
+    int side = 0;
+    auto f = hpxlite::dataflow(hpxlite::unwrapped([&side](int x) { side = x; }),
+                               hpxlite::make_ready_future(13));
+    f.get();
+    EXPECT_EQ(side, 13);
+}
+
+TEST_F(DataflowTest, ExceptionInFunctionPropagates) {
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapped([](int) -> int { throw std::runtime_error("fn"); }),
+        hpxlite::make_ready_future(1));
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(DataflowTest, ExceptionInInputPropagatesThroughUnwrapped) {
+    auto bad = hpxlite::async([]() -> int { throw std::runtime_error("in"); });
+    auto f = hpxlite::dataflow(hpxlite::unwrapped([](int x) { return x; }),
+                               std::move(bad));
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(DataflowTest, NestedFutureResultUnwraps) {
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapped(
+            [](int x) { return hpxlite::async([x] { return x * 7; }); }),
+        hpxlite::make_ready_future(3));
+    static_assert(std::is_same_v<decltype(f), hpxlite::future<int>>);
+    EXPECT_EQ(f.get(), 21);
+}
+
+TEST_F(DataflowTest, SharedFutureInputsPassThrough) {
+    auto sf = hpxlite::make_ready_future(std::string("ab")).share();
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapped([](std::string const& s, std::string const& t) {
+            return s + t;
+        }),
+        sf, sf);
+    EXPECT_EQ(f.get(), "abab");
+}
+
+TEST_F(DataflowTest, ManyInputs) {
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapped([](int a, int b, int c, int d, int e, int g) {
+            return a + b + c + d + e + g;
+        }),
+        hpxlite::async([] { return 1; }), hpxlite::async([] { return 2; }),
+        hpxlite::async([] { return 3; }), 4, hpxlite::make_ready_future(5),
+        6);
+    EXPECT_EQ(f.get(), 21);
+}
+
+TEST_F(DataflowTest, LongChainStress) {
+    auto f = hpxlite::make_ready_future(0);
+    for (int i = 0; i < 500; ++i) {
+        f = hpxlite::dataflow(hpxlite::unwrapped([](int x) { return x + 1; }),
+                              std::move(f));
+    }
+    EXPECT_EQ(f.get(), 500);
+}
+
+// The paper's op_arg_dat pattern (Fig. 7): dataflow returning the
+// argument as a future once its inputs are ready.
+TEST_F(DataflowTest, PaperFig7ArgPattern) {
+    struct op_arg {
+        double* data;
+    };
+    std::vector<double> storage{1.0, 2.0};
+    auto producer = hpxlite::async([&storage] {
+        storage[0] = 42.0;
+        return op_arg{storage.data()};
+    });
+    auto arg = hpxlite::dataflow(
+        hpxlite::unwrapped([](op_arg a) { return a; }), std::move(producer));
+    EXPECT_DOUBLE_EQ(arg.get().data[0], 42.0);
+}
+
+}  // namespace

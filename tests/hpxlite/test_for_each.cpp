@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include <hpxlite/algorithms/for_each.hpp>
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/irange.hpp>
+
+namespace {
+
+namespace ex = hpxlite::execution;
+using hpxlite::parallel::for_each;
+using hpxlite::util::irange;
+
+class ForEachTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(ForEachTest, SeqVisitsEveryElementInOrder) {
+    std::vector<int> v(100, 0);
+    std::vector<std::size_t> visit_order;
+    irange r(0, v.size());
+    auto last = for_each(ex::seq, r.begin(), r.end(), [&](std::size_t i) {
+        v[i] = 1;
+        visit_order.push_back(i);
+    });
+    EXPECT_EQ(*last, v.size());
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 100);
+    EXPECT_TRUE(std::is_sorted(visit_order.begin(), visit_order.end()));
+}
+
+TEST_F(ForEachTest, ParVisitsEveryElementExactlyOnce) {
+    std::vector<std::atomic<int>> counts(50'000);
+    irange r(0, counts.size());
+    for_each(ex::par, r.begin(), r.end(),
+             [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (auto const& c : counts) {
+        ASSERT_EQ(c.load(), 1);
+    }
+}
+
+TEST_F(ForEachTest, ParOverContainerIterators) {
+    std::vector<double> v(10'000, 2.0);
+    for_each(ex::par, v.begin(), v.end(), [](double& x) { x *= 3.0; });
+    for (double x : v) {
+        ASSERT_DOUBLE_EQ(x, 6.0);
+    }
+}
+
+TEST_F(ForEachTest, EmptyRangeIsNoop) {
+    std::vector<int> v;
+    int calls = 0;
+    for_each(ex::par, v.begin(), v.end(), [&](int&) { ++calls; });
+    for_each(ex::seq, v.begin(), v.end(), [&](int&) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ForEachTest, SingleElement) {
+    std::vector<int> v{5};
+    for_each(ex::par, v.begin(), v.end(), [](int& x) { x += 1; });
+    EXPECT_EQ(v[0], 6);
+}
+
+TEST_F(ForEachTest, SeqTaskReturnsFuture) {
+    std::vector<int> v(1000, 0);
+    irange r(0, v.size());
+    auto f = for_each(ex::seq(ex::task), r.begin(), r.end(),
+                      [&](std::size_t i) { v[i] = 2; });
+    EXPECT_EQ(*f.get(), v.size());
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 2000);
+}
+
+TEST_F(ForEachTest, ParTaskReturnsFuture) {
+    std::vector<int> v(20'000, 0);
+    irange r(0, v.size());
+    auto f = for_each(ex::par(ex::task), r.begin(), r.end(),
+                      [&](std::size_t i) { v[i] = 1; });
+    f.get();
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 20'000);
+}
+
+TEST_F(ForEachTest, ParTaskExceptionPropagates) {
+    irange r(0, 10'000);
+    auto f = for_each(ex::par(ex::task), r.begin(), r.end(), [](std::size_t i) {
+        if (i == 7777) {
+            throw std::runtime_error("element failure");
+        }
+    });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(ForEachTest, ParSyncExceptionPropagates) {
+    irange r(0, 10'000);
+    EXPECT_THROW(for_each(ex::par, r.begin(), r.end(),
+                          [](std::size_t i) {
+                              if (i == 1234) {
+                                  throw std::logic_error("x");
+                              }
+                          }),
+                 std::logic_error);
+}
+
+// --- parameterised sweep: every chunker x several sizes ---------------
+
+struct SweepParam {
+    int chunker;  // 0 static, 1 static{37}, 2 dynamic, 3 auto, 4 persistent
+    std::size_t n;
+};
+
+class ForEachSweep : public ::testing::TestWithParam<SweepParam> {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+
+    static ex::chunker make_chunker(int which, ex::chunk_domain& dom) {
+        switch (which) {
+            case 0: return ex::static_chunk_size{};
+            case 1: return ex::static_chunk_size{37};
+            case 2: return ex::dynamic_chunk_size{64};
+            case 3: return ex::auto_chunk_size{50'000};
+            default: return ex::persistent_auto_chunk_size{&dom};
+        }
+    }
+};
+
+TEST_P(ForEachSweep, EveryElementVisitedExactlyOnce) {
+    auto const p = GetParam();
+    ex::chunk_domain dom;
+    std::vector<std::atomic<int>> counts(p.n);
+    irange r(0, p.n);
+    auto pol = ex::par.with(ForEachSweep::make_chunker(p.chunker, dom));
+    for_each(pol, r.begin(), r.end(),
+             [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < p.n; ++i) {
+        ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChunkersAllSizes, ForEachSweep,
+    ::testing::ValuesIn([] {
+        std::vector<SweepParam> ps;
+        for (int c = 0; c < 5; ++c) {
+            for (std::size_t n : {1ul, 7ul, 64ul, 1000ul, 32'768ul}) {
+                ps.push_back({c, n});
+            }
+        }
+        return ps;
+    }()));
+
+}  // namespace

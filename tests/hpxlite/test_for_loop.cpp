@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <hpxlite/algorithms/for_loop.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace {
+
+namespace ex = hpxlite::execution;
+using hpxlite::parallel::for_loop;
+
+class ForLoopTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(ForLoopTest, SeqCoversRange) {
+    std::vector<int> v(100, 0);
+    for_loop(ex::seq, 10, 90, [&](int i) { v[static_cast<std::size_t>(i)] = 1; });
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 80);
+    EXPECT_EQ(v[9], 0);
+    EXPECT_EQ(v[90], 0);
+}
+
+TEST_F(ForLoopTest, ParCoversRange) {
+    std::vector<std::atomic<int>> v(10'000);
+    for_loop(ex::par, std::size_t{0}, v.size(),
+             [&](std::size_t i) { v[i].fetch_add(1); });
+    for (auto const& x : v) {
+        ASSERT_EQ(x.load(), 1);
+    }
+}
+
+TEST_F(ForLoopTest, EmptyAndReversedRanges) {
+    int calls = 0;
+    for_loop(ex::par, 5, 5, [&](int) { ++calls; });
+    for_loop(ex::par, 9, 3, [&](int) { ++calls; });
+    for_loop(ex::seq, 9, 3, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ForLoopTest, NonZeroBaseOffsets) {
+    std::atomic<long> sum{0};
+    for_loop(ex::par, 1000, 2000, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), (1000 + 1999) * 1000 / 2);
+}
+
+TEST_F(ForLoopTest, SeqTaskAsync) {
+    std::atomic<int> count{0};
+    auto f = for_loop(ex::seq(ex::task), 0, 100, [&](int) { ++count; });
+    f.get();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(ForLoopTest, ParTaskAsync) {
+    std::atomic<int> count{0};
+    auto f = for_loop(ex::par(ex::task), 0, 5000, [&](int) { ++count; });
+    f.get();
+    EXPECT_EQ(count.load(), 5000);
+}
+
+TEST_F(ForLoopTest, ParTaskEmptyIsReady) {
+    auto f = for_loop(ex::par(ex::task), 3, 3, [](int) {});
+    EXPECT_TRUE(f.is_ready());
+}
+
+TEST_F(ForLoopTest, NestedParallelLoops) {
+    // A parallel loop inside a parallel loop must not deadlock even when
+    // workers block-wait on inner loops (help-while-waiting).
+    std::vector<std::atomic<int>> v(64 * 64);
+    for_loop(ex::par, 0, 64, [&](int i) {
+        for_loop(ex::par, 0, 64, [&](int j) {
+            v[static_cast<std::size_t>(i * 64 + j)].fetch_add(1);
+        });
+    });
+    for (auto const& x : v) {
+        ASSERT_EQ(x.load(), 1);
+    }
+}
+
+TEST_F(ForLoopTest, SingleWorkerPoolStillParallelCorrect) {
+    hpxlite::init(hpxlite::runtime_config{1});
+    std::atomic<int> count{0};
+    for_loop(ex::par, 0, 10'000, [&](int) { ++count; });
+    EXPECT_EQ(count.load(), 10'000);
+}
+
+TEST_F(ForLoopTest, PolicyOnSpecificPool) {
+    hpxlite::threads::thread_pool other(2);
+    std::atomic<int> count{0};
+    for_loop(ex::par.on(other), 0, 1000, [&](int) { ++count; });
+    EXPECT_EQ(count.load(), 1000);
+}
+
+}  // namespace

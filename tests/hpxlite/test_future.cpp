@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include <hpxlite/lcos/future.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace {
+
+class FutureTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{2}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(FutureTest, DefaultFutureIsInvalid) {
+    hpxlite::future<int> f;
+    EXPECT_FALSE(f.valid());
+    EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST_F(FutureTest, MakeReadyFuture) {
+    auto f = hpxlite::make_ready_future(5);
+    ASSERT_TRUE(f.valid());
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 5);
+    EXPECT_FALSE(f.valid());  // consumed
+}
+
+TEST_F(FutureTest, MakeReadyFutureVoid) {
+    auto f = hpxlite::make_ready_future();
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_NO_THROW(f.get());
+}
+
+TEST_F(FutureTest, PromiseDeliversValue) {
+    hpxlite::promise<std::string> p;
+    auto f = p.get_future();
+    EXPECT_FALSE(f.is_ready());
+    p.set_value("hello");
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), "hello");
+}
+
+TEST_F(FutureTest, PromiseDeliversException) {
+    hpxlite::promise<int> p;
+    auto f = p.get_future();
+    p.set_exception(std::make_exception_ptr(std::runtime_error("boom")));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(FutureTest, BrokenPromise) {
+    hpxlite::future<int> f;
+    {
+        hpxlite::promise<int> p;
+        f = p.get_future();
+    }
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST_F(FutureTest, DoubleSetValueThrows) {
+    hpxlite::promise<int> p;
+    p.set_value(1);
+    EXPECT_THROW(p.set_value(2), std::logic_error);
+}
+
+TEST_F(FutureTest, DoubleGetFutureThrows) {
+    hpxlite::promise<int> p;
+    (void)p.get_future();
+    EXPECT_THROW((void)p.get_future(), std::logic_error);
+}
+
+TEST_F(FutureTest, AsyncComputesOnPool) {
+    auto f = hpxlite::async([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(FutureTest, AsyncWithArguments) {
+    auto f = hpxlite::async([](int a, int b) { return a * b; }, 6, 7);
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(FutureTest, AsyncVoid) {
+    int x = 0;
+    auto f = hpxlite::async([&x] { x = 9; });
+    f.get();
+    EXPECT_EQ(x, 9);
+}
+
+TEST_F(FutureTest, AsyncPropagatesException) {
+    auto f = hpxlite::async([]() -> int { throw std::runtime_error("bad"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(FutureTest, ThenTransformsValue) {
+    auto f = hpxlite::async([] { return 10; }).then([](hpxlite::future<int>&& x) {
+        return x.get() + 1;
+    });
+    EXPECT_EQ(f.get(), 11);
+}
+
+TEST_F(FutureTest, ThenChains) {
+    auto f = hpxlite::make_ready_future(1);
+    for (int i = 0; i < 10; ++i) {
+        f = f.then([](hpxlite::future<int>&& x) { return x.get() * 2; });
+    }
+    EXPECT_EQ(f.get(), 1024);
+}
+
+TEST_F(FutureTest, ThenReceivesException) {
+    auto f = hpxlite::async([]() -> int { throw std::runtime_error("inner"); })
+                 .then([](hpxlite::future<int>&& x) {
+                     try {
+                         x.get();
+                         return std::string("no exception");
+                     } catch (std::runtime_error const& e) {
+                         return std::string(e.what());
+                     }
+                 });
+    EXPECT_EQ(f.get(), "inner");
+}
+
+TEST_F(FutureTest, ThenUnwrapsNestedFuture) {
+    // Continuation returning a future is unwrapped one level.
+    auto f = hpxlite::make_ready_future(2).then([](hpxlite::future<int>&& x) {
+        int const v = x.get();
+        return hpxlite::async([v] { return v * 50; });
+    });
+    static_assert(std::is_same_v<decltype(f), hpxlite::future<int>>);
+    EXPECT_EQ(f.get(), 100);
+}
+
+TEST_F(FutureTest, ThenInvalidatesSource) {
+    auto f = hpxlite::make_ready_future(1);
+    auto g = f.then([](hpxlite::future<int>&& x) { return x.get(); });
+    EXPECT_FALSE(f.valid());
+    EXPECT_EQ(g.get(), 1);
+}
+
+TEST_F(FutureTest, ShareAllowsMultipleGets) {
+    auto sf = hpxlite::async([] { return 21; }).share();
+    EXPECT_EQ(sf.get(), 21);
+    EXPECT_EQ(sf.get(), 21);
+    auto sf2 = sf;  // copyable
+    EXPECT_EQ(sf2.get(), 21);
+}
+
+TEST_F(FutureTest, SharedFutureThen) {
+    auto sf = hpxlite::make_ready_future(3).share();
+    auto f1 = sf.then([](hpxlite::shared_future<int> x) { return x.get() + 1; });
+    auto f2 = sf.then([](hpxlite::shared_future<int> x) { return x.get() + 2; });
+    EXPECT_EQ(f1.get(), 4);
+    EXPECT_EQ(f2.get(), 5);
+}
+
+TEST_F(FutureTest, SharedFutureVoid) {
+    hpxlite::shared_future<void> sf = hpxlite::async([] {}).share();
+    EXPECT_NO_THROW(sf.get());
+    EXPECT_NO_THROW(sf.get());
+}
+
+TEST_F(FutureTest, WaitFromExternalThread) {
+    hpxlite::promise<int> p;
+    auto f = p.get_future();
+    std::thread t([&p] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        p.set_value(1);
+    });
+    f.wait();
+    EXPECT_TRUE(f.is_ready());
+    t.join();
+    EXPECT_EQ(f.get(), 1);
+}
+
+TEST_F(FutureTest, NestedGetInsideTaskDoesNotDeadlock) {
+    // A task waiting on another task's future must help-execute it even
+    // with a single worker thread.
+    hpxlite::init(hpxlite::runtime_config{1});
+    auto outer = hpxlite::async([] {
+        auto inner = hpxlite::async([] { return 5; });
+        return inner.get() + 1;
+    });
+    EXPECT_EQ(outer.get(), 6);
+}
+
+TEST_F(FutureTest, MoveOnlyValueType) {
+    auto f = hpxlite::async([] { return std::make_unique<int>(31); });
+    auto p = f.get();
+    EXPECT_EQ(*p, 31);
+}
+
+TEST_F(FutureTest, ExceptionalFutureHelper) {
+    auto f = hpxlite::make_exceptional_future<int>(
+        std::make_exception_ptr(std::runtime_error("x")));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+}  // namespace

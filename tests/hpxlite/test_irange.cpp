@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <iterator>
+#include <vector>
+
+#include <hpxlite/util/irange.hpp>
+
+using hpxlite::util::counting_iterator;
+using hpxlite::util::irange;
+
+TEST(IRange, SizeAndBounds) {
+    irange r(3, 10);
+    EXPECT_EQ(r.size(), 7u);
+    EXPECT_EQ(*r.begin(), 3u);
+    EXPECT_EQ(r.end() - r.begin(), 7);
+}
+
+TEST(IRange, EmptyWhenInverted) {
+    irange r(9, 4);
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_TRUE(r.begin() == r.end());
+}
+
+TEST(IRange, IterationVisitsAllValues) {
+    std::vector<std::size_t> out;
+    for (std::size_t v : irange(0, 5)) {
+        out.push_back(v);
+    }
+    EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(CountingIterator, SatisfiesRandomAccessRequirements) {
+    static_assert(std::random_access_iterator<counting_iterator>);
+    counting_iterator a(10);
+    counting_iterator b(15);
+    EXPECT_EQ(b - a, 5);
+    EXPECT_EQ(*(a + 5), 15u);
+    EXPECT_EQ(*(5 + a), 15u);
+    EXPECT_EQ(*(b - 2), 13u);
+    EXPECT_EQ(a[3], 13u);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(a <= b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(b >= a);
+    EXPECT_TRUE(a != b);
+}
+
+TEST(CountingIterator, IncrementDecrement) {
+    counting_iterator it(5);
+    EXPECT_EQ(*it++, 5u);
+    EXPECT_EQ(*it, 6u);
+    EXPECT_EQ(*++it, 7u);
+    EXPECT_EQ(*it--, 7u);
+    EXPECT_EQ(*--it, 5u);
+}
+
+TEST(CountingIterator, CompoundAssignment) {
+    counting_iterator it(0);
+    it += 10;
+    EXPECT_EQ(*it, 10u);
+    it -= 4;
+    EXPECT_EQ(*it, 6u);
+}
+
+TEST(CountingIterator, WorksWithStdAlgorithms) {
+    irange r(1, 101);
+    auto const sum = std::accumulate(r.begin(), r.end(), std::size_t{0});
+    EXPECT_EQ(sum, 5050u);
+    auto it = std::find(r.begin(), r.end(), std::size_t{42});
+    EXPECT_NE(it, r.end());
+    EXPECT_EQ(*it, 42u);
+}

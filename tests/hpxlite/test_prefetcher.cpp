@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include <hpxlite/algorithms/for_each.hpp>
+#include <hpxlite/prefetching/prefetcher.hpp>
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/irange.hpp>
+
+namespace {
+
+namespace ex = hpxlite::execution;
+using hpxlite::parallel::make_prefetcher_context;
+
+class PrefetcherTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(PrefetcherTest, ContextSizeAndBounds) {
+    std::vector<double> a(100);
+    auto ctx = make_prefetcher_context(10, 60, 15, a);
+    EXPECT_EQ(ctx.size(), 50u);
+    EXPECT_EQ(*ctx.begin(), 10u);
+    EXPECT_EQ(ctx.end() - ctx.begin(), 50);
+}
+
+TEST_F(PrefetcherTest, EmptyAndInvertedRange) {
+    std::vector<double> a(10);
+    auto ctx = make_prefetcher_context(5, 5, 15, a);
+    EXPECT_EQ(ctx.size(), 0u);
+    auto ctx2 = make_prefetcher_context(8, 3, 15, a);  // inverted clamps
+    EXPECT_EQ(ctx2.size(), 0u);
+}
+
+TEST_F(PrefetcherTest, IteratorYieldsConsecutiveIndices) {
+    std::vector<int> a(32);
+    auto ctx = make_prefetcher_context(0, 32, 4, a);
+    std::size_t expect = 0;
+    for (auto it = ctx.begin(); it != ctx.end(); ++it, ++expect) {
+        EXPECT_EQ(*it, expect);
+    }
+    EXPECT_EQ(expect, 32u);
+}
+
+TEST_F(PrefetcherTest, IteratorRandomAccessArithmetic) {
+    std::vector<double> a(1000);
+    auto ctx = make_prefetcher_context(100, 900, 15, a);
+    auto it = ctx.begin();
+    auto jt = it + 50;
+    EXPECT_EQ(*jt, 150u);
+    EXPECT_EQ(jt - it, 50);
+    EXPECT_EQ(it[7], 107u);
+    EXPECT_TRUE(it < jt);
+    EXPECT_TRUE(jt > it);
+    jt -= 50;
+    EXPECT_TRUE(it == jt);
+    auto kt = it++;
+    EXPECT_EQ(*kt, 100u);
+    EXPECT_EQ(*it, 101u);
+    --it;
+    EXPECT_EQ(*it, 100u);
+}
+
+TEST_F(PrefetcherTest, ForEachSeqOverContext) {
+    std::vector<double> a(5000, 1.0);
+    std::vector<double> b(5000, 2.0);
+    auto ctx = make_prefetcher_context(0, a.size(), 15, a, b);
+    hpxlite::parallel::for_each(ex::seq, ctx.begin(), ctx.end(),
+                                [&](std::size_t i) { a[i] += b[i]; });
+    for (double x : a) {
+        ASSERT_DOUBLE_EQ(x, 3.0);
+    }
+}
+
+TEST_F(PrefetcherTest, ForEachParOverContext) {
+    std::vector<double> a(100'000, 1.0);
+    std::vector<double> b(100'000, 5.0);
+    auto ctx = make_prefetcher_context(0, a.size(), 15, a, b);
+    hpxlite::parallel::for_each(ex::par, ctx.begin(), ctx.end(),
+                                [&](std::size_t i) { a[i] = b[i] - a[i]; });
+    for (double x : a) {
+        ASSERT_DOUBLE_EQ(x, 4.0);
+    }
+}
+
+TEST_F(PrefetcherTest, ForEachParTaskOverContext) {
+    std::vector<int> a(10'000, 1);
+    auto ctx = make_prefetcher_context(0, a.size(), 15, a);
+    auto f = hpxlite::parallel::for_each(ex::par(ex::task), ctx.begin(),
+                                         ctx.end(),
+                                         [&](std::size_t i) { a[i] = 9; });
+    f.get();
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 90'000);
+}
+
+TEST_F(PrefetcherTest, MixedElementTypes) {
+    // Fig. 14: "it works with any data types even in a case of having
+    // different type for each container".
+    std::vector<double> a(4096, 1.0);
+    std::vector<float> b(4096, 2.0F);
+    std::vector<int> c(4096, 3);
+    auto ctx = make_prefetcher_context(0, a.size(), 15, a, b, c);
+    hpxlite::parallel::for_each(ex::par, ctx.begin(), ctx.end(),
+                                [&](std::size_t i) {
+                                    a[i] = static_cast<double>(b[i]) + c[i];
+                                });
+    for (double x : a) {
+        ASSERT_DOUBLE_EQ(x, 5.0);
+    }
+}
+
+TEST_F(PrefetcherTest, LookaheadNearEndOfContainerIsSafe) {
+    // Prefetch targets beyond size() must be skipped, not dereferenced.
+    std::vector<double> a(64, 1.0);
+    auto ctx = make_prefetcher_context(0, a.size(), 1000, a);
+    double sum = 0.0;
+    hpxlite::parallel::for_each(ex::seq, ctx.begin(), ctx.end(),
+                                [&](std::size_t i) { sum += a[i]; });
+    EXPECT_DOUBLE_EQ(sum, 64.0);
+}
+
+TEST_F(PrefetcherTest, ZeroDistanceFactor) {
+    std::vector<double> a(128, 2.0);
+    auto ctx = make_prefetcher_context(0, a.size(), 0, a);
+    double sum = 0.0;
+    hpxlite::parallel::for_each(ex::seq, ctx.begin(), ctx.end(),
+                                [&](std::size_t i) { sum += a[i]; });
+    EXPECT_DOUBLE_EQ(sum, 256.0);
+}
+
+TEST_F(PrefetcherTest, ResultsIdenticalWithAndWithoutPrefetch) {
+    std::vector<double> with(20'000);
+    std::vector<double> without(20'000);
+    std::iota(with.begin(), with.end(), 0.0);
+    std::iota(without.begin(), without.end(), 0.0);
+
+    auto ctx = make_prefetcher_context(0, with.size(), 15, with);
+    hpxlite::parallel::for_each(ex::par, ctx.begin(), ctx.end(),
+                                [&](std::size_t i) { with[i] = with[i] * 1.5; });
+    hpxlite::util::irange r(0, without.size());
+    hpxlite::parallel::for_each(ex::par, r.begin(), r.end(), [&](std::size_t i) {
+        without[i] = without[i] * 1.5;
+    });
+    EXPECT_EQ(with, without);
+}
+
+}  // namespace

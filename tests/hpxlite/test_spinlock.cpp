@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <hpxlite/util/spinlock.hpp>
+
+using hpxlite::util::spinlock;
+
+TEST(Spinlock, LockUnlock) {
+    spinlock s;
+    s.lock();
+    s.unlock();
+    s.lock();
+    s.unlock();
+}
+
+TEST(Spinlock, TryLockSucceedsWhenFree) {
+    spinlock s;
+    EXPECT_TRUE(s.try_lock());
+    s.unlock();
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+    spinlock s;
+    s.lock();
+    EXPECT_FALSE(s.try_lock());
+    s.unlock();
+    EXPECT_TRUE(s.try_lock());
+    s.unlock();
+}
+
+TEST(Spinlock, WorksWithStdLockGuard) {
+    spinlock s;
+    {
+        std::lock_guard<spinlock> lk(s);
+        EXPECT_FALSE(s.try_lock());
+    }
+    EXPECT_TRUE(s.try_lock());
+    s.unlock();
+}
+
+TEST(Spinlock, WorksWithUniqueLock) {
+    spinlock s;
+    std::unique_lock<spinlock> lk(s);
+    lk.unlock();
+    lk.lock();
+    EXPECT_TRUE(lk.owns_lock());
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+    spinlock s;
+    long counter = 0;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                std::lock_guard<spinlock> lk(s);
+                ++counter;  // data race unless the lock works
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <hpxlite/lcos/sync.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace {
+
+class SyncTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(SyncTest, EventInitiallyUnset) {
+    hpxlite::lcos::event e;
+    EXPECT_FALSE(e.occurred());
+}
+
+TEST_F(SyncTest, EventSetWakesWaiter) {
+    hpxlite::lcos::event e;
+    std::atomic<bool> woke{false};
+    std::thread t([&] {
+        e.wait();
+        woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(woke.load());
+    e.set();
+    t.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST_F(SyncTest, EventReset) {
+    hpxlite::lcos::event e;
+    e.set();
+    EXPECT_TRUE(e.occurred());
+    e.reset();
+    EXPECT_FALSE(e.occurred());
+}
+
+TEST_F(SyncTest, LatchCountsDown) {
+    hpxlite::lcos::latch l(3);
+    EXPECT_FALSE(l.is_ready());
+    l.count_down();
+    l.count_down(2);
+    EXPECT_TRUE(l.is_ready());
+    l.wait();  // returns immediately
+}
+
+TEST_F(SyncTest, LatchReleasesWaitersFromPoolTasks) {
+    auto& pool = hpxlite::get_pool();
+    hpxlite::lcos::latch l(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&] {
+            l.arrive_and_wait();
+            ++done;
+        });
+    }
+    l.wait();
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 4);
+}
+
+TEST_F(SyncTest, BarrierSynchronisesRounds) {
+    constexpr std::size_t kParticipants = 4;
+    constexpr int kRounds = 20;
+    hpxlite::lcos::barrier b(kParticipants);
+    std::atomic<int> in_round[kRounds];
+    for (auto& a : in_round) {
+        a.store(0);
+    }
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kParticipants; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                in_round[r].fetch_add(1);
+                b.arrive_and_wait();
+                // After the barrier, every participant must have arrived.
+                EXPECT_EQ(in_round[r].load(), static_cast<int>(kParticipants));
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+}
+
+TEST_F(SyncTest, BarrierSingleParticipantNeverBlocks) {
+    hpxlite::lcos::barrier b(1);
+    for (int i = 0; i < 100; ++i) {
+        b.arrive_and_wait();
+    }
+}
+
+}  // namespace

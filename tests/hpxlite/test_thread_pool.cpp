@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/threads/thread_pool.hpp>
+
+using hpxlite::threads::thread_pool;
+
+TEST(ThreadPool, ExecutesSubmittedTask) {
+    thread_pool pool(2);
+    std::atomic<int> x{0};
+    pool.submit([&] { x.store(7); });
+    pool.wait_idle();
+    EXPECT_EQ(x.load(), 7);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+    thread_pool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> x{0};
+    pool.submit([&] { ++x; });
+    pool.wait_idle();
+    EXPECT_EQ(x.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+    thread_pool pool(4);
+    std::atomic<int> count{0};
+    constexpr int kTasks = 5000;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorker) {
+    thread_pool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&] { ++count; });
+        }
+    });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DeeplyNestedSubmission) {
+    thread_pool pool(1);  // single worker: recursion must not deadlock
+    std::atomic<int> count{0};
+    std::function<void(int)> spawn = [&](int depth) {
+        ++count;
+        if (depth > 0) {
+            pool.submit([&spawn, depth] { spawn(depth - 1); });
+        }
+    };
+    pool.submit([&] { spawn(50); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 51);
+}
+
+TEST(ThreadPool, RunOneFromExternalThread) {
+    thread_pool pool(1);
+    // Park the worker, and only proceed once it is confirmed inside the
+    // hold task, so the external thread cannot accidentally pick it up.
+    std::atomic<bool> worker_started{false};
+    std::atomic<bool> hold{true};
+    pool.submit([&] {
+        worker_started.store(true);
+        while (hold.load()) {
+            std::this_thread::yield();
+        }
+    });
+    while (!worker_started.load()) {
+        std::this_thread::yield();
+    }
+    std::atomic<int> x{0};
+    pool.submit([&] { x = 1; });
+    // External help: execute the pending task on this thread.
+    while (x.load() == 0) {
+        pool.run_one();
+    }
+    EXPECT_EQ(x.load(), 1);
+    hold.store(false);
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, RunOneReturnsFalseWhenEmpty) {
+    thread_pool pool(1);
+    pool.wait_idle();
+    EXPECT_FALSE(pool.run_one());
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+    thread_pool pool(2);
+    std::atomic<int> state{-1};  // 1 = on worker, 0 = not
+    EXPECT_FALSE(pool.on_worker_thread());
+    pool.submit([&] { state.store(pool.on_worker_thread() ? 1 : 0); });
+    // Spin-wait WITHOUT helping: the task must run on a pool worker.
+    while (state.load() == -1) {
+        std::this_thread::yield();
+    }
+    EXPECT_EQ(state.load(), 1);
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, WorkerIndexInRange) {
+    thread_pool pool(3);
+    EXPECT_EQ(pool.worker_index(), pool.size());  // external thread
+    std::set<std::size_t> seen;
+    std::mutex m;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&] {
+            {
+                std::lock_guard<std::mutex> lk(m);
+                seen.insert(pool.worker_index());
+            }
+            ++done;
+        });
+    }
+    // Spin-wait without helping so every task runs on a worker.
+    while (done.load() != 64) {
+        std::this_thread::yield();
+    }
+    ASSERT_FALSE(seen.empty());
+    for (auto idx : seen) {
+        EXPECT_LT(idx, pool.size());
+    }
+}
+
+TEST(ThreadPool, TasksExecutedCounter) {
+    thread_pool pool(2);
+    auto const before = pool.tasks_executed();
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([] {});
+    }
+    pool.wait_idle();
+    EXPECT_GE(pool.tasks_executed(), before + 10);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+    std::atomic<int> count{0};
+    {
+        thread_pool pool(2);
+        for (int i = 0; i < 500; ++i) {
+            pool.submit([&] { ++count; });
+        }
+        // no wait_idle: destructor must drain
+    }
+    EXPECT_EQ(count.load(), 500);
+}
+
+TEST(Runtime, InitAndGetPool) {
+    hpxlite::init(hpxlite::runtime_config{3});
+    EXPECT_EQ(hpxlite::get_num_worker_threads(), 3u);
+    hpxlite::finalize();
+}
+
+TEST(Runtime, ReinitWithDifferentCount) {
+    hpxlite::init(hpxlite::runtime_config{2});
+    EXPECT_EQ(hpxlite::get_num_worker_threads(), 2u);
+    hpxlite::init(hpxlite::runtime_config{4});
+    EXPECT_EQ(hpxlite::get_num_worker_threads(), 4u);
+    hpxlite::finalize();
+}
+
+TEST(Runtime, LazyDefaultInit) {
+    hpxlite::finalize();
+    EXPECT_GE(hpxlite::get_num_worker_threads(), 1u);
+    hpxlite::finalize();
+}
+
+TEST(Runtime, RuntimeGuardScopes) {
+    {
+        hpxlite::runtime_guard guard(2);
+        EXPECT_EQ(hpxlite::get_num_worker_threads(), 2u);
+    }
+    // finalized on scope exit; next access re-initialises lazily
+    EXPECT_GE(hpxlite::get_num_worker_threads(), 1u);
+    hpxlite::finalize();
+}

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <hpxlite/algorithms/reduce.hpp>
+#include <hpxlite/algorithms/transform.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace {
+
+namespace ex = hpxlite::execution;
+
+class TransformReduceTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(TransformReduceTest, TransformSeq) {
+    std::vector<int> in{1, 2, 3};
+    std::vector<int> out(3, 0);
+    auto end = hpxlite::parallel::transform(ex::seq, in.begin(), in.end(),
+                                            out.begin(),
+                                            [](int x) { return x * x; });
+    EXPECT_EQ(end, out.end());
+    EXPECT_EQ(out, (std::vector<int>{1, 4, 9}));
+}
+
+TEST_F(TransformReduceTest, TransformPar) {
+    std::vector<double> in(50'000);
+    std::iota(in.begin(), in.end(), 0.0);
+    std::vector<double> out(in.size(), 0.0);
+    hpxlite::parallel::transform(ex::par, in.begin(), in.end(), out.begin(),
+                                 [](double x) { return 2.0 * x; });
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        ASSERT_DOUBLE_EQ(out[i], 2.0 * static_cast<double>(i));
+    }
+}
+
+TEST_F(TransformReduceTest, TransformParTask) {
+    std::vector<int> in(1000, 3);
+    std::vector<int> out(in.size(), 0);
+    auto f = hpxlite::parallel::transform(ex::par(ex::task), in.begin(),
+                                          in.end(), out.begin(),
+                                          [](int x) { return x + 1; });
+    EXPECT_EQ(f.get(), out.end());
+    EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                            [](int x) { return x == 4; }));
+}
+
+TEST_F(TransformReduceTest, BinaryTransform) {
+    std::vector<int> a(5000, 2);
+    std::vector<int> b(5000, 3);
+    std::vector<int> out(5000, 0);
+    hpxlite::parallel::transform(ex::par, a.begin(), a.end(), b.begin(),
+                                 out.begin(),
+                                 [](int x, int y) { return x * y; });
+    EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                            [](int x) { return x == 6; }));
+}
+
+TEST_F(TransformReduceTest, ReduceMatchesStdAccumulate) {
+    std::vector<double> v(30'000);
+    std::mt19937 rng(123);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (auto& x : v) {
+        x = dist(rng);
+    }
+    double const expected = std::accumulate(v.begin(), v.end(), 0.0);
+    double const got = hpxlite::parallel::reduce(ex::par, v.begin(), v.end(),
+                                                 0.0);
+    EXPECT_NEAR(got, expected, 1e-9 * expected);
+}
+
+TEST_F(TransformReduceTest, ReduceEmptyRangeReturnsInit) {
+    std::vector<int> v;
+    EXPECT_EQ(hpxlite::parallel::reduce(ex::par, v.begin(), v.end(), 42), 42);
+}
+
+TEST_F(TransformReduceTest, ReduceWithCustomOp) {
+    std::vector<int> v(100, 1);
+    v[17] = 99;
+    int const mx = hpxlite::parallel::reduce(
+        ex::par, v.begin(), v.end(), 0, [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(mx, 99);
+}
+
+TEST_F(TransformReduceTest, TransformReduceDotProduct) {
+    std::vector<double> v(10'000, 0.5);
+    double const got = hpxlite::parallel::transform_reduce(
+        ex::par, v.begin(), v.end(), 0.0,
+        [](double a, double b) { return a + b; },
+        [](double x) { return x * x; });
+    EXPECT_NEAR(got, 2500.0, 1e-9);
+}
+
+TEST_F(TransformReduceTest, TransformReduceSeqEqualsPar) {
+    std::vector<int> v(5000);
+    std::iota(v.begin(), v.end(), -2500);
+    auto conv = [](int x) { return static_cast<long>(x) * x; };
+    auto op = [](long a, long b) { return a + b; };
+    long const s = hpxlite::parallel::transform_reduce(ex::seq, v.begin(),
+                                                       v.end(), 0L, op, conv);
+    long const p = hpxlite::parallel::transform_reduce(ex::par, v.begin(),
+                                                       v.end(), 0L, op, conv);
+    EXPECT_EQ(s, p);
+}
+
+// Property sweep: reduce equals accumulate for many sizes.
+class ReduceSizes : public ::testing::TestWithParam<std::size_t> {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_P(ReduceSizes, MatchesAccumulate) {
+    std::size_t const n = GetParam();
+    std::vector<long> v(n);
+    std::mt19937 rng(static_cast<unsigned>(n));
+    std::uniform_int_distribution<long> dist(-1000, 1000);
+    for (auto& x : v) {
+        x = dist(rng);
+    }
+    long const expected = std::accumulate(v.begin(), v.end(), 0L);
+    long const got = hpxlite::parallel::reduce(ex::par, v.begin(), v.end(), 0L);
+    EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSizes,
+                         ::testing::Values(0, 1, 2, 3, 15, 16, 17, 100, 1023,
+                                           4096, 65'537));
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include <hpxlite/util/unique_function.hpp>
+
+using hpxlite::util::unique_function;
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty) {
+    unique_function f;
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesSmallLambda) {
+    int x = 0;
+    unique_function f([&x] { x = 42; });
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(x, 42);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+    auto p = std::make_unique<int>(7);
+    int out = 0;
+    unique_function f([p = std::move(p), &out] { out = *p; });
+    f();
+    EXPECT_EQ(out, 7);
+}
+
+TEST(UniqueFunction, LargeCaptureGoesToHeap) {
+    // > 48 bytes of capture forces the heap path.
+    std::array<double, 16> big{};
+    big[15] = 3.5;
+    double out = 0;
+    unique_function f([big, &out] { out = big[15]; });
+    f();
+    EXPECT_DOUBLE_EQ(out, 3.5);
+}
+
+TEST(UniqueFunction, MoveConstructTransfersTarget) {
+    int x = 0;
+    unique_function a([&x] { ++x; });
+    unique_function b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(x, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget) {
+    int x = 0;
+    int y = 0;
+    unique_function a([&x] { ++x; });
+    unique_function b([&y] { ++y; });
+    b = std::move(a);
+    b();
+    EXPECT_EQ(x, 1);
+    EXPECT_EQ(y, 0);
+}
+
+TEST(UniqueFunction, ResetDestroysTarget) {
+    auto flag = std::make_shared<int>(0);
+    std::weak_ptr<int> weak = flag;
+    unique_function f([flag = std::move(flag)] { (void)flag; });
+    EXPECT_FALSE(weak.expired());
+    f.reset();
+    EXPECT_TRUE(weak.expired());
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, DestructorReleasesCapture) {
+    auto flag = std::make_shared<int>(0);
+    std::weak_ptr<int> weak = flag;
+    {
+        unique_function f([flag = std::move(flag)] { (void)flag; });
+    }
+    EXPECT_TRUE(weak.expired());
+}
+
+TEST(UniqueFunction, ReusableMultipleInvocations) {
+    int x = 0;
+    unique_function f([&x] { ++x; });
+    f();
+    f();
+    f();
+    EXPECT_EQ(x, 3);
+}
+
+TEST(UniqueFunction, SelfMoveAssignSafe) {
+    int x = 0;
+    unique_function f([&x] { ++x; });
+    auto* pf = &f;
+    f = std::move(*pf);  // self-move must not destroy the target
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(x, 1);
+}
+
+TEST(UniqueFunction, ManyFunctionsInVector) {
+    std::vector<unique_function> fs;
+    int sum = 0;
+    for (int i = 0; i < 100; ++i) {
+        fs.emplace_back([&sum, i] { sum += i; });
+    }
+    for (auto& f : fs) {
+        f();
+    }
+    EXPECT_EQ(sum, 4950);
+}

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <hpxlite/lcos/future.hpp>
+#include <hpxlite/lcos/when_all.hpp>
+#include <hpxlite/runtime.hpp>
+
+namespace {
+
+class WhenAllTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{2}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(WhenAllTest, VectorOfFutures) {
+    std::vector<hpxlite::future<int>> fs;
+    for (int i = 0; i < 10; ++i) {
+        fs.push_back(hpxlite::async([i] { return i * i; }));
+    }
+    auto all = hpxlite::when_all(std::move(fs)).get();
+    ASSERT_EQ(all.size(), 10u);
+    int sum = 0;
+    for (auto& f : all) {
+        EXPECT_TRUE(f.is_ready());
+        sum += f.get();
+    }
+    EXPECT_EQ(sum, 285);
+}
+
+TEST_F(WhenAllTest, EmptyVectorIsImmediatelyReady) {
+    std::vector<hpxlite::future<int>> fs;
+    auto all = hpxlite::when_all(std::move(fs));
+    EXPECT_TRUE(all.is_ready());
+    EXPECT_TRUE(all.get().empty());
+}
+
+TEST_F(WhenAllTest, AlreadyReadyInputs) {
+    std::vector<hpxlite::future<int>> fs;
+    fs.push_back(hpxlite::make_ready_future(1));
+    fs.push_back(hpxlite::make_ready_future(2));
+    auto all = hpxlite::when_all(std::move(fs));
+    EXPECT_TRUE(all.is_ready());
+    auto v = all.get();
+    EXPECT_EQ(v[0].get() + v[1].get(), 3);
+}
+
+TEST_F(WhenAllTest, VariadicMixedTypes) {
+    auto a = hpxlite::async([] { return 1; });
+    auto b = hpxlite::async([] { return std::string("x"); });
+    auto tup = hpxlite::when_all(std::move(a), std::move(b)).get();
+    EXPECT_EQ(std::get<0>(tup).get(), 1);
+    EXPECT_EQ(std::get<1>(tup).get(), "x");
+}
+
+TEST_F(WhenAllTest, VariadicWithSharedFuture) {
+    auto a = hpxlite::make_ready_future(2).share();
+    auto b = hpxlite::async([] { return 3; });
+    auto tup = hpxlite::when_all(a, std::move(b)).get();
+    EXPECT_EQ(std::get<0>(tup).get(), 2);
+    EXPECT_EQ(std::get<1>(tup).get(), 3);
+}
+
+TEST_F(WhenAllTest, ZeroArgs) {
+    auto f = hpxlite::when_all();
+    EXPECT_TRUE(f.is_ready());
+}
+
+TEST_F(WhenAllTest, SharedFutureVector) {
+    std::vector<hpxlite::shared_future<int>> fs;
+    for (int i = 0; i < 5; ++i) {
+        fs.push_back(hpxlite::async([i] { return i; }).share());
+    }
+    auto all = hpxlite::when_all(std::move(fs)).get();
+    int sum = 0;
+    for (auto& f : all) {
+        sum += f.get();
+    }
+    EXPECT_EQ(sum, 10);
+}
+
+TEST_F(WhenAllTest, ExceptionsAreDeliveredThroughElements) {
+    std::vector<hpxlite::future<int>> fs;
+    fs.push_back(hpxlite::make_ready_future(1));
+    fs.push_back(hpxlite::async([]() -> int { throw std::runtime_error("e"); }));
+    auto all = hpxlite::when_all(std::move(fs)).get();  // when_all itself OK
+    EXPECT_EQ(all[0].get(), 1);
+    EXPECT_THROW(all[1].get(), std::runtime_error);
+}
+
+TEST_F(WhenAllTest, ManyConcurrentInputs) {
+    std::vector<hpxlite::future<int>> fs;
+    constexpr int kN = 500;
+    fs.reserve(kN);
+    for (int i = 0; i < kN; ++i) {
+        fs.push_back(hpxlite::async([i] { return i; }));
+    }
+    auto all = hpxlite::when_all(std::move(fs)).get();
+    long sum = 0;
+    for (auto& f : all) {
+        sum += f.get();
+    }
+    EXPECT_EQ(sum, static_cast<long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include <op2/arg.hpp>
+
+using namespace op2;
+
+namespace {
+
+struct ArgFixture : ::testing::Test {
+    op_set edges = op_decl_set(4, "edges");
+    op_set nodes = op_decl_set(5, "nodes");
+    op_map em = op_decl_map(edges, nodes, 2, {0, 1, 1, 2, 2, 3, 3, 4}, "em");
+    op_dat nd = op_decl_dat(nodes, 2, "double",
+                            std::vector<double>(10, 1.0), "nd");
+    op_dat ed = op_decl_dat(edges, 1, "double", std::vector<double>(4, 2.0),
+                            "ed");
+};
+
+TEST_F(ArgFixture, DirectArg) {
+    auto a = op_arg_dat(ed, -1, OP_ID, 1, "double", OP_READ);
+    EXPECT_TRUE(a.is_direct());
+    EXPECT_FALSE(a.is_indirect());
+    EXPECT_FALSE(a.is_gbl());
+    EXPECT_FALSE(a.needs_coloring());
+}
+
+TEST_F(ArgFixture, IndirectArg) {
+    auto a = op_arg_dat(nd, 1, em, 2, "double", OP_INC);
+    EXPECT_TRUE(a.is_indirect());
+    EXPECT_TRUE(a.needs_coloring());
+}
+
+TEST_F(ArgFixture, IndirectReadNeedsNoColoring) {
+    auto a = op_arg_dat(nd, 0, em, 2, "double", OP_READ);
+    EXPECT_TRUE(a.is_indirect());
+    EXPECT_FALSE(a.needs_coloring());
+}
+
+TEST_F(ArgFixture, DimMismatchThrows) {
+    EXPECT_THROW(op_arg_dat(nd, 0, em, 3, "double", OP_READ),
+                 std::invalid_argument);
+}
+
+TEST_F(ArgFixture, TypeMismatchThrows) {
+    EXPECT_THROW(op_arg_dat(nd, 0, em, 2, "float", OP_READ),
+                 std::invalid_argument);
+}
+
+TEST_F(ArgFixture, DirectWithNonNegativeIdxThrows) {
+    EXPECT_THROW(op_arg_dat(ed, 0, OP_ID, 1, "double", OP_READ),
+                 std::invalid_argument);
+}
+
+TEST_F(ArgFixture, MapSlotOutOfRangeThrows) {
+    EXPECT_THROW(op_arg_dat(nd, 2, em, 2, "double", OP_READ),
+                 std::invalid_argument);
+    EXPECT_THROW(op_arg_dat(nd, -1, em, 2, "double", OP_READ),
+                 std::invalid_argument);
+}
+
+TEST_F(ArgFixture, MapTargetSetMismatchThrows) {
+    // ed lives on edges, but em maps to nodes.
+    EXPECT_THROW(op_arg_dat(ed, 0, em, 1, "double", OP_READ),
+                 std::invalid_argument);
+}
+
+TEST_F(ArgFixture, MinMaxOnlyForGlobals) {
+    EXPECT_THROW(op_arg_dat(nd, 0, em, 2, "double", OP_MIN),
+                 std::invalid_argument);
+    EXPECT_THROW(op_arg_dat(nd, 0, em, 2, "double", OP_MAX),
+                 std::invalid_argument);
+}
+
+TEST_F(ArgFixture, InvalidDatThrows) {
+    EXPECT_THROW(op_arg_dat(op_dat{}, -1, OP_ID, 1, "double", OP_READ),
+                 std::invalid_argument);
+}
+
+TEST(ArgGbl, BasicProperties) {
+    double x = 0.0;
+    auto a = op_arg_gbl(&x, 1, "double", OP_INC);
+    EXPECT_TRUE(a.is_gbl());
+    EXPECT_FALSE(a.is_direct());
+    EXPECT_FALSE(a.needs_coloring());
+    EXPECT_EQ(a.elem_bytes(), sizeof(double));
+}
+
+TEST(ArgGbl, NullPointerThrows) {
+    EXPECT_THROW(op_arg_gbl<double>(nullptr, 1, "double", OP_INC),
+                 std::invalid_argument);
+}
+
+TEST(ArgGbl, InvalidDimOrAccessThrows) {
+    double x = 0.0;
+    EXPECT_THROW(op_arg_gbl(&x, 0, "double", OP_INC), std::invalid_argument);
+    EXPECT_THROW(op_arg_gbl(&x, 1, "double", OP_RW), std::invalid_argument);
+}
+
+TEST(ArgGbl, CombineIncSumsPartials) {
+    double user = 10.0;
+    double part1 = 2.0;
+    double part2 = 3.5;
+    auto a = op_arg_gbl(&user, 1, "double", OP_INC);
+    a.gbl.combine(reinterpret_cast<std::byte*>(&user),
+                  reinterpret_cast<std::byte const*>(&part1), 1, OP_INC);
+    a.gbl.combine(reinterpret_cast<std::byte*>(&user),
+                  reinterpret_cast<std::byte const*>(&part2), 1, OP_INC);
+    EXPECT_DOUBLE_EQ(user, 15.5);
+}
+
+TEST(ArgGbl, CombineMinMax) {
+    int user = 5;
+    int small = 2;
+    int big = 9;
+    auto a = op_arg_gbl(&user, 1, "int", OP_MIN);
+    a.gbl.combine(reinterpret_cast<std::byte*>(&user),
+                  reinterpret_cast<std::byte const*>(&small), 1, OP_MIN);
+    EXPECT_EQ(user, 2);
+    a.gbl.combine(reinterpret_cast<std::byte*>(&user),
+                  reinterpret_cast<std::byte const*>(&big), 1, OP_MAX);
+    EXPECT_EQ(user, 9);
+}
+
+TEST(ArgGbl, ZeroFunctionClearsBuffer) {
+    double buf[3] = {1, 2, 3};
+    auto a = op_arg_gbl(buf, 3, "double", OP_INC);
+    a.gbl_zero_fn(reinterpret_cast<std::byte*>(buf), 3);
+    EXPECT_DOUBLE_EQ(buf[0], 0.0);
+    EXPECT_DOUBLE_EQ(buf[2], 0.0);
+}
+
+TEST(Access, Helpers) {
+    EXPECT_FALSE(is_mutating(OP_READ));
+    EXPECT_TRUE(is_mutating(OP_WRITE));
+    EXPECT_TRUE(is_mutating(OP_RW));
+    EXPECT_TRUE(is_mutating(OP_INC));
+    EXPECT_STREQ(to_string(OP_INC), "OP_INC");
+    EXPECT_STREQ(to_string(OP_READ), "OP_READ");
+}
+
+}  // namespace

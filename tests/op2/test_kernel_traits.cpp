@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <tuple>
+
+#include <op2/kernel_traits.hpp>
+
+namespace {
+
+using op2::detail::invoke_kernel;
+using op2::detail::kernel_args_t;
+using op2::detail::kernel_arity_v;
+
+void free_kernel(double const* a, double* b) { *b = *a * 2.0; }
+
+void three_arg_kernel(double const* a, int const* b, float* c) {
+    *c = static_cast<float>(*a) + static_cast<float>(*b);
+}
+
+TEST(KernelTraits, FreeFunctionArity) {
+    EXPECT_EQ(kernel_arity_v<decltype(&free_kernel)>, 2u);
+    EXPECT_EQ(kernel_arity_v<decltype(&three_arg_kernel)>, 3u);
+}
+
+TEST(KernelTraits, FreeFunctionArgTypes) {
+    using args = kernel_args_t<decltype(&free_kernel)>;
+    static_assert(std::is_same_v<std::tuple_element_t<0, args>, double const*>);
+    static_assert(std::is_same_v<std::tuple_element_t<1, args>, double*>);
+    SUCCEED();
+}
+
+TEST(KernelTraits, LambdaTraits) {
+    auto k = [](double const* a, double* b) { *b = *a; };
+    EXPECT_EQ(kernel_arity_v<decltype(k)>, 2u);
+    using args = kernel_args_t<decltype(k)>;
+    static_assert(std::is_same_v<std::tuple_element_t<0, args>, double const*>);
+    SUCCEED();
+}
+
+TEST(KernelTraits, MutableLambda) {
+    auto k = [](int* x) mutable { *x += 1; };
+    EXPECT_EQ(kernel_arity_v<decltype(k)>, 1u);
+}
+
+TEST(KernelTraits, InvokeCastsPointers) {
+    double in = 3.0;
+    double out = 0.0;
+    std::byte* ptrs[2] = {reinterpret_cast<std::byte*>(&in),
+                          reinterpret_cast<std::byte*>(&out)};
+    auto k = [](double const* a, double* b) { *b = *a + 1.0; };
+    invoke_kernel(k, ptrs);
+    EXPECT_DOUBLE_EQ(out, 4.0);
+}
+
+TEST(KernelTraits, InvokeMixedTypes) {
+    double a = 2.5;
+    int b = 4;
+    float c = 0.0F;
+    std::byte* ptrs[3] = {reinterpret_cast<std::byte*>(&a),
+                          reinterpret_cast<std::byte*>(&b),
+                          reinterpret_cast<std::byte*>(&c)};
+    invoke_kernel(three_arg_kernel, ptrs);
+    EXPECT_FLOAT_EQ(c, 6.5F);
+}
+
+TEST(KernelTraits, InvokeFunctionPointer) {
+    double in = 5.0;
+    double out = 0.0;
+    std::byte* ptrs[2] = {reinterpret_cast<std::byte*>(&in),
+                          reinterpret_cast<std::byte*>(&out)};
+    invoke_kernel(free_kernel, ptrs);
+    EXPECT_DOUBLE_EQ(out, 10.0);
+}
+
+TEST(KernelTraits, CapturingLambda) {
+    double scale = 3.0;
+    auto k = [&scale](double const* a, double* b) { *b = *a * scale; };
+    double in = 2.0;
+    double out = 0.0;
+    std::byte* ptrs[2] = {reinterpret_cast<std::byte*>(&in),
+                          reinterpret_cast<std::byte*>(&out)};
+    invoke_kernel(k, ptrs);
+    EXPECT_DOUBLE_EQ(out, 6.0);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+class HpxLoopTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+
+    loop_options opts_ = [] {
+        loop_options o;
+        o.part_size = 64;
+        return o;
+    }();
+};
+
+TEST_F(HpxLoopTest, ReturnsFutureAndExecutes) {
+    auto cells = op_decl_set(5000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    auto f = op_par_loop_hpx(opts_, "fill", cells,
+                             [](double* x) { *x = 3.0; },
+                             op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+    f.wait();
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 3.0);
+    }
+}
+
+TEST_F(HpxLoopTest, RawDependencyChain) {
+    auto cells = op_decl_set(10'000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    auto f1 = op_par_loop_hpx(opts_, "init", cells,
+                              [](double* x) { *x = 1.0; },
+                              op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+    auto f2 = op_par_loop_hpx(opts_, "double", cells,
+                              [](double* x) { *x *= 2.0; },
+                              op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    auto f3 = op_par_loop_hpx(opts_, "inc", cells,
+                              [](double* x) { *x += 5.0; },
+                              op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    f3.wait();
+    // Order must be init -> double -> inc: (1*2)+5 = 7, not (1+5)*2 = 12.
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 7.0);
+    }
+}
+
+TEST_F(HpxLoopTest, WarDependencyObserved) {
+    // A writer issued after a reader must not overtake it.
+    auto cells = op_decl_set(20'000, "cells");
+    auto src = op_decl_dat_zero<double>(cells, 1, "double", "src");
+    auto dst = op_decl_dat_zero<double>(cells, 1, "double", "dst");
+    for (auto& x : src.view<double>()) {
+        x = 1.0;
+    }
+    // Reader: dst = src (slow-ish). Writer: src = 99 (issued later).
+    auto fr = op_par_loop_hpx(opts_, "copy", cells,
+                              [](double const* s, double* t) { *t = *s; },
+                              op_arg_dat(src, -1, OP_ID, 1, "double", OP_READ),
+                              op_arg_dat(dst, -1, OP_ID, 1, "double", OP_WRITE));
+    auto fw = op_par_loop_hpx(opts_, "clobber", cells,
+                              [](double* s) { *s = 99.0; },
+                              op_arg_dat(src, -1, OP_ID, 1, "double", OP_WRITE));
+    fw.wait();
+    fr.wait();
+    for (double x : dst.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 1.0);  // reader saw the pre-clobber values
+    }
+    for (double x : src.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 99.0);
+    }
+}
+
+TEST_F(HpxLoopTest, IndependentLoopsBothComplete) {
+    auto cells = op_decl_set(5000, "cells");
+    auto a = op_decl_dat_zero<double>(cells, 1, "double", "a");
+    auto b = op_decl_dat_zero<double>(cells, 1, "double", "b");
+    auto fa = op_par_loop_hpx(opts_, "wa", cells, [](double* x) { *x = 1.0; },
+                              op_arg_dat(a, -1, OP_ID, 1, "double", OP_WRITE));
+    auto fb = op_par_loop_hpx(opts_, "wb", cells, [](double* x) { *x = 2.0; },
+                              op_arg_dat(b, -1, OP_ID, 1, "double", OP_WRITE));
+    fa.wait();
+    fb.wait();
+    EXPECT_DOUBLE_EQ(a.view<double>()[0], 1.0);
+    EXPECT_DOUBLE_EQ(b.view<double>()[0], 2.0);
+}
+
+TEST_F(HpxLoopTest, IndirectIncMatchesSeq) {
+    auto edges = op_decl_set(2048, "edges");
+    auto nodes = op_decl_set(512, "nodes");
+    std::vector<int> tab(2 * 2048);
+    for (std::size_t e = 0; e < 2048; ++e) {
+        tab[2 * e] = static_cast<int>(e % 512);
+        tab[2 * e + 1] = static_cast<int>((e * 13 + 1) % 512);
+        if (tab[2 * e] == tab[2 * e + 1]) {
+            tab[2 * e + 1] = (tab[2 * e + 1] + 1) % 512;
+        }
+    }
+    auto em = op_decl_map(edges, nodes, 2, tab, "em");
+    auto acc = op_decl_dat_zero<double>(nodes, 1, "double", "acc");
+    auto kern = [](double* a, double* b) {
+        *a += 1.0;
+        *b += 2.0;
+    };
+
+    op_par_loop_seq("scatter", edges, kern,
+                    op_arg_dat(acc, 0, em, 1, "double", OP_INC),
+                    op_arg_dat(acc, 1, em, 1, "double", OP_INC));
+    auto refv = acc.view<double>();
+    std::vector<double> ref(refv.begin(), refv.end());
+
+    for (auto& x : acc.view<double>()) {
+        x = 0.0;
+    }
+    auto f = op_par_loop_hpx(opts_, "scatter", edges, kern,
+                             op_arg_dat(acc, 0, em, 1, "double", OP_INC),
+                             op_arg_dat(acc, 1, em, 1, "double", OP_INC));
+    f.wait();
+    auto got = acc.view<double>();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_NEAR(got[i], ref[i], 1e-12);
+    }
+}
+
+TEST_F(HpxLoopTest, GlobalReductionReadyWithFuture) {
+    auto cells = op_decl_set(9999, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    for (auto& x : d.view<double>()) {
+        x = 0.5;
+    }
+    double sum = 0.0;
+    auto f = op_par_loop_hpx(opts_, "sum", cells,
+                             [](double const* x, double* s) { *s += *x; },
+                             op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ),
+                             op_arg_gbl(&sum, 1, "double", OP_INC));
+    f.wait();
+    EXPECT_NEAR(sum, 0.5 * 9999, 1e-9);
+}
+
+TEST_F(HpxLoopTest, FenceWaitsForAllWork) {
+    auto cells = op_decl_set(50'000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    for (int k = 0; k < 5; ++k) {
+        (void)op_par_loop_hpx(opts_, "inc", cells,
+                              [](double* x) { *x += 1.0; },
+                              op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    }
+    op_fence(d);
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 5.0);
+    }
+}
+
+TEST_F(HpxLoopTest, FenceAllAndFetchData) {
+    auto cells = op_decl_set(1000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    (void)op_par_loop_hpx(opts_, "w", cells, [](double* x) { *x = 4.0; },
+                          op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+    auto copy = op_fetch_data<double>(d);
+    ASSERT_EQ(copy.size(), 1000u);
+    for (double x : copy) {
+        ASSERT_DOUBLE_EQ(x, 4.0);
+    }
+    op_fence_all();  // idempotent, no deadlock
+}
+
+TEST_F(HpxLoopTest, LongPipelineCorrect) {
+    auto cells = op_decl_set(2000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    hpxlite::shared_future<void> last;
+    for (int k = 0; k < 100; ++k) {
+        last = op_par_loop_hpx(opts_, "inc", cells,
+                               [](double* x) { *x += 1.0; },
+                               op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    }
+    last.wait();
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 100.0);
+    }
+}
+
+TEST_F(HpxLoopTest, UnifiedFrontEndDispatch) {
+    auto cells = op_decl_set(100, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    for (auto be : {backend::seq, backend::fork_join, backend::hpx}) {
+        op_set_backend(be);
+        op_par_loop("inc", cells, [](double* x) { *x += 1.0; },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+        op_fence_all();
+    }
+    op_set_backend(backend::seq);
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 3.0);
+    }
+}
+
+TEST_F(HpxLoopTest, PrefetchOptionPreservesResults) {
+    auto cells = op_decl_set(30'000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 4, "double", "d");
+    loop_options pf = opts_;
+    pf.prefetch = true;
+    pf.prefetch_distance_factor = 15;
+    auto f = op_par_loop_hpx(pf, "fill", cells,
+                             [](double* x) {
+                                 for (int n = 0; n < 4; ++n) {
+                                     x[n] = static_cast<double>(n);
+                                 }
+                             },
+                             op_arg_dat(d, -1, OP_ID, 4, "double", OP_WRITE));
+    f.wait();
+    auto v = d.view<double>();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        ASSERT_DOUBLE_EQ(v[i], static_cast<double>(i % 4));
+    }
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+class SeqLoopTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{2}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST_F(SeqLoopTest, DirectLoopWritesEveryElement) {
+    auto cells = op_decl_set(100, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    op_par_loop_seq("fill", cells, [](double* x) { *x = 7.0; },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 7.0);
+    }
+}
+
+TEST_F(SeqLoopTest, DirectMultiComponent) {
+    auto cells = op_decl_set(10, "cells");
+    std::vector<double> init(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+        init[i] = static_cast<double>(i);
+    }
+    auto q = op_decl_dat(cells, 4, "double", init, "q");
+    auto qold = op_decl_dat_zero<double>(cells, 4, "double", "qold");
+    op_par_loop_seq("save", cells,
+                    [](double const* a, double* b) {
+                        for (int n = 0; n < 4; ++n) {
+                            b[n] = a[n];
+                        }
+                    },
+                    op_arg_dat(q, -1, OP_ID, 4, "double", OP_READ),
+                    op_arg_dat(qold, -1, OP_ID, 4, "double", OP_WRITE));
+    auto a = q.view<double>();
+    auto b = qold.view<double>();
+    for (std::size_t i = 0; i < 40; ++i) {
+        ASSERT_DOUBLE_EQ(a[i], b[i]);
+    }
+}
+
+TEST_F(SeqLoopTest, IndirectGather) {
+    auto edges = op_decl_set(3, "edges");
+    auto nodes = op_decl_set(4, "nodes");
+    auto em = op_decl_map(edges, nodes, 2, {0, 1, 1, 2, 2, 3}, "em");
+    auto nv = op_decl_dat(nodes, 1, "double",
+                          std::vector<double>{1, 2, 3, 4}, "nv");
+    auto ev = op_decl_dat_zero<double>(edges, 1, "double", "ev");
+    op_par_loop_seq("gather", edges,
+                    [](double const* n1, double const* n2, double* e) {
+                        *e = *n1 + *n2;
+                    },
+                    op_arg_dat(nv, 0, em, 1, "double", OP_READ),
+                    op_arg_dat(nv, 1, em, 1, "double", OP_READ),
+                    op_arg_dat(ev, -1, OP_ID, 1, "double", OP_WRITE));
+    auto v = ev.view<double>();
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 5.0);
+    EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+TEST_F(SeqLoopTest, IndirectScatterInc) {
+    auto edges = op_decl_set(4, "edges");
+    auto nodes = op_decl_set(4, "nodes");
+    auto em = op_decl_map(edges, nodes, 2, {0, 1, 1, 2, 2, 3, 3, 0}, "em");
+    auto nv = op_decl_dat_zero<double>(nodes, 1, "double", "nv");
+    op_par_loop_seq("scatter", edges,
+                    [](double* n1, double* n2) {
+                        *n1 += 1.0;
+                        *n2 += 10.0;
+                    },
+                    op_arg_dat(nv, 0, em, 1, "double", OP_INC),
+                    op_arg_dat(nv, 1, em, 1, "double", OP_INC));
+    // Every node is endpoint 0 of one edge and endpoint 1 of another.
+    for (double x : nv.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 11.0);
+    }
+}
+
+TEST_F(SeqLoopTest, GlobalReductionInc) {
+    auto cells = op_decl_set(50, "cells");
+    std::vector<double> init(50);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < 50; ++i) {
+        init[i] = static_cast<double>(i);
+        expected += static_cast<double>(i);
+    }
+    auto d = op_decl_dat(cells, 1, "double", init, "d");
+    double sum = 100.0;  // INC adds onto the existing value
+    op_par_loop_seq("sum", cells,
+                    [](double const* x, double* s) { *s += *x; },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ),
+                    op_arg_gbl(&sum, 1, "double", OP_INC));
+    EXPECT_DOUBLE_EQ(sum, 100.0 + expected);
+}
+
+TEST_F(SeqLoopTest, GlobalReadBroadcast) {
+    auto cells = op_decl_set(10, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    double scale = 2.5;
+    op_par_loop_seq("bcast", cells,
+                    [](double* x, double const* s) { *x = *s; },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE),
+                    op_arg_gbl(&scale, 1, "double", OP_READ));
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 2.5);
+    }
+}
+
+TEST_F(SeqLoopTest, IntTypedDat) {
+    auto cells = op_decl_set(8, "cells");
+    auto b = op_decl_dat(cells, 1, "int", std::vector<int>{1, 2, 1, 2, 1, 2, 1, 2},
+                         "b");
+    int ones = 0;
+    op_par_loop_seq("count", cells,
+                    [](int const* v, int* c) { *c += (*v == 1) ? 1 : 0; },
+                    op_arg_dat(b, -1, OP_ID, 1, "int", OP_READ),
+                    op_arg_gbl(&ones, 1, "int", OP_INC));
+    EXPECT_EQ(ones, 4);
+}
+
+TEST_F(SeqLoopTest, SetMismatchThrows) {
+    auto cells = op_decl_set(5, "cells");
+    auto other = op_decl_set(5, "other");
+    auto d = op_decl_dat_zero<double>(other, 1, "double", "d");
+    EXPECT_THROW(
+        op_par_loop_seq("bad", cells, [](double* x) { *x = 1; },
+                        op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE)),
+        std::invalid_argument);
+}
+
+TEST_F(SeqLoopTest, MapFromWrongSetThrows) {
+    auto edges = op_decl_set(4, "edges");
+    auto cells = op_decl_set(4, "cells");
+    auto nodes = op_decl_set(4, "nodes");
+    auto em = op_decl_map(edges, nodes, 1, {0, 1, 2, 3}, "em");
+    auto nv = op_decl_dat_zero<double>(nodes, 1, "double", "nv");
+    EXPECT_THROW(
+        op_par_loop_seq("bad", cells, [](double const* x) { (void)x; },
+                        op_arg_dat(nv, 0, em, 1, "double", OP_READ)),
+        std::invalid_argument);
+}
+
+TEST_F(SeqLoopTest, EmptySetExecutesNothing) {
+    auto cells = op_decl_set(0, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    int calls = 0;
+    op_par_loop_seq("noop", cells,
+                    [&calls](double* x) {
+                        (void)x;
+                        ++calls;
+                    },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    EXPECT_EQ(calls, 0);
+}
+
+}  // namespace

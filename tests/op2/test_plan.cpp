@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include <op2/plan.hpp>
+
+using namespace op2;
+
+namespace {
+
+/// Build a ring mesh: n edges over n nodes, edge e -> nodes (e, e+1 mod n).
+struct ring {
+    op_set edges;
+    op_set nodes;
+    op_map em;
+    op_dat nd;
+
+    explicit ring(std::size_t n)
+      : edges(op_decl_set(n, "edges")), nodes(op_decl_set(n, "nodes")) {
+        std::vector<int> tab(2 * n);
+        for (std::size_t e = 0; e < n; ++e) {
+            tab[2 * e] = static_cast<int>(e);
+            tab[2 * e + 1] = static_cast<int>((e + 1) % n);
+        }
+        em = op_decl_map(edges, nodes, 2, tab, "em");
+        nd = op_decl_dat_zero<double>(nodes, 1, "double", "nd");
+    }
+
+    [[nodiscard]] std::array<op_arg, 2> inc_args() {
+        return {op_arg_dat(nd, 0, em, 1, "double", OP_INC),
+                op_arg_dat(nd, 1, em, 1, "double", OP_INC)};
+    }
+};
+
+/// No two same-colour blocks may touch the same target element.
+void assert_coloring_valid(op_plan const& plan, op_map const& m,
+                           std::vector<int> const& idxs) {
+    for (std::size_t c = 0; c < plan.ncolors; ++c) {
+        std::set<int> seen_by_other_blocks;
+        for (std::size_t b : plan.blocks_of_color(c)) {
+            std::set<int> mine;
+            for (std::size_t e = plan.offset[b];
+                 e < plan.offset[b] + plan.nelems[b]; ++e) {
+                for (int idx : idxs) {
+                    mine.insert(m(e, idx));
+                }
+            }
+            for (int t : mine) {
+                ASSERT_EQ(seen_by_other_blocks.count(t), 0u)
+                    << "colour " << c << " reuses target " << t;
+            }
+            seen_by_other_blocks.insert(mine.begin(), mine.end());
+        }
+    }
+}
+
+TEST(Plan, BlockStructureCoversSet) {
+    ring r(1000);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, 128);
+    EXPECT_EQ(plan.set_size, 1000u);
+    EXPECT_EQ(plan.nblocks, 8u);  // ceil(1000/128)
+    std::size_t covered = 0;
+    for (std::size_t b = 0; b < plan.nblocks; ++b) {
+        covered += plan.nelems[b];
+        if (b > 0) {
+            EXPECT_EQ(plan.offset[b], plan.offset[b - 1] + plan.nelems[b - 1]);
+        }
+    }
+    EXPECT_EQ(covered, 1000u);
+    EXPECT_EQ(plan.nelems.back(), 1000u - 7u * 128u);
+}
+
+TEST(Plan, DirectLoopSingleColor) {
+    ring r(500);
+    auto d = op_decl_dat_zero<double>(r.edges, 1, "double", "ed");
+    std::array<op_arg, 1> args{op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW)};
+    auto plan = plan_build(r.edges, args, 64);
+    EXPECT_FALSE(plan.colored);
+    EXPECT_EQ(plan.ncolors, 1u);
+    EXPECT_EQ(plan.blocks_of_color(0).size(), plan.nblocks);
+}
+
+TEST(Plan, IndirectReadDoesNotColor) {
+    ring r(300);
+    std::array<op_arg, 1> args{op_arg_dat(r.nd, 0, r.em, 1, "double", OP_READ)};
+    auto plan = plan_build(r.edges, args, 32);
+    EXPECT_FALSE(plan.colored);
+    EXPECT_EQ(plan.ncolors, 1u);
+}
+
+TEST(Plan, RingColoringIsConflictFree) {
+    ring r(1024);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, 64);
+    EXPECT_TRUE(plan.colored);
+    EXPECT_GE(plan.ncolors, 2u);
+    assert_coloring_valid(plan, r.em, {0, 1});
+}
+
+TEST(Plan, AllBlocksAppearExactlyOnceInBlkmap) {
+    ring r(777);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, 50);
+    std::vector<bool> seen(plan.nblocks, false);
+    for (std::size_t b : plan.blkmap) {
+        ASSERT_LT(b, plan.nblocks);
+        ASSERT_FALSE(seen[b]);
+        seen[b] = true;
+    }
+    EXPECT_EQ(plan.color_offset.front(), 0u);
+    EXPECT_EQ(plan.color_offset.back(), plan.nblocks);
+}
+
+TEST(Plan, SingleBlockNeedsNoColoring) {
+    ring r(40);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, 1000);  // one block holds all
+    EXPECT_EQ(plan.nblocks, 1u);
+    EXPECT_EQ(plan.ncolors, 1u);
+}
+
+TEST(Plan, PartSizeOneMaximallyFine) {
+    ring r(16);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, 1);
+    EXPECT_EQ(plan.nblocks, 16u);
+    assert_coloring_valid(plan, r.em, {0, 1});
+    // Adjacent ring edges share nodes: needs at least 2 colours.
+    EXPECT_GE(plan.ncolors, 2u);
+}
+
+TEST(Plan, ZeroPartSizeDefaults) {
+    ring r(256);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, 0);
+    EXPECT_EQ(plan.part_size, 128u);
+}
+
+TEST(Plan, EmptySet) {
+    auto s = op_decl_set(0, "empty");
+    std::array<op_arg, 0> args{};
+    auto plan = plan_build(s, {args.data(), 0}, 64);
+    EXPECT_EQ(plan.nblocks, 0u);
+    EXPECT_EQ(plan.ncolors, 0u);
+}
+
+TEST(PlanCache, ReusesEquivalentPlans) {
+    plan_cache_clear();
+    ring r(512);
+    auto args = r.inc_args();
+    auto const& p1 = plan_get(r.edges, args, 64);
+    auto const& p2 = plan_get(r.edges, args, 64);
+    EXPECT_EQ(&p1, &p2);
+    EXPECT_EQ(plan_cache_size(), 1u);
+    auto const& p3 = plan_get(r.edges, args, 128);
+    EXPECT_NE(&p1, &p3);
+    EXPECT_EQ(plan_cache_size(), 2u);
+    plan_cache_clear();
+    EXPECT_EQ(plan_cache_size(), 0u);
+}
+
+// Property sweep: colouring is conflict-free for many (n, part) combos.
+class PlanColoringSweep
+  : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PlanColoringSweep, ConflictFree) {
+    auto [n, part] = GetParam();
+    ring r(n);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, part);
+    assert_coloring_valid(plan, r.em, {0, 1});
+    std::size_t covered = 0;
+    for (std::size_t b = 0; b < plan.nblocks; ++b) {
+        covered += plan.nelems[b];
+    }
+    EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PlanColoringSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 2},
+                      std::pair<std::size_t, std::size_t>{100, 7},
+                      std::pair<std::size_t, std::size_t>{128, 16},
+                      std::pair<std::size_t, std::size_t>{1000, 33},
+                      std::pair<std::size_t, std::size_t>{4096, 128},
+                      std::pair<std::size_t, std::size_t>{5000, 512}));
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include <op2/dat.hpp>
+#include <op2/map.hpp>
+#include <op2/set.hpp>
+
+using namespace op2;
+
+TEST(OpSet, DeclarationBasics) {
+    auto s = op_decl_set(42, "cells");
+    EXPECT_TRUE(s.valid());
+    EXPECT_EQ(s.size(), 42u);
+    EXPECT_EQ(s.name(), "cells");
+    EXPECT_NE(s.id(), 0u);
+}
+
+TEST(OpSet, HandlesCompareByIdentity) {
+    auto a = op_decl_set(5, "a");
+    auto b = op_decl_set(5, "a");
+    auto c = a;
+    EXPECT_TRUE(a == c);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(OpSet, InvalidHandleThrowsOnName) {
+    op_set s;
+    EXPECT_FALSE(s.valid());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_THROW(s.name(), std::logic_error);
+}
+
+TEST(OpSet, EmptySetAllowed) {
+    auto s = op_decl_set(0, "empty");
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OpMap, DeclarationAndLookup) {
+    auto from = op_decl_set(3, "edges");
+    auto to = op_decl_set(4, "nodes");
+    auto m = op_decl_map(from, to, 2, {0, 1, 1, 2, 2, 3}, "em");
+    EXPECT_FALSE(m.is_identity());
+    EXPECT_EQ(m.dim(), 2);
+    EXPECT_EQ(m(0, 0), 0);
+    EXPECT_EQ(m(0, 1), 1);
+    EXPECT_EQ(m(2, 1), 3);
+    EXPECT_TRUE(m.from() == from);
+    EXPECT_TRUE(m.to() == to);
+}
+
+TEST(OpMap, IdentityMapProperties) {
+    EXPECT_TRUE(OP_ID.is_identity());
+    EXPECT_EQ(OP_ID.dim(), 1);
+    EXPECT_THROW(OP_ID.from(), std::logic_error);
+    EXPECT_THROW(OP_ID.table(), std::logic_error);
+}
+
+TEST(OpMap, RejectsWrongTableSize) {
+    auto from = op_decl_set(3, "f");
+    auto to = op_decl_set(4, "t");
+    EXPECT_THROW(op_decl_map(from, to, 2, {0, 1, 2}, "bad"),
+                 std::invalid_argument);
+}
+
+TEST(OpMap, RejectsOutOfRangeEntries) {
+    auto from = op_decl_set(2, "f");
+    auto to = op_decl_set(3, "t");
+    EXPECT_THROW(op_decl_map(from, to, 1, {0, 3}, "bad"),
+                 std::invalid_argument);
+    EXPECT_THROW(op_decl_map(from, to, 1, {0, -1}, "bad"),
+                 std::invalid_argument);
+}
+
+TEST(OpMap, RejectsInvalidDimOrSets) {
+    auto from = op_decl_set(2, "f");
+    auto to = op_decl_set(3, "t");
+    EXPECT_THROW(op_decl_map(from, to, 0, {}, "bad"), std::invalid_argument);
+    EXPECT_THROW(op_decl_map(op_set{}, to, 1, {0, 0}, "bad"),
+                 std::invalid_argument);
+}
+
+TEST(OpDat, DeclarationAndView) {
+    auto s = op_decl_set(3, "cells");
+    auto d = op_decl_dat(s, 2, "double", std::vector<double>{1, 2, 3, 4, 5, 6},
+                         "q");
+    EXPECT_EQ(d.dim(), 2);
+    EXPECT_EQ(d.elem_bytes(), sizeof(double));
+    EXPECT_EQ(d.type_name(), "double");
+    auto v = d.view<double>();
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_DOUBLE_EQ(v[5], 6.0);
+    v[5] = 9.0;
+    EXPECT_DOUBLE_EQ(d.view<double>()[5], 9.0);
+}
+
+TEST(OpDat, ConstViewReflectsSameStorage) {
+    auto s = op_decl_set(2, "s");
+    auto d = op_decl_dat(s, 1, "int", std::vector<int>{7, 8}, "d");
+    op_dat const& cd = d;
+    auto cv = cd.view<int>();
+    EXPECT_EQ(cv[1], 8);
+}
+
+TEST(OpDat, TypeSizeMismatchThrows) {
+    auto s = op_decl_set(2, "s");
+    auto d = op_decl_dat(s, 1, "double", std::vector<double>{1, 2}, "d");
+    EXPECT_THROW(d.view<float>(), std::invalid_argument);
+    EXPECT_NO_THROW(d.view<double>());
+}
+
+TEST(OpDat, WrongDataSizeThrows) {
+    auto s = op_decl_set(3, "s");
+    EXPECT_THROW(op_decl_dat(s, 2, "double", std::vector<double>{1.0}, "d"),
+                 std::invalid_argument);
+    EXPECT_THROW(op_decl_dat(s, 0, "double", std::vector<double>{}, "d"),
+                 std::invalid_argument);
+}
+
+TEST(OpDat, ZeroInitialisedFactory) {
+    auto s = op_decl_set(4, "s");
+    auto d = op_decl_dat_zero<float>(s, 3, "float", "z");
+    for (float x : d.view<float>()) {
+        ASSERT_EQ(x, 0.0F);
+    }
+    EXPECT_EQ(d.view<float>().size(), 12u);
+}
+
+TEST(OpDat, DatsAliasViaHandleCopies) {
+    auto s = op_decl_set(1, "s");
+    auto d1 = op_decl_dat(s, 1, "int", std::vector<int>{5}, "d");
+    auto d2 = d1;
+    d2.view<int>()[0] = 11;
+    EXPECT_EQ(d1.view<int>()[0], 11);
+    EXPECT_TRUE(d1 == d2);
+}

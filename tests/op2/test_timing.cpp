@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+class TimingTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        hpxlite::init(hpxlite::runtime_config{2});
+        op_timing_reset();
+        op_timing_enable(true);
+    }
+    void TearDown() override {
+        op_timing_reset();
+        hpxlite::finalize();
+    }
+};
+
+TEST_F(TimingTest, RecordAccumulates) {
+    op_timing_record("foo", "seq", 0.5);
+    op_timing_record("foo", "seq", 1.5);
+    op_timing_record("foo", "hpx", 0.25);
+    auto snap = op_timing_snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    // Sorted by descending total: foo/seq (2.0) first.
+    EXPECT_EQ(snap[0].name, "foo");
+    EXPECT_EQ(snap[0].backend, "seq");
+    EXPECT_EQ(snap[0].count, 2u);
+    EXPECT_DOUBLE_EQ(snap[0].total_s, 2.0);
+    EXPECT_DOUBLE_EQ(snap[0].mean_s(), 1.0);
+    EXPECT_DOUBLE_EQ(snap[0].max_s, 1.5);
+    EXPECT_EQ(snap[1].backend, "hpx");
+}
+
+TEST_F(TimingTest, DisableStopsRecording) {
+    op_timing_enable(false);
+    op_timing_record("bar", "seq", 1.0);
+    EXPECT_TRUE(op_timing_snapshot().empty());
+    op_timing_enable(true);
+    op_timing_record("bar", "seq", 1.0);
+    EXPECT_EQ(op_timing_snapshot().size(), 1u);
+}
+
+TEST_F(TimingTest, ResetClears) {
+    op_timing_record("x", "seq", 1.0);
+    op_timing_reset();
+    EXPECT_TRUE(op_timing_snapshot().empty());
+}
+
+TEST_F(TimingTest, SeqBackendRecordsAutomatically) {
+    auto cells = op_decl_set(1000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    op_par_loop_seq("auto_seq", cells, [](double* x) { *x += 1.0; },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    op_par_loop_seq("auto_seq", cells, [](double* x) { *x += 1.0; },
+                    op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    auto snap = op_timing_snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "auto_seq");
+    EXPECT_EQ(snap[0].count, 2u);
+    EXPECT_GE(snap[0].total_s, 0.0);
+}
+
+TEST_F(TimingTest, ForkJoinAndHpxBackendsRecord) {
+    auto cells = op_decl_set(2000, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    loop_options opts;
+    op_par_loop_fork_join(opts, "auto_fj", cells,
+                          [](double* x) { *x += 1.0; },
+                          op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    auto f = op_par_loop_hpx(opts, "auto_hpx", cells,
+                             [](double* x) { *x += 1.0; },
+                             op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    f.wait();
+    auto snap = op_timing_snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    bool saw_fj = false;
+    bool saw_hpx = false;
+    for (auto const& r : snap) {
+        saw_fj = saw_fj || (r.name == "auto_fj" && r.backend == "fork_join");
+        saw_hpx = saw_hpx || (r.name == "auto_hpx" && r.backend == "hpx");
+    }
+    EXPECT_TRUE(saw_fj);
+    EXPECT_TRUE(saw_hpx);
+}
+
+TEST_F(TimingTest, OutputContainsTableRows) {
+    op_timing_record("my_loop", "hpx", 0.125);
+    std::ostringstream os;
+    op_timing_output(os);
+    auto const s = os.str();
+    EXPECT_NE(s.find("my_loop"), std::string::npos);
+    EXPECT_NE(s.find("hpx"), std::string::npos);
+    EXPECT_NE(s.find("total(s)"), std::string::npos);
+}
+
+}  // namespace

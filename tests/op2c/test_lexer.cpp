@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <op2c/lexer.hpp>
+
+using namespace op2c;
+
+namespace {
+
+std::vector<token> lex(std::string_view s) { return tokenize(s); }
+
+TEST(Lexer, EmptySourceYieldsEof) {
+    auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, token_kind::end_of_file);
+}
+
+TEST(Lexer, Identifiers) {
+    auto toks = lex("op_par_loop foo _bar baz42");
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_TRUE(toks[0].is_ident("op_par_loop"));
+    EXPECT_TRUE(toks[1].is_ident("foo"));
+    EXPECT_TRUE(toks[2].is_ident("_bar"));
+    EXPECT_TRUE(toks[3].is_ident("baz42"));
+}
+
+TEST(Lexer, Numbers) {
+    auto toks = lex("42 3.14 1e-5 0x1F 2.5f");
+    EXPECT_EQ(toks[0].kind, token_kind::number);
+    EXPECT_EQ(toks[0].text, "42");
+    EXPECT_EQ(toks[1].text, "3.14");
+    EXPECT_EQ(toks[2].text, "1e-5");
+    EXPECT_EQ(toks[3].text, "0x1F");
+    EXPECT_EQ(toks[4].text, "2.5f");
+}
+
+TEST(Lexer, StringLiterals) {
+    auto toks = lex(R"(op_decl_set(9, "nodes"))");
+    ASSERT_GE(toks.size(), 5u);
+    EXPECT_EQ(toks[4].kind, token_kind::string_lit);
+    EXPECT_EQ(toks[4].text, "\"nodes\"");
+    EXPECT_EQ(unquote(toks[4].text), "nodes");
+}
+
+TEST(Lexer, StringWithEscapes) {
+    auto toks = lex(R"("a\"b")");
+    EXPECT_EQ(toks[0].kind, token_kind::string_lit);
+    EXPECT_EQ(toks[0].text, R"("a\"b")");
+}
+
+TEST(Lexer, CharLiteral) {
+    auto toks = lex("'x' '\\n'");
+    EXPECT_EQ(toks[0].kind, token_kind::char_lit);
+    EXPECT_EQ(toks[1].kind, token_kind::char_lit);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+    auto toks = lex("a // comment with op_par_loop\nb");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_TRUE(toks[0].is_ident("a"));
+    EXPECT_TRUE(toks[1].is_ident("b"));
+    EXPECT_EQ(toks[1].line, 2u);
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+    auto toks = lex("a /* op_decl_set(1, \"x\") \n more */ b");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_TRUE(toks[1].is_ident("b"));
+    EXPECT_EQ(toks[1].line, 2u);
+}
+
+TEST(Lexer, PreprocessorLinesSkipped) {
+    auto toks = lex("#include <op2/op2.hpp>\nint x;");
+    ASSERT_EQ(toks.size(), 4u);  // int, x, ;, eof
+    EXPECT_TRUE(toks[0].is_ident("int"));
+}
+
+TEST(Lexer, PunctuationIncludingMultiChar) {
+    auto toks = lex("a::b->c(,);");
+    EXPECT_TRUE(toks[1].is_punct("::"));
+    EXPECT_TRUE(toks[3].is_punct("->"));
+    EXPECT_TRUE(toks[5].is_punct("("));
+    EXPECT_TRUE(toks[6].is_punct(","));
+    EXPECT_TRUE(toks[7].is_punct(")"));
+    EXPECT_TRUE(toks[8].is_punct(";"));
+}
+
+TEST(Lexer, LineNumbersTracked) {
+    auto toks = lex("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[1].line, 2u);
+    EXPECT_EQ(toks[2].line, 4u);
+}
+
+TEST(Lexer, OffsetsPointIntoSource) {
+    std::string const src = "xy op_decl_set";
+    auto toks = lex(src);
+    EXPECT_EQ(toks[1].offset, 3u);
+    EXPECT_EQ(src.substr(toks[1].offset, toks[1].text.size()), "op_decl_set");
+}
+
+TEST(Lexer, NegativeNumberIsPunctThenNumber) {
+    auto toks = lex("-1");
+    EXPECT_TRUE(toks[0].is_punct("-"));
+    EXPECT_EQ(toks[1].kind, token_kind::number);
+}
+
+}  // namespace

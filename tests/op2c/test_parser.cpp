@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <op2c/parser.hpp>
+
+using namespace op2c;
+
+namespace {
+
+// A condensed airfoil-like source in classic OP2 style.
+constexpr char kAirfoilSource[] = R"(
+#include "op_seq.h"
+#include "save_soln.h"
+
+int main() {
+  op_set nodes = op_decl_set(nnode, "nodes");
+  op_set cells = op_decl_set(ncell, "cells");
+  op_map pcell = op_decl_map(cells, nodes, 4, cell, "pcell");
+  op_dat p_q = op_decl_dat(cells, 4, "double", q, "p_q");
+  op_dat p_qold = op_decl_dat(cells, 4, "double", qold, "p_qold");
+
+  for (int iter = 1; iter <= niter; iter++) {
+    op_par_loop(save_soln, "save_soln", cells,
+                op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ),
+                op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_WRITE));
+
+    op_par_loop(res_calc, "res_calc", edges,
+                op_arg_dat(p_x, 0, pedge, 2, "double", OP_READ),
+                op_arg_dat(p_x, 1, pedge, 2, "double", OP_READ),
+                op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC),
+                op_arg_dat(p_res, 1, pecell, 4, "double", OP_INC));
+
+    op_par_loop(update, "update", cells,
+                op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_READ),
+                op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_WRITE),
+                op_arg_gbl(&rms, 1, "double", OP_INC));
+  }
+}
+)";
+
+TEST(Parser, ExtractsDeclarations) {
+    auto prog = parse_program(kAirfoilSource);
+    ASSERT_EQ(prog.sets.size(), 2u);
+    EXPECT_EQ(prog.sets[0].name, "nodes");
+    EXPECT_EQ(prog.sets[0].size, "nnode");
+    EXPECT_EQ(prog.sets[0].var, "nodes");
+    ASSERT_EQ(prog.maps.size(), 1u);
+    EXPECT_EQ(prog.maps[0].name, "pcell");
+    EXPECT_EQ(prog.maps[0].dim, 4);
+    EXPECT_EQ(prog.maps[0].from, "cells");
+    EXPECT_EQ(prog.maps[0].to, "nodes");
+    ASSERT_EQ(prog.dats.size(), 2u);
+    EXPECT_EQ(prog.dats[0].type, "double");
+    EXPECT_EQ(prog.dats[0].dim, 4);
+}
+
+TEST(Parser, ExtractsLoopsClassicStyle) {
+    auto prog = parse_program(kAirfoilSource);
+    ASSERT_EQ(prog.loops.size(), 3u);
+    EXPECT_EQ(prog.loops[0].name, "save_soln");
+    EXPECT_EQ(prog.loops[0].kernel, "save_soln");
+    EXPECT_EQ(prog.loops[0].set, "cells");
+    ASSERT_EQ(prog.loops[0].args.size(), 2u);
+    EXPECT_EQ(prog.loops[1].name, "res_calc");
+    EXPECT_EQ(prog.loops[1].args.size(), 4u);
+}
+
+TEST(Parser, ArgFieldsDecoded) {
+    auto prog = parse_program(kAirfoilSource);
+    auto const& a = prog.loops[0].args[0];
+    EXPECT_FALSE(a.is_gbl);
+    EXPECT_EQ(a.dat, "p_q");
+    EXPECT_EQ(a.idx, -1);
+    EXPECT_EQ(a.map, "OP_ID");
+    EXPECT_EQ(a.dim, 4);
+    EXPECT_EQ(a.type, "double");
+    EXPECT_EQ(a.access, "OP_READ");
+    EXPECT_TRUE(a.is_direct());
+
+    auto const& ind = prog.loops[1].args[2];
+    EXPECT_EQ(ind.idx, 0);
+    EXPECT_EQ(ind.map, "pecell");
+    EXPECT_EQ(ind.access, "OP_INC");
+    EXPECT_TRUE(ind.is_indirect());
+}
+
+TEST(Parser, GlobalArgDecoded) {
+    auto prog = parse_program(kAirfoilSource);
+    auto const& g = prog.loops[2].args[2];
+    EXPECT_TRUE(g.is_gbl);
+    EXPECT_EQ(g.ptr, "&rms");
+    EXPECT_EQ(g.dim, 1);
+    EXPECT_EQ(g.access, "OP_INC");
+}
+
+TEST(Parser, LoopHasIndirectionFlag) {
+    auto prog = parse_program(kAirfoilSource);
+    EXPECT_FALSE(prog.loops[0].has_indirection());
+    EXPECT_TRUE(prog.loops[1].has_indirection());
+}
+
+TEST(Parser, Op2HpxCallShapeRecognised) {
+    auto prog = parse_program(R"(
+      op_par_loop("scale", cells, scale_kernel,
+                  op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    )");
+    ASSERT_EQ(prog.loops.size(), 1u);
+    EXPECT_EQ(prog.loops[0].name, "scale");
+    EXPECT_EQ(prog.loops[0].set, "cells");
+    EXPECT_EQ(prog.loops[0].kernel, "scale_kernel");
+}
+
+TEST(Parser, RawTextPreserved) {
+    auto prog = parse_program(kAirfoilSource);
+    EXPECT_EQ(prog.loops[0].args[0].raw,
+              "op_arg_dat(p_q, -1, OP_ID, 4, \"double\", OP_READ)");
+}
+
+TEST(Parser, IgnoresUnrelatedCode) {
+    auto prog = parse_program("int x = f(1, 2); double op_par = 3;");
+    EXPECT_TRUE(prog.loops.empty());
+    EXPECT_TRUE(prog.sets.empty());
+}
+
+TEST(Parser, CommentsDontConfuseScanner) {
+    auto prog = parse_program(R"(
+      // op_par_loop(fake, "fake", s, op_arg_dat(d, -1, OP_ID, 1, "d", OP_READ));
+      /* op_decl_set(1, "ghost"); */
+      op_set s = op_decl_set(10, "real");
+    )");
+    EXPECT_TRUE(prog.loops.empty());
+    ASSERT_EQ(prog.sets.size(), 1u);
+    EXPECT_EQ(prog.sets[0].name, "real");
+}
+
+TEST(Parser, WrongArityThrows) {
+    EXPECT_THROW(parse_program("op_decl_set(5);"), parse_error);
+    EXPECT_THROW(
+        parse_program(R"(op_par_loop(k, "n", s,
+                         op_arg_dat(d, -1, OP_ID, 1, "double")); )"),
+        parse_error);
+}
+
+TEST(Parser, UnknownAccessThrows) {
+    EXPECT_THROW(parse_program(R"(op_par_loop(k, "n", s,
+        op_arg_dat(d, -1, OP_ID, 1, "double", OP_BOGUS)); )"),
+                 parse_error);
+}
+
+TEST(Parser, NonIntegerIdxThrows) {
+    EXPECT_THROW(parse_program(R"(op_par_loop(k, "n", s,
+        op_arg_dat(d, idx_var, OP_ID, 1, "double", OP_READ)); )"),
+                 parse_error);
+}
+
+TEST(Parser, MissingNameStringThrows) {
+    EXPECT_THROW(parse_program(R"(op_par_loop(k, s, t,
+        op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ)); )"),
+                 parse_error);
+}
+
+TEST(Parser, UnterminatedCallThrows) {
+    EXPECT_THROW(parse_program("op_decl_set(5, \"x\""), parse_error);
+}
+
+TEST(Parser, ParseErrorCarriesLine) {
+    try {
+        parse_program("\n\n\nop_decl_set(5);");
+        FAIL() << "expected parse_error";
+    } catch (parse_error const& e) {
+        EXPECT_EQ(e.line(), 4u);
+    }
+}
+
+TEST(Parser, NestedParensInsideArgs) {
+    auto prog = parse_program(R"(
+      op_par_loop(k, "n", make_set(a, b),
+                  op_arg_dat(pick(d, e), -1, OP_ID, 1, "double", OP_READ));
+    )");
+    ASSERT_EQ(prog.loops.size(), 1u);
+    EXPECT_EQ(prog.loops[0].set, "make_set(a, b)");
+    EXPECT_EQ(prog.loops[0].args[0].dat, "pick(d, e)");
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <psim/machine.hpp>
+
+using psim::machine_model;
+
+TEST(Machine, BaseSpeedFullUpToCores) {
+    machine_model m;
+    EXPECT_DOUBLE_EQ(m.base_speed(1), 1.0);
+    EXPECT_DOUBLE_EQ(m.base_speed(8), 1.0);
+    EXPECT_DOUBLE_EQ(m.base_speed(16), 1.0);
+}
+
+TEST(Machine, BaseSpeedDropsInHtRegion) {
+    machine_model m;
+    EXPECT_LT(m.base_speed(17), 1.0);
+    EXPECT_LT(m.base_speed(32), m.base_speed(17));
+    // With all siblings busy, per-thread speed is smt_throughput / 2.
+    EXPECT_NEAR(m.base_speed(32), m.smt_throughput / 2.0, 1e-12);
+}
+
+TEST(Machine, TotalThroughputStillGrowsWithHt) {
+    machine_model m;
+    // HT threads are slower individually but add net throughput.
+    double const t16 = 16.0 * m.base_speed(16);
+    double const t32 = 32.0 * m.base_speed(32);
+    EXPECT_GT(t32, t16);
+    EXPECT_LT(t32, 2.0 * t16);  // far from 2x
+}
+
+TEST(Machine, BaseSpeedClampedAtMaxThreads) {
+    machine_model m;
+    EXPECT_DOUBLE_EQ(m.base_speed(64), m.base_speed(32));
+    EXPECT_EQ(m.max_threads(), 32);
+}
+
+TEST(Machine, JitterInterpolatesInHtRegion) {
+    machine_model m;
+    EXPECT_DOUBLE_EQ(m.jitter(8), m.jitter_sigma);
+    EXPECT_DOUBLE_EQ(m.jitter(16), m.jitter_sigma);
+    EXPECT_GT(m.jitter(24), m.jitter_sigma);
+    EXPECT_LT(m.jitter(24), m.jitter_sigma_smt);
+    EXPECT_DOUBLE_EQ(m.jitter(32), m.jitter_sigma_smt);
+}
+
+TEST(Machine, ForkCostGrowsLinearly) {
+    machine_model m;
+    double const f1 = m.fork_cost_us(1);
+    double const f16 = m.fork_cost_us(16);
+    double const f32 = m.fork_cost_us(32);
+    EXPECT_GT(f16, f1);
+    EXPECT_NEAR(f32 - f16, 16.0 * m.fork_per_thread_us, 1e-12);
+}
+
+TEST(Machine, BarrierCostGrowsLogarithmically) {
+    machine_model m;
+    double const b4 = m.barrier_cost_us(4);
+    double const b16 = m.barrier_cost_us(16);
+    double const b32 = m.barrier_cost_us(32);
+    EXPECT_GT(b16, b4);
+    // log2 growth: 16 -> 32 adds exactly one doubling.
+    EXPECT_NEAR(b32 - b16, m.barrier_log_us, 1e-12);
+}

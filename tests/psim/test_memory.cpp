@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <psim/memory.hpp>
+
+using psim::effective_block_us;
+using psim::memory_model;
+
+TEST(Memory, ZeroOrNegativeDistanceGivesNoReduction) {
+    memory_model mm;
+    EXPECT_DOUBLE_EQ(mm.stall_reduction(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(mm.stall_reduction(-5.0), 0.0);
+}
+
+TEST(Memory, SweetSpotNearFifteen) {
+    // Fig. 20: the paper's best distance for Airfoil-class loops is ~15.
+    memory_model mm;
+    double best_d = 0.0;
+    double best = -1.0;
+    for (double d = 1.0; d <= 256.0; d += 1.0) {
+        double const r = mm.stall_reduction(d);
+        if (r > best) {
+            best = r;
+            best_d = d;
+        }
+    }
+    EXPECT_GE(best_d, 8.0);
+    EXPECT_LE(best_d, 40.0);
+    EXPECT_GT(best, 0.5);
+}
+
+TEST(Memory, TinyDistanceWorseThanSweetSpot) {
+    memory_model mm;
+    EXPECT_LT(mm.stall_reduction(1.0), mm.stall_reduction(15.0));
+    // "the cost dominates the gains": overhead can push it negative.
+    EXPECT_LT(mm.stall_reduction(0.5), 0.2);
+}
+
+TEST(Memory, HugeDistanceApproachesZero) {
+    memory_model mm;
+    EXPECT_LT(mm.stall_reduction(500.0), 0.05);
+    EXPECT_LT(mm.stall_reduction(500.0), mm.stall_reduction(15.0));
+}
+
+TEST(Memory, ReductionBounded) {
+    memory_model mm;
+    for (double d : {0.1, 1.0, 5.0, 15.0, 50.0, 1000.0}) {
+        double const r = mm.stall_reduction(d);
+        EXPECT_GE(r, -0.25);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST(Memory, EffectiveBlockUnchangedWithoutPrefetch) {
+    memory_model mm;
+    EXPECT_DOUBLE_EQ(effective_block_us(20.0, 0.5, false, 15.0, mm), 20.0);
+}
+
+TEST(Memory, EffectiveBlockShrinksAtSweetSpot) {
+    memory_model mm;
+    double const eff = effective_block_us(20.0, 0.5, true, 15.0, mm);
+    EXPECT_LT(eff, 20.0);
+    EXPECT_GT(eff, 10.0);  // only the stall part can shrink
+}
+
+TEST(Memory, ComputeBoundLoopBarelyBenefits) {
+    memory_model mm;
+    double const eff = effective_block_us(20.0, 0.05, true, 15.0, mm);
+    EXPECT_GT(eff, 19.0);
+}
+
+TEST(Memory, MemoryBoundLoopBenefitsMost) {
+    memory_model mm;
+    double const low = effective_block_us(20.0, 0.2, true, 15.0, mm);
+    double const high = effective_block_us(20.0, 0.8, true, 15.0, mm);
+    EXPECT_LT(high, low);
+}

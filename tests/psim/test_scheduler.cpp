@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <psim/testbed.hpp>
+
+using namespace psim;
+
+namespace {
+
+sim_options opts(int threads, chunk_mode cm = chunk_mode::auto_chunk,
+                 int iters = 20) {
+    sim_options o;
+    o.threads = threads;
+    o.iterations = iters;
+    o.chunking = cm;
+    return o;
+}
+
+class SchedulerTest : public ::testing::Test {
+protected:
+    testbed tb = paper_testbed();
+};
+
+TEST_F(SchedulerTest, DeterministicForFixedSeed) {
+    auto o = opts(8);
+    auto a = simulate_dataflow(tb.machine, tb.airfoil, o);
+    auto b = simulate_dataflow(tb.machine, tb.airfoil, o);
+    EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+    EXPECT_EQ(a.tasks, b.tasks);
+    auto fa = simulate_fork_join(tb.machine, tb.airfoil, o);
+    auto fb = simulate_fork_join(tb.machine, tb.airfoil, o);
+    EXPECT_DOUBLE_EQ(fa.total_s, fb.total_s);
+}
+
+TEST_F(SchedulerTest, DifferentSeedDifferentNoiseSameScale) {
+    auto o1 = opts(16);
+    auto o2 = opts(16);
+    o2.seed = 777;
+    auto a = simulate_dataflow(tb.machine, tb.airfoil, o1);
+    auto b = simulate_dataflow(tb.machine, tb.airfoil, o2);
+    EXPECT_NE(a.total_s, b.total_s);
+    EXPECT_NEAR(a.total_s, b.total_s, 0.1 * a.total_s);
+}
+
+TEST_F(SchedulerTest, MoreThreadsFaster) {
+    double prev = 1e30;
+    for (int t : {1, 2, 4, 8, 16}) {
+        auto r = simulate_fork_join(tb.machine, tb.airfoil, opts(t));
+        EXPECT_LT(r.total_s, prev) << t << " threads";
+        prev = r.total_s;
+    }
+}
+
+TEST_F(SchedulerTest, SpeedupBoundedByThreadCount) {
+    auto t1 = simulate_fork_join(tb.machine, tb.airfoil, opts(1)).total_s;
+    for (int t : {2, 8, 16}) {
+        auto tt = simulate_fork_join(tb.machine, tb.airfoil, opts(t)).total_s;
+        EXPECT_LT(t1 / tt, static_cast<double>(t) * 1.05);
+        EXPECT_GT(t1 / tt, 1.0);
+    }
+}
+
+TEST_F(SchedulerTest, SingleThreadBackendsAgreeClosely) {
+    // At 1 thread there is nothing to overlap: dataflow == fork-join up
+    // to per-loop admin overheads (paper Fig. 15: same at 1 thread).
+    auto fj = simulate_fork_join(tb.machine, tb.airfoil,
+                                 opts(1, chunk_mode::omp_static));
+    auto df = simulate_dataflow(tb.machine, tb.airfoil,
+                                opts(1, chunk_mode::omp_static));
+    EXPECT_NEAR(df.total_s, fj.total_s, 0.02 * fj.total_s);
+}
+
+TEST_F(SchedulerTest, DataflowWinsAtHighThreadCounts) {
+    auto fj = simulate_fork_join(tb.machine, tb.airfoil,
+                                 opts(32, chunk_mode::omp_static));
+    auto df = simulate_dataflow(tb.machine, tb.airfoil,
+                                opts(32, chunk_mode::auto_chunk));
+    EXPECT_LT(df.total_s, fj.total_s);
+    // Paper: ~33%; accept a generous band around it.
+    double const gain = fj.total_s / df.total_s - 1.0;
+    EXPECT_GT(gain, 0.15);
+    EXPECT_LT(gain, 0.60);
+}
+
+TEST_F(SchedulerTest, PersistentChunkingBeatsDefaultParAt32) {
+    auto par = opts(32, chunk_mode::hpx_static);
+    par.chunk_pipelining = false;
+    auto base = simulate_dataflow(tb.machine, tb.airfoil, par);
+    auto pers = simulate_dataflow(tb.machine, tb.airfoil,
+                                  opts(32, chunk_mode::persistent));
+    double const gain = base.total_s / pers.total_s - 1.0;
+    EXPECT_GT(gain, 0.15);  // paper Fig. 17: ~40%
+}
+
+TEST_F(SchedulerTest, PrefetchingImprovesThroughput) {
+    auto o = opts(32, chunk_mode::persistent);
+    auto plain = simulate_dataflow(tb.machine, tb.airfoil, o);
+    o.prefetch = true;
+    o.prefetch_distance = 15.0;
+    auto pf = simulate_dataflow(tb.machine, tb.airfoil, o);
+    double const gain = plain.total_s / pf.total_s - 1.0;
+    EXPECT_GT(gain, 0.25);  // paper Fig. 18: ~45%
+    EXPECT_LT(gain, 0.70);
+}
+
+TEST_F(SchedulerTest, PrefetchDistanceSweetSpot) {
+    auto stream = stream_workload(10'000'000, 3);
+    auto bw_at = [&](double d) {
+        auto o = opts(32, chunk_mode::persistent, 3);
+        o.prefetch = true;
+        o.prefetch_distance = d;
+        return simulate_dataflow(tb.machine, stream, o).bandwidth_gbs();
+    };
+    double const tiny = bw_at(1.0);
+    double const sweet = bw_at(15.0);
+    double const huge = bw_at(200.0);
+    EXPECT_GT(sweet, tiny);
+    EXPECT_GT(sweet, huge);
+}
+
+TEST_F(SchedulerTest, PipeliningNeverSlower) {
+    auto np = opts(32, chunk_mode::persistent);
+    np.chunk_pipelining = false;
+    auto p = opts(32, chunk_mode::persistent);
+    p.chunk_pipelining = true;
+    auto rnp = simulate_dataflow(tb.machine, tb.airfoil, np);
+    auto rp = simulate_dataflow(tb.machine, tb.airfoil, p);
+    EXPECT_LE(rp.total_s, rnp.total_s * 1.001);
+}
+
+TEST_F(SchedulerTest, BusyFractionSane) {
+    for (int t : {1, 8, 32}) {
+        auto r = simulate_dataflow(tb.machine, tb.airfoil, opts(t));
+        EXPECT_GT(r.busy_frac, 0.0);
+        EXPECT_LE(r.busy_frac, 1.0 + 1e-9);
+    }
+}
+
+TEST_F(SchedulerTest, TaskCountsScaleWithChunking) {
+    auto coarse = simulate_dataflow(tb.machine, tb.airfoil,
+                                    opts(32, chunk_mode::hpx_static));
+    auto fine = simulate_dataflow(tb.machine, tb.airfoil,
+                                  opts(32, chunk_mode::auto_chunk));
+    EXPECT_GT(fine.tasks, coarse.tasks);
+}
+
+TEST_F(SchedulerTest, BytesStreamedIndependentOfSchedule) {
+    auto a = simulate_fork_join(tb.machine, tb.airfoil, opts(4));
+    auto b = simulate_dataflow(tb.machine, tb.airfoil, opts(8));
+    EXPECT_DOUBLE_EQ(a.bytes_streamed * 20.0 / 20.0, b.bytes_streamed);
+}
+
+TEST_F(SchedulerTest, ThreadCountClampedToMachine) {
+    auto r32 = simulate_dataflow(tb.machine, tb.airfoil, opts(32));
+    auto r64 = simulate_dataflow(tb.machine, tb.airfoil, opts(64));
+    EXPECT_DOUBLE_EQ(r32.total_s, r64.total_s);
+}
+
+TEST_F(SchedulerTest, HtKneeVisibleInScaling) {
+    // Speedup per added thread drops sharply after 16 threads.
+    auto t8 = simulate_dataflow(tb.machine, tb.airfoil, opts(8)).total_s;
+    auto t16 = simulate_dataflow(tb.machine, tb.airfoil, opts(16)).total_s;
+    auto t32 = simulate_dataflow(tb.machine, tb.airfoil, opts(32)).total_s;
+    double const eff_8_16 = t8 / t16 / 2.0;    // ideal = 1
+    double const eff_16_32 = t16 / t32 / 2.0;  // ideal = 1
+    EXPECT_GT(eff_8_16, 0.85);
+    EXPECT_LT(eff_16_32, 0.80);
+}
+
+TEST_F(SchedulerTest, PaperThreadCountsShape) {
+    auto ts = paper_thread_counts();
+    ASSERT_FALSE(ts.empty());
+    EXPECT_EQ(ts.front(), 1);
+    EXPECT_EQ(ts.back(), 32);
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+}  // namespace

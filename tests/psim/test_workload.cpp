@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include <psim/workload.hpp>
+
+using psim::airfoil_workload;
+using psim::stream_workload;
+using psim::workload;
+
+TEST(Workload, AirfoilHasFiveLoopClasses) {
+    auto w = airfoil_workload();
+    ASSERT_EQ(w.loops.size(), 5u);
+    EXPECT_EQ(w.loops[0].name, "save_soln");
+    EXPECT_EQ(w.loops[2].name, "res_calc");
+    EXPECT_EQ(w.loops[4].name, "update");
+}
+
+TEST(Workload, AirfoilIssueOrderIsNineLoops) {
+    // save + 2 x (adt, res, bres, update)
+    auto w = airfoil_workload();
+    ASSERT_EQ(w.issue_order.size(), 9u);
+    EXPECT_EQ(w.issue_order[0], 0);
+    EXPECT_EQ(w.issue_order[1], w.issue_order[5]);  // adt twice
+    EXPECT_EQ(w.issue_order[4], w.issue_order[8]);  // update twice
+}
+
+TEST(Workload, BlockCountsMatchMeshSizes) {
+    auto w = airfoil_workload(720'000, 1'500'000, 4'800, 128);
+    EXPECT_EQ(w.loops[0].blocks, (720'000u + 127u) / 128u);
+    EXPECT_EQ(w.loops[2].blocks, (1'500'000u + 127u) / 128u);
+    EXPECT_EQ(w.loops[3].blocks, (4'800u + 127u) / 128u);
+}
+
+TEST(Workload, DepsAreWellFormedAndAcyclicWithinIteration) {
+    auto w = airfoil_workload();
+    auto const p = static_cast<int>(w.issue_order.size());
+    for (auto const& d : w.intra_deps) {
+        ASSERT_GE(d.from, 0);
+        ASSERT_LT(d.from, p);
+        ASSERT_GE(d.to, 0);
+        ASSERT_LT(d.to, p);
+        // Intra-iteration deps must point forward in issue order — this
+        // is what makes sequential instance processing topological.
+        ASSERT_LT(d.from, d.to);
+    }
+    for (auto const& d : w.cross_deps) {
+        ASSERT_GE(d.from, 0);
+        ASSERT_LT(d.from, p);
+        ASSERT_GE(d.to, 0);
+        ASSERT_LT(d.to, p);
+    }
+}
+
+TEST(Workload, ResCalcIsColoured) {
+    auto w = airfoil_workload();
+    EXPECT_GT(w.loops[2].colors, 1);  // indirect increments need colours
+    EXPECT_EQ(w.loops[0].colors, 1);  // direct loops don't
+}
+
+TEST(Workload, SerialWorkPositiveAndDominatedByEdgeLoop) {
+    auto w = airfoil_workload();
+    EXPECT_GT(w.serial_work_us(), 0.0);
+    double res_work = static_cast<double>(w.loops[2].blocks) *
+                      w.loops[2].block_us * 2.0;  // res_calc runs twice
+    EXPECT_GT(res_work, 0.3 * w.serial_work_us());
+}
+
+TEST(Workload, PartSizeScalesBlockCost) {
+    auto w128 = airfoil_workload(720'000, 1'500'000, 4'800, 128);
+    auto w256 = airfoil_workload(720'000, 1'500'000, 4'800, 256);
+    EXPECT_NEAR(w256.loops[0].block_us, 2.0 * w128.loops[0].block_us, 1e-9);
+    EXPECT_LT(w256.loops[0].blocks, w128.loops[0].blocks);
+}
+
+TEST(Workload, StreamWorkloadGeometry) {
+    auto w = stream_workload(1'000'000, 3, 4096);
+    ASSERT_EQ(w.loops.size(), 1u);
+    EXPECT_EQ(w.loops[0].blocks, (1'000'000u + 4095u) / 4096u);
+    EXPECT_DOUBLE_EQ(w.loops[0].bytes_per_block, 4096.0 * 8.0 * 3.0);
+    EXPECT_GT(w.loops[0].mem_frac, 0.5);  // streams are memory-bound
+    ASSERT_EQ(w.cross_deps.size(), 1u);   // iterations chain
+}
+
+TEST(Workload, MoreContainersMoreMemoryBound) {
+    auto w1 = stream_workload(1'000'000, 1);
+    auto w8 = stream_workload(1'000'000, 8);
+    EXPECT_GT(w8.loops[0].mem_frac, w1.loops[0].mem_frac);
+    EXPECT_GT(w8.loops[0].block_us, w1.loops[0].block_us);
+}
