@@ -10,12 +10,14 @@
 // model (psim). A host-measured mini-Airfoil comparison (both backends on
 // this machine's core count) is appended as a functional sanity check.
 
+#include <cmath>
 #include <cstdio>
 
 #include <airfoil/app.hpp>
 #include <psim/testbed.hpp>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 int main() {
     using namespace benchutil;
@@ -51,11 +53,16 @@ int main() {
                 fj.final_rms);
     std::printf("  dataflow : %.4fs  (final rms %.6e)\n", hx.elapsed_s,
                 hx.final_rms);
-    std::printf("  backends agree: %s\n",
-                std::abs(fj.final_rms - hx.final_rms) <
-                        1e-9 * (1.0 + fj.final_rms)
-                    ? "yes"
-                    : "NO");
+    bool const agree = std::abs(fj.final_rms - hx.final_rms) <
+                       1e-9 * (1.0 + fj.final_rms);
+    std::printf("  backends agree: %s\n", agree ? "yes" : "NO");
     hpxlite::finalize();
+
+    // Host-measured rows of the perf trajectory (BENCH_op2.json).
+    benchutil::bench_log log("bench_fig15_exec_time");
+    log.add("fig15_host_fork_join", fj.elapsed_s, "s", "mini-airfoil 60x30x40");
+    log.add("fig15_host_dataflow", hx.elapsed_s, "s", "mini-airfoil 60x30x40");
+    log.add("fig15_host_backends_agree", agree ? 1.0 : 0.0, "bool");
+    log.write();
     return 0;
 }

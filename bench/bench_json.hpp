@@ -1,0 +1,130 @@
+#pragma once
+
+// Machine-readable perf-trajectory recorder. Every bench harness that
+// contributes to the trajectory appends its measurements to one file,
+// BENCH_op2.json (schema documented in bench/README.md), merging by
+// result name so re-runs replace stale rows instead of duplicating them.
+//
+// The format is deliberately line-oriented — one result object per line
+// inside "results": [...] — so the merge step only needs to scan lines,
+// not parse arbitrary JSON.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace benchutil {
+
+struct bench_entry {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+    std::string label;
+    std::string source;
+};
+
+class bench_log {
+public:
+    explicit bench_log(std::string source) : source_(std::move(source)) {}
+
+    void add(std::string name, double value, std::string unit,
+             std::string label = "") {
+        entries_.push_back({sanitize(std::move(name)), value,
+                            sanitize(std::move(unit)),
+                            sanitize(std::move(label)), source_});
+    }
+
+    /// Output path: $BENCH_OP2_JSON when set, else ./BENCH_op2.json.
+    static std::string path() {
+        if (char const* p = std::getenv("BENCH_OP2_JSON")) {
+            return p;
+        }
+        return "BENCH_op2.json";
+    }
+
+    /// Merge this run's entries into the trajectory file: rows from prior
+    /// runs survive unless a row with the same name is re-emitted now.
+    void write() const {
+        std::vector<std::string> kept = surviving_prior_rows();
+        std::ofstream out(path(), std::ios::trunc);
+        out << "{\n"
+            << "  \"schema\": \"op2hpx-bench-v1\",\n"
+            << "  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"results\": [\n";
+        bool first = true;
+        for (auto const& line : kept) {
+            out << (first ? "" : ",\n") << line;
+            first = false;
+        }
+        for (auto const& e : entries_) {
+            out << (first ? "" : ",\n") << format_row(e);
+            first = false;
+        }
+        out << "\n  ]\n}\n";
+        std::printf("[bench_json] wrote %zu result(s) to %s\n",
+                    entries_.size() + kept.size(), path().c_str());
+    }
+
+private:
+    static std::string sanitize(std::string s) {
+        for (auto& c : s) {
+            if (c == '"' || c == '\\' || c == '\n') {
+                c = '_';
+            }
+        }
+        return s;
+    }
+
+    static std::string format_row(bench_entry const& e) {
+        std::ostringstream os;
+        os << "    {\"name\": \"" << e.name << "\", \"value\": " << e.value
+           << ", \"unit\": \"" << e.unit << "\", \"label\": \"" << e.label
+           << "\", \"source\": \"" << e.source << "\"}";
+        return os.str();
+    }
+
+    /// Rows already in the file whose name this run does not re-emit.
+    [[nodiscard]] std::vector<std::string> surviving_prior_rows() const {
+        std::vector<std::string> kept;
+        std::ifstream in(path());
+        if (!in) {
+            return kept;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            auto const pos = line.find("{\"name\": \"");
+            if (pos == std::string::npos) {
+                continue;
+            }
+            std::string rest = line.substr(pos + 10);
+            std::string const name = rest.substr(0, rest.find('"'));
+            bool replaced = false;
+            for (auto const& e : entries_) {
+                if (e.name == name) {
+                    replaced = true;
+                    break;
+                }
+            }
+            if (!replaced) {
+                // Re-normalise: strip any trailing comma.
+                std::string row = line.substr(pos);
+                while (!row.empty() &&
+                       (row.back() == ',' || row.back() == ' ')) {
+                    row.pop_back();
+                }
+                kept.push_back("    " + row);
+            }
+        }
+        return kept;
+    }
+
+    std::string source_;
+    std::vector<bench_entry> entries_;
+};
+
+}  // namespace benchutil

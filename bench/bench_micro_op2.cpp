@@ -1,11 +1,22 @@
 // Microbenchmarks of the OP2 layer on this host: plan construction,
-// per-backend loop dispatch overhead, and a mini-Airfoil step.
+// per-backend loop dispatch overhead, the staged-vs-legacy argument
+// resolution paths of the execution engine, and a mini-Airfoil step.
+//
+// Running this binary (any build; Release with OP2HPX_BENCH_NATIVE=ON is
+// the meaningful configuration) writes/merges the machine-readable perf
+// trajectory file BENCH_op2.json — see bench/README.md for the schema.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
 
 #include <airfoil/app.hpp>
 #include <airfoil/mesh.hpp>
 #include <op2/op2.hpp>
+
+#include "bench_json.hpp"
 
 namespace {
 
@@ -14,6 +25,18 @@ airfoil::mesh const& bench_mesh() {
         airfoil::mesh_params p;
         p.nx = 60;
         p.ny = 30;
+        return airfoil::make_mesh(p);
+    }();
+    return m;
+}
+
+/// Larger mesh for the indirect resolution benches, so gather cost (not
+/// dispatch) dominates.
+airfoil::mesh const& gather_mesh() {
+    static airfoil::mesh m = [] {
+        airfoil::mesh_params p;
+        p.nx = 160;
+        p.ny = 80;
         return airfoil::make_mesh(p);
     }();
     return m;
@@ -35,6 +58,112 @@ void bm_plan_build(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_plan_build)->Arg(64)->Arg(128)->Arg(512);
+
+/// The headline engine microbenchmark: a res_calc-shaped indirect loop
+/// (4 indirect reads, 2 indirect increments) executed through
+///   Arg(0): the seed's per-element resolution (map load + multiply and a
+///           per-argument branch for every element), and
+///   Arg(1): the staged engine (plan gather tables + pointer bumping).
+/// The ratio of the two is the staged-engine speedup recorded in
+/// BENCH_op2.json as indirect_gather_speedup.
+void bm_indirect_resolution(benchmark::State& state) {
+    hpxlite::init();
+    auto const& m = gather_mesh();
+    auto edges = op2::op_decl_set(m.nedge, "edges");
+    auto nodes = op2::op_decl_set(m.nnode, "nodes");
+    auto cells = op2::op_decl_set(m.ncell, "cells");
+    auto pedge = op2::op_decl_map(edges, nodes, 2, m.pedge, "pedge");
+    auto pecell = op2::op_decl_map(edges, cells, 2, m.pecell, "pecell");
+    auto x = op2::op_decl_dat<double>(nodes, 2, "double", m.x, "x");
+    auto q = op2::op_decl_dat_zero<double>(cells, 4, "double", "q");
+    auto res = op2::op_decl_dat_zero<double>(cells, 4, "double", "res");
+
+    op2::loop_options opts;
+    opts.staged_gather = state.range(0) == 1;
+    for (auto _ : state) {
+        op2::op_par_loop_fork_join(
+            opts, "gather_scatter", edges,
+            [](double const* x1, double const* x2, double const* q1,
+               double const* q2, double* r1, double* r2) {
+                double const dx = x1[0] - x2[0];
+                double const dy = x1[1] - x2[1];
+                for (int d = 0; d < 4; ++d) {
+                    double const f = dx * q1[d] - dy * q2[d];
+                    r1[d] += f;
+                    r2[d] -= f;
+                }
+            },
+            op2::op_arg_dat(x, 0, pedge, 2, "double", op2::OP_READ),
+            op2::op_arg_dat(x, 1, pedge, 2, "double", op2::OP_READ),
+            op2::op_arg_dat(q, 0, pecell, 4, "double", op2::OP_READ),
+            op2::op_arg_dat(q, 1, pecell, 4, "double", op2::OP_READ),
+            op2::op_arg_dat(res, 0, pecell, 4, "double", op2::OP_INC),
+            op2::op_arg_dat(res, 1, pecell, 4, "double", op2::OP_INC));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(m.nedge));
+    state.SetLabel(opts.staged_gather ? "staged" : "legacy");
+}
+BENCHMARK(bm_indirect_resolution)->Arg(0)->Arg(1);
+
+/// Gather-dominated indirect loop (tiny kernel, two indirect reads and a
+/// direct write) — isolates pure argument-resolution cost, the thing the
+/// staged tables remove.
+void bm_indirect_gather(benchmark::State& state) {
+    hpxlite::init();
+    auto const& m = gather_mesh();
+    auto edges = op2::op_decl_set(m.nedge, "edges");
+    auto nodes = op2::op_decl_set(m.nnode, "nodes");
+    auto pedge = op2::op_decl_map(edges, nodes, 2, m.pedge, "pedge");
+    auto x = op2::op_decl_dat<double>(nodes, 2, "double", m.x, "x");
+    auto len = op2::op_decl_dat_zero<double>(edges, 2, "double", "len");
+
+    op2::loop_options opts;
+    opts.staged_gather = state.range(0) == 1;
+    for (auto _ : state) {
+        op2::op_par_loop_fork_join(
+            opts, "edge_len", edges,
+            [](double const* a, double const* b, double* s) {
+                s[0] = a[0] - b[0];
+                s[1] = a[1] - b[1];
+            },
+            op2::op_arg_dat(x, 0, pedge, 2, "double", op2::OP_READ),
+            op2::op_arg_dat(x, 1, pedge, 2, "double", op2::OP_READ),
+            op2::op_arg_dat(len, -1, op2::OP_ID, 2, "double", op2::OP_WRITE));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(m.nedge));
+    state.SetLabel(opts.staged_gather ? "staged" : "legacy");
+}
+BENCHMARK(bm_indirect_gather)->Arg(0)->Arg(1);
+
+/// Same comparison for a purely direct loop: Arg(1) takes the all-direct
+/// pointer-bump fast path, Arg(0) recomputes base + i*stride per element.
+void bm_direct_resolution(benchmark::State& state) {
+    hpxlite::init();
+    auto const& m = gather_mesh();
+    auto cells = op2::op_decl_set(m.ncell, "cells");
+    auto q = op2::op_decl_dat_zero<double>(cells, 4, "double", "q");
+    auto qold = op2::op_decl_dat_zero<double>(cells, 4, "double", "qold");
+
+    op2::loop_options opts;
+    opts.staged_gather = state.range(0) == 1;
+    for (auto _ : state) {
+        op2::op_par_loop_fork_join(
+            opts, "save_soln", cells,
+            [](double const* a, double* b) {
+                for (int d = 0; d < 4; ++d) {
+                    b[d] = a[d];
+                }
+            },
+            op2::op_arg_dat(q, -1, op2::OP_ID, 4, "double", op2::OP_READ),
+            op2::op_arg_dat(qold, -1, op2::OP_ID, 4, "double", op2::OP_WRITE));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(m.ncell));
+    state.SetLabel(opts.staged_gather ? "staged" : "legacy");
+}
+BENCHMARK(bm_direct_resolution)->Arg(0)->Arg(1);
 
 void bm_airfoil_step(benchmark::State& state) {
     hpxlite::init();
@@ -68,6 +197,62 @@ void bm_loop_dispatch_overhead(benchmark::State& state) {
 }
 BENCHMARK(bm_loop_dispatch_overhead);
 
+/// Console reporter that additionally collects every run so main() can
+/// derive speedups and write the trajectory file.
+class trajectory_collector : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(std::vector<Run> const& runs) override {
+        for (auto const& r : runs) {
+            real_ns_[r.benchmark_name()] = r.GetAdjustedRealTime();
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    [[nodiscard]] std::map<std::string, double> const& real_ns() const {
+        return real_ns_;
+    }
+
+private:
+    std::map<std::string, double> real_ns_;  // name -> real time (ns/iter)
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    trajectory_collector collector;
+    benchmark::RunSpecifiedBenchmarks(&collector);
+
+    benchutil::bench_log log("bench_micro_op2");
+    for (auto const& [name, ns] : collector.real_ns()) {
+        log.add(name, ns, "ns/iter");
+    }
+
+    auto speedup = [&](char const* what, std::string const& legacy,
+                       std::string const& staged) {
+        auto const& m = collector.real_ns();
+        auto l = m.find(legacy);
+        auto s = m.find(staged);
+        if (l == m.end() || s == m.end() || s->second <= 0.0) {
+            return;
+        }
+        double const ratio = l->second / s->second;
+        log.add(what, ratio, "x", "staged_vs_legacy");
+        std::printf("%-28s %.2fx  (legacy %.0f ns -> staged %.0f ns)\n", what,
+                    ratio, l->second, s->second);
+    };
+    std::printf("\n-- staged engine speedups --\n");
+    speedup("indirect_gather_speedup", "bm_indirect_gather/0",
+            "bm_indirect_gather/1");
+    speedup("indirect_rescalc_speedup", "bm_indirect_resolution/0",
+            "bm_indirect_resolution/1");
+    speedup("direct_path_speedup", "bm_direct_resolution/0",
+            "bm_direct_resolution/1");
+
+    log.write();
+    benchmark::Shutdown();
+    return 0;
+}

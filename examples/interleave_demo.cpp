@@ -20,55 +20,77 @@ int main() {
     op2::op_dat a = op2::op_decl_dat_zero<double>(cells, 1, "double", "a");
     op2::op_dat b = op2::op_decl_dat_zero<double>(cells, 1, "double", "b");
 
+    // Each loop stamps the order in which it *starts executing* (first
+    // kernel invocation). Within a chain the dataflow engine guarantees
+    // the second loop starts only after the first completed, so the
+    // start stamps are a race-free witness of the dependency order,
+    // while still showing the two chains interleaving freely.
     std::atomic<int> order{0};
-    std::array<int, 4> completed{};
+    std::array<std::atomic<int>, 4> started{};
 
     op2::loop_options opts;
     opts.part_size = 1024;
 
-    auto mark = [&](int slot) {
-        return [&completed, &order, slot] {
-            completed[static_cast<std::size_t>(slot)] =
-                order.fetch_add(1) + 1;
-        };
+    auto stamp = [&](int slot) {
+        auto& s = started[static_cast<std::size_t>(slot)];
+        int expected = 0;
+        // Claim the slot first, then draw the rank: only the winning
+        // element draws from `order`, so ranks stay a permutation of
+        // 1..4 even when many blocks of one loop start simultaneously.
+        if (s.load(std::memory_order_relaxed) == 0 &&
+            s.compare_exchange_strong(expected, -1)) {
+            s.store(order.fetch_add(1) + 1, std::memory_order_relaxed);
+        }
     };
 
     // Chain A: a = 1; a += 1  (dependent: must run in order)
     auto fa1 = op2::op_par_loop_hpx(
-        opts, "a_init", cells, [](double* x) { *x = 1.0; },
+        opts, "a_init", cells,
+        [&stamp](double* x) {
+            stamp(0);
+            *x = 1.0;
+        },
         op2::op_arg_dat(a, -1, op2::OP_ID, 1, "double", op2::OP_WRITE));
-    auto fa1m = fa1.then([m = mark(0)](auto&&) { m(); });
 
     auto fa2 = op2::op_par_loop_hpx(
-        opts, "a_inc", cells, [](double* x) { *x += 1.0; },
+        opts, "a_inc", cells,
+        [&stamp](double* x) {
+            stamp(1);
+            *x += 1.0;
+        },
         op2::op_arg_dat(a, -1, op2::OP_ID, 1, "double", op2::OP_RW));
-    auto fa2m = fa2.then([m = mark(1)](auto&&) { m(); });
 
     // Chain B: b = 10; b *= 2  (independent of chain A)
     auto fb1 = op2::op_par_loop_hpx(
-        opts, "b_init", cells, [](double* x) { *x = 10.0; },
+        opts, "b_init", cells,
+        [&stamp](double* x) {
+            stamp(2);
+            *x = 10.0;
+        },
         op2::op_arg_dat(b, -1, op2::OP_ID, 1, "double", op2::OP_WRITE));
-    auto fb1m = fb1.then([m = mark(2)](auto&&) { m(); });
 
     auto fb2 = op2::op_par_loop_hpx(
-        opts, "b_mul", cells, [](double* x) { *x *= 2.0; },
+        opts, "b_mul", cells,
+        [&stamp](double* x) {
+            stamp(3);
+            *x *= 2.0;
+        },
         op2::op_arg_dat(b, -1, op2::OP_ID, 1, "double", op2::OP_RW));
-    auto fb2m = fb2.then([m = mark(3)](auto&&) { m(); });
 
-    fa2m.wait();
-    fb2m.wait();
-    fa1m.wait();
-    fb1m.wait();
+    fa2.wait();
+    fb2.wait();
+    fa1.wait();
+    fb1.wait();
     op2::op_fence_all();
 
-    std::printf("completion order (1 = first):\n");
-    std::printf("  chain A: a=1 -> #%d,  a+=1 -> #%d\n", completed[0],
-                completed[1]);
-    std::printf("  chain B: b=10 -> #%d,  b*=2 -> #%d\n", completed[2],
-                completed[3]);
+    std::printf("start order (1 = first):\n");
+    std::printf("  chain A: a=1 -> #%d,  a+=1 -> #%d\n", started[0].load(),
+                started[1].load());
+    std::printf("  chain B: b=10 -> #%d,  b*=2 -> #%d\n", started[2].load(),
+                started[3].load());
     std::printf("invariants: A1 before A2: %s, B1 before B2: %s\n",
-                completed[0] < completed[1] ? "yes" : "NO",
-                completed[2] < completed[3] ? "yes" : "NO");
+                started[0].load() < started[1].load() ? "yes" : "NO",
+                started[2].load() < started[3].load() ? "yes" : "NO");
 
     double const a0 = a.view<double>()[0];
     double const b0 = b.view<double>()[0];

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <exception>
 #include <memory>
+#include <thread>
 #include <variant>
 
 #include <hpxlite/execution/chunkers.hpp>
@@ -172,13 +173,83 @@ lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
     return result;
 }
 
-/// Synchronous counterpart of bulk_async (helps the pool while waiting).
+/// Synchronous counterpart of bulk_async, used for every fork-join style
+/// sweep (op2's per-colour block sweeps in particular). Completion is
+/// tracked by an atomic latch on the caller's stack instead of a
+/// heap-allocated future/shared-state per sweep: the caller seeds
+/// `nsweeps` self-scheduling sweeper tasks (itself being one of them),
+/// each drains chunks off an atomic cursor and drops the latch once, and
+/// the caller helps the pool until the latch reaches zero.
 template <typename F>
 void bulk_sync(execution::parallel_policy const& pol, std::size_t n, F f) {
-    execution::parallel_task_policy tp;
-    tp.chunk = pol.chunk;
-    tp.pool = pol.pool;
-    bulk_async(tp, n, std::move(f)).get();
+    auto& pool = pol.pool != nullptr ? *pol.pool : hpxlite::get_pool();
+    if (n == 0) {
+        return;
+    }
+
+    chunk_plan const plan = resolve_chunk(pol.chunk, n, pool.size(), f);
+    std::size_t const begin = plan.probed;
+    if (begin >= n) {
+        return;
+    }
+    std::size_t const grain = plan.chunk > 0 ? plan.chunk : 1;
+    std::size_t const span = n - begin;
+    std::size_t const nchunks = (span + grain - 1) / grain;
+    // The caller sweeps too, so it only needs pool.size() helpers at most.
+    std::size_t const nsweeps = std::min(pool.size() + 1, nchunks);
+
+    struct latch_frame {
+        latch_frame(F& fn, std::size_t b, std::size_t end, std::size_t g,
+                    std::size_t sweeps)
+          : f(fn), begin(b), n(end), grain(g), remaining(sweeps) {}
+
+        F& f;
+        std::size_t const begin;
+        std::size_t const n;
+        std::size_t const grain;
+        std::atomic<std::size_t> next{0};   // self-scheduling chunk cursor
+        std::atomic<std::size_t> remaining; // completion latch
+        util::spinlock emtx;
+        std::exception_ptr error;
+
+        void sweep() noexcept {
+            for (;;) {
+                std::size_t const i =
+                    begin + next.fetch_add(grain, std::memory_order_relaxed);
+                if (i >= n) {
+                    break;
+                }
+                std::size_t const e = std::min(i + grain, n);
+                try {
+                    for (std::size_t k = i; k < e; ++k) {
+                        f(k);
+                    }
+                } catch (...) {
+                    std::lock_guard<util::spinlock> lk(emtx);
+                    if (!error) {
+                        error = std::current_exception();
+                    }
+                }
+            }
+            // Must be the last touch of the frame: once the latch hits
+            // zero the caller's stack frame may unwind.
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    };
+
+    latch_frame frame(f, begin, n, grain, nsweeps);
+    for (std::size_t w = 1; w < nsweeps; ++w) {
+        pool.submit([&frame] { frame.sweep(); });
+    }
+    frame.sweep();
+    while (frame.remaining.load(std::memory_order_acquire) != 0) {
+        if (!pool.run_one()) {
+            std::this_thread::yield();
+        }
+    }
+    if (frame.error) {
+        std::rethrow_exception(frame.error);
+    }
 }
 
 }  // namespace hpxlite::parallel::detail

@@ -3,27 +3,35 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include <hpxlite/threads/ws_deque.hpp>
 #include <hpxlite/util/spinlock.hpp>
 #include <hpxlite/util/unique_function.hpp>
 
 namespace hpxlite::threads {
 
-/// A fixed-size worker pool with per-worker queues and work stealing.
+/// A fixed-size worker pool with per-worker lock-free deques and work
+/// stealing.
 ///
 /// Design notes (see DESIGN.md):
-///  * Workers pop LIFO from their own queue (cache-friendly for nested
-///    spawns) and steal FIFO from victims (good for load balance).
+///  * Each worker owns a Chase–Lev deque: it pushes/pops LIFO at the
+///    bottom without locks (cache-friendly for nested spawns) and thieves
+///    steal FIFO from the top with a single CAS (good for load balance).
+///    External threads submit through a small spinlocked injection queue.
 ///  * `run_one()` lets *any* thread — worker or external — execute one
 ///    pending task. future::wait() uses it to "help" instead of blocking,
 ///    which is what makes nested waits deadlock-free even with one OS
 ///    thread in the pool.
-///  * Sleeping workers park on a condition variable; `submit` wakes one.
+///  * Idle workers park on a condition variable behind a sleeper count:
+///    `submit` only touches the mutex/condvar when a worker is actually
+///    asleep, so the steady-state submit path is lock-free, and parked
+///    workers use a proper predicate wait (no periodic polling).
 class thread_pool {
 public:
     using task_type = util::unique_function;
@@ -38,7 +46,7 @@ public:
     ~thread_pool();
 
     /// Schedule `t` for execution. Thread-safe. Tasks submitted from a
-    /// worker thread go to that worker's local queue.
+    /// worker thread go to that worker's own deque.
     void submit(task_type t);
 
     /// Execute one pending task if any is available.
@@ -64,8 +72,13 @@ public:
         return executed_.load(std::memory_order_relaxed);
     }
 
+    /// Workers currently parked on the sleep condvar (approximate).
+    [[nodiscard]] std::size_t sleeping_workers() const noexcept {
+        return sleepers_.load(std::memory_order_relaxed);
+    }
+
 private:
-    struct worker_queue {
+    struct injection_queue {
         util::spinlock mtx;
         std::deque<task_type> tasks;
     };
@@ -74,9 +87,10 @@ private:
     bool try_pop(std::size_t index, task_type& out);
     bool try_steal(std::size_t thief, task_type& out);
     bool try_pop_global(task_type& out);
+    void wake_one();
 
-    std::vector<std::unique_ptr<worker_queue>> queues_;
-    worker_queue global_queue_;
+    std::vector<std::unique_ptr<ws_deque<task_type>>> queues_;
+    injection_queue global_queue_;
 
     std::vector<std::thread> workers_;
 
@@ -86,7 +100,9 @@ private:
     std::mutex idle_mtx_;
     std::condition_variable idle_cv_;
 
+    std::atomic<std::size_t> queued_{0};   // enqueued, not yet dequeued
     std::atomic<std::size_t> pending_{0};  // queued + running
+    std::atomic<std::size_t> sleepers_{0};
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<bool> stop_{false};
 };

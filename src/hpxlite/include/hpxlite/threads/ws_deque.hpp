@@ -1,0 +1,147 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hpxlite::threads {
+
+/// Chase–Lev lock-free work-stealing deque (the formulation of Lê,
+/// Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
+/// Weak Memory Models", PPoPP'13), specialised to pointer-sized items.
+///
+/// Exactly one owner thread may call push()/pop() (bottom end, LIFO —
+/// cache-friendly for nested spawns); any number of thieves may call
+/// steal() (top end, FIFO — good for load balance). No operation takes a
+/// lock; the only synchronisation is one CAS on the contended
+/// pop-vs-steal race for the last item.
+///
+/// The ring buffer grows geometrically. Old rings must stay readable by
+/// in-flight thieves, so they are retired to a list owned by the deque
+/// and freed on destruction (a few KiB at worst — a deque that peaked at
+/// N items has retired at most 2N slots).
+template <typename T>
+class ws_deque {
+    static_assert(sizeof(T*) <= sizeof(void*));
+
+public:
+    explicit ws_deque(std::size_t initial_capacity = 256) {
+        // Ring indexing masks with cap-1, so the capacity must be a
+        // power of two; round odd requests up instead of corrupting.
+        rings_.push_back(std::make_unique<ring>(
+            std::bit_ceil(std::max<std::size_t>(2, initial_capacity))));
+        buf_.store(rings_.back().get(), std::memory_order_relaxed);
+    }
+
+    ws_deque(ws_deque const&) = delete;
+    ws_deque& operator=(ws_deque const&) = delete;
+
+    ~ws_deque() {
+        // The pool drains before tearing down workers; this handles the
+        // abnormal path so queued items never leak.
+        while (T* t = pop()) {
+            delete t;
+        }
+    }
+
+    /// Owner only. Takes ownership of `t`.
+    void push(T* t) {
+        std::int64_t const b = bottom_.load(std::memory_order_relaxed);
+        std::int64_t const top = top_.load(std::memory_order_acquire);
+        ring* a = buf_.load(std::memory_order_relaxed);
+        if (b - top > static_cast<std::int64_t>(a->cap) - 1) {
+            a = grow(a, top, b);
+        }
+        a->slot(b).store(t, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /// Owner only. nullptr when empty.
+    T* pop() {
+        std::int64_t const b = bottom_.load(std::memory_order_relaxed) - 1;
+        ring* const a = buf_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        T* x = nullptr;
+        if (t <= b) {
+            x = a->slot(b).load(std::memory_order_relaxed);
+            if (t == b) {
+                // Last item: race the thieves for it.
+                if (!top_.compare_exchange_strong(t, t + 1,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_relaxed)) {
+                    x = nullptr;  // a thief won
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+        } else {
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return x;
+    }
+
+    /// Any thread. nullptr when empty *or* when the CAS race was lost
+    /// (callers treat both as a miss and move to the next victim).
+    T* steal() {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t const b = bottom_.load(std::memory_order_acquire);
+        if (t >= b) {
+            return nullptr;
+        }
+        ring* const a = buf_.load(std::memory_order_acquire);
+        T* x = a->slot(t).load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return nullptr;
+        }
+        return x;
+    }
+
+    /// Approximate (racy) emptiness check, for spin heuristics only.
+    [[nodiscard]] bool empty() const noexcept {
+        return bottom_.load(std::memory_order_relaxed) <=
+               top_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct ring {
+        explicit ring(std::size_t n)
+          : cap(n), mask(n - 1), slots(new std::atomic<T*>[n]) {}
+        std::size_t const cap;
+        std::size_t const mask;
+        std::unique_ptr<std::atomic<T*>[]> slots;
+
+        std::atomic<T*>& slot(std::int64_t i) noexcept {
+            return slots[static_cast<std::size_t>(i) & mask];
+        }
+    };
+
+    /// Owner only (called from push). Copies the live range into a ring
+    /// of twice the capacity and publishes it; the old ring is retired,
+    /// not freed, because thieves may still be reading it.
+    ring* grow(ring* a, std::int64_t top, std::int64_t b) {
+        rings_.push_back(std::make_unique<ring>(a->cap * 2));
+        ring* const bigger = rings_.back().get();
+        for (std::int64_t i = top; i < b; ++i) {
+            bigger->slot(i).store(a->slot(i).load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+        }
+        buf_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    std::atomic<ring*> buf_{nullptr};
+    std::vector<std::unique_ptr<ring>> rings_;  // owner-mutated only
+};
+
+}  // namespace hpxlite::threads

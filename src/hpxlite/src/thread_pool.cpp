@@ -8,6 +8,10 @@ namespace {
 // Which pool (if any) the current OS thread belongs to, and its index.
 thread_local thread_pool const* tls_pool = nullptr;
 thread_local std::size_t tls_index = 0;
+
+// Yield-spins a worker performs after a fruitless sweep before parking.
+// Small: parking is cheap now that submit only signals actual sleepers.
+constexpr int kIdleSpins = 16;
 }  // namespace
 
 thread_pool::thread_pool(std::size_t num_threads) {
@@ -16,7 +20,7 @@ thread_pool::thread_pool(std::size_t num_threads) {
     }
     queues_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-        queues_.push_back(std::make_unique<worker_queue>());
+        queues_.push_back(std::make_unique<ws_deque<task_type>>());
     }
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
@@ -27,6 +31,11 @@ thread_pool::thread_pool(std::size_t num_threads) {
 thread_pool::~thread_pool() {
     wait_idle();
     stop_.store(true, std::memory_order_release);
+    {
+        // Taking the mutex orders the store against a worker that is
+        // between its final predicate check and the wait.
+        std::lock_guard<std::mutex> lk(sleep_mtx_);
+    }
     sleep_cv_.notify_all();
     for (auto& w : workers_) {
         w.join();
@@ -41,28 +50,42 @@ std::size_t thread_pool::worker_index() const noexcept {
     return tls_pool == this ? tls_index : workers_.size();
 }
 
+void thread_pool::wake_one() {
+    // seq_cst pairs with the worker's seq_cst sleeper registration: either
+    // we observe the sleeper (and notify), or the sleeper's later read of
+    // queued_ observes our enqueue (and it does not sleep).
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        {
+            // Empty critical section: a worker that passed its predicate
+            // check but has not entered wait() yet holds the mutex, so
+            // this cannot notify into the gap.
+            std::lock_guard<std::mutex> lk(sleep_mtx_);
+        }
+        sleep_cv_.notify_one();
+    }
+}
+
 void thread_pool::submit(task_type t) {
     assert(t);
     pending_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_seq_cst);
     if (on_worker_thread()) {
-        auto& q = *queues_[tls_index];
-        std::lock_guard<util::spinlock> lk(q.mtx);
-        q.tasks.push_back(std::move(t));
+        queues_[tls_index]->push(new task_type(std::move(t)));
     } else {
         std::lock_guard<util::spinlock> lk(global_queue_.mtx);
         global_queue_.tasks.push_back(std::move(t));
     }
-    sleep_cv_.notify_one();
+    wake_one();
 }
 
 bool thread_pool::try_pop(std::size_t index, task_type& out) {
-    auto& q = *queues_[index];
-    std::lock_guard<util::spinlock> lk(q.mtx);
-    if (q.tasks.empty()) {
+    task_type* p = queues_[index]->pop();
+    if (p == nullptr) {
         return false;
     }
-    out = std::move(q.tasks.back());  // LIFO for locality
-    q.tasks.pop_back();
+    out = std::move(*p);
+    delete p;
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
 }
 
@@ -70,11 +93,11 @@ bool thread_pool::try_steal(std::size_t thief, task_type& out) {
     std::size_t const n = queues_.size();
     for (std::size_t k = 1; k <= n; ++k) {
         std::size_t const victim = (thief + k) % n;
-        auto& q = *queues_[victim];
-        std::lock_guard<util::spinlock> lk(q.mtx);
-        if (!q.tasks.empty()) {
-            out = std::move(q.tasks.front());  // FIFO steal
-            q.tasks.pop_front();
+        task_type* p = queues_[victim]->steal();
+        if (p != nullptr) {
+            out = std::move(*p);
+            delete p;
+            queued_.fetch_sub(1, std::memory_order_relaxed);
             return true;
         }
     }
@@ -88,6 +111,7 @@ bool thread_pool::try_pop_global(task_type& out) {
     }
     out = std::move(global_queue_.tasks.front());
     global_queue_.tasks.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
 }
 
@@ -118,12 +142,34 @@ void thread_pool::worker_loop(std::size_t index) {
         if (run_one()) {
             continue;
         }
-        // Nothing found anywhere: park until new work arrives.
+        // Fruitless sweep: spin briefly (work may be in flight between a
+        // producer's counter bump and its push), then park.
+        bool retry = false;
+        for (int s = 0; s < kIdleSpins; ++s) {
+            if (queued_.load(std::memory_order_acquire) != 0 ||
+                stop_.load(std::memory_order_acquire)) {
+                retry = true;
+                break;
+            }
+            std::this_thread::yield();
+        }
+        if (retry) {
+            continue;
+        }
         std::unique_lock<std::mutex> lk(sleep_mtx_);
-        sleep_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        if (queued_.load(std::memory_order_seq_cst) != 0 ||
+            stop_.load(std::memory_order_acquire)) {
+            // Work (or shutdown) arrived between the sweep and
+            // registration; do not sleep.
+            sleepers_.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+        }
+        sleep_cv_.wait(lk, [this] {
             return stop_.load(std::memory_order_acquire) ||
-                   pending_.load(std::memory_order_acquire) != 0;
+                   queued_.load(std::memory_order_acquire) != 0;
         });
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
     tls_pool = nullptr;
 }

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -31,16 +32,35 @@ struct arg_ctx {
     int const* map = nullptr;    // mapping table (null for direct)
     int mapdim = 0;
     int idx = 0;
+    // staged gather table from the plan (indirect args; null -> fall back
+    // to per-element map resolution)
+    std::uint32_t const* stage = nullptr;
     bool gbl = false;
-    // prefetch geometry (direct args only)
-    std::size_t pf_dist_bytes = 0;   // lookahead in bytes
-    std::size_t pf_stride_elems = 1; // issue one prefetch per this many elems
+    // prefetch geometry
+    std::size_t pf_dist_bytes = 0;    // direct: lookahead in bytes
+    std::size_t pf_stride_elems = 1;  // direct: one prefetch per this many
+    std::size_t pf_ahead_elems = 0;   // indirect: map-ahead in elements
 };
 
 /// Backend-agnostic loop body: owns the kernel, the resolved argument
 /// contexts and the per-block global-reduction scratch. The backends
 /// differ only in *how* they distribute blocks over workers, which they
 /// inject through the `bulk` callable of execute().
+///
+/// run_block dispatches between two specialised paths chosen once per
+/// loop (not per element):
+///  * all-direct: every pointer advances by a constant stride, so the
+///    element loop is pure pointer bumps — no per-element, per-argument
+///    mode branches and no `base + i*stride` recompute;
+///  * staged: indirect pointers come from the plan's pre-resolved byte-
+///    offset tables (`base + off[i]`, no map load + multiply), direct
+///    pointers bump, and — the paper's headline prefetch technique,
+///    extended from direct to indirect operands — while executing element
+///    i the loop issues a software prefetch for the *target* of element
+///    i + distance through the same table (map-ahead prefetching).
+/// The seed's per-element branchy resolution is preserved as
+/// run_block_legacy behind loop_options::staged_gather == false; it is
+/// the benchmark baseline and a differential-test oracle.
 template <typename Kernel, std::size_t N>
 class loop_executor {
 public:
@@ -97,48 +117,18 @@ public:
 
     /// Execute one block of the plan (called from bulk).
     void run_block(op_plan const& plan, std::size_t blk) {
-        std::byte* ptrs[N];
-        std::size_t const b = plan.offset[blk];
-        std::size_t const e = b + plan.nelems[blk];
-
-        // Per-block pointers for global args.
-        std::byte* gblp[N];
-        for (std::size_t j = 0; j < N; ++j) {
-            if (ctx_[j].gbl) {
-                gblp[j] = scratch_[j].empty()
-                              ? args_[j].gbl_data
-                              : scratch_[j].data() +
-                                    blk * args_[j].gbl_elem_bytes *
-                                        static_cast<std::size_t>(args_[j].dim);
-            } else {
-                gblp[j] = nullptr;
-            }
+        if (!opts_.staged_gather) {
+            run_block_legacy(plan, blk);
+            return;
         }
-
-        bool const pf = opts_.prefetch;
-        for (std::size_t i = b; i < e; ++i) {
-            for (std::size_t j = 0; j < N; ++j) {
-                arg_ctx const& c = ctx_[j];
-                if (c.gbl) {
-                    ptrs[j] = gblp[j];
-                } else if (c.map != nullptr) {
-                    ptrs[j] =
-                        c.base +
-                        static_cast<std::size_t>(
-                            c.map[i * static_cast<std::size_t>(c.mapdim) +
-                                  static_cast<std::size_t>(c.idx)]) *
-                            c.stride;
-                } else {
-                    ptrs[j] = c.base + i * c.stride;
-                    if (pf && i % ctx_[j].pf_stride_elems == 0) {
-                        std::size_t const t = i * c.stride + c.pf_dist_bytes;
-                        if (t < dat_bytes_[j]) {
-                            prefetch_ro(c.base + t);
-                        }
-                    }
-                }
-            }
-            invoke_kernel(kernel_, ptrs);
+        if (all_direct_) {
+            opts_.prefetch ? run_block_direct<true>(plan, blk)
+                           : run_block_direct<false>(plan, blk);
+        } else if (all_indirect_staged_) {
+            opts_.prefetch ? run_block_staged<true>(plan, blk)
+                           : run_block_staged<false>(plan, blk);
+        } else {
+            run_block_mapped(plan, blk);
         }
     }
 
@@ -169,7 +159,213 @@ public:
     }
 
 private:
+    /// All-direct fast path: every pointer advances by a constant stride
+    /// (0 for globals), so the element loop carries no address arithmetic
+    /// beyond the bumps and no branches besides the loop condition.
+    template <bool Prefetch>
+    void run_block_direct(op_plan const& plan, std::size_t blk) {
+        std::byte* ptrs[N];
+        std::size_t step[N];
+        std::size_t const b = plan.offset[blk];
+        std::size_t const e = b + plan.nelems[blk];
+
+        std::byte* gblp[N];
+        resolve_gbl_ptrs(blk, gblp);
+        for (std::size_t j = 0; j < N; ++j) {
+            arg_ctx const& c = ctx_[j];
+            if (c.gbl) {
+                ptrs[j] = gblp[j];
+                step[j] = 0;
+            } else {
+                ptrs[j] = c.base + b * c.stride;
+                step[j] = c.stride;
+            }
+        }
+        for (std::size_t i = b; i < e; ++i) {
+            if constexpr (Prefetch) {
+                issue_direct_prefetch(i);
+            }
+            invoke_kernel(kernel_, ptrs);
+            for (std::size_t j = 0; j < N; ++j) {
+                ptrs[j] += step[j];
+            }
+        }
+    }
+
+    /// Staged path for loops whose every indirect argument has a gather
+    /// table (the overwhelmingly common case). All per-argument state
+    /// lives in local arrays whose address never escapes, so the
+    /// compiler keeps bases/tables in registers across the (inlined)
+    /// kernel call; per element a staged argument costs one 32-bit table
+    /// load and an add, and the only branches are on loop-invariant
+    /// `stg[j] != nullptr`, unrolled at compile time over j.
+    template <bool Prefetch>
+    void run_block_staged(op_plan const& plan, std::size_t blk) {
+        std::byte* ptrs[N];
+        std::byte* base[N];
+        std::uint32_t const* stg[N];
+        std::size_t step[N];
+        std::size_t pf_ahead[N];
+        std::size_t const b = plan.offset[blk];
+        std::size_t const e = b + plan.nelems[blk];
+        std::size_t const n = plan.set_size;
+
+        std::byte* gblp[N];
+        resolve_gbl_ptrs(blk, gblp);
+        for (std::size_t j = 0; j < N; ++j) {
+            arg_ctx const& c = ctx_[j];
+            base[j] = c.base;
+            stg[j] = c.stage;
+            pf_ahead[j] = c.pf_ahead_elems;
+            if (c.gbl) {
+                ptrs[j] = gblp[j];
+                step[j] = 0;
+            } else if (c.map == nullptr) {
+                ptrs[j] = c.base + b * c.stride;
+                step[j] = c.stride;
+            } else {
+                ptrs[j] = nullptr;  // resolved per element below
+                step[j] = 0;
+            }
+        }
+        for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t j = 0; j < N; ++j) {
+                if (stg[j] != nullptr) {
+                    ptrs[j] = base[j] + stg[j][i];
+                    if constexpr (Prefetch) {
+                        // Map-ahead: prefetch the indirect operand of the
+                        // element `pf_ahead` elements on, through the same
+                        // staged table (crossing into the next block is
+                        // fine — those are valid set elements).
+                        std::size_t const a = i + pf_ahead[j];
+                        if (a < n) {
+                            prefetch_ro(base[j] + stg[j][a]);
+                        }
+                    }
+                }
+            }
+            if constexpr (Prefetch) {
+                issue_direct_prefetch(i);
+            }
+            invoke_kernel(kernel_, ptrs);
+            for (std::size_t j = 0; j < N; ++j) {
+                ptrs[j] += step[j];
+            }
+        }
+    }
+
+    /// Mixed fallback for the rare loop with an un-staged indirect
+    /// argument (target dat beyond 32-bit offsets): staged tables where
+    /// available, per-element map resolution where not.
+    void run_block_mapped(op_plan const& plan, std::size_t blk) {
+        std::byte* ptrs[N];
+        std::size_t step[N];
+        std::size_t const b = plan.offset[blk];
+        std::size_t const e = b + plan.nelems[blk];
+
+        std::byte* gblp[N];
+        resolve_gbl_ptrs(blk, gblp);
+        for (std::size_t j = 0; j < N; ++j) {
+            arg_ctx const& c = ctx_[j];
+            if (c.gbl) {
+                ptrs[j] = gblp[j];
+                step[j] = 0;
+            } else if (c.map == nullptr) {
+                ptrs[j] = c.base + b * c.stride;
+                step[j] = c.stride;
+            } else {
+                ptrs[j] = nullptr;
+                step[j] = 0;
+            }
+        }
+        for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t j = 0; j < N; ++j) {
+                arg_ctx const& c = ctx_[j];
+                if (c.stage != nullptr) {
+                    ptrs[j] = c.base + c.stage[i];
+                } else if (c.map != nullptr) {
+                    ptrs[j] =
+                        c.base +
+                        static_cast<std::size_t>(
+                            c.map[i * static_cast<std::size_t>(c.mapdim) +
+                                  static_cast<std::size_t>(c.idx)]) *
+                            c.stride;
+                }
+            }
+            invoke_kernel(kernel_, ptrs);
+            for (std::size_t j = 0; j < N; ++j) {
+                ptrs[j] += step[j];
+            }
+        }
+    }
+
+    /// The seed's per-element resolution (branch per argument per
+    /// element, map load + multiply for indirect args). Benchmark
+    /// baseline and differential-test oracle; not used when
+    /// loop_options::staged_gather is on.
+    void run_block_legacy(op_plan const& plan, std::size_t blk) {
+        std::byte* ptrs[N];
+        std::size_t const b = plan.offset[blk];
+        std::size_t const e = b + plan.nelems[blk];
+
+        std::byte* gblp[N];
+        resolve_gbl_ptrs(blk, gblp);
+
+        bool const pf = opts_.prefetch;
+        for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t j = 0; j < N; ++j) {
+                arg_ctx const& c = ctx_[j];
+                if (c.gbl) {
+                    ptrs[j] = gblp[j];
+                } else if (c.map != nullptr) {
+                    ptrs[j] =
+                        c.base +
+                        static_cast<std::size_t>(
+                            c.map[i * static_cast<std::size_t>(c.mapdim) +
+                                  static_cast<std::size_t>(c.idx)]) *
+                            c.stride;
+                } else {
+                    ptrs[j] = c.base + i * c.stride;
+                    if (pf && i % c.pf_stride_elems == 0) {
+                        std::size_t const t = i * c.stride + c.pf_dist_bytes;
+                        if (t < dat_bytes_[j]) {
+                            prefetch_ro(c.base + t);
+                        }
+                    }
+                }
+            }
+            invoke_kernel(kernel_, ptrs);
+        }
+    }
+
+    void issue_direct_prefetch(std::size_t i) {
+        for (std::size_t j = 0; j < N; ++j) {
+            arg_ctx const& c = ctx_[j];
+            if (c.pf_dist_bytes != 0 && i % c.pf_stride_elems == 0) {
+                std::size_t const t = i * c.stride + c.pf_dist_bytes;
+                if (t < dat_bytes_[j]) {
+                    prefetch_ro(c.base + t);
+                }
+            }
+        }
+    }
+
+    void resolve_gbl_ptrs(std::size_t blk, std::byte* (&gblp)[N]) {
+        for (std::size_t j = 0; j < N; ++j) {
+            if (ctx_[j].gbl) {
+                gblp[j] = scratch_[j].empty()
+                              ? args_[j].gbl_data
+                              : scratch_[j].data() +
+                                    blk * args_[j].gbl_elem_bytes *
+                                        static_cast<std::size_t>(args_[j].dim);
+            } else {
+                gblp[j] = nullptr;
+            }
+        }
+    }
+
     void prepare_ctx() {
+        all_direct_ = true;
         for (std::size_t j = 0; j < N; ++j) {
             op_arg& a = args_[j];
             arg_ctx c;
@@ -181,9 +377,18 @@ private:
                            static_cast<std::size_t>(a.dat.dim());
                 dat_bytes_[j] = a.dat.set().size() * c.stride;
                 if (a.is_indirect()) {
+                    all_direct_ = false;
                     c.map = a.map.table().data();
                     c.mapdim = a.map.dim();
                     c.idx = a.idx;
+                    if (opts_.prefetch) {
+                        // Map-ahead distance in elements, derived from the
+                        // paper's cache-line distance factor.
+                        c.pf_ahead_elems = std::max<std::size_t>(
+                            1, opts_.prefetch_distance_factor *
+                                   hpxlite::cache_line_size /
+                                   std::max<std::size_t>(1, c.stride));
+                    }
                 } else if (opts_.prefetch) {
                     // One prefetch per cache line; lookahead expressed in
                     // cache lines (the paper's distance factor).
@@ -201,6 +406,23 @@ private:
 
     void setup(op_plan const& plan) {
         prepare_ctx();
+        // Bind each indirect argument to its staged table in the plan.
+        all_indirect_staged_ = true;
+        for (std::size_t j = 0; j < N; ++j) {
+            arg_ctx& c = ctx_[j];
+            if (c.map == nullptr) {
+                continue;
+            }
+            if (opts_.staged_gather) {
+                if (plan_stage const* st = plan.find_stage(
+                        args_[j].map.id(), c.idx, c.stride)) {
+                    c.stage = st->off.data();
+                }
+            }
+            if (c.stage == nullptr) {
+                all_indirect_staged_ = false;
+            }
+        }
         for (std::size_t j = 0; j < N; ++j) {
             op_arg& a = args_[j];
             scratch_[j].clear();
@@ -247,6 +469,8 @@ private:
     std::size_t dat_bytes_[N] = {};
     std::array<std::vector<std::byte>, N> scratch_;
     std::size_t nblocks_ = 0;
+    bool all_direct_ = true;
+    bool all_indirect_staged_ = false;
 };
 
 }  // namespace op2::detail

@@ -27,6 +27,12 @@ struct loop_options {
     /// prefetch_distance_factor; ~15 is the Airfoil sweet spot).
     std::size_t prefetch_distance_factor = 15;
 
+    /// Use the plan's staged gather tables (pre-resolved byte offsets)
+    /// for indirect arguments and pointer-bumping for direct ones. Off
+    /// reproduces the seed's per-element map resolution — kept for
+    /// differential testing and as the benchmark baseline.
+    bool staged_gather = true;
+
     /// Pool override; nullptr uses the global hpxlite pool.
     hpxlite::threads::thread_pool* pool = nullptr;
 };

@@ -10,13 +10,34 @@
 
 namespace op2 {
 
+/// Block size used when the caller passes part_size == 0 ("pick for me").
+/// plan_get normalises before keying the cache, so 0 and this value hit
+/// the same cached plan.
+inline constexpr std::size_t default_part_size = 128;
+
+/// Pre-resolved gather table for one indirect argument class of a loop:
+/// for every element of the iteration set, the byte offset of its target
+/// datum inside the dat's storage. The executor's inner loop reads
+/// `base + off[i]` instead of `base + map[i*mapdim+idx]*stride`, which
+/// removes one indexed load and one multiply per argument per element and
+/// turns the map traversal into a stream the hardware prefetcher likes.
+/// Tables are identified by (map, slot, stride); several op_args of one
+/// loop may share a table.
+struct plan_stage {
+    std::uint64_t map_id = 0;
+    int idx = 0;
+    std::size_t stride = 0;          // bytes per target-set element
+    std::vector<std::uint32_t> off;  // [set_size] byte offsets into the dat
+};
+
 /// An execution plan for one (set, args, part_size) combination:
-/// the iteration set partitioned into contiguous blocks, and the blocks
-/// greedily coloured so that no two blocks of the same colour touch the
-/// same target element through any mutating indirect argument. Blocks of
-/// one colour can run concurrently without atomics; colours execute in
-/// sequence. This reproduces the blockId/offset_b/nelem structure of the
-/// OP2-generated loop in Fig. 4 of the paper.
+/// the iteration set partitioned into contiguous blocks, the blocks
+/// coloured so that no two blocks of the same colour touch the same
+/// target element through any mutating indirect argument, and one staged
+/// gather table per indirect argument class. Blocks of one colour can run
+/// concurrently without atomics; colours execute in sequence. This
+/// reproduces the blockId/offset_b/nelem structure of the OP2-generated
+/// loop in Fig. 4 of the paper, plus OP2's staging (loc-map) tables.
 struct op_plan {
     std::size_t set_size = 0;
     std::size_t part_size = 0;
@@ -32,17 +53,37 @@ struct op_plan {
     /// True when any argument required conflict colouring.
     bool colored = false;
 
+    /// Staged gather tables, one per distinct (map, slot, stride) among
+    /// the loop's indirect args. A table can be absent when the target
+    /// dat is too large for 32-bit byte offsets; the executor then falls
+    /// back to per-element map resolution for that argument.
+    std::vector<plan_stage> stages;
+
     /// Blocks of colour c (ids into offset/nelems).
     [[nodiscard]] std::span<std::size_t const> blocks_of_color(
         std::size_t c) const {
         return {blkmap.data() + color_offset[c],
                 color_offset[c + 1] - color_offset[c]};
     }
+
+    /// The staged table for (map, slot, stride), or nullptr when absent.
+    [[nodiscard]] plan_stage const* find_stage(std::uint64_t map_id, int idx,
+                                               std::size_t stride) const
+        noexcept {
+        for (auto const& s : stages) {
+            if (s.map_id == map_id && s.idx == idx && s.stride == stride) {
+                return &s;
+            }
+        }
+        return nullptr;
+    }
 };
 
 /// Build (or fetch from the process-wide cache) the plan for executing
 /// `args` over `set` with the given block size. Plans are cached by
-/// (set, part_size, conflict-relevant maps), like op_plan_get in OP2.
+/// (set, normalised part_size, indirect argument classes), like
+/// op_plan_get in OP2. The cache is an unordered map sharded across
+/// independently locked stripes; lookups take a shared lock only.
 op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
                         std::size_t part_size);
 

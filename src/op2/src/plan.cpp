@@ -1,10 +1,11 @@
 #include <op2/plan.hpp>
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <tuple>
 #include <unordered_map>
@@ -13,136 +14,168 @@ namespace op2 {
 
 namespace {
 
-using conflict_ref = std::pair<op_map, int>;  // (map, slot)
+/// One indirect argument class of a loop: the (map, slot, stride) triple
+/// that identifies a staged gather table, plus whether any use of it
+/// mutates (OP_INC/OP_RW/OP_WRITE), which is what forces colouring.
+struct stage_ref {
+    op_map map;
+    int idx = 0;
+    std::size_t stride = 0;
+    bool mutating = false;
+};
 
-/// Distinct (map, slot) pairs of mutating indirect args.
-std::vector<conflict_ref> conflict_refs(std::span<op_arg const> args) {
-    std::vector<conflict_ref> refs;
+/// Distinct indirect argument classes of `args`, sorted by
+/// (map id, slot, stride) with mutating flags merged. One sort + linear
+/// merge instead of the old O(n^2) dedup scan, and computed exactly once
+/// per plan_get lookup.
+std::vector<stage_ref> collect_stage_refs(std::span<op_arg const> args) {
+    std::vector<stage_ref> refs;
+    refs.reserve(args.size());
     for (auto const& a : args) {
-        if (!a.needs_coloring()) {
+        if (!a.is_indirect()) {
             continue;
         }
-        bool dup = false;
-        for (auto const& r : refs) {
-            if (r.first == a.map && r.second == a.idx) {
-                dup = true;
-                break;
-            }
-        }
-        if (!dup) {
-            refs.emplace_back(a.map, a.idx);
+        std::size_t const stride =
+            a.dat.elem_bytes() * static_cast<std::size_t>(a.dat.dim());
+        refs.push_back({a.map, a.idx, stride, is_mutating(a.acc)});
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](stage_ref const& x, stage_ref const& y) {
+                  return std::make_tuple(x.map.id(), x.idx, x.stride) <
+                         std::make_tuple(y.map.id(), y.idx, y.stride);
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (out > 0 && refs[out - 1].map == refs[i].map &&
+            refs[out - 1].idx == refs[i].idx &&
+            refs[out - 1].stride == refs[i].stride) {
+            refs[out - 1].mutating |= refs[i].mutating;
+        } else {
+            refs[out++] = refs[i];
         }
     }
+    refs.resize(out);
     return refs;
 }
 
 struct plan_key {
-    std::uint64_t set_id;
-    std::size_t part_size;
-    std::vector<std::pair<std::uint64_t, int>> refs;  // (map id, slot)
+    std::uint64_t set_id = 0;
+    std::size_t part_size = 0;
+    // (map id, slot, stride, mutating) per indirect argument class.
+    std::vector<std::tuple<std::uint64_t, int, std::size_t, bool>> refs;
 
-    bool operator<(plan_key const& o) const {
-        return std::tie(set_id, part_size, refs) <
-               std::tie(o.set_id, o.part_size, o.refs);
+    bool operator==(plan_key const& o) const {
+        return set_id == o.set_id && part_size == o.part_size &&
+               refs == o.refs;
     }
 };
 
-std::mutex g_cache_mtx;
-std::map<plan_key, std::unique_ptr<op_plan>> g_cache;
-
-}  // namespace
-
-op_plan plan_build(op_set const& set, std::span<op_arg const> args,
-                   std::size_t part_size) {
-    if (!set.valid()) {
-        throw std::invalid_argument("plan_build: invalid set");
-    }
-    if (part_size == 0) {
-        part_size = 128;
-    }
-
-    op_plan plan;
-    plan.set_size = set.size();
-    plan.part_size = part_size;
-    std::size_t const n = set.size();
-    plan.nblocks = (n + part_size - 1) / part_size;
-    plan.offset.resize(plan.nblocks);
-    plan.nelems.resize(plan.nblocks);
-    for (std::size_t b = 0; b < plan.nblocks; ++b) {
-        plan.offset[b] = b * part_size;
-        plan.nelems[b] = std::min(part_size, n - plan.offset[b]);
-    }
-
-    auto refs = conflict_refs(args);
-    if (refs.empty() || plan.nblocks <= 1) {
-        plan.colored = false;
-        plan.ncolors = plan.nblocks == 0 ? 0 : 1;
-        plan.blkmap.resize(plan.nblocks);
-        for (std::size_t b = 0; b < plan.nblocks; ++b) {
-            plan.blkmap[b] = b;
+struct plan_key_hash {
+    std::size_t operator()(plan_key const& k) const noexcept {
+        std::uint64_t h = 0x9e3779b97f4a7c15ull;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        };
+        mix(k.set_id);
+        mix(k.part_size);
+        for (auto const& [id, idx, stride, mut] : k.refs) {
+            mix(id);
+            mix(static_cast<std::uint64_t>(idx));
+            mix(stride);
+            mix(mut ? 1 : 0);
         }
-        plan.color_offset = {0, plan.nblocks};
-        if (plan.nblocks == 0) {
-            plan.color_offset = {0};
-        }
-        return plan;
+        return static_cast<std::size_t>(h);
     }
+};
 
-    // Iterative greedy colouring (OP2-style): per round, a block joins the
-    // current colour iff none of its indirect targets was claimed by an
-    // earlier block in the same round.
+plan_key make_key(op_set const& set, std::size_t part_size,
+                  std::vector<stage_ref> const& refs) {
+    plan_key key;
+    key.set_id = set.id();
+    key.part_size = part_size;
+    key.refs.reserve(refs.size());
+    for (auto const& r : refs) {
+        key.refs.emplace_back(r.map.id(), r.idx, r.stride, r.mutating);
+    }
+    return key;
+}
+
+/// The plan cache: an unordered map sharded over independently locked
+/// stripes. Lookups (the common case once an application warms up) take a
+/// shared lock on one stripe only; concurrent loops on different
+/// (set, args) combinations do not contend at all.
+constexpr std::size_t kCacheShards = 16;
+
+struct cache_shard {
+    std::shared_mutex mtx;
+    std::unordered_map<plan_key, std::unique_ptr<op_plan>, plan_key_hash> map;
+};
+
+cache_shard g_shards[kCacheShards];
+
+cache_shard& shard_for(std::size_t hash) {
+    return g_shards[hash & (kCacheShards - 1)];
+}
+
+/// Single-pass block-conflict colouring. For every target element we keep
+/// a 64-bit mask of the colours already claimed by blocks touching it;
+/// a block ORs the masks of all its targets and takes the lowest free
+/// colour. One sweep over the set colours up to 64 colours (the old
+/// greedy scheme re-scanned the whole set once per colour); in the
+/// pathological >64-colour case another sweep handles the next 64.
+void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
     plan.colored = true;
 
-    // One mark array per distinct target set.
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> marks;
-    for (auto const& [mp, idx] : refs) {
-        (void)idx;
-        marks.try_emplace(mp.to().id(),
-                          std::vector<std::uint8_t>(mp.to().size(), 0));
+    // One mask array per distinct target set (conflicts are per target
+    // element, regardless of which map reached it).
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> masks;
+    for (auto const& r : color_refs) {
+        masks.try_emplace(r.map.to().id(),
+                          std::vector<std::uint64_t>(r.map.to().size(), 0));
     }
 
     std::vector<int> block_color(plan.nblocks, -1);
     std::size_t remaining = plan.nblocks;
-    int color = 0;
+    int base = 0;
+    int max_color = -1;
     while (remaining > 0) {
-        for (auto& [id, m] : marks) {
-            std::fill(m.begin(), m.end(), std::uint8_t{0});
+        for (auto& [id, m] : masks) {
+            std::fill(m.begin(), m.end(), std::uint64_t{0});
         }
         for (std::size_t b = 0; b < plan.nblocks; ++b) {
             if (block_color[b] != -1) {
                 continue;
             }
-            bool conflict = false;
-            for (auto const& [mp, idx] : refs) {
-                auto const& m = marks.at(mp.to().id());
-                for (std::size_t e = plan.offset[b];
-                     e < plan.offset[b] + plan.nelems[b]; ++e) {
-                    if (m[static_cast<std::size_t>(mp(e, idx))] != 0) {
-                        conflict = true;
-                        break;
-                    }
-                }
-                if (conflict) {
-                    break;
+            std::uint64_t used = 0;
+            for (auto const& r : color_refs) {
+                auto const& m = masks.at(r.map.to().id());
+                std::size_t const lo = plan.offset[b];
+                std::size_t const hi = lo + plan.nelems[b];
+                for (std::size_t e = lo; e < hi; ++e) {
+                    used |= m[static_cast<std::size_t>(r.map(e, r.idx))];
                 }
             }
-            if (conflict) {
-                continue;
+            if (used == ~std::uint64_t{0}) {
+                continue;  // all 64 colours of this sweep taken: next sweep
             }
-            block_color[b] = color;
+            int const c = std::countr_one(used);
+            block_color[b] = base + c;
+            max_color = std::max(max_color, base + c);
+            std::uint64_t const bit = std::uint64_t{1} << c;
+            for (auto const& r : color_refs) {
+                auto& m = masks.at(r.map.to().id());
+                std::size_t const lo = plan.offset[b];
+                std::size_t const hi = lo + plan.nelems[b];
+                for (std::size_t e = lo; e < hi; ++e) {
+                    m[static_cast<std::size_t>(r.map(e, r.idx))] |= bit;
+                }
+            }
             --remaining;
-            for (auto const& [mp, idx] : refs) {
-                auto& m = marks.at(mp.to().id());
-                for (std::size_t e = plan.offset[b];
-                     e < plan.offset[b] + plan.nelems[b]; ++e) {
-                    m[static_cast<std::size_t>(mp(e, idx))] = 1;
-                }
-            }
         }
-        ++color;
+        base += 64;
     }
 
-    plan.ncolors = static_cast<std::size_t>(color);
+    plan.ncolors = static_cast<std::size_t>(max_color + 1);
     plan.color_offset.assign(plan.ncolors + 1, 0);
     for (std::size_t b = 0; b < plan.nblocks; ++b) {
         ++plan.color_offset[static_cast<std::size_t>(block_color[b]) + 1];
@@ -156,40 +189,133 @@ op_plan plan_build(op_set const& set, std::span<op_arg const> args,
     for (std::size_t b = 0; b < plan.nblocks; ++b) {
         plan.blkmap[cursor[static_cast<std::size_t>(block_color[b])]++] = b;
     }
+}
+
+/// Build the staged gather tables: off[e] = map[e*dim+idx] * stride, the
+/// per-element byte offset the executor's inner loop reads directly.
+void build_stages(op_plan& plan, std::vector<stage_ref> const& refs) {
+    plan.stages.reserve(refs.size());
+    for (auto const& r : refs) {
+        // 32-bit offsets halve the table's cache footprint; dats beyond
+        // 4 GiB simply fall back to per-element map resolution.
+        if (r.map.to().size() * r.stride >
+            std::numeric_limits<std::uint32_t>::max()) {
+            continue;
+        }
+        plan_stage st;
+        st.map_id = r.map.id();
+        st.idx = r.idx;
+        st.stride = r.stride;
+        st.off.resize(plan.set_size);
+        int const* table = r.map.table().data();
+        auto const mapdim = static_cast<std::size_t>(r.map.dim());
+        auto const idx = static_cast<std::size_t>(r.idx);
+        for (std::size_t e = 0; e < plan.set_size; ++e) {
+            st.off[e] = static_cast<std::uint32_t>(
+                static_cast<std::size_t>(table[e * mapdim + idx]) * r.stride);
+        }
+        plan.stages.push_back(std::move(st));
+    }
+}
+
+op_plan plan_build_impl(op_set const& set, std::size_t part_size,
+                        std::vector<stage_ref> const& refs) {
+    op_plan plan;
+    plan.set_size = set.size();
+    plan.part_size = part_size;
+    std::size_t const n = set.size();
+    plan.nblocks = (n + part_size - 1) / part_size;
+    plan.offset.resize(plan.nblocks);
+    plan.nelems.resize(plan.nblocks);
+    for (std::size_t b = 0; b < plan.nblocks; ++b) {
+        plan.offset[b] = b * part_size;
+        plan.nelems[b] = std::min(part_size, n - plan.offset[b]);
+    }
+
+    build_stages(plan, refs);
+
+    std::vector<stage_ref> color_refs;
+    for (auto const& r : refs) {
+        if (r.mutating) {
+            color_refs.push_back(r);
+        }
+    }
+    if (color_refs.empty() || plan.nblocks <= 1) {
+        plan.colored = false;
+        plan.ncolors = plan.nblocks == 0 ? 0 : 1;
+        plan.blkmap.resize(plan.nblocks);
+        for (std::size_t b = 0; b < plan.nblocks; ++b) {
+            plan.blkmap[b] = b;
+        }
+        plan.color_offset = {0, plan.nblocks};
+        if (plan.nblocks == 0) {
+            plan.color_offset = {0};
+        }
+        return plan;
+    }
+
+    color_blocks(plan, color_refs);
     return plan;
+}
+
+}  // namespace
+
+op_plan plan_build(op_set const& set, std::span<op_arg const> args,
+                   std::size_t part_size) {
+    if (!set.valid()) {
+        throw std::invalid_argument("plan_build: invalid set");
+    }
+    if (part_size == 0) {
+        part_size = default_part_size;
+    }
+    return plan_build_impl(set, part_size, collect_stage_refs(args));
 }
 
 op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
                         std::size_t part_size) {
-    plan_key key;
-    key.set_id = set.id();
-    key.part_size = part_size;
-    for (auto const& [mp, idx] : conflict_refs(args)) {
-        key.refs.emplace_back(mp.id(), idx);
+    if (!set.valid()) {
+        throw std::invalid_argument("plan_get: invalid set");
     }
-    std::sort(key.refs.begin(), key.refs.end());
+    // Normalise *before* keying: part_size 0 and default_part_size are
+    // the same configuration and must share one cache entry.
+    if (part_size == 0) {
+        part_size = default_part_size;
+    }
+    auto const refs = collect_stage_refs(args);
+    plan_key key = make_key(set, part_size, refs);
+    std::size_t const hash = plan_key_hash{}(key);
+    cache_shard& shard = shard_for(hash);
 
     {
-        std::lock_guard<std::mutex> lk(g_cache_mtx);
-        auto it = g_cache.find(key);
-        if (it != g_cache.end()) {
+        std::shared_lock<std::shared_mutex> rd(shard.mtx);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
             return *it->second;
         }
     }
-    auto plan = std::make_unique<op_plan>(plan_build(set, args, part_size));
-    std::lock_guard<std::mutex> lk(g_cache_mtx);
-    auto [it, inserted] = g_cache.try_emplace(std::move(key), std::move(plan));
+    auto plan =
+        std::make_unique<op_plan>(plan_build_impl(set, part_size, refs));
+    std::unique_lock<std::shared_mutex> wr(shard.mtx);
+    // try_emplace keeps the first insertion if another thread raced us.
+    auto [it, inserted] = shard.map.try_emplace(std::move(key),
+                                                std::move(plan));
     return *it->second;
 }
 
 void plan_cache_clear() {
-    std::lock_guard<std::mutex> lk(g_cache_mtx);
-    g_cache.clear();
+    for (auto& shard : g_shards) {
+        std::unique_lock<std::shared_mutex> wr(shard.mtx);
+        shard.map.clear();
+    }
 }
 
 std::size_t plan_cache_size() {
-    std::lock_guard<std::mutex> lk(g_cache_mtx);
-    return g_cache.size();
+    std::size_t n = 0;
+    for (auto& shard : g_shards) {
+        std::shared_lock<std::shared_mutex> rd(shard.mtx);
+        n += shard.map.size();
+    }
+    return n;
 }
 
 }  // namespace op2
