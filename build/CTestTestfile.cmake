@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/hpxlite")
+subdirs("src/op2")
+subdirs("src/op2c")
+subdirs("src/psim")
+subdirs("src/airfoil")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_barrier.dir/bench_ablation_barrier.cpp.o"
+  "CMakeFiles/bench_ablation_barrier.dir/bench_ablation_barrier.cpp.o.d"
+  "bench_ablation_barrier"
+  "bench_ablation_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunker.dir/bench_ablation_chunker.cpp.o"
+  "CMakeFiles/bench_ablation_chunker.dir/bench_ablation_chunker.cpp.o.d"
+  "bench_ablation_chunker"
+  "bench_ablation_chunker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

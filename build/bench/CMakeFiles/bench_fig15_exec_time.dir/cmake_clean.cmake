@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_exec_time.dir/bench_fig15_exec_time.cpp.o"
+  "CMakeFiles/bench_fig15_exec_time.dir/bench_fig15_exec_time.cpp.o.d"
+  "bench_fig15_exec_time"
+  "bench_fig15_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

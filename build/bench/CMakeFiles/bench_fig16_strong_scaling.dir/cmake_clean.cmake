@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_strong_scaling.dir/bench_fig16_strong_scaling.cpp.o"
+  "CMakeFiles/bench_fig16_strong_scaling.dir/bench_fig16_strong_scaling.cpp.o.d"
+  "bench_fig16_strong_scaling"
+  "bench_fig16_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_chunking.dir/bench_fig17_chunking.cpp.o"
+  "CMakeFiles/bench_fig17_chunking.dir/bench_fig17_chunking.cpp.o.d"
+  "bench_fig17_chunking"
+  "bench_fig17_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

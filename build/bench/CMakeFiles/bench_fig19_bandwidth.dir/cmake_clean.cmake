@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_bandwidth.dir/bench_fig19_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig19_bandwidth.dir/bench_fig19_bandwidth.cpp.o.d"
+  "bench_fig19_bandwidth"
+  "bench_fig19_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dataflow.dir/bench_micro_dataflow.cpp.o"
+  "CMakeFiles/bench_micro_dataflow.dir/bench_micro_dataflow.cpp.o.d"
+  "bench_micro_dataflow"
+  "bench_micro_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

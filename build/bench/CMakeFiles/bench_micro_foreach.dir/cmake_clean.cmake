@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_foreach.dir/bench_micro_foreach.cpp.o"
+  "CMakeFiles/bench_micro_foreach.dir/bench_micro_foreach.cpp.o.d"
+  "bench_micro_foreach"
+  "bench_micro_foreach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_foreach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_future.dir/bench_micro_future.cpp.o"
+  "CMakeFiles/bench_micro_future.dir/bench_micro_future.cpp.o.d"
+  "bench_micro_future"
+  "bench_micro_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_op2.dir/bench_micro_op2.cpp.o"
+  "CMakeFiles/bench_micro_op2.dir/bench_micro_op2.cpp.o.d"
+  "bench_micro_op2"
+  "bench_micro_op2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

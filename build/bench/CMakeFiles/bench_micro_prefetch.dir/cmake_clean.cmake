@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_prefetch.dir/bench_micro_prefetch.cpp.o"
+  "CMakeFiles/bench_micro_prefetch.dir/bench_micro_prefetch.cpp.o.d"
+  "bench_micro_prefetch"
+  "bench_micro_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

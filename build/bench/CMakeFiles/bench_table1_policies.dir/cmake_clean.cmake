@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_policies.dir/bench_table1_policies.cpp.o"
+  "CMakeFiles/bench_table1_policies.dir/bench_table1_policies.cpp.o.d"
+  "bench_table1_policies"
+  "bench_table1_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

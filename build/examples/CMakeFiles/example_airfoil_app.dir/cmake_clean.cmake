@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_airfoil_app.dir/airfoil_app.cpp.o"
+  "CMakeFiles/example_airfoil_app.dir/airfoil_app.cpp.o.d"
+  "example_airfoil_app"
+  "example_airfoil_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_airfoil_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

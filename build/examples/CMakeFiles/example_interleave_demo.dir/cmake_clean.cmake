@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interleave_demo.dir/interleave_demo.cpp.o"
+  "CMakeFiles/example_interleave_demo.dir/interleave_demo.cpp.o.d"
+  "example_interleave_demo"
+  "example_interleave_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interleave_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_jacobi_mesh.dir/jacobi_mesh.cpp.o"
+  "CMakeFiles/example_jacobi_mesh.dir/jacobi_mesh.cpp.o.d"
+  "example_jacobi_mesh"
+  "example_jacobi_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_jacobi_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_jacobi_mesh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_prefetch_demo.dir/prefetch_demo.cpp.o"
+  "CMakeFiles/example_prefetch_demo.dir/prefetch_demo.cpp.o.d"
+  "example_prefetch_demo"
+  "example_prefetch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_prefetch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airfoil/src/app.cpp" "src/airfoil/CMakeFiles/airfoil.dir/src/app.cpp.o" "gcc" "src/airfoil/CMakeFiles/airfoil.dir/src/app.cpp.o.d"
+  "/root/repo/src/airfoil/src/mesh.cpp" "src/airfoil/CMakeFiles/airfoil.dir/src/mesh.cpp.o" "gcc" "src/airfoil/CMakeFiles/airfoil.dir/src/mesh.cpp.o.d"
+  "/root/repo/src/airfoil/src/mesh_io.cpp" "src/airfoil/CMakeFiles/airfoil.dir/src/mesh_io.cpp.o" "gcc" "src/airfoil/CMakeFiles/airfoil.dir/src/mesh_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfoil.dir/src/app.cpp.o"
+  "CMakeFiles/airfoil.dir/src/app.cpp.o.d"
+  "CMakeFiles/airfoil.dir/src/mesh.cpp.o"
+  "CMakeFiles/airfoil.dir/src/mesh.cpp.o.d"
+  "CMakeFiles/airfoil.dir/src/mesh_io.cpp.o"
+  "CMakeFiles/airfoil.dir/src/mesh_io.cpp.o.d"
+  "libairfoil.a"
+  "libairfoil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

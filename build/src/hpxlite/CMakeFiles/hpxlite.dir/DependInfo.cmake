@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpxlite/src/chunkers.cpp" "src/hpxlite/CMakeFiles/hpxlite.dir/src/chunkers.cpp.o" "gcc" "src/hpxlite/CMakeFiles/hpxlite.dir/src/chunkers.cpp.o.d"
+  "/root/repo/src/hpxlite/src/runtime.cpp" "src/hpxlite/CMakeFiles/hpxlite.dir/src/runtime.cpp.o" "gcc" "src/hpxlite/CMakeFiles/hpxlite.dir/src/runtime.cpp.o.d"
+  "/root/repo/src/hpxlite/src/thread_pool.cpp" "src/hpxlite/CMakeFiles/hpxlite.dir/src/thread_pool.cpp.o" "gcc" "src/hpxlite/CMakeFiles/hpxlite.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

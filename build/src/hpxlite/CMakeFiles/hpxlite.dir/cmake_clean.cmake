@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpxlite.dir/src/chunkers.cpp.o"
+  "CMakeFiles/hpxlite.dir/src/chunkers.cpp.o.d"
+  "CMakeFiles/hpxlite.dir/src/runtime.cpp.o"
+  "CMakeFiles/hpxlite.dir/src/runtime.cpp.o.d"
+  "CMakeFiles/hpxlite.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/hpxlite.dir/src/thread_pool.cpp.o.d"
+  "libhpxlite.a"
+  "libhpxlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpxlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2/src/dat.cpp" "src/op2/CMakeFiles/op2.dir/src/dat.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/dat.cpp.o.d"
+  "/root/repo/src/op2/src/map.cpp" "src/op2/CMakeFiles/op2.dir/src/map.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/map.cpp.o.d"
+  "/root/repo/src/op2/src/plan.cpp" "src/op2/CMakeFiles/op2.dir/src/plan.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/plan.cpp.o.d"
+  "/root/repo/src/op2/src/runtime.cpp" "src/op2/CMakeFiles/op2.dir/src/runtime.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/runtime.cpp.o.d"
+  "/root/repo/src/op2/src/set.cpp" "src/op2/CMakeFiles/op2.dir/src/set.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/set.cpp.o.d"
+  "/root/repo/src/op2/src/timing.cpp" "src/op2/CMakeFiles/op2.dir/src/timing.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2.dir/src/dat.cpp.o"
+  "CMakeFiles/op2.dir/src/dat.cpp.o.d"
+  "CMakeFiles/op2.dir/src/map.cpp.o"
+  "CMakeFiles/op2.dir/src/map.cpp.o.d"
+  "CMakeFiles/op2.dir/src/plan.cpp.o"
+  "CMakeFiles/op2.dir/src/plan.cpp.o.d"
+  "CMakeFiles/op2.dir/src/runtime.cpp.o"
+  "CMakeFiles/op2.dir/src/runtime.cpp.o.d"
+  "CMakeFiles/op2.dir/src/set.cpp.o"
+  "CMakeFiles/op2.dir/src/set.cpp.o.d"
+  "CMakeFiles/op2.dir/src/timing.cpp.o"
+  "CMakeFiles/op2.dir/src/timing.cpp.o.d"
+  "libop2.a"
+  "libop2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libop2.a"
+)

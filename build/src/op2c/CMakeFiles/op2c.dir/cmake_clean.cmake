@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2c.dir/src/main.cpp.o"
+  "CMakeFiles/op2c.dir/src/main.cpp.o.d"
+  "op2c"
+  "op2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for op2c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2c/src/codegen.cpp" "src/op2c/CMakeFiles/op2c_lib.dir/src/codegen.cpp.o" "gcc" "src/op2c/CMakeFiles/op2c_lib.dir/src/codegen.cpp.o.d"
+  "/root/repo/src/op2c/src/lexer.cpp" "src/op2c/CMakeFiles/op2c_lib.dir/src/lexer.cpp.o" "gcc" "src/op2c/CMakeFiles/op2c_lib.dir/src/lexer.cpp.o.d"
+  "/root/repo/src/op2c/src/parser.cpp" "src/op2c/CMakeFiles/op2c_lib.dir/src/parser.cpp.o" "gcc" "src/op2c/CMakeFiles/op2c_lib.dir/src/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2c_lib.dir/src/codegen.cpp.o"
+  "CMakeFiles/op2c_lib.dir/src/codegen.cpp.o.d"
+  "CMakeFiles/op2c_lib.dir/src/lexer.cpp.o"
+  "CMakeFiles/op2c_lib.dir/src/lexer.cpp.o.d"
+  "CMakeFiles/op2c_lib.dir/src/parser.cpp.o"
+  "CMakeFiles/op2c_lib.dir/src/parser.cpp.o.d"
+  "libop2c_lib.a"
+  "libop2c_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2c_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psim/src/machine.cpp" "src/psim/CMakeFiles/psim.dir/src/machine.cpp.o" "gcc" "src/psim/CMakeFiles/psim.dir/src/machine.cpp.o.d"
+  "/root/repo/src/psim/src/memory.cpp" "src/psim/CMakeFiles/psim.dir/src/memory.cpp.o" "gcc" "src/psim/CMakeFiles/psim.dir/src/memory.cpp.o.d"
+  "/root/repo/src/psim/src/scheduler.cpp" "src/psim/CMakeFiles/psim.dir/src/scheduler.cpp.o" "gcc" "src/psim/CMakeFiles/psim.dir/src/scheduler.cpp.o.d"
+  "/root/repo/src/psim/src/testbed.cpp" "src/psim/CMakeFiles/psim.dir/src/testbed.cpp.o" "gcc" "src/psim/CMakeFiles/psim.dir/src/testbed.cpp.o.d"
+  "/root/repo/src/psim/src/workload.cpp" "src/psim/CMakeFiles/psim.dir/src/workload.cpp.o" "gcc" "src/psim/CMakeFiles/psim.dir/src/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

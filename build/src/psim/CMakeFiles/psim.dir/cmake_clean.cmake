@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psim.dir/src/machine.cpp.o"
+  "CMakeFiles/psim.dir/src/machine.cpp.o.d"
+  "CMakeFiles/psim.dir/src/memory.cpp.o"
+  "CMakeFiles/psim.dir/src/memory.cpp.o.d"
+  "CMakeFiles/psim.dir/src/scheduler.cpp.o"
+  "CMakeFiles/psim.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/psim.dir/src/testbed.cpp.o"
+  "CMakeFiles/psim.dir/src/testbed.cpp.o.d"
+  "CMakeFiles/psim.dir/src/workload.cpp.o"
+  "CMakeFiles/psim.dir/src/workload.cpp.o.d"
+  "libpsim.a"
+  "libpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

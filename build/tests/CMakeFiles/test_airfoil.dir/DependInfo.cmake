@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/airfoil/test_airfoil_app.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_app.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_app.cpp.o.d"
+  "/root/repo/tests/airfoil/test_airfoil_kernels.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_kernels.cpp.o.d"
+  "/root/repo/tests/airfoil/test_mesh.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_mesh.cpp.o.d"
+  "/root/repo/tests/airfoil/test_mesh_io.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_mesh_io.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_mesh_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_app.cpp.o"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_app.cpp.o.d"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_kernels.cpp.o"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_airfoil_kernels.cpp.o.d"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_mesh.cpp.o"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_mesh.cpp.o.d"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_mesh_io.cpp.o"
+  "CMakeFiles/test_airfoil.dir/airfoil/test_mesh_io.cpp.o.d"
+  "test_airfoil"
+  "test_airfoil.pdb"
+  "test_airfoil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpxlite/test_chunkers.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_chunkers.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_chunkers.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_dataflow.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_dataflow.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_dataflow.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_for_each.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_for_each.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_for_each.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_for_loop.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_for_loop.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_for_loop.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_future.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_future.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_future.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_irange.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_irange.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_irange.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_prefetcher.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_prefetcher.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_prefetcher.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_spinlock.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_spinlock.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_spinlock.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_sync.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_sync.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_thread_pool.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_transform_reduce.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_transform_reduce.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_transform_reduce.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_unique_function.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_unique_function.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_unique_function.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_when_all.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_when_all.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_when_all.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_ws_deque.cpp" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_ws_deque.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite.dir/hpxlite/test_ws_deque.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

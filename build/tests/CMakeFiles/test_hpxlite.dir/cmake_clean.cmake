@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_chunkers.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_chunkers.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_dataflow.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_dataflow.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_for_each.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_for_each.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_for_loop.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_for_loop.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_future.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_future.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_irange.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_irange.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_prefetcher.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_prefetcher.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_spinlock.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_spinlock.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_sync.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_sync.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_thread_pool.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_thread_pool.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_transform_reduce.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_transform_reduce.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_unique_function.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_unique_function.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_when_all.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_when_all.cpp.o.d"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_ws_deque.cpp.o"
+  "CMakeFiles/test_hpxlite.dir/hpxlite/test_ws_deque.cpp.o.d"
+  "test_hpxlite"
+  "test_hpxlite.pdb"
+  "test_hpxlite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpxlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_airfoil_pipeline.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_airfoil_pipeline.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_random_loops.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_random_loops.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_staged_differential.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_staged_differential.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/op2/test_arg.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_arg.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_arg.cpp.o.d"
+  "/root/repo/tests/op2/test_kernel_traits.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_kernel_traits.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_kernel_traits.cpp.o.d"
+  "/root/repo/tests/op2/test_par_loop_fork_join.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop_fork_join.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop_fork_join.cpp.o.d"
+  "/root/repo/tests/op2/test_par_loop_hpx.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop_hpx.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop_hpx.cpp.o.d"
+  "/root/repo/tests/op2/test_par_loop_seq.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop_seq.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop_seq.cpp.o.d"
+  "/root/repo/tests/op2/test_plan.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_plan.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_plan.cpp.o.d"
+  "/root/repo/tests/op2/test_plan_stage.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_plan_stage.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_plan_stage.cpp.o.d"
+  "/root/repo/tests/op2/test_set_map_dat.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o.d"
+  "/root/repo/tests/op2/test_timing.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_timing.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2.dir/op2/test_arg.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_arg.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_kernel_traits.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_kernel_traits.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop_fork_join.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop_fork_join.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop_hpx.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop_hpx.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop_seq.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop_seq.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_plan.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_plan.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_plan_stage.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_plan_stage.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_timing.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_timing.cpp.o.d"
+  "test_op2"
+  "test_op2.pdb"
+  "test_op2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/op2c/test_codegen.cpp" "tests/CMakeFiles/test_op2c.dir/op2c/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/test_op2c.dir/op2c/test_codegen.cpp.o.d"
+  "/root/repo/tests/op2c/test_lexer.cpp" "tests/CMakeFiles/test_op2c.dir/op2c/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/test_op2c.dir/op2c/test_lexer.cpp.o.d"
+  "/root/repo/tests/op2c/test_parser.cpp" "tests/CMakeFiles/test_op2c.dir/op2c/test_parser.cpp.o" "gcc" "tests/CMakeFiles/test_op2c.dir/op2c/test_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/op2c/CMakeFiles/op2c_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2c.dir/op2c/test_codegen.cpp.o"
+  "CMakeFiles/test_op2c.dir/op2c/test_codegen.cpp.o.d"
+  "CMakeFiles/test_op2c.dir/op2c/test_lexer.cpp.o"
+  "CMakeFiles/test_op2c.dir/op2c/test_lexer.cpp.o.d"
+  "CMakeFiles/test_op2c.dir/op2c/test_parser.cpp.o"
+  "CMakeFiles/test_op2c.dir/op2c/test_parser.cpp.o.d"
+  "test_op2c"
+  "test_op2c.pdb"
+  "test_op2c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/psim/test_machine.cpp" "tests/CMakeFiles/test_psim.dir/psim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_psim.dir/psim/test_machine.cpp.o.d"
+  "/root/repo/tests/psim/test_memory.cpp" "tests/CMakeFiles/test_psim.dir/psim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_psim.dir/psim/test_memory.cpp.o.d"
+  "/root/repo/tests/psim/test_scheduler.cpp" "tests/CMakeFiles/test_psim.dir/psim/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_psim.dir/psim/test_scheduler.cpp.o.d"
+  "/root/repo/tests/psim/test_workload.cpp" "tests/CMakeFiles/test_psim.dir/psim/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_psim.dir/psim/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psim/CMakeFiles/psim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

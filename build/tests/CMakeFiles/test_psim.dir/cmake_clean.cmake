@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psim.dir/psim/test_machine.cpp.o"
+  "CMakeFiles/test_psim.dir/psim/test_machine.cpp.o.d"
+  "CMakeFiles/test_psim.dir/psim/test_memory.cpp.o"
+  "CMakeFiles/test_psim.dir/psim/test_memory.cpp.o.d"
+  "CMakeFiles/test_psim.dir/psim/test_scheduler.cpp.o"
+  "CMakeFiles/test_psim.dir/psim/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_psim.dir/psim/test_workload.cpp.o"
+  "CMakeFiles/test_psim.dir/psim/test_workload.cpp.o.d"
+  "test_psim"
+  "test_psim.pdb"
+  "test_psim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_hpxlite[1]_include.cmake")
+include("/root/repo/build/tests/test_op2[1]_include.cmake")
+include("/root/repo/build/tests/test_op2c[1]_include.cmake")
+include("/root/repo/build/tests/test_psim[1]_include.cmake")
+include("/root/repo/build/tests/test_airfoil[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
