@@ -1,0 +1,197 @@
+// Dependency-tracking overhead of the dataflow engine: the epoch-based
+// intrusive graph (op2/exec/dataflow.hpp) vs PR 1's future-chain
+// machinery (one shared future chained per dat per loop, when_all +
+// continuation shared-states per issue), on a dependent RW loop chain —
+// the shape of airfoil's time-march. Both variants execute the *same*
+// staged executor over the *same* cached plan; only the dependency layer
+// differs, so the ratio isolates exactly what this PR replaced.
+//
+// Emits into BENCH_op2.json (schema op2hpx-bench-v1):
+//   dataflow_chain_epoch           ns per loop, epoch-based engine
+//   dataflow_chain_future_baseline ns per loop, PR 1 future chains
+//   dataflow_chain_speedup         x, epoch vs future-chain
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include <hpxlite/hpxlite.hpp>
+#include <hpxlite/lcos/when_all.hpp>
+#include <op2/op2.hpp>
+
+#include "bench_json.hpp"
+
+using namespace op2;
+
+namespace {
+
+// Small loops: the chain's cost is dominated by issue + dependency
+// resolution + completion hand-off, which is precisely the machinery the
+// epoch engine replaced. (With big loop bodies both variants converge on
+// kernel time and the comparison measures nothing.)
+constexpr std::size_t kElems = 256;
+constexpr int kChainLen = 16;  // dependent loops per chain (>= 8)
+constexpr int kChains = 400;   // repetitions measured
+constexpr int kWarmup = 50;
+
+/// PR 1's dependency layer, verbatim in miniature: a per-dat record of
+/// shared futures, when_all over the collected dependencies, and a
+/// continuation that runs the staged executor. Kept here as the
+/// benchmark baseline after the engine moved to epoch records.
+namespace future_chain {
+
+struct dep_rec {
+    hpxlite::util::spinlock mtx;
+    hpxlite::shared_future<void> last_write;
+    std::vector<hpxlite::shared_future<void>> readers;
+};
+
+template <typename Kernel, typename... Args>
+hpxlite::shared_future<void> par_loop(loop_options const& opts,
+                                      char const* name, op_set set,
+                                      dep_rec& rec, bool write, Kernel kernel,
+                                      Args... args) {
+    constexpr std::size_t n = sizeof...(Args);
+    auto ex = std::make_shared<op2::detail::loop_executor<Kernel, n>>(
+        std::move(set), std::array<op_arg, n>{std::move(args)...},
+        std::move(kernel), opts);
+    ex->validate(name);
+    op_plan const& plan = plan_get(ex->set(), ex->args(), opts.part_size);
+
+    std::vector<hpxlite::shared_future<void>> deps;
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(rec.mtx);
+        if (write) {
+            if (rec.last_write.valid()) {
+                deps.push_back(rec.last_write);  // WAW
+            }
+            for (auto const& r : rec.readers) {
+                deps.push_back(r);  // WAR
+            }
+        } else if (rec.last_write.valid()) {
+            deps.push_back(rec.last_write);  // RAW
+        }
+    }
+
+    auto policy = hpxlite::execution::par.with(opts.chunk);
+    auto body =
+        hpxlite::when_all(std::move(deps))
+            .then([ex, policy, plan_ptr = &plan](
+                      hpxlite::future<
+                          std::vector<hpxlite::shared_future<void>>>&& ready) {
+                for (auto& dep : ready.get()) {
+                    dep.get();
+                }
+                ex->execute(*plan_ptr,
+                            [&](std::span<std::size_t const> blocks) {
+                                hpxlite::parallel::for_loop(
+                                    policy, std::size_t{0}, blocks.size(),
+                                    [&](std::size_t k) {
+                                        ex->run_block(*plan_ptr, blocks[k]);
+                                    });
+                            });
+            });
+
+    hpxlite::shared_future<void> done = body.share();
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(rec.mtx);
+        if (write) {
+            rec.last_write = done;
+            rec.readers.clear();
+        } else {
+            rec.readers.push_back(done);
+        }
+    }
+    return done;
+}
+
+}  // namespace future_chain
+
+double ns_per_loop(double total_s, int chains) {
+    return total_s * 1e9 / (static_cast<double>(chains) * kChainLen);
+}
+
+}  // namespace
+
+int main() {
+    hpxlite::init();
+
+    auto cells = op_decl_set(kElems, "chain_cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "chain_d");
+    loop_options opts;
+    opts.part_size = 256;
+    auto kern = [](double* x) { *x += 1.0; };
+    auto arg = [&] {
+        return op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW);
+    };
+
+    // --- epoch-based engine -------------------------------------------
+    loop_options hpx_opts = opts;
+    hpx_opts.backend = exec::backend_kind::hpx_dataflow;
+    auto run_epoch_chain = [&] {
+        exec::loop_handle last;
+        for (int l = 0; l < kChainLen; ++l) {
+            last = exec::run_loop(hpx_opts, "chain", cells, kern, arg());
+        }
+        last.wait();
+    };
+    for (int w = 0; w < kWarmup; ++w) {
+        run_epoch_chain();
+    }
+    hpxlite::util::stopwatch sw;
+    for (int c = 0; c < kChains; ++c) {
+        run_epoch_chain();
+    }
+    double const epoch_s = sw.elapsed_s();
+
+    // --- PR 1 future-chain baseline -----------------------------------
+    future_chain::dep_rec rec;
+    auto run_future_chain = [&] {
+        hpxlite::shared_future<void> last;
+        for (int l = 0; l < kChainLen; ++l) {
+            last = future_chain::par_loop(opts, "chain", cells, rec,
+                                          /*write=*/true, kern, arg());
+        }
+        last.wait();
+    };
+    for (int w = 0; w < kWarmup; ++w) {
+        run_future_chain();
+    }
+    sw.reset();
+    for (int c = 0; c < kChains; ++c) {
+        run_future_chain();
+    }
+    double const future_s = sw.elapsed_s();
+
+    // Sanity: every loop of both phases ran: warmup + measured, twice.
+    double const expect =
+        2.0 * static_cast<double>(kWarmup + kChains) * kChainLen;
+    double const got = d.view<double>()[0];
+    if (got != expect) {
+        std::fprintf(stderr, "FAIL: chain executed %.0f loops, expected %.0f\n",
+                     got, expect);
+        return 1;
+    }
+
+    double const epoch_ns = ns_per_loop(epoch_s, kChains);
+    double const future_ns = ns_per_loop(future_s, kChains);
+    std::printf("dependent chain (%d loops x %d chains, %zu elems):\n",
+                kChainLen, kChains, kElems);
+    std::printf("  epoch engine    : %9.1f ns/loop\n", epoch_ns);
+    std::printf("  future baseline : %9.1f ns/loop\n", future_ns);
+    std::printf("  speedup         : %9.2fx\n", future_ns / epoch_ns);
+
+    benchutil::bench_log log("bench_dataflow_chain");
+    log.add("dataflow_chain_epoch", epoch_ns, "ns/iter",
+            "16-loop RW chain, epoch engine");
+    log.add("dataflow_chain_future_baseline", future_ns, "ns/iter",
+            "16-loop RW chain, PR1 future chains");
+    log.add("dataflow_chain_speedup", future_ns / epoch_ns, "x",
+            "epoch_vs_future_chain");
+    log.write();
+
+    hpxlite::finalize();
+    return 0;
+}

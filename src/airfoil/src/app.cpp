@@ -42,19 +42,15 @@ void issue_step(problem& p, op2::backend be, loop_options const& opts,
                 double* rms) {
     namespace k = airfoil::kernels;
 
+    // All backends dispatch through the exec layer; with hpx_dataflow the
+    // whole time-march chain is merely *issued* here — the staged kernels
+    // run asynchronously out of the epoch graph and the caller fences
+    // once at the end of the run.
+    loop_options lo = opts;
+    lo.backend = to_exec_backend(be);
     auto loop = [&](char const* name, op_set const& set, auto kernel,
                     auto... args) {
-        switch (be) {
-            case backend::seq:
-                op_par_loop_seq(name, set, kernel, args...);
-                break;
-            case backend::fork_join:
-                op_par_loop_fork_join(opts, name, set, kernel, args...);
-                break;
-            case backend::hpx:
-                (void)op_par_loop_hpx(opts, name, set, kernel, args...);
-                break;
-        }
+        (void)exec::run_loop(lo, name, set, kernel, args...);
     };
 
     loop("save_soln", p.cells, k::save_soln,

@@ -4,13 +4,16 @@
 #include <cstddef>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <variant>
+#include <vector>
 
 #include <hpxlite/execution/chunkers.hpp>
 #include <hpxlite/execution/policy.hpp>
 #include <hpxlite/lcos/future.hpp>
 #include <hpxlite/runtime.hpp>
+#include <hpxlite/threads/task_node.hpp>
 #include <hpxlite/util/timing.hpp>
 
 namespace hpxlite::parallel::detail {
@@ -80,6 +83,10 @@ chunk_plan resolve_chunk(execution::chunker const& ck, std::size_t n,
 /// Execute f(i) for i in [0, n) under a parallel task policy; completion
 /// (or the first thrown exception) is delivered through the returned
 /// future.
+///
+/// One heap allocation for the whole fan-out: the frame owns its chunk
+/// task nodes (intrusive in the pool's deques) and deletes itself when
+/// the last chunk finishes — no per-chunk allocation on the spawn path.
 template <typename F>
 lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
                               std::size_t n, F f) {
@@ -94,13 +101,25 @@ lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
         return lcos::make_ready_future();
     }
 
+    struct frame_t;
+
+    struct chunk_node final : threads::task_node {
+        frame_t* frame = nullptr;
+        std::size_t b = 0;
+        std::size_t e = 0;  // b == e => self-scheduling sweeper
+    };
+
     struct frame_t {
         explicit frame_t(F fn) : f(std::move(fn)) {}
         F f;
         std::atomic<std::size_t> remaining{0};
         std::atomic<std::size_t> next{0};  // self-scheduling cursor
+        std::size_t begin = 0;
+        std::size_t n = 0;
+        std::size_t grain = 0;
         util::spinlock emtx;
         std::exception_ptr error;
+        std::vector<chunk_node> nodes;
         lcos::detail::state_ptr<void> st =
             std::make_shared<lcos::detail::shared_state<void>>();
 
@@ -117,6 +136,20 @@ lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
             }
         }
 
+        void sweep() {
+            for (;;) {
+                std::size_t const i =
+                    begin + next.fetch_add(grain, std::memory_order_relaxed);
+                if (i >= n) {
+                    break;
+                }
+                run_range(i, std::min(i + grain, n));
+            }
+        }
+
+        /// Last task standing publishes the result and frees the frame
+        /// (and with it every node) — nothing else may touch the frame
+        /// after its decrement.
         void finish_one() {
             if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
                 std::exception_ptr e;
@@ -124,51 +157,73 @@ lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
                     std::lock_guard<util::spinlock> lk(emtx);
                     e = error;
                 }
+                auto state = std::move(st);
+                delete this;
                 if (e) {
-                    st->set_exception(std::move(e));
+                    state->set_exception(std::move(e));
                 } else {
-                    st->set_value();
+                    state->set_value();
                 }
             }
         }
+
+        static void node_action(threads::task_node* tn, bool run) {
+            auto* cn = static_cast<chunk_node*>(tn);
+            frame_t* fr = cn->frame;
+            if (run) {
+                if (cn->b == cn->e) {
+                    fr->sweep();
+                } else {
+                    fr->run_range(cn->b, cn->e);
+                }
+            } else {
+                // Discarded at pool teardown: the fan-out never ran to
+                // completion — fail the future instead of faking success.
+                std::lock_guard<util::spinlock> lk(fr->emtx);
+                if (!fr->error) {
+                    fr->error = std::make_exception_ptr(std::runtime_error(
+                        "bulk_async chunk discarded at shutdown"));
+                }
+            }
+            fr->finish_one();
+        }
     };
 
-    auto frame = std::make_shared<frame_t>(std::move(f));
+    auto* frame = new frame_t(std::move(f));
     auto result = lcos::future<void>(frame->st);
+    frame->begin = begin;
+    frame->n = n;
+    frame->grain = plan.chunk > 0 ? plan.chunk : 1;
 
+    std::size_t ntasks;
     if (plan.self_scheduling) {
-        std::size_t const grain = plan.chunk;
         std::size_t const span = n - begin;
-        std::size_t const nworkers =
-            std::min(pool.size(), (span + grain - 1) / grain);
-        frame->remaining.store(nworkers, std::memory_order_relaxed);
-        for (std::size_t w = 0; w < nworkers; ++w) {
-            pool.submit([frame, begin, n, grain] {
-                for (;;) {
-                    std::size_t const i =
-                        begin + frame->next.fetch_add(
-                                    grain, std::memory_order_relaxed);
-                    if (i >= n) {
-                        break;
-                    }
-                    frame->run_range(i, std::min(i + grain, n));
-                }
-                frame->finish_one();
-            });
+        ntasks = std::min(pool.size(),
+                          (span + frame->grain - 1) / frame->grain);
+        frame->nodes.resize(ntasks);
+        for (auto& node : frame->nodes) {
+            node.frame = frame;  // b == e: sweeper draining the cursor
         }
     } else {
-        std::size_t const chunk = plan.chunk;
+        std::size_t const chunk = frame->grain;
         std::size_t const span = n - begin;
-        std::size_t const nchunks = (span + chunk - 1) / chunk;
-        frame->remaining.store(nchunks, std::memory_order_relaxed);
-        for (std::size_t c = 0; c < nchunks; ++c) {
-            std::size_t const b = begin + c * chunk;
-            std::size_t const e = std::min(b + chunk, n);
-            pool.submit([frame, b, e] {
-                frame->run_range(b, e);
-                frame->finish_one();
-            });
+        ntasks = (span + chunk - 1) / chunk;
+        frame->nodes.resize(ntasks);
+        for (std::size_t c = 0; c < ntasks; ++c) {
+            auto& node = frame->nodes[c];
+            node.frame = frame;
+            node.b = begin + c * chunk;
+            node.e = std::min(node.b + chunk, n);
         }
+    }
+    frame->remaining.store(ntasks, std::memory_order_relaxed);
+    // The frame self-deletes when the last chunk finishes, which can
+    // happen the instant the final submit lands — iterate over a
+    // pre-read data pointer and never touch the frame after that call.
+    chunk_node* const nodes = frame->nodes.data();
+    for (std::size_t c = 0; c < ntasks; ++c) {
+        nodes[c].action = &frame_t::node_action;
+        pool.submit(static_cast<threads::task_node*>(&nodes[c]));
     }
     return result;
 }
@@ -179,7 +234,9 @@ lcos::future<void> bulk_async(execution::parallel_task_policy const& pol,
 /// heap-allocated future/shared-state per sweep: the caller seeds
 /// `nsweeps` self-scheduling sweeper tasks (itself being one of them),
 /// each drains chunks off an atomic cursor and drops the latch once, and
-/// the caller helps the pool until the latch reaches zero.
+/// the caller helps the pool until the latch reaches zero. The sweeper
+/// task nodes are intrusive and live on this stack frame too, so the
+/// whole sweep performs zero heap allocation.
 template <typename F>
 void bulk_sync(execution::parallel_policy const& pol, std::size_t n, F f) {
     auto& pool = pol.pool != nullptr ? *pol.pool : hpxlite::get_pool();
@@ -237,9 +294,47 @@ void bulk_sync(execution::parallel_policy const& pol, std::size_t n, F f) {
         }
     };
 
+    struct sweep_node final : threads::task_node {
+        latch_frame* frame = nullptr;
+    };
+
     latch_frame frame(f, begin, n, grain, nsweeps);
-    for (std::size_t w = 1; w < nsweeps; ++w) {
-        pool.submit([&frame] { frame.sweep(); });
+
+    // Helper task nodes live on this frame (small-pool case) or in one
+    // spill array; either way the sweep itself allocates nothing per
+    // task. All nodes are drained before the latch releases this scope:
+    // a node's action (run or discard) is its final decrement.
+    constexpr std::size_t kInlineSweeps = 16;
+    sweep_node inline_nodes[kInlineSweeps];
+    std::unique_ptr<sweep_node[]> spill;
+    std::size_t const nhelpers = nsweeps - 1;
+    sweep_node* nodes = inline_nodes;
+    if (nhelpers > kInlineSweeps) {
+        spill = std::make_unique<sweep_node[]>(nhelpers);
+        nodes = spill.get();
+    }
+    for (std::size_t w = 0; w < nhelpers; ++w) {
+        nodes[w].frame = &frame;
+        nodes[w].action = [](threads::task_node* tn, bool run) {
+            auto* sn = static_cast<sweep_node*>(tn);
+            latch_frame* fr = sn->frame;
+            if (run) {
+                fr->sweep();
+            } else {
+                // Teardown without running: record the failure (the
+                // caller rethrows it), then drop the latch so the caller
+                // is not stranded — mirroring the bulk_async discard.
+                {
+                    std::lock_guard<util::spinlock> lk(fr->emtx);
+                    if (!fr->error) {
+                        fr->error = std::make_exception_ptr(std::runtime_error(
+                            "bulk_sync sweep discarded at shutdown"));
+                    }
+                }
+                fr->remaining.fetch_sub(1, std::memory_order_acq_rel);
+            }
+        };
+        pool.submit(static_cast<threads::task_node*>(&nodes[w]));
     }
     frame.sweep();
     while (frame.remaining.load(std::memory_order_acquire) != 0) {

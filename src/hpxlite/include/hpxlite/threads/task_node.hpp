@@ -1,0 +1,52 @@
+#pragma once
+
+#include <hpxlite/util/unique_function.hpp>
+
+namespace hpxlite::threads {
+
+/// Intrusive unit of work for the pool's queues.
+///
+/// The Chase–Lev deques store plain pointers, which used to force one
+/// heap allocation per submitted task (`new unique_function`) even when
+/// the callable itself fit the function's small buffer. A task_node is
+/// instead embedded in whatever already owns the work — a bulk sweep's
+/// stack frame, op2's dataflow loop node — so the spawn path allocates
+/// nothing. The single `action` pointer both runs and disposes
+/// (`run == true`) or disposes only (`run == false`, pool teardown with
+/// work still queued); disposal means "release whatever keeps the node
+/// alive", which for embedded nodes is usually a no-op or a refcount
+/// drop, never `delete this` by the queue.
+struct task_node {
+    using action_type = void (*)(task_node*, bool run);
+    action_type action = nullptr;
+
+    void execute() { action(this, true); }
+    void discard() noexcept { action(this, false); }
+};
+
+/// Heap adapter for the type-erased submit(unique_function) path: one
+/// node embedding the callable. External/generic submits that have no
+/// natural node to embed into still pay exactly one allocation, as
+/// before — the win is that callers with a node now pay zero.
+struct fn_task_node final : task_node {
+    util::unique_function fn;
+
+    explicit fn_task_node(util::unique_function f) : fn(std::move(f)) {
+        action = [](task_node* n, bool run) {
+            auto* self = static_cast<fn_task_node*>(n);
+            if (run) {
+                // Free the node even if fn throws (an escaped exception
+                // terminates the worker anyway, but don't leak).
+                struct guard {
+                    fn_task_node* node;
+                    ~guard() { delete node; }
+                } g{self};
+                self->fn();
+            } else {
+                delete self;
+            }
+        };
+    }
+};
+
+}  // namespace hpxlite::threads

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include <hpxlite/threads/task_node.hpp>
 #include <hpxlite/threads/ws_deque.hpp>
 #include <hpxlite/util/spinlock.hpp>
 #include <hpxlite/util/unique_function.hpp>
@@ -46,8 +47,17 @@ public:
     ~thread_pool();
 
     /// Schedule `t` for execution. Thread-safe. Tasks submitted from a
-    /// worker thread go to that worker's own deque.
+    /// worker thread go to that worker's own deque. Allocates one
+    /// fn_task_node to carry the callable through the pointer-based
+    /// deques; callers on a hot path should embed a task_node instead.
     void submit(task_type t);
+
+    /// Schedule an intrusive task node. Zero allocation: the node lives
+    /// inside the submitter's own structure (stack frame, dataflow loop
+    /// node, ...) and must stay alive until its action has run. The pool
+    /// calls `n->execute()` exactly once (or `n->discard()` on teardown)
+    /// and never touches the node afterwards.
+    void submit(task_node* n);
 
     /// Execute one pending task if any is available.
     /// @return true if a task was executed.
@@ -63,7 +73,11 @@ public:
     /// threads. Used by parallel algorithms for per-worker scratch space.
     [[nodiscard]] std::size_t worker_index() const noexcept;
 
-    /// Block until no task is queued or running. Intended for tests.
+    /// Block until no task is queued or running. Helps execute pending
+    /// work; when there is nothing to help with, parks on a condition
+    /// variable behind a waiter count (same protocol as the worker
+    /// sleepers — no periodic polling) until the pool drains or new
+    /// helpable work arrives.
     void wait_idle();
 
     /// Total number of tasks executed since construction (approximate,
@@ -80,16 +94,17 @@ public:
 private:
     struct injection_queue {
         util::spinlock mtx;
-        std::deque<task_type> tasks;
+        std::deque<task_node*> tasks;
     };
 
     void worker_loop(std::size_t index);
-    bool try_pop(std::size_t index, task_type& out);
-    bool try_steal(std::size_t thief, task_type& out);
-    bool try_pop_global(task_type& out);
+    task_node* try_pop(std::size_t index);
+    task_node* try_steal(std::size_t thief);
+    task_node* try_pop_global();
     void wake_one();
+    void notify_idle_waiters();
 
-    std::vector<std::unique_ptr<ws_deque<task_type>>> queues_;
+    std::vector<std::unique_ptr<ws_deque<task_node>>> queues_;
     injection_queue global_queue_;
 
     std::vector<std::thread> workers_;
@@ -103,6 +118,7 @@ private:
     std::atomic<std::size_t> queued_{0};   // enqueued, not yet dequeued
     std::atomic<std::size_t> pending_{0};  // queued + running
     std::atomic<std::size_t> sleepers_{0};
+    std::atomic<std::size_t> idle_waiters_{0};  // parked in wait_idle
     std::atomic<std::uint64_t> executed_{0};
     std::atomic<bool> stop_{false};
 };

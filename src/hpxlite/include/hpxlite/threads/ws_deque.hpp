@@ -8,7 +8,32 @@
 #include <memory>
 #include <vector>
 
+#if defined(__SANITIZE_THREAD__)
+#define HPXLITE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HPXLITE_TSAN 1
+#endif
+#endif
+
 namespace hpxlite::threads {
+
+namespace detail {
+/// ThreadSanitizer does not model std::atomic_thread_fence, so the
+/// fence-published payload hand-off (owner writes the item, thief reads
+/// it after winning the CAS) is reported as a race. Under TSan the slot
+/// store/load pair carries an explicit release/acquire edge instead —
+/// semantically redundant with the fences, but visible to the tool.
+#ifdef HPXLITE_TSAN
+inline constexpr std::memory_order slot_store_order =
+    std::memory_order_release;
+inline constexpr std::memory_order slot_load_order = std::memory_order_acquire;
+#else
+inline constexpr std::memory_order slot_store_order =
+    std::memory_order_relaxed;
+inline constexpr std::memory_order slot_load_order = std::memory_order_relaxed;
+#endif
+}  // namespace detail
 
 /// Chase–Lev lock-free work-stealing deque (the formulation of Lê,
 /// Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
@@ -42,9 +67,15 @@ public:
 
     ~ws_deque() {
         // The pool drains before tearing down workers; this handles the
-        // abnormal path so queued items never leak.
+        // abnormal path so queued items never leak. Intrusive items
+        // (task_node) are not owned via delete — they get their disposal
+        // hook instead.
         while (T* t = pop()) {
-            delete t;
+            if constexpr (requires { t->discard(); }) {
+                t->discard();
+            } else {
+                delete t;
+            }
         }
     }
 
@@ -56,7 +87,7 @@ public:
         if (b - top > static_cast<std::int64_t>(a->cap) - 1) {
             a = grow(a, top, b);
         }
-        a->slot(b).store(t, std::memory_order_relaxed);
+        a->slot(b).store(t, detail::slot_store_order);
         std::atomic_thread_fence(std::memory_order_release);
         bottom_.store(b + 1, std::memory_order_relaxed);
     }
@@ -96,7 +127,7 @@ public:
             return nullptr;
         }
         ring* const a = buf_.load(std::memory_order_acquire);
-        T* x = a->slot(t).load(std::memory_order_relaxed);
+        T* x = a->slot(t).load(detail::slot_load_order);
         if (!top_.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {

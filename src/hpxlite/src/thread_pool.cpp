@@ -20,7 +20,7 @@ thread_pool::thread_pool(std::size_t num_threads) {
     }
     queues_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-        queues_.push_back(std::make_unique<ws_deque<task_type>>());
+        queues_.push_back(std::make_unique<ws_deque<task_node>>());
     }
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
@@ -39,6 +39,21 @@ thread_pool::~thread_pool() {
     sleep_cv_.notify_all();
     for (auto& w : workers_) {
         w.join();
+    }
+    // Discard anything still queued (only reachable when a task was
+    // submitted after wait_idle drained). Discarding a node may enqueue
+    // successors — e.g. a dataflow node completing its graph with a
+    // shutdown error — so pop one at a time until every queue is empty,
+    // rather than iterating (and before members are torn down).
+    for (;;) {
+        task_node* n = try_pop_global();
+        for (std::size_t i = 0; n == nullptr && i < queues_.size(); ++i) {
+            n = queues_[i]->steal();
+        }
+        if (n == nullptr) {
+            break;
+        }
+        n->discard();
     }
 }
 
@@ -63,74 +78,97 @@ void thread_pool::wake_one() {
         }
         sleep_cv_.notify_one();
     }
+    // A parked wait_idle helper can also pick the new task up.
+    notify_idle_waiters();
+}
+
+void thread_pool::notify_idle_waiters() {
+    if (idle_waiters_.load(std::memory_order_seq_cst) > 0) {
+        {
+            // Empty critical section, same reasoning as wake_one: a
+            // waiter between its registration/recheck and wait() holds
+            // the mutex.
+            std::lock_guard<std::mutex> lk(idle_mtx_);
+        }
+        idle_cv_.notify_all();
+    }
 }
 
 void thread_pool::submit(task_type t) {
     assert(t);
+    submit(static_cast<task_node*>(new fn_task_node(std::move(t))));
+}
+
+void thread_pool::submit(task_node* n) {
+    assert(n != nullptr && n->action != nullptr);
     pending_.fetch_add(1, std::memory_order_relaxed);
     queued_.fetch_add(1, std::memory_order_seq_cst);
     if (on_worker_thread()) {
-        queues_[tls_index]->push(new task_type(std::move(t)));
+        queues_[tls_index]->push(n);
     } else {
         std::lock_guard<util::spinlock> lk(global_queue_.mtx);
-        global_queue_.tasks.push_back(std::move(t));
+        global_queue_.tasks.push_back(n);
     }
     wake_one();
 }
 
-bool thread_pool::try_pop(std::size_t index, task_type& out) {
-    task_type* p = queues_[index]->pop();
-    if (p == nullptr) {
-        return false;
+task_node* thread_pool::try_pop(std::size_t index) {
+    task_node* n = queues_[index]->pop();
+    if (n != nullptr) {
+        queued_.fetch_sub(1, std::memory_order_relaxed);
     }
-    out = std::move(*p);
-    delete p;
-    queued_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    return n;
 }
 
-bool thread_pool::try_steal(std::size_t thief, task_type& out) {
-    std::size_t const n = queues_.size();
-    for (std::size_t k = 1; k <= n; ++k) {
-        std::size_t const victim = (thief + k) % n;
-        task_type* p = queues_[victim]->steal();
-        if (p != nullptr) {
-            out = std::move(*p);
-            delete p;
+task_node* thread_pool::try_steal(std::size_t thief) {
+    std::size_t const nq = queues_.size();
+    for (std::size_t k = 1; k <= nq; ++k) {
+        std::size_t const victim = (thief + k) % nq;
+        task_node* n = queues_[victim]->steal();
+        if (n != nullptr) {
             queued_.fetch_sub(1, std::memory_order_relaxed);
-            return true;
+            return n;
         }
     }
-    return false;
+    return nullptr;
 }
 
-bool thread_pool::try_pop_global(task_type& out) {
+task_node* thread_pool::try_pop_global() {
     std::lock_guard<util::spinlock> lk(global_queue_.mtx);
     if (global_queue_.tasks.empty()) {
-        return false;
+        return nullptr;
     }
-    out = std::move(global_queue_.tasks.front());
+    task_node* n = global_queue_.tasks.front();
     global_queue_.tasks.pop_front();
     queued_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
+    return n;
 }
 
 bool thread_pool::run_one() {
-    task_type t;
-    bool found = false;
+    task_node* n = nullptr;
     if (on_worker_thread()) {
-        found = try_pop(tls_index, t) || try_pop_global(t) ||
-                try_steal(tls_index, t);
+        n = try_pop(tls_index);
+        if (n == nullptr) {
+            n = try_pop_global();
+        }
+        if (n == nullptr) {
+            n = try_steal(tls_index);
+        }
     } else {
-        found = try_pop_global(t) || try_steal(0, t);
+        n = try_pop_global();
+        if (n == nullptr) {
+            n = try_steal(0);
+        }
     }
-    if (!found) {
+    if (n == nullptr) {
         return false;
     }
-    t();
+    n->execute();
     executed_.fetch_add(1, std::memory_order_relaxed);
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        idle_cv_.notify_all();
+    // seq_cst pairs with wait_idle's waiter registration, mirroring the
+    // submit/sleeper protocol.
+    if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        notify_idle_waiters();
     }
     return true;
 }
@@ -176,13 +214,29 @@ void thread_pool::worker_loop(std::size_t index) {
 
 void thread_pool::wait_idle() {
     // Help while waiting so wait_idle() from a worker cannot deadlock.
+    // When there is nothing to help with, park on idle_cv_ behind the
+    // waiter count — the sleeper protocol submit() already uses — instead
+    // of the old 200 us polling loop. Woken either when the pool drains
+    // (run_one's last pending decrement) or when new helpable work is
+    // queued (wake_one).
     while (pending_.load(std::memory_order_acquire) != 0) {
-        if (!run_one()) {
-            std::unique_lock<std::mutex> lk(idle_mtx_);
-            idle_cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
-                return pending_.load(std::memory_order_acquire) == 0;
-            });
+        if (run_one()) {
+            continue;
         }
+        std::unique_lock<std::mutex> lk(idle_mtx_);
+        idle_waiters_.fetch_add(1, std::memory_order_seq_cst);
+        if (pending_.load(std::memory_order_seq_cst) == 0 ||
+            queued_.load(std::memory_order_seq_cst) != 0) {
+            // Drained (or new work to help with) between the failed
+            // run_one and registration; do not sleep.
+            idle_waiters_.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+        }
+        idle_cv_.wait(lk, [this] {
+            return pending_.load(std::memory_order_acquire) == 0 ||
+                   queued_.load(std::memory_order_acquire) != 0;
+        });
+        idle_waiters_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 

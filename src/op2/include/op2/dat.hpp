@@ -10,8 +10,7 @@
 #include <string_view>
 #include <vector>
 
-#include <hpxlite/lcos/future.hpp>
-#include <hpxlite/util/spinlock.hpp>
+#include <op2/exec/dataflow.hpp>
 #include <op2/set.hpp>
 
 namespace op2 {
@@ -27,18 +26,16 @@ struct dat_impl {
     std::uint64_t id = 0;
     std::vector<std::byte> data;  // set.size() * dim * elem_bytes
 
-    // --- dataflow dependency tracking (hpx backend) -----------------
-    // Invariant: any loop writing this dat must depend on last_write and
-    // all outstanding readers (WAW + WAR); any loop reading it must
-    // depend on last_write (RAW). Updated under dep_mtx by the hpx
-    // backend when a loop is *issued* (issue order defines program
-    // order, exactly like the futures threaded through op_par_loop
-    // calls in Figures 9-11 of the paper).
+    // --- dataflow dependency tracking (hpx_dataflow backend) --------
+    // Epoch record instead of future chains: a monotonically increasing
+    // last-writer epoch plus the intrusive loop nodes of that epoch's
+    // writer and readers. Updated under its own lock when a loop is
+    // *issued* (issue order defines program order, exactly like the
+    // futures threaded through op_par_loop calls in Figures 9-11 of the
+    // paper) — see op2/exec/dataflow.hpp for the invariants.
     // (mutable: dependency bookkeeping, orthogonal to the payload's
     // logical constness — loops holding const args still register reads)
-    mutable hpxlite::util::spinlock dep_mtx;
-    mutable hpxlite::shared_future<void> last_write;  // invalid => no writer
-    mutable std::vector<hpxlite::shared_future<void>> readers;
+    mutable exec::dep_record dep;
 };
 
 }  // namespace detail

@@ -102,6 +102,17 @@ public:
     [[nodiscard]] op_set const& set() const { return set_; }
     [[nodiscard]] loop_options const& options() const { return opts_; }
 
+    /// Drop the set/arg handles (dat/map shared ownership) once the loop
+    /// has executed. The dataflow backend's node outlives its run inside
+    /// dat dep_records; keeping the handles there would cycle
+    /// dat -> node -> dat and pin both forever.
+    void release_handles() noexcept {
+        for (auto& a : args_) {
+            a = op_arg{};
+        }
+        set_ = op_set{};
+    }
+
     /// Run the loop over `plan`, delegating the per-colour block sweep to
     /// `bulk(blocks)` (which must execute run_block(b) for every b in
     /// `blocks` and only return once all finished). Handles reduction

@@ -1,0 +1,198 @@
+#pragma once
+
+// The unified executor backend layer: one templated entry point
+// (run_loop) dispatching a loop onto the backend selected by
+// loop_options::backend. All three backends share the plan (block
+// colouring + staged gather tables) and the staged loop_executor — the
+// backends differ only in *when* the sweep runs (inline, fork-join, or
+// asynchronously out of the epoch dataflow graph) and in how blocks are
+// distributed over workers.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include <hpxlite/algorithms/for_loop.hpp>
+#include <hpxlite/execution/policy.hpp>
+#include <hpxlite/runtime.hpp>
+#include <hpxlite/util/timing.hpp>
+#include <op2/detail/executor.hpp>
+#include <op2/exec/backend_kind.hpp>
+#include <op2/exec/dataflow.hpp>
+#include <op2/loop_options.hpp>
+#include <op2/plan.hpp>
+#include <op2/timing.hpp>
+
+namespace op2::exec {
+
+/// Completion handle of an issued loop. Synchronous backends return a
+/// ready handle (no node); the dataflow backend returns a handle on the
+/// loop's graph node. Copyable, cheap (one intrusive ref).
+class loop_handle {
+public:
+    loop_handle() noexcept = default;
+    explicit loop_handle(node_ref n) noexcept : node_(std::move(n)) {}
+
+    /// True when the handle refers to an asynchronously issued loop.
+    [[nodiscard]] bool valid() const noexcept {
+        return static_cast<bool>(node_);
+    }
+
+    [[nodiscard]] bool is_ready() const noexcept {
+        return !node_ || node_->done();
+    }
+
+    /// Block (cooperatively: helps the pool) until the loop completed.
+    /// No-op for handles of synchronous backends.
+    void wait() const {
+        if (node_) {
+            node_->wait();
+        }
+    }
+
+    /// wait(), then rethrow the loop's failure, if any.
+    void get() const {
+        if (node_) {
+            node_->wait_and_rethrow();
+        }
+    }
+
+private:
+    node_ref node_;
+};
+
+namespace detail {
+
+/// The plan-driven sweep every parallel backend shares: per colour, a
+/// fork-join for_loop over the colour's blocks through the staged
+/// executor, timed under the backend's name. The staged backend runs it
+/// inline; the dataflow backend runs it from its graph node.
+template <typename Kernel, std::size_t N>
+void staged_sweep(op2::detail::loop_executor<Kernel, N>& ex,
+                  op_plan const& plan, backend_kind kind, char const* name) {
+    loop_options const& opts = ex.options();
+    auto policy = hpxlite::execution::par.with(opts.chunk);
+    if (opts.pool != nullptr) {
+        policy = policy.on(*opts.pool);
+    }
+    hpxlite::util::stopwatch sw;
+    ex.execute(plan, [&](std::span<std::size_t const> blocks) {
+        hpxlite::parallel::for_loop(
+            policy, std::size_t{0}, blocks.size(),
+            [&](std::size_t k) { ex.run_block(plan, blocks[k]); });
+    });
+    op_timing_record(name, to_string(kind), sw.elapsed_s());
+}
+
+/// Graph node of one dataflow-issued loop: embeds the typed staged
+/// executor, so issuing a loop is exactly one allocation (this node) —
+/// no futures, no when_all vectors, no continuation shared states.
+template <typename Kernel, std::size_t N>
+class loop_node final : public dataflow_node {
+public:
+    loop_node(op_set set, std::array<op_arg, N> args, Kernel kernel,
+              loop_options const& opts, char const* name)
+      : ex_(std::move(set), std::move(args), std::move(kernel), opts),
+        name_(name) {}
+
+    [[nodiscard]] op2::detail::loop_executor<Kernel, N>& executor() {
+        return ex_;
+    }
+
+    void bind_plan(op_plan const& p) noexcept { plan_ = &p; }
+
+private:
+    void run_body() override {
+        staged_sweep(ex_, *plan_, backend_kind::hpx_dataflow, name_);
+    }
+
+    void on_complete() noexcept override { ex_.release_handles(); }
+
+    op2::detail::loop_executor<Kernel, N> ex_;
+    op_plan const* plan_ = nullptr;
+    char const* name_;
+};
+
+}  // namespace detail
+
+/// Issue `kernel` over `set` on the backend selected by opts.backend.
+///
+///  * seq: plain element loop on the calling thread; returns ready.
+///  * staged: plan-driven fork-join sweep (colour by colour, implicit
+///    barrier at the end — the stock-OP2 OpenMP shape); returns ready.
+///  * hpx_dataflow: the loop is *issued*, not executed — it runs as soon
+///    as the loops it depends on (through its dats' epoch records) have
+///    finished; independent loops interleave with no global barrier.
+///    Reduction results (op_arg_gbl) are valid only once the returned
+///    handle is ready.
+template <typename Kernel, typename... Args>
+loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
+                     Kernel kernel, Args... args) {
+    constexpr std::size_t n = sizeof...(Args);
+
+    switch (opts.backend) {
+        case backend_kind::seq: {
+            op2::detail::loop_executor<Kernel, n> ex(
+                std::move(set), std::array<op_arg, n>{std::move(args)...},
+                std::move(kernel), opts);
+            ex.validate(name);
+            hpxlite::util::stopwatch sw;
+            ex.run_sequential();
+            op_timing_record(name, to_string(backend_kind::seq),
+                             sw.elapsed_s());
+            return {};
+        }
+
+        case backend_kind::staged: {
+            op2::detail::loop_executor<Kernel, n> ex(
+                std::move(set), std::array<op_arg, n>{std::move(args)...},
+                std::move(kernel), opts);
+            ex.validate(name);
+            op_plan const& plan = plan_get(ex.set(), ex.args(), opts.part_size);
+            detail::staged_sweep(ex, plan, backend_kind::staged, name);
+            return {};
+        }
+
+        case backend_kind::hpx_dataflow: {
+            auto* node = new detail::loop_node<Kernel, n>(
+                std::move(set), std::array<op_arg, n>{std::move(args)...},
+                std::move(kernel), opts, name);
+            node_ref ref(node, /*adopt=*/true);
+            auto& ex = node->executor();
+            ex.validate(name);  // throws before publication; ref cleans up
+            node->bind_plan(plan_get(ex.set(), ex.args(), opts.part_size));
+
+            // One dep_request per distinct dat; write dominates, so a
+            // loop touching a dat through several args never self-edges.
+            std::array<dep_request, n> reqs;
+            std::size_t nreq = 0;
+            for (op_arg const& a : ex.args()) {
+                if (!a.dat.valid()) {
+                    continue;
+                }
+                dep_record* rec = &a.dat.internal().dep;
+                bool const write = a.acc != op_access::OP_READ;
+                bool merged = false;
+                for (std::size_t i = 0; i < nreq; ++i) {
+                    if (reqs[i].rec == rec) {
+                        reqs[i].write = reqs[i].write || write;
+                        merged = true;
+                        break;
+                    }
+                }
+                if (!merged) {
+                    reqs[nreq++] = {rec, write};
+                }
+            }
+            auto& pool =
+                opts.pool != nullptr ? *opts.pool : hpxlite::get_pool();
+            issue(*node, std::span<dep_request const>{reqs.data(), nreq},
+                  pool);
+            return loop_handle(std::move(ref));
+        }
+    }
+    return {};
+}
+
+}  // namespace op2::exec

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace op2::exec {
+
+/// Which backend of the execution layer a loop runs on. Selected per
+/// loop through loop_options::backend; the legacy op_par_loop_* entry
+/// points are thin wrappers that pin this field.
+enum class backend_kind {
+    seq,           ///< sequential reference: plain element loop, no plan
+    staged,        ///< fork-join staged-gather sweep (barrier per loop)
+    hpx_dataflow,  ///< asynchronous: issued into the epoch dataflow graph
+};
+
+constexpr char const* to_string(backend_kind k) noexcept {
+    switch (k) {
+        case backend_kind::seq: return "seq";
+        case backend_kind::staged: return "staged";
+        case backend_kind::hpx_dataflow: return "hpx_dataflow";
+    }
+    return "?";
+}
+
+}  // namespace op2::exec

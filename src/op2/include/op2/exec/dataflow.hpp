@@ -1,0 +1,398 @@
+#pragma once
+
+// Epoch-based dependency engine for the hpx_dataflow backend.
+//
+// The paper's contribution (Section IV) is that OP2 loops scheduled
+// through futures/dataflow interleave automatically with no global
+// barrier. PR 1's implementation tracked dependencies with one shared
+// future chained per dat per loop: every issue allocated a when_all
+// vector, a continuation shared-state and a shared_future copy per
+// touched dat. This engine replaces all of that with an *intrusive*
+// task graph:
+//
+//  * every dat carries one dep_record — a monotonically increasing
+//    last-writer epoch plus the reader set of that epoch — instead of a
+//    vector of shared futures;
+//  * every issued loop is one refcounted dataflow_node (which embeds
+//    the typed staged executor, see backend.hpp) and doubles as the
+//    pool's intrusive task_node, so wiring a loop into the graph and
+//    scheduling it allocates nothing beyond the node itself;
+//  * readers of the same epoch run concurrently (they only edge on the
+//    epoch's writer); a writer batch-waits on the previous epoch —
+//    writer + reader count — through a single atomic pending counter,
+//    the way the per-colour sweep batches block completion on a latch,
+//    not through per-dependency future waits.
+//
+// Program order is issue order: records are updated under their own
+// spinlock at issue time, exactly like the futures threaded through
+// op_par_loop calls in Figures 9-11 of the paper.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <hpxlite/threads/task_node.hpp>
+#include <hpxlite/threads/thread_pool.hpp>
+#include <hpxlite/util/spinlock.hpp>
+
+namespace op2::exec {
+
+class dataflow_node;
+
+namespace detail {
+
+/// Parking spot for external (non-pool) threads waiting on node
+/// completion — fences, loop_handle::wait from the application thread.
+/// Completions only touch the mutex when a waiter is registered (the
+/// same sleeper-counted protocol as the pool's submit/wake_one), so the
+/// steady-state cost of the hub is one relaxed-ish atomic load per
+/// completed loop. Pool workers never park here: they help run tasks.
+class completion_hub {
+public:
+    static completion_hub& get() {
+        static completion_hub hub;
+        return hub;
+    }
+
+    /// Called after a node published done(): wake parked waiters.
+    void notify() {
+        if (waiters_.load(std::memory_order_seq_cst) > 0) {
+            {
+                // Empty critical section: a waiter between its predicate
+                // check and wait() holds the mutex, so this cannot
+                // notify into the gap.
+                std::lock_guard<std::mutex> lk(mtx_);
+            }
+            cv_.notify_all();
+        }
+    }
+
+    /// Park until `done()` returns true. Spurious wakeups are absorbed
+    /// by the predicate; every node completion notifies.
+    template <typename Done>
+    void wait(Done&& done) {
+        std::unique_lock<std::mutex> lk(mtx_);
+        waiters_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lk, std::forward<Done>(done));
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+private:
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    std::atomic<std::size_t> waiters_{0};
+};
+
+}  // namespace detail
+
+/// Intrusive refcounted handle to a dataflow node.
+class node_ref {
+public:
+    node_ref() noexcept = default;
+    /// Wrap `n`; bumps the count unless `adopt` transfers an existing
+    /// reference (e.g. the creation reference of a new node).
+    explicit node_ref(dataflow_node* n, bool adopt = false) noexcept;
+    node_ref(node_ref const& o) noexcept;
+    node_ref(node_ref&& o) noexcept : n_(o.n_) { o.n_ = nullptr; }
+    node_ref& operator=(node_ref o) noexcept {
+        std::swap(n_, o.n_);
+        return *this;
+    }
+    ~node_ref();
+
+    [[nodiscard]] dataflow_node* get() const noexcept { return n_; }
+    dataflow_node* operator->() const noexcept { return n_; }
+    dataflow_node& operator*() const noexcept { return *n_; }
+    explicit operator bool() const noexcept { return n_ != nullptr; }
+    void reset() noexcept { node_ref{}.swap(*this); }
+    void swap(node_ref& o) noexcept { std::swap(n_, o.n_); }
+
+private:
+    dataflow_node* n_ = nullptr;
+};
+
+/// One issued loop: a node of the dependency DAG and, verbatim, the
+/// intrusive task the pool queues once its dependencies resolve.
+///
+/// Lifecycle: created with one reference (the creator's, usually handed
+/// to the returned loop_handle) and a pending count of one (the issue
+/// guard, dropped by schedule()). Additional references are held by dat
+/// dep_records (bounded: one writer + the current epoch's readers per
+/// dat), by successor edges (released as soon as the successor is
+/// notified) and by the pool queue while the node waits for a worker.
+class dataflow_node : public hpxlite::threads::task_node {
+public:
+    dataflow_node() { action = &pool_action; }
+    dataflow_node(dataflow_node const&) = delete;
+    dataflow_node& operator=(dataflow_node const&) = delete;
+
+    void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+    void release() noexcept {
+        if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            delete this;
+        }
+    }
+
+    [[nodiscard]] bool done() const noexcept {
+        return done_.load(std::memory_order_acquire);
+    }
+
+    /// True once the node completed *with* a failure. Only meaningful
+    /// after done() (error_ is written before the done_ store).
+    [[nodiscard]] bool failed() const noexcept {
+        return done() && error_ != nullptr;
+    }
+
+    /// Block until the loop has executed. Pool workers help run pending
+    /// tasks — including this very node and its predecessors — so
+    /// waiting never deadlocks, even on a single hardware thread.
+    /// External threads help while there is stealable work and otherwise
+    /// park on the completion hub (no spinning on an idle machine, same
+    /// as the CV wait the future-based engine had).
+    void wait() const {
+        if (done()) {
+            return;
+        }
+        auto& pool = *pool_;
+        if (pool.on_worker_thread()) {
+            while (!done()) {
+                if (!pool.run_one()) {
+                    std::this_thread::yield();
+                }
+            }
+            return;
+        }
+        while (!done()) {
+            if (!pool.run_one()) {
+                detail::completion_hub::get().wait(
+                    [this] { return done_seq_cst(); });
+            }
+        }
+    }
+
+    /// wait(), then rethrow the loop's (or an inherited dependency's)
+    /// failure, if any.
+    void wait_and_rethrow() const {
+        wait();
+        if (error_) {
+            std::rethrow_exception(error_);
+        }
+    }
+
+    // -- issue-side protocol (used by issue(), below) -----------------
+
+    /// Add the edge pred -> this unless pred already completed (in which
+    /// case only its failure, if any, is inherited). Self-edges are
+    /// ignored.
+    void depend_on(dataflow_node& pred) {
+        if (&pred == this) {
+            return;
+        }
+        std::lock_guard<hpxlite::util::spinlock> lk(pred.succ_mtx_);
+        if (pred.done_.load(std::memory_order_acquire)) {
+            if (pred.error_) {
+                inherit_error(pred.error_);
+            }
+            return;
+        }
+        pred.succs_.emplace_back(this);
+        pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Bind the execution pool. Must happen *before* the node is wired
+    /// into any dep_record: publication makes the node reachable by
+    /// concurrent fences, whose wait() dereferences pool_. (Visibility
+    /// rides on the record spinlock the publisher and the fence both
+    /// take.)
+    void bind_pool(hpxlite::threads::thread_pool& pool) noexcept {
+        pool_ = &pool;
+    }
+
+    /// Drop the issue guard: the node becomes runnable as soon as its
+    /// last predecessor finishes (or immediately, if none are pending).
+    void schedule() { notify_pred_done(); }
+
+protected:
+    virtual ~dataflow_node() = default;
+
+    /// The loop body (backend.hpp: the staged executor sweep). Runs on a
+    /// pool worker; exceptions are captured and propagated to dependents
+    /// and waiters.
+    virtual void run_body() = 0;
+
+    /// Invoked once, right before completion is published: the node will
+    /// keep existing inside dat dep_records until its epoch is
+    /// superseded, so implementations drop any resources that point back
+    /// at the dats here (breaking the dat <-> node ownership cycle).
+    virtual void on_complete() noexcept {}
+
+private:
+    void notify_pred_done() {
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            add_ref();  // the queue's reference, dropped by pool_action
+            pool_->submit(static_cast<hpxlite::threads::task_node*>(this));
+        }
+    }
+
+    void inherit_error(std::exception_ptr e) noexcept {
+        std::lock_guard<hpxlite::util::spinlock> lk(succ_mtx_);
+        if (!error_) {
+            error_ = std::move(e);
+        }
+    }
+
+    void complete() {
+        std::vector<node_ref> succs;
+        {
+            std::lock_guard<hpxlite::util::spinlock> lk(succ_mtx_);
+            // seq_cst: pairs with the hub waiter's registration (see
+            // done_seq_cst) so notify() cannot read a stale zero waiter
+            // count while this store is still buffered.
+            done_.store(true, std::memory_order_seq_cst);
+            succs.swap(succs_);
+        }
+        detail::completion_hub::get().notify();
+        for (auto& s : succs) {
+            if (error_) {
+                s->inherit_error(error_);
+            }
+            s->notify_pred_done();
+        }
+    }
+
+    /// Dekker-paired read of done_ for the completion-hub protocol: the
+    /// waiter registers (seq_cst RMW on the hub's waiter count), then
+    /// reads done_ seq_cst; the completer stores done_ seq_cst, then
+    /// reads the waiter count seq_cst. The total order guarantees one
+    /// side observes the other — no lost wakeup. Casual readers keep the
+    /// cheaper acquire load in done().
+    [[nodiscard]] bool done_seq_cst() const noexcept {
+        return done_.load(std::memory_order_seq_cst);
+    }
+
+    static void pool_action(hpxlite::threads::task_node* n, bool run) {
+        auto* self = static_cast<dataflow_node*>(n);
+        if (run) {
+            if (!self->error_) {  // inherited failure => skip the body
+                try {
+                    self->run_body();
+                } catch (...) {
+                    self->error_ = std::current_exception();
+                }
+            }
+        } else if (!self->error_) {
+            // Pool teardown with the loop still queued: never ran.
+            self->error_ = std::make_exception_ptr(
+                std::runtime_error("dataflow loop discarded at shutdown"));
+        }
+        self->on_complete();
+        self->complete();
+        self->release();  // the queue's reference
+    }
+
+    std::atomic<std::uint32_t> refs_{1};
+    std::atomic<std::uint32_t> pending_{1};  // +1 issue guard
+    std::atomic<bool> done_{false};
+    hpxlite::util::spinlock succ_mtx_;  // guards succs_ / error_ updates
+    std::vector<node_ref> succs_;
+    std::exception_ptr error_;
+    hpxlite::threads::thread_pool* pool_ = nullptr;
+};
+
+inline node_ref::node_ref(dataflow_node* n, bool adopt) noexcept : n_(n) {
+    if (n_ != nullptr && !adopt) {
+        n_->add_ref();
+    }
+}
+inline node_ref::node_ref(node_ref const& o) noexcept : n_(o.n_) {
+    if (n_ != nullptr) {
+        n_->add_ref();
+    }
+}
+inline node_ref::~node_ref() {
+    if (n_ != nullptr) {
+        n_->release();
+    }
+}
+
+/// Per-dat dependency record. `epoch` increases by one per issued
+/// writer; `writer` is the loop that produced the current epoch and
+/// `readers` the loops reading it. Invariant (same as PR 1's future
+/// chains, minus the futures): a writer depends on the current writer
+/// and every current reader (WAW + WAR), a reader depends on the
+/// current writer only (RAW) — so readers of one epoch run concurrently.
+struct dep_record {
+    hpxlite::util::spinlock mtx;
+    std::uint64_t epoch = 0;
+    node_ref writer;
+    std::vector<node_ref> readers;
+
+    /// Snapshot for fences/tests: current writer + readers.
+    void snapshot(node_ref& w, std::vector<node_ref>& rs) const {
+        auto& self = const_cast<dep_record&>(*this);
+        std::lock_guard<hpxlite::util::spinlock> lk(self.mtx);
+        w = self.writer;
+        rs = self.readers;
+    }
+};
+
+/// One (record, access) pair of a loop being issued. The backend merges
+/// duplicate dats before issuing (write dominates), so each record
+/// appears at most once per loop.
+struct dep_request {
+    dep_record* rec = nullptr;
+    bool write = false;
+};
+
+/// Wire `n` into the graph under each record's lock (issue order defines
+/// program order), then drop the issue guard so it runs as soon as its
+/// dependencies allow — possibly immediately, possibly never touching a
+/// future or allocating anything.
+inline void issue(dataflow_node& n, std::span<dep_request const> reqs,
+                  hpxlite::threads::thread_pool& pool) {
+    // The pool must be bound before the first record publishes the node:
+    // a fence on another thread may pick the ref up and wait() on it
+    // while this loop is still running.
+    n.bind_pool(pool);
+    for (auto const& rq : reqs) {
+        dep_record& r = *rq.rec;
+        std::lock_guard<hpxlite::util::spinlock> lk(r.mtx);
+        if (rq.write) {
+            if (r.writer) {
+                n.depend_on(*r.writer);  // WAW
+            }
+            for (auto const& rd : r.readers) {
+                n.depend_on(*rd);  // WAR
+            }
+            r.readers.clear();
+            r.writer = node_ref(&n);
+            ++r.epoch;
+        } else {
+            if (r.writer) {
+                n.depend_on(*r.writer);  // RAW
+            }
+            // Readers of a never-rewritten dat would otherwise pile up
+            // for the life of the program (read-only dats like airfoil's
+            // coordinates are read by every iteration): drop completed
+            // readers while we hold the lock anyway. In-flight readers
+            // stay (WAR correctness), and *failed* readers stay too — a
+            // future writer must still inherit their error through its
+            // WAR edge, exactly as the future chains rethrew it.
+            std::erase_if(r.readers, [](node_ref const& rd) {
+                return rd->done() && !rd->failed();
+            });
+            r.readers.emplace_back(&n);
+        }
+    }
+    n.schedule();
+}
+
+}  // namespace op2::exec

@@ -4,11 +4,17 @@
 
 #include <hpxlite/execution/chunkers.hpp>
 #include <hpxlite/threads/thread_pool.hpp>
+#include <op2/exec/backend_kind.hpp>
 
 namespace op2 {
 
 /// Per-loop execution knobs shared by the parallel backends.
 struct loop_options {
+    /// Backend the exec layer dispatches this loop to (op2/exec/backend.hpp).
+    /// The legacy op_par_loop_seq / _fork_join / _hpx entry points pin
+    /// this field to seq / staged / hpx_dataflow respectively.
+    exec::backend_kind backend = exec::backend_kind::staged;
+
     /// Block (mini-partition) size used by the plan. OP2 calls this the
     /// partition size; the paper's Fig. 4 `nelem` is at most this.
     std::size_t part_size = 128;

@@ -1,12 +1,14 @@
 // Umbrella header for the op2hpx OP2 reimplementation: the unstructured-
-// mesh DSL (sets / maps / dats / parallel loops) with three backends —
-// sequential, fork-join ("OpenMP-style", global barrier per loop) and
-// HPX dataflow (asynchronous, future-chained). See DESIGN.md.
+// mesh DSL (sets / maps / dats / parallel loops) with a pluggable
+// backend layer (op2/exec) — sequential, staged fork-join ("OpenMP-
+// style", global barrier per loop) and HPX dataflow (asynchronous,
+// epoch-chained). See DESIGN.md.
 #pragma once
 
 #include <op2/access.hpp>
 #include <op2/arg.hpp>
 #include <op2/dat.hpp>
+#include <op2/exec/backend.hpp>
 #include <op2/loop_options.hpp>
 #include <op2/map.hpp>
 #include <op2/par_loop.hpp>
@@ -18,26 +20,17 @@
 
 namespace op2 {
 
-/// Unified entry point: dispatch on the globally configured backend.
-/// With backend::hpx the loop is only *issued*; use the returned future,
-/// op_fence()/op_fence_all() or op_fetch_data() before consuming results.
+/// Unified entry point: dispatch on the globally configured backend
+/// through the exec layer. With backend::hpx the loop is only *issued*;
+/// use op_fence()/op_fence_all() or op_fetch_data() before consuming
+/// results.
 template <typename Kernel, typename... Args>
 void op_par_loop(char const* name, op_set set, Kernel kernel, Args... args) {
     auto const& cfg = global_config();
-    switch (cfg.be) {
-        case backend::seq:
-            op_par_loop_seq(name, std::move(set), std::move(kernel),
-                            std::move(args)...);
-            break;
-        case backend::fork_join:
-            op_par_loop_fork_join(cfg.opts, name, std::move(set),
-                                  std::move(kernel), std::move(args)...);
-            break;
-        case backend::hpx:
-            (void)op_par_loop_hpx(cfg.opts, name, std::move(set),
-                                  std::move(kernel), std::move(args)...);
-            break;
-    }
+    loop_options opts = cfg.opts;
+    opts.backend = to_exec_backend(cfg.be);
+    (void)exec::run_loop(opts, name, std::move(set), std::move(kernel),
+                         std::move(args)...);
 }
 
 }  // namespace op2

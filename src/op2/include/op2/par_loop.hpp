@@ -1,59 +1,35 @@
 #pragma once
 
-#include <array>
-#include <cstddef>
 #include <utility>
 
-#include <hpxlite/algorithms/for_loop.hpp>
-#include <hpxlite/execution/policy.hpp>
-#include <hpxlite/util/timing.hpp>
-#include <op2/detail/executor.hpp>
+#include <op2/exec/backend.hpp>
 #include <op2/loop_options.hpp>
-#include <op2/plan.hpp>
-#include <op2/timing.hpp>
 
 namespace op2 {
 
 /// Sequential reference backend: plain element loop, no plan.
+/// Thin wrapper over the exec layer (opts.backend = seq).
 template <typename Kernel, typename... Args>
 void op_par_loop_seq(char const* name, op_set set, Kernel kernel,
                      Args... args) {
-    constexpr std::size_t n = sizeof...(Args);
-    detail::loop_executor<Kernel, n> ex(
-        std::move(set), std::array<op_arg, n>{std::move(args)...},
-        std::move(kernel), loop_options{});
-    ex.validate(name);
-    hpxlite::util::stopwatch sw;
-    ex.run_sequential();
-    op_timing_record(name, "seq", sw.elapsed_s());
+    loop_options opts;
+    opts.backend = exec::backend_kind::seq;
+    (void)exec::run_loop(opts, name, std::move(set), std::move(kernel),
+                         std::move(args)...);
 }
 
 /// Fork-join backend: models the stock OP2 OpenMP code path of Fig. 4 —
 /// `#pragma omp parallel for` over blocks, colour by colour, with an
 /// implicit global barrier at the end of every colour and every loop.
 /// Returns only when all side effects (including reductions) are visible.
+/// Thin wrapper over the exec layer (opts.backend = staged).
 template <typename Kernel, typename... Args>
 void op_par_loop_fork_join(loop_options const& opts, char const* name,
                            op_set set, Kernel kernel, Args... args) {
-    constexpr std::size_t n = sizeof...(Args);
-    detail::loop_executor<Kernel, n> ex(
-        std::move(set), std::array<op_arg, n>{std::move(args)...},
-        std::move(kernel), opts);
-    ex.validate(name);
-    op_plan const& plan = plan_get(ex.set(), ex.args(), opts.part_size);
-
-    auto policy = hpxlite::execution::par.with(opts.chunk);
-    if (opts.pool != nullptr) {
-        policy = policy.on(*opts.pool);
-    }
-    hpxlite::util::stopwatch sw;
-    ex.execute(plan, [&](std::span<std::size_t const> blocks) {
-        // for_loop with a synchronous policy = fork + join (barrier).
-        hpxlite::parallel::for_loop(
-            policy, std::size_t{0}, blocks.size(),
-            [&](std::size_t k) { ex.run_block(plan, blocks[k]); });
-    });
-    op_timing_record(name, "fork_join", sw.elapsed_s());
+    loop_options o = opts;
+    o.backend = exec::backend_kind::staged;
+    (void)exec::run_loop(o, name, std::move(set), std::move(kernel),
+                         std::move(args)...);
 }
 
 }  // namespace op2

@@ -1,125 +1,30 @@
 #pragma once
 
-#include <array>
-#include <cstddef>
-#include <memory>
 #include <utility>
-#include <vector>
 
-#include <hpxlite/algorithms/for_loop.hpp>
-#include <hpxlite/execution/policy.hpp>
-#include <hpxlite/lcos/future.hpp>
-#include <hpxlite/lcos/when_all.hpp>
-#include <hpxlite/util/timing.hpp>
-#include <op2/detail/executor.hpp>
+#include <op2/exec/backend.hpp>
 #include <op2/loop_options.hpp>
-#include <op2/plan.hpp>
-#include <op2/timing.hpp>
 
 namespace op2 {
 
-namespace detail {
-
-/// RAW/WAR/WAW dependencies of a loop, derived from its args' access
-/// modes and the dats' outstanding futures (paper Figs. 9-11: the loop
-/// "waits until the previous loops complete their processes" only when
-/// it actually depends on their outputs).
-inline std::vector<hpxlite::shared_future<void>> collect_dependencies(
-    std::span<op_arg const> args) {
-    std::vector<hpxlite::shared_future<void>> deps;
-    for (auto const& a : args) {
-        if (!a.dat.valid()) {
-            continue;
-        }
-        auto& di = a.dat.internal();
-        std::lock_guard<hpxlite::util::spinlock> lk(di.dep_mtx);
-        if (a.acc == op_access::OP_READ) {
-            if (di.last_write.valid()) {
-                deps.push_back(di.last_write);  // RAW
-            }
-        } else {
-            if (di.last_write.valid()) {
-                deps.push_back(di.last_write);  // WAW
-            }
-            for (auto const& r : di.readers) {
-                deps.push_back(r);  // WAR
-            }
-        }
-    }
-    return deps;
-}
-
-/// Record this loop's completion future on every dat it touches, so
-/// later loops can chain on it. Issue order defines program order.
-inline void publish_dependencies(std::span<op_arg const> args,
-                                 hpxlite::shared_future<void> const& done) {
-    for (auto const& a : args) {
-        if (!a.dat.valid()) {
-            continue;
-        }
-        auto& di = a.dat.internal();
-        std::lock_guard<hpxlite::util::spinlock> lk(di.dep_mtx);
-        if (a.acc == op_access::OP_READ) {
-            di.readers.push_back(done);
-        } else {
-            di.last_write = done;
-            di.readers.clear();
-        }
-    }
-}
-
-}  // namespace detail
-
-/// HPX dataflow backend (the paper's contribution, Section IV):
-/// the loop is *issued*, not executed — it runs as soon as all loops it
-/// depends on (through its dats) have finished, and its own completion is
-/// returned as a future and threaded onto its dats. Independent loops
-/// interleave automatically; there is no global barrier.
+/// HPX dataflow backend (the paper's contribution, Section IV): the loop
+/// is *issued*, not executed — it runs as soon as all loops it depends on
+/// (through its dats' epoch records) have finished, and its completion is
+/// returned as a lightweight handle on the loop's intrusive graph node.
+/// Independent loops interleave automatically; there is no global
+/// barrier, and — unlike PR 1's future chains — no future/shared-state
+/// allocation per dat per loop. Thin wrapper over the exec layer
+/// (opts.backend = hpx_dataflow).
 ///
 /// Reduction results (op_arg_gbl) are only valid after the returned
-/// future becomes ready.
+/// handle becomes ready.
 template <typename Kernel, typename... Args>
-hpxlite::shared_future<void> op_par_loop_hpx(loop_options const& opts,
-                                             char const* name, op_set set,
-                                             Kernel kernel, Args... args) {
-    constexpr std::size_t n = sizeof...(Args);
-    auto ex = std::make_shared<detail::loop_executor<Kernel, n>>(
-        std::move(set), std::array<op_arg, n>{std::move(args)...},
-        std::move(kernel), opts);
-    ex->validate(name);
-    op_plan const& plan = plan_get(ex->set(), ex->args(), opts.part_size);
-
-    auto deps = detail::collect_dependencies(ex->args());
-
-    auto policy = hpxlite::execution::par.with(opts.chunk);
-    if (opts.pool != nullptr) {
-        policy = policy.on(*opts.pool);
-    }
-
-    auto body = hpxlite::when_all(std::move(deps))
-                    .then([ex, policy, plan_ptr = &plan, name](
-                              hpxlite::future<std::vector<
-                                  hpxlite::shared_future<void>>>&& ready) {
-                        // Propagate failures from any dependency loop.
-                        for (auto& dep : ready.get()) {
-                            dep.get();
-                        }
-                        hpxlite::util::stopwatch sw;
-                        ex->execute(*plan_ptr,
-                                    [&](std::span<std::size_t const> blocks) {
-                                        hpxlite::parallel::for_loop(
-                                            policy, std::size_t{0},
-                                            blocks.size(), [&](std::size_t k) {
-                                                ex->run_block(*plan_ptr,
-                                                              blocks[k]);
-                                            });
-                                    });
-                        op_timing_record(name, "hpx", sw.elapsed_s());
-                    });
-
-    hpxlite::shared_future<void> done = body.share();
-    detail::publish_dependencies(ex->args(), done);
-    return done;
+exec::loop_handle op_par_loop_hpx(loop_options const& opts, char const* name,
+                                  op_set set, Kernel kernel, Args... args) {
+    loop_options o = opts;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    return exec::run_loop(o, name, std::move(set), std::move(kernel),
+                          std::move(args)...);
 }
 
 }  // namespace op2

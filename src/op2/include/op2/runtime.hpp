@@ -3,17 +3,19 @@
 #include <cstddef>
 #include <vector>
 
-#include <hpxlite/lcos/future.hpp>
 #include <op2/dat.hpp>
+#include <op2/exec/backend_kind.hpp>
 #include <op2/loop_options.hpp>
 
 namespace op2 {
 
-/// Which code path op_par_loop() dispatches to.
+/// Which code path op_par_loop() dispatches to (legacy names; the exec
+/// layer's backend_kind is the authoritative selector — see
+/// to_exec_backend).
 enum class backend {
     seq,        ///< sequential reference
     fork_join,  ///< OpenMP-style: parallel blocks + global barrier per loop
-    hpx,        ///< dataflow: loops issued asynchronously, futures chained
+    hpx,        ///< dataflow: loops issued asynchronously, epoch-chained
 };
 
 constexpr char const* to_string(backend b) noexcept {
@@ -23,6 +25,16 @@ constexpr char const* to_string(backend b) noexcept {
         case backend::hpx: return "hpx";
     }
     return "?";
+}
+
+/// Map the legacy process-wide enum onto the exec backend layer.
+constexpr exec::backend_kind to_exec_backend(backend b) noexcept {
+    switch (b) {
+        case backend::seq: return exec::backend_kind::seq;
+        case backend::fork_join: return exec::backend_kind::staged;
+        case backend::hpx: return exec::backend_kind::hpx_dataflow;
+    }
+    return exec::backend_kind::seq;
 }
 
 /// Process-wide configuration consumed by the unified op_par_loop().

@@ -15,7 +15,7 @@ namespace op2 {
 /// Accumulated statistics of one loop name on one backend.
 struct loop_timing {
     std::string name;
-    std::string backend;       // "seq" | "fork_join" | "hpx"
+    std::string backend;       // exec backend name: "seq" | "staged" | "hpx_dataflow"
     std::uint64_t count = 0;   // invocations
     double total_s = 0.0;      // summed body wall time
     double max_s = 0.0;        // slowest single invocation

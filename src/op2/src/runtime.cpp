@@ -18,18 +18,17 @@ void op_set_part_size(std::size_t part_size) {
 namespace {
 
 void fence_impl(detail::dat_impl& di) {
-    hpxlite::shared_future<void> w;
-    std::vector<hpxlite::shared_future<void>> rs;
-    {
-        std::lock_guard<hpxlite::util::spinlock> lk(di.dep_mtx);
-        w = di.last_write;
-        rs = di.readers;
-    }
-    if (w.valid()) {
-        w.wait();
+    // Snapshot the epoch record's nodes under its lock, wait outside it
+    // (waiting helps the pool, so holding the lock could deadlock the
+    // very loops being waited for).
+    exec::node_ref w;
+    std::vector<exec::node_ref> rs;
+    di.dep.snapshot(w, rs);
+    if (w) {
+        w->wait();
     }
     for (auto& r : rs) {
-        r.wait();
+        r->wait();
     }
 }
 

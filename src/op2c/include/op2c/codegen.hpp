@@ -10,8 +10,9 @@ namespace op2c {
 /// Which backend wrappers to emit.
 enum class target {
     omp,   ///< fork-join wrappers (stock OP2 OpenMP code path)
-    hpx,   ///< dataflow wrappers returning futures (the paper's redesign)
-    both,
+    hpx,   ///< dataflow wrappers returning loop handles (paper's redesign)
+    exec,  ///< struct-of-pointers wrappers on the unified exec backend API
+    both,  ///< all of the above
 };
 
 struct codegen_options {
@@ -35,11 +36,21 @@ std::string generate_loop_wrapper_omp(loop_info const& lp,
                                       codegen_options const& opt = {});
 
 /// Per-loop wrapper source, HPX dataflow style:
-/// shared_future<void> op_par_loop_<name>_hpx(loop_options, op_set, op_arg...)
-/// — the loop is issued asynchronously and its completion future is both
-/// returned and threaded onto the dats (paper Figs. 7-9).
+/// exec::loop_handle op_par_loop_<name>_hpx(loop_options, op_set, op_arg...)
+/// — the loop is issued asynchronously and its completion handle is both
+/// returned and threaded onto the dats' epoch records (paper Figs. 7-9).
 std::string generate_loop_wrapper_hpx(loop_info const& lp,
                                       codegen_options const& opt = {});
+
+/// Per-loop wrapper source targeting the unified exec backend layer:
+/// a staged-friendly struct-of-pointers argument pack (one named op_arg
+/// slot per kernel parameter) plus
+/// exec::loop_handle op_par_loop_<name>(loop_options, op_set, <name>_loop_args)
+/// — the backend (seq / staged / hpx_dataflow) is selected through
+/// loop_options::backend, so generated applications switch backends
+/// without re-translating.
+std::string generate_loop_wrapper_exec(loop_info const& lp,
+                                       codegen_options const& opt = {});
 
 /// Master header declaring every generated wrapper.
 std::string generate_master_header(program_info const& prog,

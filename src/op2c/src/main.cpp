@@ -3,7 +3,7 @@
 // Python source-to-source code translator is modified to automatically
 // generate the parallel loops using HPX library calls").
 //
-// Usage: op2c [--backend=omp|hpx|both] [-o OUTDIR] INPUT.cpp...
+// Usage: op2c [--backend=omp|hpx|exec|both] [-o OUTDIR] INPUT.cpp...
 
 #include <filesystem>
 #include <fstream>
@@ -19,7 +19,7 @@ namespace {
 
 int usage(char const* argv0) {
     std::cerr << "usage: " << argv0
-              << " [--backend=omp|hpx|both] [-o OUTDIR] INPUT.cpp...\n";
+              << " [--backend=omp|hpx|exec|both] [-o OUTDIR] INPUT.cpp...\n";
     return 2;
 }
 
@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
                 opt.tgt = op2c::target::omp;
             } else if (b == "hpx") {
                 opt.tgt = op2c::target::hpx;
+            } else if (b == "exec") {
+                opt.tgt = op2c::target::exec;
             } else if (b == "both") {
                 opt.tgt = op2c::target::both;
             } else {

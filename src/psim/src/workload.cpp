@@ -43,7 +43,9 @@ workload airfoil_workload(std::size_t ncell, std::size_t nedge,
     w.issue_order = {0, 1, 2, 3, 4, 1, 2, 3, 4};
 
     // Dependency edges between issue positions, derived from the dats
-    // exactly as op2::detail::collect_dependencies would:
+    // exactly as the epoch records of op2::exec::issue() would
+    // (op2/exec/dataflow.hpp — RAW on the epoch's writer, WAR/WAW on
+    // writer + readers):
     //   res(adt RAW), bres(adt RAW, res WAW on res-dat),
     //   update(save RAW qold, q WAR vs adt/res/bres reads, res RAW),
     //   second half chains through update's q write.

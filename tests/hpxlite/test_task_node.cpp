@@ -1,0 +1,133 @@
+// The intrusive task_node submit path and the sleeper-parked wait_idle:
+// nodes embedded in caller-owned storage ride the pool's deques with no
+// per-task allocation, and wait_idle parks instead of polling while
+// still helping with (and being woken by) new work.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <hpxlite/threads/task_node.hpp>
+#include <hpxlite/threads/thread_pool.hpp>
+
+using hpxlite::threads::task_node;
+using hpxlite::threads::thread_pool;
+
+namespace {
+
+struct counting_node final : task_node {
+    std::atomic<int>* hits = nullptr;
+
+    counting_node() {
+        action = [](task_node* n, bool run) {
+            auto* self = static_cast<counting_node*>(n);
+            if (run) {
+                self->hits->fetch_add(1, std::memory_order_relaxed);
+            }
+        };
+    }
+};
+
+TEST(TaskNode, IntrusiveNodesRunFromExternalSubmit) {
+    thread_pool pool(3);
+    std::atomic<int> hits{0};
+    constexpr int kTasks = 256;
+    std::vector<counting_node> nodes(kTasks);
+    for (auto& n : nodes) {
+        n.hits = &hits;
+        pool.submit(static_cast<task_node*>(&n));
+    }
+    pool.wait_idle();
+    EXPECT_EQ(hits.load(), kTasks);
+}
+
+TEST(TaskNode, IntrusiveNodesRunFromWorkerSideSubmit) {
+    thread_pool pool(3);
+    std::atomic<int> hits{0};
+    constexpr int kChildren = 128;
+    // The parent task spawns intrusive children from a worker thread —
+    // the path that used to heap-allocate one wrapper per task.
+    auto children = std::make_unique<counting_node[]>(kChildren);
+    for (int i = 0; i < kChildren; ++i) {
+        children[i].hits = &hits;
+    }
+    pool.submit([&pool, &children, &hits] {
+        for (int i = 0; i < kChildren; ++i) {
+            pool.submit(static_cast<task_node*>(&children[i]));
+        }
+        hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    pool.wait_idle();
+    EXPECT_EQ(hits.load(), kChildren + 1);
+}
+
+TEST(TaskNode, FunctionSubmitStillWorksAlongsideNodes) {
+    thread_pool pool(2);
+    std::atomic<int> hits{0};
+    counting_node node;
+    node.hits = &hits;
+    pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    pool.submit(static_cast<task_node*>(&node));
+    pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(WaitIdle, ReturnsOnlyAfterNestedSpawnsDrain) {
+    thread_pool pool(4);
+    std::atomic<int> done{0};
+    constexpr int kRoots = 16;
+    for (int r = 0; r < kRoots; ++r) {
+        pool.submit([&pool, &done] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            pool.submit([&pool, &done] {
+                pool.submit(
+                    [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+            });
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), kRoots);
+}
+
+TEST(WaitIdle, ParkedWaiterWakesOnDrainNotByPolling) {
+    thread_pool pool(2);
+    std::atomic<bool> release{false};
+    pool.submit([&release] {
+        while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+        }
+    });
+    // The waiter has nothing to help with (the only task spins on a
+    // flag), so it must park; releasing the task must wake it promptly.
+    std::thread waiter([&pool] { pool.wait_idle(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.store(true, std::memory_order_release);
+    waiter.join();
+    SUCCEED();
+}
+
+TEST(WaitIdle, ManyConcurrentWaitersAllReturn) {
+    thread_pool pool(3);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&hits] {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            hits.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < 4; ++i) {
+        waiters.emplace_back([&pool] { pool.wait_idle(); });
+    }
+    for (auto& w : waiters) {
+        w.join();
+    }
+    EXPECT_EQ(hits.load(), 64);
+}
+
+}  // namespace

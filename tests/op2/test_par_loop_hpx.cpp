@@ -176,7 +176,7 @@ TEST_F(HpxLoopTest, FenceAllAndFetchData) {
 TEST_F(HpxLoopTest, LongPipelineCorrect) {
     auto cells = op_decl_set(2000, "cells");
     auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
-    hpxlite::shared_future<void> last;
+    op2::exec::loop_handle last;
     for (int k = 0; k < 100; ++k) {
         last = op_par_loop_hpx(opts_, "inc", cells,
                                [](double* x) { *x += 1.0; },

@@ -83,8 +83,9 @@ TEST_F(TimingTest, ForkJoinAndHpxBackendsRecord) {
     bool saw_fj = false;
     bool saw_hpx = false;
     for (auto const& r : snap) {
-        saw_fj = saw_fj || (r.name == "auto_fj" && r.backend == "fork_join");
-        saw_hpx = saw_hpx || (r.name == "auto_hpx" && r.backend == "hpx");
+        saw_fj = saw_fj || (r.name == "auto_fj" && r.backend == "staged");
+        saw_hpx =
+            saw_hpx || (r.name == "auto_hpx" && r.backend == "hpx_dataflow");
     }
     EXPECT_TRUE(saw_fj);
     EXPECT_TRUE(saw_hpx);

@@ -40,10 +40,28 @@ TEST(Codegen, HpxWrapperShape) {
     auto prog = sample_program();
     auto src = generate_loop_wrapper_hpx(prog.loops[1]);
     EXPECT_TRUE(contains(src,
-                         "hpxlite::shared_future<void> "
+                         "op2::exec::loop_handle "
                          "op_par_loop_res_calc_hpx("));
     EXPECT_TRUE(contains(src, "return op2::op_par_loop_hpx(opts, \"res_calc\", set, res_calc"));
     EXPECT_TRUE(contains(src, "arg2"));  // three args
+    EXPECT_TRUE(contains(src, "#include \"res_calc.h\""));
+}
+
+TEST(Codegen, ExecWrapperShape) {
+    // The unified-backend wrapper: a struct-of-pointers argument pack
+    // with one named op_arg slot per kernel parameter, dispatched through
+    // op2::exec::run_loop so the backend is selected via loop_options.
+    auto prog = sample_program();
+    auto src = generate_loop_wrapper_exec(prog.loops[1]);
+    EXPECT_TRUE(contains(src, "struct res_calc_loop_args {"));
+    EXPECT_TRUE(contains(src, "op2::op_arg p_x_0;"));
+    EXPECT_TRUE(contains(src, "op2::op_arg p_res_1;"));
+    EXPECT_TRUE(contains(src, "op2::op_arg rms_2;"));  // gbl: '&' stripped
+    EXPECT_TRUE(contains(src,
+                         "op2::exec::loop_handle op_par_loop_res_calc("));
+    EXPECT_TRUE(contains(
+        src, "return op2::exec::run_loop(opts, \"res_calc\", set, res_calc"));
+    EXPECT_TRUE(contains(src, "std::move(args.p_x_0)"));
     EXPECT_TRUE(contains(src, "#include \"res_calc.h\""));
 }
 
@@ -79,6 +97,10 @@ TEST(Codegen, MasterHeaderDeclaresAllWrappers) {
     EXPECT_TRUE(contains(hdr, "op_par_loop_save_soln_hpx("));
     EXPECT_TRUE(contains(hdr, "op_par_loop_res_calc_omp("));
     EXPECT_TRUE(contains(hdr, "op_par_loop_res_calc_hpx("));
+    EXPECT_TRUE(contains(hdr, "struct save_soln_loop_args {"));
+    EXPECT_TRUE(contains(hdr, "struct res_calc_loop_args {"));
+    EXPECT_TRUE(
+        contains(hdr, "op2::exec::loop_handle op_par_loop_res_calc("));
 }
 
 TEST(Codegen, MasterHeaderRespectsTarget) {
@@ -93,12 +115,14 @@ TEST(Codegen, MasterHeaderRespectsTarget) {
 TEST(Codegen, GenerateProducesOneFilePerLoopPerBackend) {
     auto prog = sample_program();
     auto files = generate(prog);
-    // 2 loops x 2 backends + master header.
-    ASSERT_EQ(files.size(), 5u);
+    // 2 loops x 3 backends + master header.
+    ASSERT_EQ(files.size(), 7u);
     EXPECT_EQ(files[0].filename, "save_soln_omp_kernel.cpp");
     EXPECT_EQ(files[1].filename, "save_soln_hpx_kernel.cpp");
-    EXPECT_EQ(files[2].filename, "res_calc_omp_kernel.cpp");
-    EXPECT_EQ(files[3].filename, "res_calc_hpx_kernel.cpp");
+    EXPECT_EQ(files[2].filename, "save_soln_exec_kernel.cpp");
+    EXPECT_EQ(files[3].filename, "res_calc_omp_kernel.cpp");
+    EXPECT_EQ(files[4].filename, "res_calc_hpx_kernel.cpp");
+    EXPECT_EQ(files[5].filename, "res_calc_exec_kernel.cpp");
     EXPECT_EQ(files.back().filename, "op2c_kernels.hpp");
 }
 
