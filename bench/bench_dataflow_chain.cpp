@@ -6,15 +6,29 @@
 // staged executor over the *same* cached plan; only the dependency layer
 // differs, so the ratio isolates exactly what this PR replaced.
 //
+// Plus the partition sweep: the same dependent chain issued at
+// partition granularity (one sub-node per (partition, colour)). At
+// whole-set granularity loop i+1 waits for all of loop i; at partition
+// granularity its sub-node for partition p waits only for loop i's
+// partition p, so the partitions pipeline independently through the
+// chain — dependent loops overlap.
+//
 // Emits into BENCH_op2.json (schema op2hpx-bench-v1):
-//   dataflow_chain_epoch           ns per loop, epoch-based engine
-//   dataflow_chain_future_baseline ns per loop, PR 1 future chains
-//   dataflow_chain_speedup         x, epoch vs future-chain
+//   dataflow_chain_epoch             ns per loop, epoch-based engine
+//   dataflow_chain_future_baseline   ns per loop, PR 1 future chains
+//   dataflow_chain_speedup           x, epoch vs future-chain
+//   dataflow_chain_part<P>           ns per loop, dependent chain at P
+//                                    partitions (P = 1, 2, 4)
+//   dataflow_chain_partition_speedup x, partitioned (P=4) vs whole-set
+//
+// `--quick` shrinks warmup/measured repetitions for the CI smoke run.
 
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <hpxlite/hpxlite.hpp>
@@ -33,8 +47,15 @@ namespace {
 // kernel time and the comparison measures nothing.)
 constexpr std::size_t kElems = 256;
 constexpr int kChainLen = 16;  // dependent loops per chain (>= 8)
-constexpr int kChains = 400;   // repetitions measured
-constexpr int kWarmup = 50;
+int g_chains = 400;            // repetitions measured (--quick: 40)
+int g_warmup = 50;             // (--quick: 5)
+
+// Partition sweep: a bigger mesh so the loop body amortises the extra
+// sub-node/join machinery and the sweep measures overlap, not node
+// overhead.
+constexpr std::size_t kSweepElems = 262144;
+constexpr int kSweepChainLen = 8;
+int g_sweep_chains = 30;  // (--quick: 5)
 
 /// PR 1's dependency layer, verbatim in miniature: a per-dat record of
 /// shared futures, when_all over the collected dependencies, and a
@@ -109,13 +130,20 @@ hpxlite::shared_future<void> par_loop(loop_options const& opts,
 
 }  // namespace future_chain
 
-double ns_per_loop(double total_s, int chains) {
-    return total_s * 1e9 / (static_cast<double>(chains) * kChainLen);
+double ns_per_loop(double total_s, int chains, int chain_len) {
+    return total_s * 1e9 / (static_cast<double>(chains) * chain_len);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            g_chains = 40;
+            g_warmup = 5;
+            g_sweep_chains = 5;
+        }
+    }
     hpxlite::init();
 
     auto cells = op_decl_set(kElems, "chain_cells");
@@ -128,8 +156,11 @@ int main() {
     };
 
     // --- epoch-based engine -------------------------------------------
+    // Whole-set granularity (one node per loop), comparable with the
+    // future-chain baseline below and with the PR 2 trajectory rows.
     loop_options hpx_opts = opts;
     hpx_opts.backend = exec::backend_kind::hpx_dataflow;
+    hpx_opts.partitions = 1;
     auto run_epoch_chain = [&] {
         exec::loop_handle last;
         for (int l = 0; l < kChainLen; ++l) {
@@ -137,11 +168,11 @@ int main() {
         }
         last.wait();
     };
-    for (int w = 0; w < kWarmup; ++w) {
+    for (int w = 0; w < g_warmup; ++w) {
         run_epoch_chain();
     }
     hpxlite::util::stopwatch sw;
-    for (int c = 0; c < kChains; ++c) {
+    for (int c = 0; c < g_chains; ++c) {
         run_epoch_chain();
     }
     double const epoch_s = sw.elapsed_s();
@@ -156,18 +187,18 @@ int main() {
         }
         last.wait();
     };
-    for (int w = 0; w < kWarmup; ++w) {
+    for (int w = 0; w < g_warmup; ++w) {
         run_future_chain();
     }
     sw.reset();
-    for (int c = 0; c < kChains; ++c) {
+    for (int c = 0; c < g_chains; ++c) {
         run_future_chain();
     }
     double const future_s = sw.elapsed_s();
 
     // Sanity: every loop of both phases ran: warmup + measured, twice.
     double const expect =
-        2.0 * static_cast<double>(kWarmup + kChains) * kChainLen;
+        2.0 * static_cast<double>(g_warmup + g_chains) * kChainLen;
     double const got = d.view<double>()[0];
     if (got != expect) {
         std::fprintf(stderr, "FAIL: chain executed %.0f loops, expected %.0f\n",
@@ -175,21 +206,79 @@ int main() {
         return 1;
     }
 
-    double const epoch_ns = ns_per_loop(epoch_s, kChains);
-    double const future_ns = ns_per_loop(future_s, kChains);
+    double const epoch_ns = ns_per_loop(epoch_s, g_chains, kChainLen);
+    double const future_ns = ns_per_loop(future_s, g_chains, kChainLen);
     std::printf("dependent chain (%d loops x %d chains, %zu elems):\n",
-                kChainLen, kChains, kElems);
+                kChainLen, g_chains, kElems);
     std::printf("  epoch engine    : %9.1f ns/loop\n", epoch_ns);
     std::printf("  future baseline : %9.1f ns/loop\n", future_ns);
     std::printf("  speedup         : %9.2fx\n", future_ns / epoch_ns);
 
+    // --- partition sweep ----------------------------------------------
+    // The same dependent RW chain on a bigger mesh, issued at 1 / 2 / 4
+    // partitions on a 4-worker pool. Direct args give each sub-node a
+    // single-partition footprint, so at P > 1 the chain becomes P
+    // independent pipelines: partition p of loop i+1 starts as soon as
+    // partition p of loop i is done, while whole-set granularity holds
+    // loop i+1 until all of loop i finished.
+    hpxlite::finalize();
+    hpxlite::init(hpxlite::runtime_config{4});
+    auto sweep_cells = op_decl_set(kSweepElems, "sweep_cells");
+    auto sweep_d =
+        op_decl_dat_zero<double>(sweep_cells, 1, "double", "sweep_d");
+    auto sweep_arg = [&] {
+        return op_arg_dat(sweep_d, -1, OP_ID, 1, "double", OP_RW);
+    };
+
     benchutil::bench_log log("bench_dataflow_chain");
+    std::printf(
+        "partition sweep (%d loops x %d chains, %zu elems, 4 workers):\n",
+        kSweepChainLen, g_sweep_chains, kSweepElems);
+    double part1_ns = 0.0;
+    double part4_ns = 0.0;
+    for (std::size_t parts : {1u, 2u, 4u}) {
+        loop_options po = opts;
+        po.backend = exec::backend_kind::hpx_dataflow;
+        po.partitions = parts;
+        auto run_chain = [&] {
+            exec::loop_handle last;
+            for (int l = 0; l < kSweepChainLen; ++l) {
+                last = exec::run_loop(po, "sweep_chain", sweep_cells, kern,
+                                      sweep_arg());
+            }
+            last.wait();
+        };
+        for (int w = 0; w < 3; ++w) {
+            run_chain();
+        }
+        sw.reset();
+        for (int c = 0; c < g_sweep_chains; ++c) {
+            run_chain();
+        }
+        double const ns =
+            ns_per_loop(sw.elapsed_s(), g_sweep_chains, kSweepChainLen);
+        if (parts == 1) {
+            part1_ns = ns;
+        }
+        if (parts == 4) {
+            part4_ns = ns;
+        }
+        std::printf("  partitions=%zu    : %9.1f ns/loop\n", parts, ns);
+        log.add("dataflow_chain_part" + std::to_string(parts), ns, "ns/iter",
+                "dependent RW chain, " + std::to_string(parts) +
+                    " partitions, 4 workers");
+    }
+    std::printf("  partition spdup : %9.2fx (4 partitions vs whole-set)\n",
+                part1_ns / part4_ns);
+
     log.add("dataflow_chain_epoch", epoch_ns, "ns/iter",
             "16-loop RW chain, epoch engine");
     log.add("dataflow_chain_future_baseline", future_ns, "ns/iter",
             "16-loop RW chain, PR1 future chains");
     log.add("dataflow_chain_speedup", future_ns / epoch_ns, "x",
             "epoch_vs_future_chain");
+    log.add("dataflow_chain_partition_speedup", part1_ns / part4_ns, "x",
+            "partitioned_4_vs_whole_set");
     log.write();
 
     hpxlite::finalize();

@@ -10,10 +10,64 @@
 #include <vector>
 
 #include <hpxlite/runtime.hpp>
+#include <hpxlite/threads/task_node.hpp>
 #include <hpxlite/util/spinlock.hpp>
 #include <hpxlite/util/unique_function.hpp>
 
 namespace hpxlite::lcos::detail {
+
+/// The execution/continuation task embedded in every shared state.
+///
+/// future::then and async used to route their work through the pool's
+/// generic submit(unique_function) path, which heap-allocates one
+/// fn_task_node per call. The state a then/async creates is a heap
+/// allocation anyway, so the task node (and the callable, and the
+/// intrusive hook that links it into the source state's continuation
+/// list) live *inside* it: arming and firing a continuation allocates
+/// nothing beyond the state itself.
+///
+/// Lifecycle: arm() stores the work and a self-owning reference to the
+/// enclosing state (breaking nothing: the cycle dissolves when the task
+/// runs or is discarded). The task fires at most once — submitted by
+/// the source state on readiness (then) or directly by the launcher
+/// (async). On pool teardown with the task still queued, `abandon` is
+/// invoked instead so waiters see a broken-task error, not a hang.
+struct cont_task : threads::task_node {
+    util::unique_function fn;
+    std::shared_ptr<void> keep;        // enclosing state, while armed
+    void* owner = nullptr;             // the typed shared_state<R>*
+    void (*abandon)(void*) = nullptr;  // deposit "discarded" into owner
+    threads::thread_pool* pool = nullptr;
+    cont_task* next = nullptr;         // source state's intrusive list
+
+    cont_task() {
+        action = [](threads::task_node* n, bool run) {
+            auto* self = static_cast<cont_task*>(n);
+            // Move everything out first: running (or abandoning) the
+            // task may release the last reference to the enclosing
+            // state, taking this object with it.
+            auto keep_alive = std::move(self->keep);
+            auto work = std::move(self->fn);
+            if (run) {
+                work();
+            } else if (self->abandon != nullptr) {
+                self->abandon(self->owner);
+            }
+        };
+    }
+
+    template <typename F>
+    void arm(threads::thread_pool& p, std::shared_ptr<void> self, F&& f,
+             void* state, void (*on_abandon)(void*)) {
+        pool = &p;
+        keep = std::move(self);
+        fn = std::forward<F>(f);
+        owner = state;
+        abandon = on_abandon;
+    }
+
+    void submit() { pool->submit(static_cast<threads::task_node*>(this)); }
+};
 
 /// Thrown on protocol violations (double set, get on invalid future, ...).
 class future_error : public std::logic_error {
@@ -62,6 +116,7 @@ public:
     template <typename... A>
     void set_value(A&&... a) {
         std::vector<continuation_type> conts;
+        cont_task* tasks = nullptr;
         {
             std::lock_guard<util::spinlock> lk(mtx_);
             if (ready_.load(std::memory_order_relaxed)) {
@@ -70,15 +125,18 @@ public:
             storage_.emplace(std::forward<A>(a)...);
             ready_.store(true, std::memory_order_release);
             conts.swap(continuations_);
+            tasks = detach_tasks();
         }
         cv_.notify_all();
         for (auto& c : conts) {
             c();
         }
+        submit_tasks(tasks);
     }
 
     void set_exception(std::exception_ptr e) {
         std::vector<continuation_type> conts;
+        cont_task* tasks = nullptr;
         {
             std::lock_guard<util::spinlock> lk(mtx_);
             if (ready_.load(std::memory_order_relaxed)) {
@@ -87,11 +145,13 @@ public:
             eptr_ = std::move(e);
             ready_.store(true, std::memory_order_release);
             conts.swap(continuations_);
+            tasks = detach_tasks();
         }
         cv_.notify_all();
         for (auto& c : conts) {
             c();
         }
+        submit_tasks(tasks);
     }
 
     [[nodiscard]] bool has_exception() const {
@@ -151,7 +211,62 @@ public:
         c();
     }
 
+    /// This state's embedded task slot. Each state is created by exactly
+    /// one of async/then/promise/dataflow, so the slot has exactly one
+    /// prospective user (the launcher or the continuation that produces
+    /// this state).
+    [[nodiscard]] cont_task& task() noexcept { return task_; }
+
+    /// Register an armed task to be pool-submitted when this state
+    /// becomes ready (submitted immediately if it already is). Unlike
+    /// add_continuation this allocates nothing: the task is embedded in
+    /// the successor's state and linked intrusively.
+    void add_continuation_task(cont_task& t) {
+        {
+            std::lock_guard<util::spinlock> lk(mtx_);
+            if (!ready_.load(std::memory_order_relaxed)) {
+                t.next = task_head_;
+                task_head_ = &t;
+                return;
+            }
+        }
+        t.submit();
+    }
+
+    /// Arm this state's embedded task and submit it right away (async).
+    template <typename F>
+    void launch(threads::thread_pool& pool, std::shared_ptr<void> self,
+                F&& f) {
+        task_.arm(pool, std::move(self), std::forward<F>(f), this,
+                  &abandon_into);
+        task_.submit();
+    }
+
+    /// cont_task::abandon target: pool torn down with the task still
+    /// queued — deposit an error instead of leaving waiters hanging.
+    static void abandon_into(void* s) {
+        auto* st = static_cast<shared_state*>(s);
+        if (!st->is_ready()) {
+            st->set_exception(std::make_exception_ptr(
+                future_error("task discarded at shutdown")));
+        }
+    }
+
 private:
+    /// Detach the registered task list (callers hold mtx_).
+    [[nodiscard]] cont_task* detach_tasks() noexcept {
+        cont_task* head = task_head_;
+        task_head_ = nullptr;
+        return head;
+    }
+
+    static void submit_tasks(cont_task* head) {
+        while (head != nullptr) {
+            cont_task* next = head->next;  // submit() may free the task
+            head->submit();
+            head = next;
+        }
+    }
     void rethrow_if_exception() {
         std::exception_ptr e;
         {
@@ -169,6 +284,8 @@ private:
     std::exception_ptr eptr_;
     state_storage<T> storage_;
     std::vector<continuation_type> continuations_;
+    cont_task task_;               // this state's own work (then/async)
+    cont_task* task_head_ = nullptr;  // successors waiting on this state
 };
 
 }  // namespace hpxlite::lcos::detail

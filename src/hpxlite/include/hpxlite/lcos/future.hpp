@@ -139,6 +139,11 @@ public:
     /// Attach a continuation `f(future<T>&&)`; returns the continuation's
     /// result as a future (unwrapped one level if `f` itself returns a
     /// future). The continuation runs on the global pool.
+    ///
+    /// Allocation-free beyond the result state itself: the continuation
+    /// task_node (and the callable, SBO permitting) is embedded in the
+    /// result's shared state and linked intrusively into this future's
+    /// state — no fn_task_node, no per-continuation vector slot.
     template <typename F>
     auto then(F&& f) -> future<unwrap_result_t<std::invoke_result_t<F, future<T>&&>>> {
         ensure_valid();
@@ -146,16 +151,17 @@ public:
         using R = unwrap_result_t<R0>;
         auto rs = std::make_shared<lcos::detail::shared_state<R>>();
         auto st = std::move(state_);
-        st->add_continuation(
-            [st, rs, fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
-                hpxlite::get_pool().submit(
-                    [st = std::move(st), rs = std::move(rs),
-                     fn = std::move(fn)]() mutable {
-                        detail::invoke_into_state<R>(
-                            rs, std::move(fn),
-                            std::forward_as_tuple(future<T>(std::move(st))));
-                    });
-            });
+        auto* src = st.get();
+        rs->task().arm(
+            hpxlite::get_pool(), rs,
+            [st = std::move(st), rs,
+             fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
+                detail::invoke_into_state<R>(
+                    rs, std::move(fn),
+                    std::forward_as_tuple(future<T>(std::move(st))));
+            },
+            rs.get(), &lcos::detail::shared_state<R>::abandon_into);
+        src->add_continuation_task(rs->task());
         return future<R>(std::move(rs));
     }
 
@@ -216,16 +222,17 @@ public:
         using R = unwrap_result_t<R0>;
         auto rs = std::make_shared<lcos::detail::shared_state<R>>();
         auto st = state_;
-        st->add_continuation(
-            [st, rs, fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
-                hpxlite::get_pool().submit(
-                    [st = std::move(st), rs = std::move(rs),
-                     fn = std::move(fn)]() mutable {
-                        detail::invoke_into_state<R>(
-                            rs, std::move(fn),
-                            std::forward_as_tuple(shared_future<T>(st)));
-                    });
-            });
+        auto* src = st.get();
+        rs->task().arm(
+            hpxlite::get_pool(), rs,
+            [st = std::move(st), rs,
+             fn = std::decay_t<F>(std::forward<F>(f))]() mutable {
+                detail::invoke_into_state<R>(
+                    rs, std::move(fn),
+                    std::forward_as_tuple(shared_future<T>(st)));
+            },
+            rs.get(), &lcos::detail::shared_state<R>::abandon_into);
+        src->add_continuation_task(rs->task());
         return future<R>(std::move(rs));
     }
 
@@ -362,14 +369,17 @@ future<T> make_exceptional_future(std::exception_ptr e) {
     return future<T>(std::move(st));
 }
 
-/// Launch `f(args...)` on the global pool; returns its result as a future.
+/// Launch `f(args...)` on the global pool; returns its result as a
+/// future. The work rides the task_node embedded in the future's shared
+/// state — no fn_task_node allocation on the spawn path.
 template <typename F, typename... Args>
 auto async(F&& f, Args&&... args)
     -> future<unwrap_result_t<std::invoke_result_t<F, Args...>>> {
     using R0 = std::invoke_result_t<F, Args...>;
     using R = unwrap_result_t<R0>;
     auto rs = std::make_shared<lcos::detail::shared_state<R>>();
-    hpxlite::get_pool().submit(
+    rs->launch(
+        hpxlite::get_pool(), rs,
         [rs, fn = std::decay_t<F>(std::forward<F>(f)),
          tup = std::make_tuple(std::decay_t<Args>(std::forward<Args>(args))...)]() mutable {
             detail::invoke_into_state<R>(rs, std::move(fn), std::move(tup));

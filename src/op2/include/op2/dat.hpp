@@ -27,15 +27,16 @@ struct dat_impl {
     std::vector<std::byte> data;  // set.size() * dim * elem_bytes
 
     // --- dataflow dependency tracking (hpx_dataflow backend) --------
-    // Epoch record instead of future chains: a monotonically increasing
-    // last-writer epoch plus the intrusive loop nodes of that epoch's
-    // writer and readers. Updated under its own lock when a loop is
-    // *issued* (issue order defines program order, exactly like the
-    // futures threaded through op_par_loop calls in Figures 9-11 of the
-    // paper) — see op2/exec/dataflow.hpp for the invariants.
+    // Partition-granular epoch state instead of future chains: one
+    // (last-writer, reader-set) record per partition of the dat's set,
+    // plus a dat-level epoch counting issued writer loops. Records are
+    // updated under their own locks when a loop is *issued* (issue
+    // order defines program order, exactly like the futures threaded
+    // through op_par_loop calls in Figures 9-11 of the paper) — see
+    // op2/exec/dataflow.hpp for the invariants.
     // (mutable: dependency bookkeeping, orthogonal to the payload's
     // logical constness — loops holding const args still register reads)
-    mutable exec::dep_record dep;
+    mutable exec::dep_state dep;
 };
 
 }  // namespace detail

@@ -120,10 +120,77 @@ public:
     template <typename Bulk>
     void execute(op_plan const& plan, Bulk&& bulk) {
         setup(plan);
+        prepare_scratch();
         for (std::size_t c = 0; c < plan.ncolors; ++c) {
             bulk(plan.blocks_of_color(c));
         }
         combine();
+    }
+
+    /// Bind argument contexts and stage tables to `plan` without
+    /// executing anything. The partition-granular dataflow path calls
+    /// this once at issue time and then drives colours individually
+    /// through run_color(); execute() remains the one-shot form for the
+    /// synchronous backends.
+    void setup(op_plan const& plan) {
+        prepare_ctx();
+        bind_plan(plan);
+    }
+
+    /// Allocate and initialise the per-block reduction scratch. Must run
+    /// *after* the loop's dependencies resolved and before the first
+    /// block: MIN/MAX partials seed from the user's current value, which
+    /// an earlier loop reducing into the same variable may still be
+    /// updating at issue time. setup(plan) must have run.
+    void prepare_scratch() {
+        for (std::size_t j = 0; j < N; ++j) {
+            op_arg& a = args_[j];
+            scratch_[j].clear();
+            if (!a.is_gbl() || a.acc == op_access::OP_READ) {
+                continue;
+            }
+            // Privatise the reduction target per block.
+            std::size_t const bytes =
+                a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
+            scratch_[j].resize(bytes * nblocks_);
+            for (std::size_t blk = 0; blk < nblocks_; ++blk) {
+                std::byte* p = scratch_[j].data() + blk * bytes;
+                if (a.acc == op_access::OP_INC) {
+                    a.gbl_zero_fn(p, a.dim);
+                } else {
+                    a.gbl.init(p, a.gbl_data, a.dim);
+                }
+            }
+        }
+    }
+
+    /// Run every block of colour `c` inline on the calling thread. A
+    /// (partition, colour) dataflow sub-node *is* the unit of
+    /// parallelism, so its blocks need no further fan-out.
+    void run_color(op_plan const& plan, std::size_t c) {
+        for (std::size_t b : plan.blocks_of_color(c)) {
+            run_block(plan, b);
+        }
+    }
+
+    /// Fold the per-block reduction partials into the user's globals.
+    /// Must run exactly once, after every block executed; with
+    /// partitioned execution the join node serialises the per-partition
+    /// combines, so concurrent partition sweeps never race on the user's
+    /// variable.
+    void combine() {
+        for (std::size_t j = 0; j < N; ++j) {
+            op_arg& a = args_[j];
+            if (scratch_[j].empty()) {
+                continue;
+            }
+            std::size_t const bytes =
+                a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
+            for (std::size_t blk = 0; blk < nblocks_; ++blk) {
+                a.gbl.combine(a.gbl_data, scratch_[j].data() + blk * bytes,
+                              a.dim, a.acc);
+            }
+        }
     }
 
     /// Execute one block of the plan (called from bulk).
@@ -415,8 +482,7 @@ private:
         }
     }
 
-    void setup(op_plan const& plan) {
-        prepare_ctx();
+    void bind_plan(op_plan const& plan) {
         // Bind each indirect argument to its staged table in the plan.
         all_indirect_staged_ = true;
         for (std::size_t j = 0; j < N; ++j) {
@@ -434,41 +500,26 @@ private:
                 all_indirect_staged_ = false;
             }
         }
-        for (std::size_t j = 0; j < N; ++j) {
-            op_arg& a = args_[j];
-            scratch_[j].clear();
-            if (!a.is_gbl() || a.acc == op_access::OP_READ) {
-                continue;
-            }
-            // Privatise the reduction target per block.
-            std::size_t const bytes =
-                a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
-            scratch_[j].resize(bytes * plan.nblocks);
-            for (std::size_t blk = 0; blk < plan.nblocks; ++blk) {
-                std::byte* p = scratch_[j].data() + blk * bytes;
-                if (a.acc == op_access::OP_INC) {
-                    a.gbl_zero_fn(p, a.dim);
+        // Partition plans index elements relative to elem_base: re-base
+        // the direct pointers and map rows once here so every inner loop
+        // runs unchanged. Indirect bases stay as-is (the gather tables
+        // hold absolute byte offsets into the target dat).
+        if (plan.elem_base != 0) {
+            for (std::size_t j = 0; j < N; ++j) {
+                arg_ctx& c = ctx_[j];
+                if (c.gbl) {
+                    continue;
+                }
+                if (c.map != nullptr) {
+                    c.map += plan.elem_base *
+                             static_cast<std::size_t>(c.mapdim);
                 } else {
-                    a.gbl.init(p, a.gbl_data, a.dim);
+                    c.base += plan.elem_base * c.stride;
+                    dat_bytes_[j] -= plan.elem_base * c.stride;
                 }
             }
         }
         nblocks_ = plan.nblocks;
-    }
-
-    void combine() {
-        for (std::size_t j = 0; j < N; ++j) {
-            op_arg& a = args_[j];
-            if (scratch_[j].empty()) {
-                continue;
-            }
-            std::size_t const bytes =
-                a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
-            for (std::size_t blk = 0; blk < nblocks_; ++blk) {
-                a.gbl.combine(a.gbl_data, scratch_[j].data() + blk * bytes,
-                              a.dim, a.acc);
-            }
-        }
     }
 
     op_set set_;

@@ -8,10 +8,16 @@
 // asynchronously out of the epoch dataflow graph) and in how blocks are
 // distributed over workers.
 
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include <hpxlite/algorithms/for_loop.hpp>
 #include <hpxlite/execution/policy.hpp>
@@ -64,6 +70,18 @@ private:
 
 namespace detail {
 
+/// Process-wide guard for partitioned reduction scratch seeding and
+/// combining. One lock across *all* loops, not one per loop: two
+/// partitioned loops reducing into the same user variable can have
+/// their sub-nodes in flight concurrently (gbl args create no graph
+/// edges), and the variable's read-modify-write must not tear between
+/// them. Order under the lock is irrelevant to the result: OP_INC
+/// partials seed from zero and add, OP_MIN/OP_MAX combines are
+/// monotone folds, so any interleaving of seeds and combines produces
+/// the sequential value. Combines are rare (one per partition per
+/// loop) and short, so a single global spinlock costs nothing.
+inline hpxlite::util::spinlock g_combine_mtx;
+
 /// The plan-driven sweep every parallel backend shares: per colour, a
 /// fork-join for_loop over the colour's blocks through the staged
 /// executor, timed under the backend's name. The staged backend runs it
@@ -85,9 +103,11 @@ void staged_sweep(op2::detail::loop_executor<Kernel, N>& ex,
     op_timing_record(name, to_string(kind), sw.elapsed_s());
 }
 
-/// Graph node of one dataflow-issued loop: embeds the typed staged
-/// executor, so issuing a loop is exactly one allocation (this node) —
-/// no futures, no when_all vectors, no continuation shared states.
+/// Graph node of one dataflow-issued loop at whole-set granularity
+/// (loop_options::partitions == 1 — the differential oracle): embeds
+/// the typed staged executor, so issuing a loop is exactly one
+/// allocation (this node) — no futures, no when_all vectors, no
+/// continuation shared states.
 template <typename Kernel, std::size_t N>
 class loop_node final : public dataflow_node {
 public:
@@ -114,6 +134,372 @@ private:
     char const* name_;
 };
 
+/// Shared state of one partition-granular dataflow loop: one executor
+/// (and one cached partition plan) per partition, each with its own
+/// staged-table bindings and reduction scratch. Sub-nodes and the join
+/// node share it through shared_ptr and drop their references in
+/// on_complete(), which is what breaks the dat -> record -> node ->
+/// group -> dat cycle once the loop has run.
+template <typename Kernel, std::size_t N>
+class partitioned_loop {
+public:
+    partitioned_loop(op_set const& set, std::array<op_arg, N> const& args,
+                     Kernel const& kernel, loop_options const& opts,
+                     char const* name, std::size_t nparts)
+      : name_(name) {
+        execs_.reserve(nparts);
+        plans_.reserve(nparts);
+        for (std::size_t p = 0; p < nparts; ++p) {
+            execs_.emplace_back(set, args, kernel, opts);
+        }
+        colors_left_ =
+            std::make_unique<std::atomic<std::size_t>[]>(nparts);
+    }
+
+    [[nodiscard]] std::size_t nparts() const noexcept {
+        return execs_.size();
+    }
+    [[nodiscard]] op2::detail::loop_executor<Kernel, N>& executor(
+        std::size_t p) {
+        return execs_[p];
+    }
+    [[nodiscard]] op_plan const& plan(std::size_t p) const {
+        return *plans_[p];
+    }
+    void bind_plan(op_plan const& pl) { plans_.push_back(&pl); }
+    [[nodiscard]] char const* name() const noexcept { return name_; }
+
+    /// First sub-node to run stamps the loop's execution start; the
+    /// join reads the span. This keeps the hpx_dataflow timing row a
+    /// *wall* time (first block to last combine), comparable with the
+    /// seq/staged rows and with the whole-set node's sweep time — not a
+    /// sum of concurrent sub-node CPU times.
+    void mark_start() noexcept {
+        std::int64_t expected = -1;
+        (void)start_ns_.compare_exchange_strong(expected, now_ns(),
+                                                std::memory_order_relaxed);
+    }
+    [[nodiscard]] double wall_seconds() const noexcept {
+        std::int64_t const s = start_ns_.load(std::memory_order_relaxed);
+        return s < 0 ? 0.0 : static_cast<double>(now_ns() - s) * 1e-9;
+    }
+
+    /// Arm partition p's colour countdown (issue time).
+    void init_colors(std::size_t p, std::size_t ncolors) noexcept {
+        colors_left_[p].store(ncolors, std::memory_order_relaxed);
+    }
+
+    /// Count one finished colour of partition p; true for the last.
+    [[nodiscard]] bool finish_color(std::size_t p) noexcept {
+        return colors_left_[p].fetch_sub(1, std::memory_order_acq_rel) == 1;
+    }
+
+    /// Seed partition p's reduction scratch (the partition's colour-0
+    /// sub-node). Under the global combine lock: MIN/MAX partials
+    /// *read* the user's variable, which another partition's — or
+    /// another loop's — combine may be writing at that moment.
+    void prepare_partition(std::size_t p) {
+        std::lock_guard<hpxlite::util::spinlock> lk(g_combine_mtx);
+        execs_[p].prepare_scratch();
+    }
+
+    /// Fold partition p's reduction partials into the user's globals.
+    /// Runs on the partition's last sub-node — with the sub-nodes, not
+    /// after them, so a fence that drains the dat records also covers
+    /// the reductions. The global lock serialises the read-modify-write
+    /// of the user's variable across partitions *and* across loops (see
+    /// g_combine_mtx for why ordering doesn't matter).
+    void combine_partition(std::size_t p) {
+        std::lock_guard<hpxlite::util::spinlock> lk(g_combine_mtx);
+        execs_[p].combine();
+    }
+
+    void release_handles() noexcept {
+        for (auto& ex : execs_) {
+            ex.release_handles();
+        }
+    }
+
+private:
+    [[nodiscard]] static std::int64_t now_ns() noexcept {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    std::vector<op2::detail::loop_executor<Kernel, N>> execs_;
+    std::vector<op_plan const*> plans_;
+    std::unique_ptr<std::atomic<std::size_t>[]> colors_left_;
+    std::atomic<std::int64_t> start_ns_{-1};
+    char const* name_;
+};
+
+/// One (partition, colour) sub-node of a partitioned loop: the unit of
+/// both scheduling and dependency tracking. Its blocks run inline — the
+/// sub-node *is* the parallelism grain, one per worker by default.
+template <typename Kernel, std::size_t N>
+class part_node final : public dataflow_node {
+public:
+    part_node(std::shared_ptr<partitioned_loop<Kernel, N>> grp,
+              std::size_t partition, std::size_t color) noexcept
+      : grp_(std::move(grp)), partition_(partition), color_(color) {}
+
+private:
+    void run_body() override {
+        grp_->mark_start();
+        auto& ex = grp_->executor(partition_);
+        op_plan const& plan = grp_->plan(partition_);
+        if (color_ == 0) {
+            // Colour 0 provably runs first within its partition (every
+            // higher colour conflicts with — and therefore orders after
+            // — some lower-colour block through a shared dat-partition
+            // record), so it owns the run-time scratch initialisation.
+            grp_->prepare_partition(partition_);
+        }
+        ex.run_color(plan, color_);
+        if (grp_->finish_color(partition_)) {
+            grp_->combine_partition(partition_);
+        }
+    }
+
+    void on_complete() noexcept override { grp_.reset(); }
+
+    std::shared_ptr<partitioned_loop<Kernel, N>> grp_;
+    std::size_t partition_;
+    std::size_t color_;
+};
+
+/// The loop's completion node: depends on every sub-node and is what
+/// the returned loop_handle waits on; it also owns the timing record
+/// and the final release of the group's dat handles.
+template <typename Kernel, std::size_t N>
+class join_node final : public dataflow_node {
+public:
+    explicit join_node(
+        std::shared_ptr<partitioned_loop<Kernel, N>> grp) noexcept
+      : grp_(std::move(grp)) {}
+
+private:
+    void run_body() override {
+        op_timing_record(grp_->name(), to_string(backend_kind::hpx_dataflow),
+                         grp_->wall_seconds());
+    }
+
+    void on_complete() noexcept override {
+        grp_->release_handles();
+        grp_.reset();
+    }
+
+    std::shared_ptr<partitioned_loop<Kernel, N>> grp_;
+};
+
+/// Whole-set issue (partitions == 1): one node per loop, one dep_request
+/// per distinct dat — the PR 2 shape, kept verbatim as the differential
+/// oracle for partition-granular execution.
+template <typename Kernel, std::size_t N>
+loop_handle issue_whole_set(loop_options const& opts, char const* name,
+                            op_set set, std::array<op_arg, N> args,
+                            Kernel kernel,
+                            hpxlite::threads::thread_pool& pool) {
+    auto* node = new loop_node<Kernel, N>(std::move(set), std::move(args),
+                                          std::move(kernel), opts, name);
+    node_ref ref(node, /*adopt=*/true);
+    auto& ex = node->executor();
+    ex.validate(name);  // throws before publication; ref cleans up
+    node->bind_plan(plan_get(
+        ex.set(), ex.args(),
+        plan_desc{opts.part_size, opts.staged_gather}));
+
+    // One dep_request per distinct dat; write dominates, so a loop
+    // touching a dat through several args never self-edges. Pins are
+    // taken in canonical (address) order — concurrent issuers at mixed
+    // granularities then never hold-and-wait on each other's pins — and
+    // stay held until the wiring below completes.
+    struct dat_ref {
+        dep_state* state = nullptr;
+        bool write = false;
+    };
+    std::array<dat_ref, N == 0 ? 1 : N> ents;
+    std::array<issue_pin, N == 0 ? 1 : N> pins;
+    std::array<dep_request, N == 0 ? 1 : N> reqs;
+    std::size_t nreq = 0;
+    for (op_arg const& a : ex.args()) {
+        if (!a.dat.valid()) {
+            continue;
+        }
+        dep_state& st = a.dat.internal().dep;
+        bool const write = a.acc != op_access::OP_READ;
+        bool merged = false;
+        for (std::size_t i = 0; i < nreq; ++i) {
+            if (ents[i].state == &st) {
+                ents[i].write = ents[i].write || write;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) {
+            ents[nreq++] = {&st, write};
+        }
+    }
+    std::sort(ents.begin(), ents.begin() + static_cast<std::ptrdiff_t>(nreq),
+              [](dat_ref const& x, dat_ref const& y) {
+                  return x.state < y.state;
+              });
+    for (std::size_t i = 0; i < nreq; ++i) {
+        pins[i] = issue_pin(*ents[i].state, 1);
+        reqs[i] = {&pins[i].records()[0], ents[i].write};
+        if (ents[i].write) {
+            ents[i].state->bump_epoch();
+        }
+    }
+    issue(*node, std::span<dep_request const>{reqs.data(), nreq}, pool);
+    return loop_handle(std::move(ref));
+}
+
+/// Partition-granular issue: the loop becomes one sub-node per
+/// (partition, colour) plus a join node. Each sub-node edges on exactly
+/// the dat partitions it can reach — the iteration partition itself for
+/// direct args, the plan's map-derived footprint for indirect ones — so
+/// independent partitions of dependent loops, and independent colours
+/// of different loops, overlap in the epoch graph. Sub-nodes are issued
+/// in (partition, colour) order; conflicting sub-nodes always share at
+/// least one dat-partition record (a conflict is a shared target
+/// element, and the element's partition record orders its writers by
+/// issue order), so program order is preserved wherever it matters.
+template <typename Kernel, std::size_t N>
+loop_handle issue_partitioned(loop_options const& opts, char const* name,
+                              op_set set, std::array<op_arg, N> args,
+                              Kernel kernel,
+                              hpxlite::threads::thread_pool& pool,
+                              std::size_t nparts) {
+    auto grp = std::make_shared<partitioned_loop<Kernel, N>>(
+        set, args, kernel, opts, name, nparts);
+    grp->executor(0).validate(name);
+
+    // Resolve every partition plan (and bind the executors) up front, so
+    // nothing below the first sub-node issue can throw.
+    for (std::size_t p = 0; p < nparts; ++p) {
+        op_plan const& plan = plan_get(
+            set, grp->executor(0).args(),
+            plan_desc{opts.part_size, opts.staged_gather, nparts, p});
+        grp->bind_plan(plan);
+        grp->executor(p).setup(plan);
+        grp->init_colors(p, plan.ncolors);
+    }
+
+    // Distinct dats of the loop, with their record tables pinned at
+    // this granularity (until every sub-node is wired) and the
+    // dat-level epoch bumped once per writer. Pins are taken in
+    // canonical (address) order so concurrent issuers at mixed
+    // granularities never hold-and-wait on each other's pins.
+    struct dat_entry {
+        dep_state* state = nullptr;
+        bool write = false;
+        issue_pin pin;
+    };
+    std::array<dat_entry, N == 0 ? 1 : N> dats;
+    std::array<std::size_t, N == 0 ? 1 : N> arg_dat{};  // arg -> dats index
+    std::size_t ndats = 0;
+    {
+        std::size_t j = 0;
+        for (op_arg const& a : grp->executor(0).args()) {
+            if (!a.dat.valid()) {
+                arg_dat[j++] = static_cast<std::size_t>(-1);
+                continue;
+            }
+            dep_state& st = a.dat.internal().dep;
+            std::size_t i = 0;
+            while (i < ndats && dats[i].state != &st) {
+                ++i;
+            }
+            if (i == ndats) {
+                dats[i].state = &st;
+                ++ndats;
+            }
+            dats[i].write = dats[i].write || a.acc != op_access::OP_READ;
+            ++j;
+        }
+    }
+    std::sort(dats.begin(), dats.begin() + static_cast<std::ptrdiff_t>(ndats),
+              [](dat_entry const& x, dat_entry const& y) {
+                  return x.state < y.state;
+              });
+    for (std::size_t i = 0; i < ndats; ++i) {
+        dats[i].pin = issue_pin(*dats[i].state, nparts);
+        if (dats[i].write) {
+            dats[i].state->bump_epoch();
+        }
+    }
+    {
+        // Re-derive the arg -> entry mapping against the sorted order.
+        std::size_t j = 0;
+        for (op_arg const& a : grp->executor(0).args()) {
+            if (!a.dat.valid()) {
+                arg_dat[j++] = static_cast<std::size_t>(-1);
+                continue;
+            }
+            dep_state& st = a.dat.internal().dep;
+            std::size_t i = 0;
+            while (dats[i].state != &st) {
+                ++i;
+            }
+            arg_dat[j++] = i;
+        }
+    }
+
+    auto* join = new join_node<Kernel, N>(grp);
+    node_ref jref(join, /*adopt=*/true);
+    join->bind_pool(pool);
+
+    std::vector<dep_request> reqs;
+    for (std::size_t p = 0; p < nparts; ++p) {
+        op_plan const& plan = grp->plan(p);
+        for (std::size_t c = 0; c < plan.ncolors; ++c) {
+            auto* sub = new part_node<Kernel, N>(grp, p, c);
+            node_ref sref(sub, /*adopt=*/true);
+            join->depend_on(*sub);
+
+            reqs.clear();
+            auto add = [&reqs](dep_record* rec, bool write) {
+                for (auto& r : reqs) {
+                    if (r.rec == rec) {
+                        r.write = r.write || write;
+                        return;
+                    }
+                }
+                reqs.push_back({rec, write});
+            };
+            std::size_t j = 0;
+            for (op_arg const& a : grp->executor(0).args()) {
+                std::size_t const i = arg_dat[j++];
+                if (i == static_cast<std::size_t>(-1)) {
+                    continue;
+                }
+                bool const write = a.acc != op_access::OP_READ;
+                if (a.is_direct()) {
+                    add(&dats[i].pin.records()[p], write);
+                } else if (plan_footprint const* fp =
+                               plan.find_footprint(a.map.id(), a.idx)) {
+                    for (std::uint32_t q : fp->parts) {
+                        add(&dats[i].pin.records()[q], write);
+                    }
+                } else {
+                    // No footprint (should not happen): conservatively
+                    // edge on every partition of the dat.
+                    for (std::size_t q = 0; q < nparts; ++q) {
+                        add(&dats[i].pin.records()[q], write);
+                    }
+                }
+            }
+            issue(*sub, std::span<dep_request const>{reqs.data(),
+                                                     reqs.size()},
+                  pool);
+        }
+    }
+    join->schedule();
+    return loop_handle(std::move(jref));
+}
+
 }  // namespace detail
 
 /// Issue `kernel` over `set` on the backend selected by opts.backend.
@@ -121,11 +507,14 @@ private:
 ///  * seq: plain element loop on the calling thread; returns ready.
 ///  * staged: plan-driven fork-join sweep (colour by colour, implicit
 ///    barrier at the end — the stock-OP2 OpenMP shape); returns ready.
-///  * hpx_dataflow: the loop is *issued*, not executed — it runs as soon
-///    as the loops it depends on (through its dats' epoch records) have
-///    finished; independent loops interleave with no global barrier.
-///    Reduction results (op_arg_gbl) are valid only once the returned
-///    handle is ready.
+///  * hpx_dataflow: the loop is *issued*, not executed — it enters the
+///    epoch graph at partition granularity (loop_options::partitions
+///    sub-ranges of the set, one sub-node per (partition, colour), one
+///    per pool worker by default) and runs as its per-partition
+///    dependencies resolve; independent partitions of dependent loops
+///    overlap, and there is no global barrier. partitions = 1 keeps the
+///    whole-set single-node shape. Reduction results (op_arg_gbl) are
+///    valid only once the returned handle is ready.
 template <typename Kernel, typename... Args>
 loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
                      Kernel kernel, Args... args) {
@@ -149,47 +538,28 @@ loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
                 std::move(set), std::array<op_arg, n>{std::move(args)...},
                 std::move(kernel), opts);
             ex.validate(name);
-            op_plan const& plan = plan_get(ex.set(), ex.args(), opts.part_size);
+            op_plan const& plan = plan_get(
+                ex.set(), ex.args(),
+                plan_desc{opts.part_size, opts.staged_gather});
             detail::staged_sweep(ex, plan, backend_kind::staged, name);
             return {};
         }
 
         case backend_kind::hpx_dataflow: {
-            auto* node = new detail::loop_node<Kernel, n>(
-                std::move(set), std::array<op_arg, n>{std::move(args)...},
-                std::move(kernel), opts, name);
-            node_ref ref(node, /*adopt=*/true);
-            auto& ex = node->executor();
-            ex.validate(name);  // throws before publication; ref cleans up
-            node->bind_plan(plan_get(ex.set(), ex.args(), opts.part_size));
-
-            // One dep_request per distinct dat; write dominates, so a
-            // loop touching a dat through several args never self-edges.
-            std::array<dep_request, n> reqs;
-            std::size_t nreq = 0;
-            for (op_arg const& a : ex.args()) {
-                if (!a.dat.valid()) {
-                    continue;
-                }
-                dep_record* rec = &a.dat.internal().dep;
-                bool const write = a.acc != op_access::OP_READ;
-                bool merged = false;
-                for (std::size_t i = 0; i < nreq; ++i) {
-                    if (reqs[i].rec == rec) {
-                        reqs[i].write = reqs[i].write || write;
-                        merged = true;
-                        break;
-                    }
-                }
-                if (!merged) {
-                    reqs[nreq++] = {rec, write};
-                }
-            }
             auto& pool =
                 opts.pool != nullptr ? *opts.pool : hpxlite::get_pool();
-            issue(*node, std::span<dep_request const>{reqs.data(), nreq},
-                  pool);
-            return loop_handle(std::move(ref));
+            std::size_t const nparts =
+                opts.partitions != 0 ? opts.partitions : pool.size();
+            if (nparts <= 1) {
+                return detail::issue_whole_set<Kernel, n>(
+                    opts, name, std::move(set),
+                    std::array<op_arg, n>{std::move(args)...},
+                    std::move(kernel), pool);
+            }
+            return detail::issue_partitioned<Kernel, n>(
+                opts, name, std::move(set),
+                std::array<op_arg, n>{std::move(args)...}, std::move(kernel),
+                pool, nparts);
         }
     }
     return {};

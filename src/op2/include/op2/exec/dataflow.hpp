@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <stdexcept>
@@ -342,6 +343,155 @@ struct dep_record {
         w = self.writer;
         rs = self.readers;
     }
+};
+
+/// Partition-granular dependency state of one dat: a table of
+/// dep_records, one per partition of the dat's set, plus a dat-level
+/// epoch counting issued writer *loops* (any granularity). Loops touch
+/// only the records of the partitions their sub-nodes can reach (direct
+/// args: the iteration partition itself; indirect args: the plan's
+/// map-derived footprint), which is what lets independent partitions of
+/// dependent loops overlap in the epoch graph.
+///
+/// The table is sized lazily to the granularity of the first loop that
+/// touches the dat and re-partitioned when a loop arrives at a
+/// different granularity. Re-partitioning drains the dat first (waits
+/// for every tracked node — a per-dat fence) *and* waits out loops
+/// mid-issue on the current table (the inflight pin below), so a
+/// concurrent issuer can never wire nodes into an orphaned table.
+/// Completed-but-failed nodes are carried into the new table so a later
+/// writer still inherits their error through its WAR/WAW edges.
+struct dep_state {
+    hpxlite::util::spinlock mtx;  // guards count/recs (swap) and epoch
+    std::uint64_t epoch = 0;      // writer loops issued against this dat
+    std::size_t count = 0;        // partition granularity of `recs`
+    std::size_t inflight = 0;     // loops pinned mid-issue on `recs`
+    std::shared_ptr<dep_record[]> recs;
+
+    /// Pin the record table at granularity `p` for the duration of one
+    /// loop's issue (re-partitioning first if needed). The returned
+    /// snapshot is owning *and* pinned: until the matching unpin(), no
+    /// other thread can swap the table, so every record the caller
+    /// wires into stays the table every later loop will consult.
+    std::shared_ptr<dep_record[]> pin(std::size_t p) {
+        for (;;) {
+            std::vector<node_ref> pending;
+            std::vector<node_ref> failed;
+            {
+                std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+                if (count == p && recs) {
+                    ++inflight;
+                    return recs;
+                }
+                if (inflight == 0) {
+                    for (std::size_t i = 0; i < count; ++i) {
+                        dep_record& r = recs[i];
+                        std::lock_guard<hpxlite::util::spinlock> rlk(r.mtx);
+                        auto track = [&](node_ref const& n) {
+                            if (!n) {
+                                return;
+                            }
+                            if (!n->done()) {
+                                pending.push_back(n);
+                            } else if (n->failed()) {
+                                failed.push_back(n);
+                            }
+                        };
+                        track(r.writer);
+                        for (auto const& rd : r.readers) {
+                            track(rd);
+                        }
+                    }
+                    if (pending.empty()) {
+                        auto next = std::shared_ptr<dep_record[]>(
+                            new dep_record[p]);
+                        for (std::size_t i = 0; i < p; ++i) {
+                            // Failed history rides along as (completed)
+                            // readers: the next writer of any partition
+                            // inherits the error, like the future
+                            // chains rethrowing a dependency's
+                            // exception.
+                            next[i].readers = failed;
+                        }
+                        recs = std::move(next);
+                        count = p;
+                        ++inflight;
+                        return recs;
+                    }
+                }
+            }
+            // Drain outside the locks: waiting helps the pool, and the
+            // nodes being waited for may need these very records. When
+            // blocked on another loop's issue window instead (inflight
+            // pin, microseconds), just yield and retry.
+            for (auto& n : pending) {
+                n->wait();
+            }
+            if (pending.empty()) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    /// Release a pin() once the loop's nodes are wired in.
+    void unpin() {
+        std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+        --inflight;
+    }
+
+    /// Owning snapshot of the current table (fences, tests).
+    std::pair<std::shared_ptr<dep_record[]>, std::size_t> table() const {
+        auto& self = const_cast<dep_state&>(*this);
+        std::lock_guard<hpxlite::util::spinlock> lk(self.mtx);
+        return {self.recs, self.count};
+    }
+
+    /// Count one issued writer loop (called once per written dat per
+    /// loop, at issue time on the issuing thread).
+    void bump_epoch() {
+        std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+        ++epoch;
+    }
+};
+
+/// RAII pin on one dat's record table for the span of a loop issue
+/// (dep_state::pin / unpin).
+class issue_pin {
+public:
+    issue_pin() noexcept = default;
+    issue_pin(dep_state& s, std::size_t p) : s_(&s), recs_(s.pin(p)) {}
+    issue_pin(issue_pin&& o) noexcept
+      : s_(o.s_), recs_(std::move(o.recs_)) {
+        o.s_ = nullptr;
+    }
+    issue_pin& operator=(issue_pin&& o) noexcept {
+        if (this != &o) {
+            release();
+            s_ = o.s_;
+            recs_ = std::move(o.recs_);
+            o.s_ = nullptr;
+        }
+        return *this;
+    }
+    issue_pin(issue_pin const&) = delete;
+    issue_pin& operator=(issue_pin const&) = delete;
+    ~issue_pin() { release(); }
+
+    [[nodiscard]] dep_record* records() const noexcept {
+        return recs_.get();
+    }
+
+private:
+    void release() noexcept {
+        if (s_ != nullptr) {
+            s_->unpin();
+            s_ = nullptr;
+        }
+        recs_.reset();
+    }
+
+    dep_state* s_ = nullptr;
+    std::shared_ptr<dep_record[]> recs_;
 };
 
 /// One (record, access) pair of a loop being issued. The backend merges

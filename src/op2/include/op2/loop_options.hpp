@@ -33,6 +33,17 @@ struct loop_options {
     /// prefetch_distance_factor; ~15 is the Airfoil sweet spot).
     std::size_t prefetch_distance_factor = 15;
 
+    /// Execution-granularity of the hpx_dataflow backend: the iteration
+    /// set is split into this many contiguous partitions and the loop is
+    /// issued as one graph sub-node per (partition, colour), so
+    /// independent partitions of *dependent* loops overlap in the epoch
+    /// graph. 0 means "one per pool worker". 1 pins whole-set
+    /// granularity (one node per loop — the PR 2 shape, kept as the
+    /// differential oracle). Plans are built and cached per partition.
+    /// The seq and staged backends ignore this field: they are
+    /// synchronous, so there is no graph to scope.
+    std::size_t partitions = 0;
+
     /// Use the plan's staged gather tables (pre-resolved byte offsets)
     /// for indirect arguments and pointer-bumping for direct ones. Off
     /// reproduces the seed's per-element map resolution — kept for

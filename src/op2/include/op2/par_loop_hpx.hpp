@@ -8,13 +8,15 @@
 namespace op2 {
 
 /// HPX dataflow backend (the paper's contribution, Section IV): the loop
-/// is *issued*, not executed — it runs as soon as all loops it depends on
-/// (through its dats' epoch records) have finished, and its completion is
-/// returned as a lightweight handle on the loop's intrusive graph node.
-/// Independent loops interleave automatically; there is no global
-/// barrier, and — unlike PR 1's future chains — no future/shared-state
-/// allocation per dat per loop. Thin wrapper over the exec layer
-/// (opts.backend = hpx_dataflow).
+/// is *issued*, not executed — it enters the epoch graph at partition
+/// granularity (opts.partitions contiguous sub-ranges of the iteration
+/// set, one per pool worker by default; one intrusive sub-node per
+/// (partition, colour)) and each sub-node runs as soon as the dat
+/// *partitions* it touches are ready. Independent loops — and
+/// independent partitions of *dependent* loops — interleave
+/// automatically; there is no global barrier, and — unlike PR 1's
+/// future chains — no future/shared-state allocation per dat per loop.
+/// Thin wrapper over the exec layer (opts.backend = hpx_dataflow).
 ///
 /// Reduction results (op_arg_gbl) are only valid after the returned
 /// handle becomes ready.

@@ -30,6 +30,36 @@ struct plan_stage {
     std::vector<std::uint32_t> off;  // [set_size] byte offsets into the dat
 };
 
+/// Which partitions of an indirect argument's *target* set this plan's
+/// element range reaches through (map, slot) — the map-derived partition
+/// footprint. The dataflow backend turns these into per-partition
+/// dependency requests: a sub-node executing this plan edges on exactly
+/// the dat partitions it can touch, nothing more. Only present on plans
+/// built at partition granularity (npartitions > 1).
+struct plan_footprint {
+    std::uint64_t map_id = 0;
+    int idx = 0;
+    std::vector<std::uint32_t> parts;  // sorted target-partition ids
+};
+
+/// Identifies one plan configuration. Everything in here affects the
+/// built plan's contents, so everything in here is part of the cache
+/// key (see the key-collision regression tests in test_plan.cpp).
+struct plan_desc {
+    /// Block (mini-partition) size; 0 normalises to default_part_size.
+    std::size_t part_size = default_part_size;
+    /// Whether staged gather tables are built. Plans for
+    /// staged_gather == false carry no tables (the legacy executor
+    /// resolves per element), so the two configurations must not share
+    /// a cache slot.
+    bool staged_gather = true;
+    /// Partition granularity of the iteration set and every indirect
+    /// target set (1 = whole-set plan).
+    std::size_t npartitions = 1;
+    /// Which partition this plan covers (< npartitions).
+    std::size_t partition = 0;
+};
+
 /// An execution plan for one (set, args, part_size) combination:
 /// the iteration set partitioned into contiguous blocks, the blocks
 /// coloured so that no two blocks of the same colour touch the same
@@ -39,9 +69,20 @@ struct plan_stage {
 /// reproduces the blockId/offset_b/nelem structure of the OP2-generated
 /// loop in Fig. 4 of the paper, plus OP2's staging (loc-map) tables.
 struct op_plan {
-    std::size_t set_size = 0;
+    /// Elements covered by this plan. Whole-set plans cover [0, set
+    /// size); partition plans cover [elem_base, elem_base + set_size) of
+    /// the set, with every block offset and gather table indexed
+    /// *relative* to elem_base (the executor re-bases its direct
+    /// pointers and map rows once per loop, so the hot path is
+    /// unchanged).
+    std::size_t set_size = 0;   // elements covered (partition size)
+    std::size_t elem_base = 0;  // absolute index of the first element
     std::size_t part_size = 0;
     std::size_t nblocks = 0;
+
+    /// Partition context the plan was built for.
+    std::size_t npartitions = 1;
+    std::size_t partition = 0;
 
     std::vector<std::size_t> offset;  // [nblocks] first element of block
     std::vector<std::size_t> nelems;  // [nblocks] elements in block
@@ -58,6 +99,10 @@ struct op_plan {
     /// dat is too large for 32-bit byte offsets; the executor then falls
     /// back to per-element map resolution for that argument.
     std::vector<plan_stage> stages;
+
+    /// Map-derived partition footprints, one per distinct (map, slot)
+    /// among the loop's indirect args. Empty on whole-set plans.
+    std::vector<plan_footprint> footprints;
 
     /// Blocks of colour c (ids into offset/nelems).
     [[nodiscard]] std::span<std::size_t const> blocks_of_color(
@@ -77,17 +122,40 @@ struct op_plan {
         }
         return nullptr;
     }
+
+    /// The target-partition footprint of (map, slot), or nullptr when
+    /// absent (whole-set plans carry none).
+    [[nodiscard]] plan_footprint const* find_footprint(std::uint64_t map_id,
+                                                       int idx) const
+        noexcept {
+        for (auto const& f : footprints) {
+            if (f.map_id == map_id && f.idx == idx) {
+                return &f;
+            }
+        }
+        return nullptr;
+    }
 };
 
 /// Build (or fetch from the process-wide cache) the plan for executing
-/// `args` over `set` with the given block size. Plans are cached by
-/// (set, normalised part_size, indirect argument classes), like
-/// op_plan_get in OP2. The cache is an unordered map sharded across
-/// independently locked stripes; lookups take a shared lock only.
+/// `args` over `set` (or over one partition of it) under `desc`. Plans
+/// are cached by (set, every plan_desc field, indirect argument
+/// classes), like op_plan_get in OP2. The cache is two-level: a
+/// per-worker (thread-local) pointer map answers repeat lookups with no
+/// locking or atomics at all — concurrent loops on different workers
+/// never contend — backed by a sharded shared store that owns the plans,
+/// so every worker resolves one configuration to the same op_plan.
+op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
+                        plan_desc const& desc);
+
+/// Whole-set convenience overload (partition granularity 1).
 op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
                         std::size_t part_size);
 
 /// Build a plan without consulting the cache (exposed for tests).
+op_plan plan_build(op_set const& set, std::span<op_arg const> args,
+                   plan_desc const& desc);
+
 op_plan plan_build(op_set const& set, std::span<op_arg const> args,
                    std::size_t part_size);
 

@@ -1,6 +1,7 @@
 #include <op2/plan.hpp>
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <limits>
@@ -58,14 +59,23 @@ std::vector<stage_ref> collect_stage_refs(std::span<op_arg const> args) {
     return refs;
 }
 
+/// Every plan-affecting input is part of the key: the set, every
+/// plan_desc field (part_size, staged_gather, partition granularity and
+/// index) and the indirect argument classes. See the key-collision
+/// regression tests in test_plan.cpp.
 struct plan_key {
     std::uint64_t set_id = 0;
     std::size_t part_size = 0;
+    bool staged_gather = true;
+    std::size_t npartitions = 1;
+    std::size_t partition = 0;
     // (map id, slot, stride, mutating) per indirect argument class.
     std::vector<std::tuple<std::uint64_t, int, std::size_t, bool>> refs;
 
     bool operator==(plan_key const& o) const {
         return set_id == o.set_id && part_size == o.part_size &&
+               staged_gather == o.staged_gather &&
+               npartitions == o.npartitions && partition == o.partition &&
                refs == o.refs;
     }
 };
@@ -78,6 +88,9 @@ struct plan_key_hash {
         };
         mix(k.set_id);
         mix(k.part_size);
+        mix(k.staged_gather ? 1 : 0);
+        mix(k.npartitions);
+        mix(k.partition);
         for (auto const& [id, idx, stride, mut] : k.refs) {
             mix(id);
             mix(static_cast<std::uint64_t>(idx));
@@ -88,11 +101,14 @@ struct plan_key_hash {
     }
 };
 
-plan_key make_key(op_set const& set, std::size_t part_size,
+plan_key make_key(op_set const& set, plan_desc const& desc,
                   std::vector<stage_ref> const& refs) {
     plan_key key;
     key.set_id = set.id();
-    key.part_size = part_size;
+    key.part_size = desc.part_size;
+    key.staged_gather = desc.staged_gather;
+    key.npartitions = desc.npartitions;
+    key.partition = desc.partition;
     key.refs.reserve(refs.size());
     for (auto const& r : refs) {
         key.refs.emplace_back(r.map.id(), r.idx, r.stride, r.mutating);
@@ -100,10 +116,9 @@ plan_key make_key(op_set const& set, std::size_t part_size,
     return key;
 }
 
-/// The plan cache: an unordered map sharded over independently locked
-/// stripes. Lookups (the common case once an application warms up) take a
-/// shared lock on one stripe only; concurrent loops on different
-/// (set, args) combinations do not contend at all.
+/// The shared plan store: an unordered map sharded over independently
+/// locked stripes; it owns the plans (stable addresses for the lifetime
+/// of the cache). Workers rarely reach it — see local_cache below.
 constexpr std::size_t kCacheShards = 16;
 
 struct cache_shard {
@@ -113,8 +128,34 @@ struct cache_shard {
 
 cache_shard g_shards[kCacheShards];
 
+/// Version counter bumped by plan_cache_clear(): per-worker caches hold
+/// raw plan pointers into the shared store, so a clear must invalidate
+/// them before the store frees the plans.
+std::atomic<std::uint64_t> g_cache_version{1};
+
 cache_shard& shard_for(std::size_t hash) {
     return g_shards[hash & (kCacheShards - 1)];
+}
+
+/// The per-worker plan shard: a thread-local key -> plan pointer map.
+/// Steady-state lookups (every loop issue after warm-up) resolve here
+/// with no lock and no shared cache line touched beyond one relaxed
+/// version load, which is what removes cross-worker plan-cache
+/// contention when many workers issue loops concurrently. All threads
+/// still share one plan per configuration through the backing store.
+struct local_cache {
+    std::uint64_t version = 0;
+    std::unordered_map<plan_key, op_plan const*, plan_key_hash> map;
+};
+
+local_cache& local_shard() {
+    thread_local local_cache cache;
+    auto const v = g_cache_version.load(std::memory_order_acquire);
+    if (cache.version != v) {
+        cache.map.clear();
+        cache.version = v;
+    }
+    return cache;
 }
 
 /// Single-pass block-conflict colouring. For every target element we keep
@@ -149,7 +190,7 @@ void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
             std::uint64_t used = 0;
             for (auto const& r : color_refs) {
                 auto const& m = masks.at(r.map.to().id());
-                std::size_t const lo = plan.offset[b];
+                std::size_t const lo = plan.elem_base + plan.offset[b];
                 std::size_t const hi = lo + plan.nelems[b];
                 for (std::size_t e = lo; e < hi; ++e) {
                     used |= m[static_cast<std::size_t>(r.map(e, r.idx))];
@@ -164,7 +205,7 @@ void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
             std::uint64_t const bit = std::uint64_t{1} << c;
             for (auto const& r : color_refs) {
                 auto& m = masks.at(r.map.to().id());
-                std::size_t const lo = plan.offset[b];
+                std::size_t const lo = plan.elem_base + plan.offset[b];
                 std::size_t const hi = lo + plan.nelems[b];
                 for (std::size_t e = lo; e < hi; ++e) {
                     m[static_cast<std::size_t>(r.map(e, r.idx))] |= bit;
@@ -191,8 +232,10 @@ void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
     }
 }
 
-/// Build the staged gather tables: off[e] = map[e*dim+idx] * stride, the
-/// per-element byte offset the executor's inner loop reads directly.
+/// Build the staged gather tables: off[e] = map[(base+e)*dim+idx] *
+/// stride, the per-element byte offset the executor's inner loop reads
+/// directly. Tables are indexed relative to the plan's elem_base; the
+/// offsets themselves are absolute bytes into the target dat.
 void build_stages(op_plan& plan, std::vector<stage_ref> const& refs) {
     plan.stages.reserve(refs.size());
     for (auto const& r : refs) {
@@ -207,7 +250,9 @@ void build_stages(op_plan& plan, std::vector<stage_ref> const& refs) {
         st.idx = r.idx;
         st.stride = r.stride;
         st.off.resize(plan.set_size);
-        int const* table = r.map.table().data();
+        int const* table = r.map.table().data() +
+                           plan.elem_base * static_cast<std::size_t>(
+                                                r.map.dim());
         auto const mapdim = static_cast<std::size_t>(r.map.dim());
         auto const idx = static_cast<std::size_t>(r.idx);
         for (std::size_t e = 0; e < plan.set_size; ++e) {
@@ -218,12 +263,49 @@ void build_stages(op_plan& plan, std::vector<stage_ref> const& refs) {
     }
 }
 
-op_plan plan_build_impl(op_set const& set, std::size_t part_size,
+/// Compute the map-derived partition footprints: which partitions of
+/// each indirect target set the plan's element range reaches. One entry
+/// per distinct (map, slot); strides are irrelevant to reachability.
+void build_footprints(op_plan& plan, std::vector<stage_ref> const& refs) {
+    for (auto const& r : refs) {
+        if (plan.find_footprint(r.map.id(), r.idx) != nullptr) {
+            continue;
+        }
+        auto const tpart = r.map.to().partition(plan.npartitions);
+        std::vector<bool> touched(plan.npartitions, false);
+        for (std::size_t e = 0; e < plan.set_size; ++e) {
+            auto const t = static_cast<std::size_t>(
+                r.map(plan.elem_base + e, r.idx));
+            touched[tpart->find(t)] = true;
+        }
+        plan_footprint fp;
+        fp.map_id = r.map.id();
+        fp.idx = r.idx;
+        for (std::size_t p = 0; p < plan.npartitions; ++p) {
+            if (touched[p]) {
+                fp.parts.push_back(static_cast<std::uint32_t>(p));
+            }
+        }
+        plan.footprints.push_back(std::move(fp));
+    }
+}
+
+op_plan plan_build_impl(op_set const& set, plan_desc const& desc,
                         std::vector<stage_ref> const& refs) {
     op_plan plan;
-    plan.set_size = set.size();
-    plan.part_size = part_size;
-    std::size_t const n = set.size();
+    plan.part_size = desc.part_size;
+    plan.npartitions = desc.npartitions;
+    plan.partition = desc.partition;
+    if (desc.npartitions > 1) {
+        auto const part = set.partition(desc.npartitions);
+        plan.elem_base = part->begin(desc.partition);
+        plan.set_size = part->size_of(desc.partition);
+    } else {
+        plan.elem_base = 0;
+        plan.set_size = set.size();
+    }
+    std::size_t const part_size = desc.part_size;
+    std::size_t const n = plan.set_size;
     plan.nblocks = (n + part_size - 1) / part_size;
     plan.offset.resize(plan.nblocks);
     plan.nelems.resize(plan.nblocks);
@@ -232,7 +314,12 @@ op_plan plan_build_impl(op_set const& set, std::size_t part_size,
         plan.nelems[b] = std::min(part_size, n - plan.offset[b]);
     }
 
-    build_stages(plan, refs);
+    if (desc.staged_gather) {
+        build_stages(plan, refs);
+    }
+    if (desc.npartitions > 1) {
+        build_footprints(plan, refs);
+    }
 
     std::vector<stage_ref> color_refs;
     for (auto const& r : refs) {
@@ -258,51 +345,83 @@ op_plan plan_build_impl(op_set const& set, std::size_t part_size,
     return plan;
 }
 
+/// Validate + normalise a caller-supplied desc (part_size 0 and
+/// default_part_size are the same configuration and must share one
+/// cache entry; partition bounds must be sane).
+plan_desc normalise(plan_desc desc) {
+    if (desc.part_size == 0) {
+        desc.part_size = default_part_size;
+    }
+    if (desc.npartitions == 0) {
+        desc.npartitions = 1;
+    }
+    if (desc.partition >= desc.npartitions) {
+        throw std::invalid_argument("plan: partition index out of range");
+    }
+    return desc;
+}
+
 }  // namespace
 
 op_plan plan_build(op_set const& set, std::span<op_arg const> args,
-                   std::size_t part_size) {
+                   plan_desc const& desc) {
     if (!set.valid()) {
         throw std::invalid_argument("plan_build: invalid set");
     }
-    if (part_size == 0) {
-        part_size = default_part_size;
-    }
-    return plan_build_impl(set, part_size, collect_stage_refs(args));
+    return plan_build_impl(set, normalise(desc), collect_stage_refs(args));
+}
+
+op_plan plan_build(op_set const& set, std::span<op_arg const> args,
+                   std::size_t part_size) {
+    return plan_build(set, args, plan_desc{part_size});
 }
 
 op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
-                        std::size_t part_size) {
+                        plan_desc const& desc0) {
     if (!set.valid()) {
         throw std::invalid_argument("plan_get: invalid set");
     }
-    // Normalise *before* keying: part_size 0 and default_part_size are
-    // the same configuration and must share one cache entry.
-    if (part_size == 0) {
-        part_size = default_part_size;
-    }
+    plan_desc const desc = normalise(desc0);
     auto const refs = collect_stage_refs(args);
-    plan_key key = make_key(set, part_size, refs);
+    plan_key key = make_key(set, desc, refs);
+
+    // Per-worker shard first: no locks, no shared state.
+    local_cache& local = local_shard();
+    if (auto it = local.map.find(key); it != local.map.end()) {
+        return *it->second;
+    }
+
     std::size_t const hash = plan_key_hash{}(key);
     cache_shard& shard = shard_for(hash);
-
     {
         std::shared_lock<std::shared_mutex> rd(shard.mtx);
         auto it = shard.map.find(key);
         if (it != shard.map.end()) {
+            local.map.emplace(std::move(key), it->second.get());
             return *it->second;
         }
     }
-    auto plan =
-        std::make_unique<op_plan>(plan_build_impl(set, part_size, refs));
-    std::unique_lock<std::shared_mutex> wr(shard.mtx);
-    // try_emplace keeps the first insertion if another thread raced us.
-    auto [it, inserted] = shard.map.try_emplace(std::move(key),
-                                                std::move(plan));
-    return *it->second;
+    auto plan = std::make_unique<op_plan>(plan_build_impl(set, desc, refs));
+    op_plan const* stored = nullptr;
+    {
+        std::unique_lock<std::shared_mutex> wr(shard.mtx);
+        // try_emplace keeps the first insertion if another thread raced us.
+        auto [it, inserted] = shard.map.try_emplace(key, std::move(plan));
+        stored = it->second.get();
+    }
+    local.map.emplace(std::move(key), stored);
+    return *stored;
+}
+
+op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
+                        std::size_t part_size) {
+    return plan_get(set, args, plan_desc{part_size});
 }
 
 void plan_cache_clear() {
+    // Invalidate the per-worker pointer maps *before* freeing the plans
+    // they point into; each thread flushes its map on its next lookup.
+    g_cache_version.fetch_add(1, std::memory_order_acq_rel);
     for (auto& shard : g_shards) {
         std::unique_lock<std::shared_mutex> wr(shard.mtx);
         shard.map.clear();

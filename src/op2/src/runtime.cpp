@@ -18,17 +18,22 @@ void op_set_part_size(std::size_t part_size) {
 namespace {
 
 void fence_impl(detail::dat_impl& di) {
-    // Snapshot the epoch record's nodes under its lock, wait outside it
-    // (waiting helps the pool, so holding the lock could deadlock the
-    // very loops being waited for).
-    exec::node_ref w;
-    std::vector<exec::node_ref> rs;
-    di.dep.snapshot(w, rs);
-    if (w) {
-        w->wait();
-    }
-    for (auto& r : rs) {
-        r->wait();
+    // Snapshot each partition record's nodes under its lock, wait
+    // outside it (waiting helps the pool, so holding the lock could
+    // deadlock the very loops being waited for). The owning table
+    // snapshot keeps the records alive across a concurrent
+    // re-partition.
+    auto const [recs, count] = di.dep.table();
+    for (std::size_t p = 0; p < count; ++p) {
+        exec::node_ref w;
+        std::vector<exec::node_ref> rs;
+        recs[p].snapshot(w, rs);
+        if (w) {
+            w->wait();
+        }
+        for (auto& r : rs) {
+            r->wait();
+        }
     }
 }
 

@@ -28,9 +28,15 @@ struct machine_model {
     double barrier_base_us = 1.5;       ///< join/barrier fixed part
     double barrier_log_us = 0.9;        ///< * log2(threads)
 
-    // Task-based (dataflow) costs, microseconds.
-    double task_spawn_us = 0.45;        ///< create+schedule one chunk task
-    double future_overhead_us = 1.2;    ///< per loop instance (dataflow admin)
+    // Task-based (dataflow) costs, microseconds. Calibrated against the
+    // epoch-based intrusive engine (bench_dataflow_chain: ~0.69 us per
+    // dependent-chain loop end to end, ~2.3x below the PR 1 future-chain
+    // machinery these constants used to mirror: one when_all vector +
+    // continuation shared-state + shared_future per dat per loop).
+    // task_spawn_us also dropped: chunk tasks ride intrusive task_nodes
+    // through the Chase-Lev deques, no per-task allocation.
+    double task_spawn_us = 0.35;        ///< create+schedule one chunk task
+    double issue_overhead_us = 0.5;     ///< per loop instance (epoch admin)
 
     // Per-(worker, loop-instance) speed jitter (relative std-dev).
     double jitter_sigma = 0.055;         ///< threads <= cores

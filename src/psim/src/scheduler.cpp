@@ -262,7 +262,7 @@ sim_result simulate_dataflow(machine_model const& m, workload const& w,
         auto& prog = progress[inst];
         prog.chunk_finish.reserve(total_chunks);
 
-        double const issue_overhead = m.future_overhead_us;
+        double const issue_overhead = m.issue_overhead_us;
         double full_deps_ready = issue_overhead;
         for (std::size_t d : deps) {
             full_deps_ready =

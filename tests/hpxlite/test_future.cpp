@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <hpxlite/lcos/future.hpp>
 #include <hpxlite/runtime.hpp>
@@ -197,6 +200,87 @@ TEST_F(FutureTest, ExceptionalFutureHelper) {
         std::make_exception_ptr(std::runtime_error("x")));
     EXPECT_TRUE(f.is_ready());
     EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// --- embedded continuation tasks ---------------------------------------
+// then/async run through the task_node embedded in the result's shared
+// state (no fn_task_node allocation, no continuation-vector slot). The
+// mechanism is invisible to well-behaved code, so these tests hammer the
+// paths where the embedding could misfire: source already ready (the
+// task must submit immediately), many continuations racing one source
+// (the intrusive list), deep chains (one embedded task per link,
+// re-entrant readiness), and promise-driven sources becoming ready from
+// another thread while continuations are still being attached.
+
+TEST_F(FutureTest, ManyContinuationsOnOneSharedSource) {
+    hpxlite::promise<int> p;
+    auto sf = p.get_future().share();
+    std::vector<hpxlite::future<int>> conts;
+    conts.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+        conts.push_back(sf.then(
+            [i](hpxlite::shared_future<int> x) { return x.get() + i; }));
+    }
+    p.set_value(100);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(conts[static_cast<std::size_t>(i)].get(), 100 + i);
+    }
+}
+
+TEST_F(FutureTest, ContinuationsAttachWhileSourceBecomesReady) {
+    // Races add_continuation_task against set_value: every attached
+    // continuation must run exactly once whether it was linked into the
+    // pending list or submitted on the already-ready path.
+    for (int round = 0; round < 20; ++round) {
+        hpxlite::promise<int> p;
+        auto sf = p.get_future().share();
+        std::atomic<int> ran{0};
+        std::thread setter([&p] { p.set_value(7); });
+        std::vector<hpxlite::future<void>> conts;
+        for (int i = 0; i < 16; ++i) {
+            conts.push_back(sf.then([&ran](hpxlite::shared_future<int> x) {
+                ran.fetch_add(x.get() == 7 ? 1 : 100);
+            }));
+        }
+        setter.join();
+        for (auto& c : conts) {
+            c.get();
+        }
+        EXPECT_EQ(ran.load(), 16);
+    }
+}
+
+TEST_F(FutureTest, DeepThenChainStartedUnready) {
+    hpxlite::promise<int> p;
+    auto f = p.get_future();
+    for (int i = 0; i < 200; ++i) {
+        f = f.then([](hpxlite::future<int>&& x) { return x.get() + 1; });
+    }
+    p.set_value(0);
+    EXPECT_EQ(f.get(), 200);
+}
+
+TEST_F(FutureTest, ThenExceptionCrossesEmbeddedChain) {
+    hpxlite::promise<int> p;
+    auto f = p.get_future()
+                 .then([](hpxlite::future<int>&& x) { return x.get(); })
+                 .then([](hpxlite::future<int>&& x) { return x.get() * 2; });
+    p.set_exception(std::make_exception_ptr(std::runtime_error("chain")));
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(FutureTest, AsyncStormAllRunOnce) {
+    std::atomic<int> hits{0};
+    std::vector<hpxlite::future<void>> fs;
+    fs.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+        fs.push_back(hpxlite::async(
+            [&hits] { hits.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    for (auto& f : fs) {
+        f.get();
+    }
+    EXPECT_EQ(hits.load(), 256);
 }
 
 }  // namespace

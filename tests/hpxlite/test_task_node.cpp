@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include <hpxlite/lcos/future.hpp>
+#include <hpxlite/runtime.hpp>
 #include <hpxlite/threads/task_node.hpp>
 #include <hpxlite/threads/thread_pool.hpp>
 
@@ -109,6 +111,38 @@ TEST(WaitIdle, ParkedWaiterWakesOnDrainNotByPolling) {
     release.store(true, std::memory_order_release);
     waiter.join();
     SUCCEED();
+}
+
+TEST(TaskNode, EmbeddedFutureContinuationsCoexistWithIntrusiveNodes) {
+    // future::then/async now ride a task_node embedded in the shared
+    // state (no fn_task_node) — storm the global pool with a mix of
+    // bare intrusive nodes, generic function submits and embedded
+    // continuation tasks and check nothing is lost or double-run.
+    hpxlite::runtime_guard rt(3);
+    auto& pool = hpxlite::get_pool();
+    std::atomic<int> hits{0};
+    constexpr int kEach = 64;
+    std::vector<counting_node> nodes(kEach);
+    std::vector<hpxlite::future<void>> futs;
+    futs.reserve(2 * kEach);
+    for (int i = 0; i < kEach; ++i) {
+        nodes[static_cast<std::size_t>(i)].hits = &hits;
+        pool.submit(
+            static_cast<task_node*>(&nodes[static_cast<std::size_t>(i)]));
+        pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+        futs.push_back(hpxlite::async(
+            [&hits] { hits.fetch_add(1, std::memory_order_relaxed); }));
+        futs.push_back(hpxlite::async([] {}).then(
+            [&hits](hpxlite::future<void>&& f) {
+                f.get();
+                hits.fetch_add(1, std::memory_order_relaxed);
+            }));
+    }
+    for (auto& f : futs) {
+        f.get();
+    }
+    pool.wait_idle();
+    EXPECT_EQ(hits.load(), 4 * kEach);
 }
 
 TEST(WaitIdle, ManyConcurrentWaitersAllReturn) {

@@ -68,7 +68,7 @@ struct airfoil_shaped {
         double rms = 0.0;
     };
 
-    outcome run(exec::backend_kind be, int iters) {
+    outcome run(exec::backend_kind be, int iters, std::size_t partitions = 0) {
         auto qv = q.view<double>();
         std::copy(q_init.begin(), q_init.end(), qv.begin());
         for (auto& x : qold.view<double>()) x = 0.0;
@@ -78,6 +78,7 @@ struct airfoil_shaped {
         loop_options o;
         o.part_size = 48;
         o.backend = be;
+        o.partitions = partitions;
 
         outcome out;
         // Stable storage for the per-iteration reductions, like the real
@@ -164,6 +165,28 @@ TEST_P(DataflowDifferential, AirfoilShapedChainMatchesSeqBitwise) {
     EXPECT_EQ(got.rms, ref.rms);
 }
 
+/// Partition-granular execution against the whole-set oracle
+/// (partitions = 1, the PR 2 one-node-per-loop shape): same chain, same
+/// seeds, bitwise-identical state. Odd partition counts exercise uneven
+/// partition bounds and boundary-straddling map footprints.
+TEST_P(DataflowDifferential, PartitionedChainMatchesWholeSetOracleBitwise) {
+    airfoil_shaped prog(GetParam());
+    auto oracle = prog.run(exec::backend_kind::hpx_dataflow, 4, 1);
+    for (std::size_t parts : {2u, 3u, 5u}) {
+        auto got = prog.run(exec::backend_kind::hpx_dataflow, 4, parts);
+        ASSERT_EQ(got.q.size(), oracle.q.size());
+        EXPECT_EQ(std::memcmp(got.q.data(), oracle.q.data(),
+                              oracle.q.size() * sizeof(double)),
+                  0)
+            << "state q diverged at " << parts << " partitions";
+        EXPECT_EQ(std::memcmp(got.res.data(), oracle.res.data(),
+                              oracle.res.size() * sizeof(double)),
+                  0)
+            << "residual diverged at " << parts << " partitions";
+        EXPECT_EQ(got.rms, oracle.rms) << parts << " partitions";
+    }
+}
+
 /// Randomized read/write loop DAGs: every loop reads two random dats and
 /// read-modify-writes a third, giving a dense mix of RAW, WAR and WAW
 /// edges plus reader groups that may run concurrently. The dataflow
@@ -176,7 +199,8 @@ TEST_P(DataflowDifferential, RandomLoopDagMatchesSeqAndEpochCount) {
 
     auto run = [&](exec::backend_kind be,
                    std::vector<std::vector<double>>* snapshot,
-                   std::vector<std::uint64_t>* epochs) {
+                   std::vector<std::uint64_t>* epochs,
+                   std::size_t partitions = 0) {
         auto set = op_decl_set(kElems, "elems");
         std::vector<op_dat> dats;
         for (int k = 0; k < kDats; ++k) {
@@ -195,6 +219,7 @@ TEST_P(DataflowDifferential, RandomLoopDagMatchesSeqAndEpochCount) {
         loop_options o;
         o.part_size = 32;
         o.backend = be;
+        o.partitions = partitions;
         for (int l = 0; l < kLoops; ++l) {
             int const r1 = pick(rng);
             int r2 = pick(rng);
@@ -241,13 +266,20 @@ TEST_P(DataflowDifferential, RandomLoopDagMatchesSeqAndEpochCount) {
     std::vector<std::vector<double>> ref, got;
     std::vector<std::uint64_t> epochs;
     run(exec::backend_kind::seq, &ref, nullptr);
-    run(exec::backend_kind::hpx_dataflow, &got, &epochs);
-    ASSERT_EQ(ref.size(), got.size());
-    for (std::size_t k = 0; k < ref.size(); ++k) {
-        EXPECT_EQ(std::memcmp(got[k].data(), ref[k].data(),
-                              ref[k].size() * sizeof(double)),
-                  0)
-            << "dat " << k << " diverged under the randomized DAG";
+    // Default granularity (one partition per pool worker), the
+    // whole-set oracle, and an uneven explicit count: all must replay
+    // the issue order's semantics bitwise, and all must count writer
+    // loops identically in the dat-level epochs.
+    for (std::size_t parts : {0u, 1u, 5u}) {
+        run(exec::backend_kind::hpx_dataflow, &got, &epochs, parts);
+        ASSERT_EQ(ref.size(), got.size());
+        for (std::size_t k = 0; k < ref.size(); ++k) {
+            EXPECT_EQ(std::memcmp(got[k].data(), ref[k].data(),
+                                  ref[k].size() * sizeof(double)),
+                      0)
+                << "dat " << k << " diverged under the randomized DAG at "
+                << parts << " partitions";
+        }
     }
 }
 

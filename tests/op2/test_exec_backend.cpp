@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include <hpxlite/runtime.hpp>
@@ -197,6 +201,12 @@ TEST_F(ExecBackendTest, IndependentLoopsInterleaveWithoutGlobalBarrier) {
 
         loop_options o = opts_;
         o.backend = exec::backend_kind::hpx_dataflow;
+        // Whole-set granularity: this scenario probes the original
+        // one-node-per-loop shape (loop A's colour sweep fans out chunk
+        // tasks that loop B's node slots between). Partition-granular
+        // overlap has its own deterministic trace test below
+        // (DependentLoopsOverlapOnDisjointPartitions).
+        o.partitions = 1;
         auto ha = exec::run_loop(
             o, "slow", big,
             [&](double* x) {
@@ -223,6 +233,260 @@ TEST_F(ExecBackendTest, IndependentLoopsInterleaveWithoutGlobalBarrier) {
     EXPECT_TRUE(interleaved)
         << "loop B never started before loop A finished — the dataflow "
            "backend appears to serialise independent loops";
+}
+
+/// The tentpole property of partition-granular execution, as a
+/// deterministic scheduler trace rather than a timing race: loop B
+/// *depends* on loop A (RAW through dat d), yet B's sub-node for
+/// partition 0 edges only on A's sub-node for partition 0 — so it runs
+/// while A is still executing partition 1. The trace forces the
+/// situation: A's kernel spins on partition-1 elements until B's
+/// partition-0 sub-node has provably run. Whole-loop dependency
+/// tracking would deadlock here (B could never start before all of A),
+/// so the spin carries a deadline and the overlap is asserted.
+TEST_F(ExecBackendTest, DependentLoopsOverlapOnDisjointPartitions) {
+    constexpr std::size_t kN = 1000;  // partitions: [0, 500) and [500, 1000)
+    auto cells = op_decl_set(kN, "cells");
+    std::vector<double> ids(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        ids[i] = static_cast<double>(i);
+    }
+    auto idx = op_decl_dat<double>(cells, 1, "double", ids, "idx");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    auto e = op_decl_dat_zero<double>(cells, 1, "double", "e");
+
+    std::atomic<bool> b_p0_ran{false};
+    std::atomic<bool> gave_up{false};
+
+    loop_options o = opts_;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    o.partitions = 2;
+    o.part_size = 500;
+
+    auto ha = exec::run_loop(
+        o, "A", cells,
+        [&](double const* i, double* x) {
+            if (*i >= 500.0 && !gave_up.load(std::memory_order_relaxed)) {
+                auto const deadline = std::chrono::steady_clock::now() +
+                                      std::chrono::seconds(10);
+                while (!b_p0_ran.load(std::memory_order_acquire)) {
+                    if (std::chrono::steady_clock::now() > deadline) {
+                        gave_up.store(true, std::memory_order_relaxed);
+                        break;
+                    }
+                    std::this_thread::yield();
+                }
+            }
+            *x = *i + 1.0;
+        },
+        op_arg_dat(idx, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+    auto hb = exec::run_loop(
+        o, "B", cells,
+        [&](double const* x, double* y) {
+            b_p0_ran.store(true, std::memory_order_release);
+            *y = *x * 2.0;
+        },
+        op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_dat(e, -1, OP_ID, 1, "double", OP_WRITE));
+    ha.get();
+    hb.get();
+    EXPECT_FALSE(gave_up.load())
+        << "B's partition-0 sub-node never ran while A was stuck in "
+           "partition 1 — dependent loops do not overlap at partition "
+           "granularity";
+    op_fence_all();
+    auto ev = e.view<double>();
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_DOUBLE_EQ(ev[i], (static_cast<double>(i) + 1.0) * 2.0);
+    }
+}
+
+TEST_F(ExecBackendTest, PartitionedMinMaxIncReductionsMatchSeq) {
+    // MIN/MAX partials seed from the user's variable and every
+    // partition's combine read-modify-writes it; both sides run under
+    // the group's combine lock, so fully concurrent partitions (the
+    // sub-nodes of a direct loop have disjoint footprints) must still
+    // produce the sequential result. Under TSan this doubles as the
+    // race check for the seeding/combining protocol.
+    constexpr std::size_t kN = 4096;
+    auto cells = op_decl_set(kN, "cells");
+    std::vector<double> vals(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        vals[i] = static_cast<double>((i * 37) % 1009);
+    }
+    auto d = op_decl_dat<double>(cells, 1, "double", vals, "d");
+
+    auto run = [&](exec::backend_kind be, std::size_t partitions) {
+        struct out {
+            double sum = 0.0, mn = 1e300, mx = -1e300;
+        } o;
+        loop_options lo = opts_;
+        lo.backend = be;
+        lo.partitions = partitions;
+        auto h = exec::run_loop(
+            lo, "minmax", cells,
+            [](double const* x, double* s, double* lo_, double* hi) {
+                *s += *x;
+                *lo_ = std::min(*lo_, *x);
+                *hi = std::max(*hi, *x);
+            },
+            op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_gbl(&o.sum, 1, "double", OP_INC),
+            op_arg_gbl(&o.mn, 1, "double", OP_MIN),
+            op_arg_gbl(&o.mx, 1, "double", OP_MAX));
+        h.get();
+        return o;
+    };
+    auto ref = run(exec::backend_kind::seq, 1);
+    for (std::size_t parts : {2u, 4u, 7u}) {
+        for (int round = 0; round < 10; ++round) {
+            auto got = run(exec::backend_kind::hpx_dataflow, parts);
+            ASSERT_EQ(got.sum, ref.sum) << parts << " partitions";
+            ASSERT_EQ(got.mn, ref.mn) << parts << " partitions";
+            ASSERT_EQ(got.mx, ref.mx) << parts << " partitions";
+        }
+    }
+}
+
+TEST_F(ExecBackendTest, ChainedLoopsReducingIntoOneVariableMatchSeq) {
+    // Two *dependent* partitioned loops both reducing into the same
+    // user variables: their sub-nodes overlap (partition p of loop 2
+    // starts while loop 1's other partitions still run), so seeds and
+    // combines from both loops interleave under the global combine
+    // lock. INC partials seed zero and MIN/MAX combines are monotone,
+    // so any interleaving must still produce the sequential result.
+    constexpr std::size_t kN = 2048;
+    auto cells = op_decl_set(kN, "cells");
+    std::vector<double> init(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        init[i] = static_cast<double>((i * 53) % 811);
+    }
+    auto d = op_decl_dat<double>(cells, 1, "double", init, "d");
+
+    struct out {
+        double sum = 0.0, mn = 1e300, mx = -1e300;
+    };
+    auto run = [&](exec::backend_kind be, std::size_t partitions) {
+        auto dv = d.view<double>();
+        std::copy(init.begin(), init.end(), dv.begin());
+        out o;
+        loop_options lo = opts_;
+        lo.backend = be;
+        lo.partitions = partitions;
+        auto kern = [](double* x, double* s, double* lo_, double* hi) {
+            *x += 1.0;
+            *s += *x;
+            *lo_ = std::min(*lo_, *x);
+            *hi = std::max(*hi, *x);
+        };
+        auto args = [&] {
+            return std::make_tuple(
+                op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW),
+                op_arg_gbl(&o.sum, 1, "double", OP_INC),
+                op_arg_gbl(&o.mn, 1, "double", OP_MIN),
+                op_arg_gbl(&o.mx, 1, "double", OP_MAX));
+        };
+        auto issue = [&] {
+            auto t = args();
+            return exec::run_loop(lo, "chain_reduce", cells, kern,
+                                  std::get<0>(t), std::get<1>(t),
+                                  std::get<2>(t), std::get<3>(t));
+        };
+        auto h1 = issue();
+        auto h2 = issue();
+        h1.get();
+        h2.get();
+        return o;
+    };
+    auto ref = run(exec::backend_kind::seq, 1);
+    for (int round = 0; round < 10; ++round) {
+        auto got = run(exec::backend_kind::hpx_dataflow, 4);
+        ASSERT_EQ(got.sum, ref.sum);
+        ASSERT_EQ(got.mn, ref.mn);
+        ASSERT_EQ(got.mx, ref.mx);
+    }
+}
+
+TEST_F(ExecBackendTest, MixedGranularityConcurrentIssuersComplete) {
+    // Two threads issuing loops over the same two dats in *opposite*
+    // argument order and at *different* partition granularities. Pins
+    // are acquired in canonical (address) order, so the issuers can
+    // never hold-and-wait on each other's tables — this must terminate
+    // (a livelock hangs the test into the ctest timeout) and, since
+    // every loop writes both dats, every pair of loops is ordered and
+    // the final values are exact.
+    constexpr std::size_t kN = 512;
+    constexpr int kLoopsPerThread = 40;
+    auto cells = op_decl_set(kN, "cells");
+    auto a = op_decl_dat_zero<double>(cells, 1, "double", "a");
+    auto b = op_decl_dat_zero<double>(cells, 1, "double", "b");
+
+    auto issuer = [&](bool a_first, std::size_t partitions) {
+        loop_options lo = opts_;
+        lo.backend = exec::backend_kind::hpx_dataflow;
+        lo.partitions = partitions;
+        auto kern = [](double* x, double* y) {
+            *x += 1.0;
+            *y += 1.0;
+        };
+        for (int l = 0; l < kLoopsPerThread; ++l) {
+            if (a_first) {
+                (void)exec::run_loop(
+                    lo, "ab", cells, kern,
+                    op_arg_dat(a, -1, OP_ID, 1, "double", OP_RW),
+                    op_arg_dat(b, -1, OP_ID, 1, "double", OP_RW));
+            } else {
+                (void)exec::run_loop(
+                    lo, "ba", cells, kern,
+                    op_arg_dat(b, -1, OP_ID, 1, "double", OP_RW),
+                    op_arg_dat(a, -1, OP_ID, 1, "double", OP_RW));
+            }
+        }
+    };
+    std::thread t1([&] { issuer(true, 1); });
+    std::thread t2([&] { issuer(false, 4); });
+    t1.join();
+    t2.join();
+    op_fence_all();
+    for (double x : a.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 2.0 * kLoopsPerThread);
+    }
+    for (double x : b.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 2.0 * kLoopsPerThread);
+    }
+}
+
+TEST_F(ExecBackendTest, GranularityChangeRepartitionsAndCarriesErrors) {
+    // Issuing at a new partition count re-partitions the dat's record
+    // table (a per-dat drain). A failed node from the old granularity
+    // must survive the swap: the next writer still inherits its error.
+    auto cells = op_decl_set(256, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    loop_options o = opts_;
+    o.backend = exec::backend_kind::hpx_dataflow;
+
+    o.partitions = 1;
+    auto bad = exec::run_loop(o, "bad", cells,
+                              [](double* x) {
+                                  if (*x == 0.0) {
+                                      throw std::runtime_error("boom");
+                                  }
+                              },
+                              op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    EXPECT_EQ(d.internal().dep.count, 1u);
+
+    o.partitions = 4;
+    auto w = exec::run_loop(o, "writer", cells, [](double* x) { *x = 1.0; },
+                            op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+    EXPECT_THROW(w.get(), std::runtime_error)
+        << "re-partitioning dropped the failed node's error";
+    EXPECT_EQ(d.internal().dep.count, 4u);
+    op_fence(d);
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 0.0);  // the failed graph never ran the writer
+    }
 }
 
 }  // namespace

@@ -187,4 +187,142 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::size_t, std::size_t>{4096, 128},
                       std::pair<std::size_t, std::size_t>{5000, 512}));
 
+// --- partition-granular plans ------------------------------------------
+
+TEST(PlanPartition, PartitionPlansTileTheSet) {
+    ring r(1000);
+    auto args = r.inc_args();
+    std::size_t covered = 0;
+    std::size_t expect_base = 0;
+    for (std::size_t p = 0; p < 3; ++p) {
+        auto plan = plan_build(r.edges, args, plan_desc{64, true, 3, p});
+        EXPECT_EQ(plan.npartitions, 3u);
+        EXPECT_EQ(plan.partition, p);
+        EXPECT_EQ(plan.elem_base, expect_base);
+        expect_base += plan.set_size;
+        covered += plan.set_size;
+        // Blocks tile the partition's local index space [0, set_size).
+        std::size_t local = 0;
+        for (std::size_t b = 0; b < plan.nblocks; ++b) {
+            EXPECT_EQ(plan.offset[b], local);
+            local += plan.nelems[b];
+        }
+        EXPECT_EQ(local, plan.set_size);
+    }
+    EXPECT_EQ(covered, 1000u);
+}
+
+TEST(PlanPartition, PartitionStageTablesAreRelativeWithAbsoluteOffsets) {
+    ring r(900);
+    auto args = r.inc_args();
+    std::size_t const stride = sizeof(double);
+    for (std::size_t p = 0; p < 4; ++p) {
+        auto plan = plan_build(r.edges, args, plan_desc{64, true, 4, p});
+        for (int idx : {0, 1}) {
+            auto const* st = plan.find_stage(r.em.id(), idx, stride);
+            ASSERT_NE(st, nullptr);
+            ASSERT_EQ(st->off.size(), plan.set_size);
+            for (std::size_t e = 0; e < plan.set_size; ++e) {
+                EXPECT_EQ(st->off[e],
+                          static_cast<std::size_t>(
+                              r.em(plan.elem_base + e, idx)) *
+                              stride);
+            }
+        }
+    }
+}
+
+TEST(PlanPartition, FootprintsMatchMapReachabilityExactly) {
+    ring r(777);
+    auto args = r.inc_args();
+    constexpr std::size_t kParts = 5;
+    auto tpart = r.nodes.partition(kParts);
+    for (std::size_t p = 0; p < kParts; ++p) {
+        auto plan = plan_build(r.edges, args, plan_desc{32, true, kParts, p});
+        for (int idx : {0, 1}) {
+            auto const* fp = plan.find_footprint(r.em.id(), idx);
+            ASSERT_NE(fp, nullptr);
+            // Brute-force reachability over the partition's elements.
+            std::set<std::uint32_t> expect;
+            for (std::size_t e = plan.elem_base;
+                 e < plan.elem_base + plan.set_size; ++e) {
+                expect.insert(static_cast<std::uint32_t>(tpart->find(
+                    static_cast<std::size_t>(r.em(e, idx)))));
+            }
+            std::set<std::uint32_t> got(fp->parts.begin(), fp->parts.end());
+            EXPECT_EQ(got, expect) << "partition " << p << " slot " << idx;
+        }
+    }
+}
+
+TEST(PlanPartition, WholeSetPlansCarryNoFootprints) {
+    ring r(300);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, plan_desc{32, true, 1, 0});
+    EXPECT_TRUE(plan.footprints.empty());
+}
+
+TEST(PlanPartition, LegacyPlansCarryNoStageTables) {
+    ring r(300);
+    auto args = r.inc_args();
+    auto plan = plan_build(r.edges, args, plan_desc{32, false, 1, 0});
+    EXPECT_TRUE(plan.stages.empty());
+    EXPECT_TRUE(plan.colored);  // colouring is independent of staging
+}
+
+// --- plan-cache key audit (regression: every plan-affecting
+// loop_options field must key the cache) ---------------------------------
+
+TEST(PlanCache, KeyIncludesEveryPlanAffectingField) {
+    plan_cache_clear();
+    ring r(512);
+    auto args = r.inc_args();
+
+    auto const& base = plan_get(r.edges, args, plan_desc{64, true, 1, 0});
+
+    // staged_gather off: different contents (no gather tables) — must
+    // not collide with the staged plan.
+    auto const& legacy = plan_get(r.edges, args, plan_desc{64, false, 1, 0});
+    EXPECT_NE(&base, &legacy);
+    EXPECT_FALSE(base.stages.empty());
+    EXPECT_TRUE(legacy.stages.empty());
+
+    // Partition granularity and partition index each key separately.
+    auto const& part0 = plan_get(r.edges, args, plan_desc{64, true, 2, 0});
+    auto const& part1 = plan_get(r.edges, args, plan_desc{64, true, 2, 1});
+    EXPECT_NE(&base, &part0);
+    EXPECT_NE(&part0, &part1);
+    EXPECT_EQ(part0.elem_base, 0u);
+    EXPECT_EQ(part1.elem_base, 256u);
+
+    // part_size still keys (pre-existing behaviour).
+    auto const& coarse = plan_get(r.edges, args, plan_desc{128, true, 1, 0});
+    EXPECT_NE(&base, &coarse);
+
+    EXPECT_EQ(plan_cache_size(), 5u);
+
+    // Identical descriptors hit the same entries, in any order.
+    EXPECT_EQ(&plan_get(r.edges, args, plan_desc{64, false, 1, 0}), &legacy);
+    EXPECT_EQ(&plan_get(r.edges, args, plan_desc{64, true, 2, 1}), &part1);
+    EXPECT_EQ(&plan_get(r.edges, args, plan_desc{64, true, 1, 0}), &base);
+    EXPECT_EQ(plan_cache_size(), 5u);
+    plan_cache_clear();
+}
+
+TEST(PlanCache, ClearInvalidatesPerWorkerShards) {
+    plan_cache_clear();
+    ring r(256);
+    auto args = r.inc_args();
+    auto const& p1 = plan_get(r.edges, args, 64);
+    plan_cache_clear();
+    EXPECT_EQ(plan_cache_size(), 0u);
+    // The per-worker pointer shard must not serve the freed plan: a
+    // fresh lookup rebuilds and re-caches.
+    auto const& p2 = plan_get(r.edges, args, 64);
+    (void)p1;
+    EXPECT_EQ(plan_cache_size(), 1u);
+    EXPECT_EQ(p2.set_size, 256u);
+    plan_cache_clear();
+}
+
 }  // namespace

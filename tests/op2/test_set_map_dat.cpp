@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <vector>
 
@@ -135,4 +137,74 @@ TEST(OpDat, DatsAliasViaHandleCopies) {
     d2.view<int>()[0] = 11;
     EXPECT_EQ(d1.view<int>()[0], 11);
     EXPECT_TRUE(d1 == d2);
+}
+
+// --- set partitions (first-class execution granularity) ----------------
+
+TEST(OpSetPartition, BoundsTileTheSetContiguously) {
+    auto s = op_decl_set(1000, "cells");
+    for (std::size_t count : {1u, 2u, 3u, 7u, 16u}) {
+        auto part = s.partition(count);
+        ASSERT_EQ(part->count, count);
+        ASSERT_EQ(part->bounds.size(), count + 1);
+        EXPECT_EQ(part->begin(0), 0u);
+        EXPECT_EQ(part->end(count - 1), 1000u);
+        std::size_t covered = 0;
+        for (std::size_t p = 0; p < count; ++p) {
+            EXPECT_EQ(part->begin(p), covered);
+            covered += part->size_of(p);
+        }
+        EXPECT_EQ(covered, 1000u);
+        // Near-equal split: sizes differ by at most one.
+        std::size_t mn = 1000, mx = 0;
+        for (std::size_t p = 0; p < count; ++p) {
+            mn = std::min(mn, part->size_of(p));
+            mx = std::max(mx, part->size_of(p));
+        }
+        EXPECT_LE(mx - mn, 1u);
+    }
+}
+
+TEST(OpSetPartition, FindLocatesEveryElement) {
+    auto s = op_decl_set(777, "cells");
+    auto part = s.partition(13);
+    for (std::size_t e = 0; e < 777; ++e) {
+        std::size_t const p = part->find(e);
+        ASSERT_GE(e, part->begin(p));
+        ASSERT_LT(e, part->end(p));
+    }
+}
+
+TEST(OpSetPartition, DescriptorsAreCachedAndShared) {
+    auto s = op_decl_set(128, "cells");
+    auto a = s.partition(4);
+    auto b = s.partition(4);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), s.partition(8).get());
+}
+
+TEST(OpSetPartition, MorePartitionsThanElements) {
+    auto s = op_decl_set(3, "tiny");
+    auto part = s.partition(8);
+    std::size_t nonempty = 0;
+    for (std::size_t p = 0; p < 8; ++p) {
+        nonempty += part->size_of(p) > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(nonempty, 3u);
+    EXPECT_EQ(part->end(7), 3u);
+}
+
+TEST(OpSetPartition, EmptySetPartitions) {
+    auto s = op_decl_set(0, "empty");
+    auto part = s.partition(4);
+    for (std::size_t p = 0; p < 4; ++p) {
+        EXPECT_EQ(part->size_of(p), 0u);
+    }
+}
+
+TEST(OpSetPartition, InvalidArgumentsThrow) {
+    auto s = op_decl_set(10, "cells");
+    EXPECT_THROW((void)s.partition(0), std::invalid_argument);
+    op_set invalid;
+    EXPECT_THROW((void)invalid.partition(2), std::logic_error);
 }

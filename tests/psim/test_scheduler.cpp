@@ -166,6 +166,30 @@ TEST_F(SchedulerTest, HtKneeVisibleInScaling) {
     EXPECT_LT(eff_16_32, 0.80);
 }
 
+TEST_F(SchedulerTest, EpochEngineCalibrationPinned) {
+    // The dependency-admin constants mirror the *epoch-based* engine
+    // (bench_dataflow_chain: ~0.69 us per dependent-chain loop end to
+    // end, ~2.3x below the PR 1 future-chain machinery the model used
+    // to encode at 1.2 us/loop). Regression pin so the model cannot
+    // silently revert to future-chain-era costs.
+    EXPECT_LT(tb.machine.issue_overhead_us, 0.7);
+    EXPECT_GT(tb.machine.issue_overhead_us, 0.1);
+    // Intrusive task_node submit: spawning a chunk is cheaper than the
+    // per-loop issue admin.
+    EXPECT_LE(tb.machine.task_spawn_us, tb.machine.issue_overhead_us);
+}
+
+TEST_F(SchedulerTest, EpochEngineAdminCheaperThanFutureChainEra) {
+    // Same workload under the old future-chain constants must simulate
+    // slower: the recalibration is a real model change, not a rename.
+    auto recal = simulate_dataflow(tb.machine, tb.airfoil, opts(8));
+    machine_model old_model = tb.machine;
+    old_model.issue_overhead_us = 1.2;  // PR 1 future-chain calibration
+    old_model.task_spawn_us = 0.45;
+    auto legacy = simulate_dataflow(old_model, tb.airfoil, opts(8));
+    EXPECT_LT(recal.total_s, legacy.total_s);
+}
+
 TEST_F(SchedulerTest, PaperThreadCountsShape) {
     auto ts = paper_thread_counts();
     ASSERT_FALSE(ts.empty());
