@@ -13,13 +13,30 @@
 // partition p, so the partitions pipeline independently through the
 // chain — dependent loops overlap.
 //
+// Plus the placement and same-colour-exemption sections: the partition
+// sweep chain re-run with sub-node placement unpinned (placement = any)
+// to isolate what worker affinity buys, and a dependent *indirect* INC
+// chain over a ring map whose partitions straddle the partition
+// boundary — the shape whose same-colour sub-nodes used to serialise
+// through conservative WAW record edges — run with the exemption on and
+// off.
+//
 // Emits into BENCH_op2.json (schema op2hpx-bench-v1):
-//   dataflow_chain_epoch             ns per loop, epoch-based engine
-//   dataflow_chain_future_baseline   ns per loop, PR 1 future chains
-//   dataflow_chain_speedup           x, epoch vs future-chain
-//   dataflow_chain_part<P>           ns per loop, dependent chain at P
-//                                    partitions (P = 1, 2, 4)
-//   dataflow_chain_partition_speedup x, partitioned (P=4) vs whole-set
+//   dataflow_chain_epoch              ns per loop, epoch-based engine
+//   dataflow_chain_future_baseline    ns per loop, PR 1 future chains
+//   dataflow_chain_speedup            x, epoch vs future-chain
+//   dataflow_chain_part<P>            ns per loop, dependent chain at P
+//                                     partitions (P = 1, 2, 4)
+//   dataflow_chain_partition_speedup  x, partitioned (P=4) vs whole-set
+//   dataflow_chain_part4_anyplace     ns per loop, P=4 with placement=any
+//   affinity_placement_speedup        x, affinity vs any placement (P=4)
+//   dataflow_chain_straddle_exempt    ns per loop, indirect INC chain,
+//                                     same-colour exemption on
+//   dataflow_chain_straddle_serial    ns per loop, exemption off
+//   same_color_exemption_speedup      x, exemption on vs off
+//
+// Worker counts in row labels are derived from the live pool size, so
+// rows recorded on multi-core CI runners are self-describing.
 //
 // `--quick` shrinks warmup/measured repetitions for the CI smoke run.
 
@@ -56,6 +73,11 @@ int g_warmup = 50;             // (--quick: 5)
 constexpr std::size_t kSweepElems = 262144;
 constexpr int kSweepChainLen = 8;
 int g_sweep_chains = 30;  // (--quick: 5)
+
+// Straddle chain (same-colour exemption): indirect INC through a ring
+// map is heavier per element than the direct sweep, so a smaller mesh
+// keeps the section's runtime comparable.
+constexpr std::size_t kStraddleElems = 131072;
 
 /// PR 1's dependency layer, verbatim in miniature: a per-dat record of
 /// shared futures, when_all over the collected dependencies, and a
@@ -216,13 +238,15 @@ int main(int argc, char** argv) {
 
     // --- partition sweep ----------------------------------------------
     // The same dependent RW chain on a bigger mesh, issued at 1 / 2 / 4
-    // partitions on a 4-worker pool. Direct args give each sub-node a
-    // single-partition footprint, so at P > 1 the chain becomes P
+    // partitions on a multi-worker pool. Direct args give each sub-node
+    // a single-partition footprint, so at P > 1 the chain becomes P
     // independent pipelines: partition p of loop i+1 starts as soon as
     // partition p of loop i is done, while whole-set granularity holds
     // loop i+1 until all of loop i finished.
     hpxlite::finalize();
     hpxlite::init(hpxlite::runtime_config{4});
+    std::size_t const nworkers = hpxlite::get_num_worker_threads();
+    std::string const workers_label = std::to_string(nworkers) + " workers";
     auto sweep_cells = op_decl_set(kSweepElems, "sweep_cells");
     auto sweep_d =
         op_decl_dat_zero<double>(sweep_cells, 1, "double", "sweep_d");
@@ -232,14 +256,11 @@ int main(int argc, char** argv) {
 
     benchutil::bench_log log("bench_dataflow_chain");
     std::printf(
-        "partition sweep (%d loops x %d chains, %zu elems, 4 workers):\n",
-        kSweepChainLen, g_sweep_chains, kSweepElems);
+        "partition sweep (%d loops x %d chains, %zu elems, %zu workers):\n",
+        kSweepChainLen, g_sweep_chains, kSweepElems, nworkers);
     double part1_ns = 0.0;
     double part4_ns = 0.0;
-    for (std::size_t parts : {1u, 2u, 4u}) {
-        loop_options po = opts;
-        po.backend = exec::backend_kind::hpx_dataflow;
-        po.partitions = parts;
+    auto time_sweep_chain = [&](loop_options const& po) {
         auto run_chain = [&] {
             exec::loop_handle last;
             for (int l = 0; l < kSweepChainLen; ++l) {
@@ -255,8 +276,13 @@ int main(int argc, char** argv) {
         for (int c = 0; c < g_sweep_chains; ++c) {
             run_chain();
         }
-        double const ns =
-            ns_per_loop(sw.elapsed_s(), g_sweep_chains, kSweepChainLen);
+        return ns_per_loop(sw.elapsed_s(), g_sweep_chains, kSweepChainLen);
+    };
+    for (std::size_t parts : {1u, 2u, 4u}) {
+        loop_options po = opts;
+        po.backend = exec::backend_kind::hpx_dataflow;
+        po.partitions = parts;
+        double const ns = time_sweep_chain(po);
         if (parts == 1) {
             part1_ns = ns;
         }
@@ -266,10 +292,93 @@ int main(int argc, char** argv) {
         std::printf("  partitions=%zu    : %9.1f ns/loop\n", parts, ns);
         log.add("dataflow_chain_part" + std::to_string(parts), ns, "ns/iter",
                 "dependent RW chain, " + std::to_string(parts) +
-                    " partitions, 4 workers");
+                    " partitions, " + workers_label);
     }
     std::printf("  partition spdup : %9.2fx (4 partitions vs whole-set)\n",
                 part1_ns / part4_ns);
+
+    // --- placement: affinity vs any -----------------------------------
+    // The P=4 sweep above ran with the default affinity placement
+    // (partition p pinned to worker p). Re-run it with placement=any —
+    // sub-nodes drift to whoever steals first — to isolate what keeping
+    // a partition's working set on one core buys across the chain.
+    double anyplace_ns = 0.0;
+    {
+        loop_options po = opts;
+        po.backend = exec::backend_kind::hpx_dataflow;
+        po.partitions = 4;
+        po.placement = placement_kind::any;
+        anyplace_ns = time_sweep_chain(po);
+        std::printf("  placement=any   : %9.1f ns/loop\n", anyplace_ns);
+        std::printf("  affinity spdup  : %9.2fx (pinned vs any, P=4)\n",
+                    anyplace_ns / part4_ns);
+    }
+
+    // --- same-colour exemption: boundary-straddling INC chain ---------
+    // A dependent indirect chain: every loop INCs a cells dat through a
+    // ring map (edge i -> cells i, i+1 mod n), so consecutive loops
+    // conflict on every record (the chain), and within one loop every
+    // partition's footprint straddles into its neighbour. Without the
+    // exemption those same-colour sub-nodes serialise through
+    // conservative WAW record edges; with it they overlap.
+    auto str_cells = op_decl_set(kStraddleElems, "straddle_cells");
+    auto str_edges = op_decl_set(kStraddleElems, "straddle_edges");
+    std::vector<int> str_tab(2 * kStraddleElems);
+    for (std::size_t e = 0; e < kStraddleElems; ++e) {
+        str_tab[2 * e] = static_cast<int>(e);
+        str_tab[2 * e + 1] = static_cast<int>((e + 1) % kStraddleElems);
+    }
+    auto str_map = op_decl_map(str_edges, str_cells, 2, str_tab, "str_em");
+    auto str_d =
+        op_decl_dat_zero<double>(str_cells, 1, "double", "str_d");
+    auto str_kern = [](double* a, double* b) {
+        *a += 1.0;
+        *b += 1.0;
+    };
+    int straddle_loops = 0;
+    auto time_straddle_chain = [&](bool exempt) {
+        loop_options po = opts;
+        po.backend = exec::backend_kind::hpx_dataflow;
+        po.partitions = 4;
+        po.color_exemption = exempt;
+        auto run_chain = [&] {
+            exec::loop_handle last;
+            for (int l = 0; l < kSweepChainLen; ++l) {
+                last = exec::run_loop(
+                    po, "straddle_chain", str_edges, str_kern,
+                    op_arg_dat(str_d, 0, str_map, 1, "double", OP_INC),
+                    op_arg_dat(str_d, 1, str_map, 1, "double", OP_INC));
+            }
+            last.wait();
+            straddle_loops += kSweepChainLen;
+        };
+        for (int w = 0; w < 3; ++w) {
+            run_chain();
+        }
+        sw.reset();
+        for (int c = 0; c < g_sweep_chains; ++c) {
+            run_chain();
+        }
+        return ns_per_loop(sw.elapsed_s(), g_sweep_chains, kSweepChainLen);
+    };
+    double const serial_ns = time_straddle_chain(false);
+    double const exempt_ns = time_straddle_chain(true);
+    op_fence_all();
+    // Sanity: every cell has two in-edges, each straddle loop adds 2.
+    double const str_expect = 2.0 * straddle_loops;
+    if (str_d.view<double>()[0] != str_expect) {
+        std::fprintf(stderr,
+                     "FAIL: straddle chain executed %.0f INCs/cell, "
+                     "expected %.0f\n",
+                     str_d.view<double>()[0], str_expect);
+        return 1;
+    }
+    std::printf("straddle INC chain (%d loops x %d chains, %zu edges, %zu "
+                "workers):\n",
+                kSweepChainLen, g_sweep_chains, kStraddleElems, nworkers);
+    std::printf("  exemption off   : %9.1f ns/loop\n", serial_ns);
+    std::printf("  exemption on    : %9.1f ns/loop\n", exempt_ns);
+    std::printf("  exemption spdup : %9.2fx\n", serial_ns / exempt_ns);
 
     log.add("dataflow_chain_epoch", epoch_ns, "ns/iter",
             "16-loop RW chain, epoch engine");
@@ -279,6 +388,17 @@ int main(int argc, char** argv) {
             "epoch_vs_future_chain");
     log.add("dataflow_chain_partition_speedup", part1_ns / part4_ns, "x",
             "partitioned_4_vs_whole_set");
+    log.add("dataflow_chain_part4_anyplace", anyplace_ns, "ns/iter",
+            "dependent RW chain, 4 partitions, placement=any, " +
+                workers_label);
+    log.add("affinity_placement_speedup", anyplace_ns / part4_ns, "x",
+            "affinity_vs_any_placement, 4 partitions, " + workers_label);
+    log.add("dataflow_chain_straddle_exempt", exempt_ns, "ns/iter",
+            "indirect INC straddle chain, exemption on, " + workers_label);
+    log.add("dataflow_chain_straddle_serial", serial_ns, "ns/iter",
+            "indirect INC straddle chain, exemption off, " + workers_label);
+    log.add("same_color_exemption_speedup", serial_ns / exempt_ns, "x",
+            "same_colour_exemption_on_vs_off, " + workers_label);
     log.write();
 
     hpxlite::finalize();

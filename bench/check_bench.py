@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fail when a speedup row falls below its floor.
+
+Usage: check_bench.py BENCH_op2.json bench_thresholds.json
+
+Replaces the old "cat BENCH_op2.json for eyeballing" CI step with an
+actual check. The threshold file commits a floor per `*_speedup` row
+(see bench/README.md for the format); this script fails the job when
+
+  * a row named in the threshold file is present in the emitted bench
+    file with a value below its floor, or
+  * a row marked "required" in the threshold file is missing from the
+    emitted bench file (a silently-vanished measurement is a regression
+    of the harness, not a pass).
+
+Speedup rows present in the bench file but absent from the threshold
+file are reported as unguarded, without failing — new rows should get a
+floor in the same PR that introduces them.
+
+Floors are regression tripwires, not performance targets: they sit well
+below the values a healthy run produces (including single-core runs,
+where overlap-dependent speedups sink to parity) so that only a real
+regression — or a CI runner meltdown worth noticing — trips them.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench = load(argv[1])
+    thresholds = load(argv[2]).get("thresholds", {})
+
+    rows = {
+        r["name"]: r
+        for r in bench.get("results", [])
+        if isinstance(r, dict) and "name" in r
+    }
+    hw = bench.get("hardware_threads", "?")
+    print(f"check_bench: {argv[1]}: {len(rows)} rows, "
+          f"{hw} hardware thread(s)")
+
+    failures = []
+    for name, spec in sorted(thresholds.items()):
+        floor = spec["min"]
+        row = rows.get(name)
+        if row is None:
+            if spec.get("required", False):
+                failures.append(f"{name}: required row missing from bench "
+                                f"output")
+            else:
+                print(f"  SKIP {name}: not emitted by this run")
+            continue
+        value = row["value"]
+        status = "ok" if value >= floor else "FAIL"
+        print(f"  {status:4} {name}: {value:.3f} (floor {floor})")
+        if value < floor:
+            failures.append(f"{name}: {value:.3f} below floor {floor}")
+
+    unguarded = [
+        n for n in sorted(rows)
+        if n.endswith("_speedup") and n not in thresholds
+    ]
+    for name in unguarded:
+        print(f"  WARN {name}: speedup row has no committed floor")
+
+    if failures:
+        print("check_bench: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_bench: all gated rows at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,13 @@ namespace hpxlite::threads {
 ///    bottom without locks (cache-friendly for nested spawns) and thieves
 ///    steal FIFO from the top with a single CAS (good for load balance).
 ///    External threads submit through a small spinlocked injection queue.
+///  * `submit_to(worker, n)` is the affinity-hinted path: the task lands
+///    in the target worker's inbox (or directly on its deque when the
+///    caller *is* that worker), and the worker drains its inbox before
+///    stealing — so partition-pinned work stays on the worker that owns
+///    the partition's cache lines. Inboxes are still visible to thieves
+///    as a last resort, so a hint never strands work on a busy worker
+///    and load balance survives skewed pinning.
 ///  * `run_one()` lets *any* thread — worker or external — execute one
 ///    pending task. future::wait() uses it to "help" instead of blocking,
 ///    which is what makes nested waits deadlock-free even with one OS
@@ -58,6 +65,20 @@ public:
     /// calls `n->execute()` exactly once (or `n->discard()` on teardown)
     /// and never touches the node afterwards.
     void submit(task_node* n);
+
+    /// Schedule `n` with a worker-affinity hint: run on worker
+    /// `worker % size()` if it gets there first. When the calling thread
+    /// *is* that worker the node goes straight onto its lock-free deque;
+    /// otherwise it lands in the worker's inbox, which the worker drains
+    /// before it ever tries to steal. The hint is strictly best-effort —
+    /// idle workers (and external helpers) steal from foreign inboxes
+    /// once their own work is gone, so a bad hint costs locality, never
+    /// progress.
+    void submit_to(std::size_t worker, task_node* n);
+
+    /// Affinity-hinted submit of a type-erased callable (one fn_task_node
+    /// allocation, like submit(task_type)).
+    void submit_to(std::size_t worker, task_type t);
 
     /// Execute one pending task if any is available.
     /// @return true if a task was executed.
@@ -95,16 +116,29 @@ private:
     struct injection_queue {
         util::spinlock mtx;
         std::deque<task_node*> tasks;
+        /// Racy size mirror (updated under mtx, read without): lets the
+        /// pop/steal sweeps skip the spinlock when the queue is empty —
+        /// the common case for every foreign inbox a thief probes. Same
+        /// "approximate emptiness for spin heuristics" contract as
+        /// ws_deque::empty(); a stale zero is re-checked by the sweep's
+        /// queued_-counter retry loop before any worker parks.
+        std::atomic<std::size_t> approx_size{0};
     };
 
     void worker_loop(std::size_t index);
     task_node* try_pop(std::size_t index);
+    task_node* try_pop_inbox(std::size_t index);
     task_node* try_steal(std::size_t thief);
     task_node* try_pop_global();
     void wake_one();
     void notify_idle_waiters();
 
     std::vector<std::unique_ptr<ws_deque<task_node>>> queues_;
+    /// Per-worker affinity inboxes (submit_to). Chase–Lev push is
+    /// owner-only, so cross-thread affinity submissions need their own
+    /// channel; a small spinlocked deque is enough — the inbox carries
+    /// one node per (partition, colour) issue, not the fan-out hot path.
+    std::vector<std::unique_ptr<injection_queue>> inboxes_;
     injection_queue global_queue_;
 
     std::vector<std::thread> workers_;

@@ -19,8 +19,10 @@ thread_pool::thread_pool(std::size_t num_threads) {
         num_threads = 1;
     }
     queues_.reserve(num_threads);
+    inboxes_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
         queues_.push_back(std::make_unique<ws_deque<task_node>>());
+        inboxes_.push_back(std::make_unique<injection_queue>());
     }
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
@@ -49,6 +51,9 @@ thread_pool::~thread_pool() {
         task_node* n = try_pop_global();
         for (std::size_t i = 0; n == nullptr && i < queues_.size(); ++i) {
             n = queues_[i]->steal();
+        }
+        for (std::size_t i = 0; n == nullptr && i < inboxes_.size(); ++i) {
+            n = try_pop_inbox(i);
         }
         if (n == nullptr) {
             break;
@@ -108,8 +113,34 @@ void thread_pool::submit(task_node* n) {
     } else {
         std::lock_guard<util::spinlock> lk(global_queue_.mtx);
         global_queue_.tasks.push_back(n);
+        global_queue_.approx_size.store(global_queue_.tasks.size(),
+                                        std::memory_order_relaxed);
     }
     wake_one();
+}
+
+void thread_pool::submit_to(std::size_t worker, task_node* n) {
+    assert(n != nullptr && n->action != nullptr);
+    worker %= workers_.size();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_seq_cst);
+    if (on_worker_thread() && tls_index == worker) {
+        // The target is the caller: the lock-free owner push keeps the
+        // affinity path allocation- and lock-free for self-submissions
+        // (a partition's sub-node completing and readying the next one).
+        queues_[worker]->push(n);
+    } else {
+        std::lock_guard<util::spinlock> lk(inboxes_[worker]->mtx);
+        inboxes_[worker]->tasks.push_back(n);
+        inboxes_[worker]->approx_size.store(inboxes_[worker]->tasks.size(),
+                                            std::memory_order_relaxed);
+    }
+    wake_one();
+}
+
+void thread_pool::submit_to(std::size_t worker, task_type t) {
+    assert(t);
+    submit_to(worker, static_cast<task_node*>(new fn_task_node(std::move(t))));
 }
 
 task_node* thread_pool::try_pop(std::size_t index) {
@@ -120,8 +151,28 @@ task_node* thread_pool::try_pop(std::size_t index) {
     return n;
 }
 
+task_node* thread_pool::try_pop_inbox(std::size_t index) {
+    injection_queue& q = *inboxes_[index];
+    if (q.approx_size.load(std::memory_order_relaxed) == 0) {
+        return nullptr;  // racy fast path; see injection_queue::approx_size
+    }
+    std::lock_guard<util::spinlock> lk(q.mtx);
+    if (q.tasks.empty()) {
+        return nullptr;
+    }
+    task_node* n = q.tasks.front();
+    q.tasks.pop_front();
+    q.approx_size.store(q.tasks.size(), std::memory_order_relaxed);
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return n;
+}
+
 task_node* thread_pool::try_steal(std::size_t thief) {
     std::size_t const nq = queues_.size();
+    // Sweep every victim's deque first, then the inboxes: stealing
+    // unhinted work is free, robbing another worker's pinned partition
+    // costs that partition's cache affinity — do it only when nothing
+    // else is runnable.
     for (std::size_t k = 1; k <= nq; ++k) {
         std::size_t const victim = (thief + k) % nq;
         task_node* n = queues_[victim]->steal();
@@ -130,16 +181,28 @@ task_node* thread_pool::try_steal(std::size_t thief) {
             return n;
         }
     }
+    for (std::size_t k = 1; k <= nq; ++k) {
+        std::size_t const victim = (thief + k) % nq;
+        task_node* n = try_pop_inbox(victim);
+        if (n != nullptr) {
+            return n;
+        }
+    }
     return nullptr;
 }
 
 task_node* thread_pool::try_pop_global() {
+    if (global_queue_.approx_size.load(std::memory_order_relaxed) == 0) {
+        return nullptr;  // racy fast path; see injection_queue::approx_size
+    }
     std::lock_guard<util::spinlock> lk(global_queue_.mtx);
     if (global_queue_.tasks.empty()) {
         return nullptr;
     }
     task_node* n = global_queue_.tasks.front();
     global_queue_.tasks.pop_front();
+    global_queue_.approx_size.store(global_queue_.tasks.size(),
+                                    std::memory_order_relaxed);
     queued_.fetch_sub(1, std::memory_order_relaxed);
     return n;
 }
@@ -148,6 +211,12 @@ bool thread_pool::run_one() {
     task_node* n = nullptr;
     if (on_worker_thread()) {
         n = try_pop(tls_index);
+        if (n == nullptr) {
+            // Pinned work next: the inbox holds the partitions this
+            // worker owns, which is exactly the work whose data is (or
+            // will be) in this core's cache.
+            n = try_pop_inbox(tls_index);
+        }
         if (n == nullptr) {
             n = try_pop_global();
         }

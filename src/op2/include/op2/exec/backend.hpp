@@ -241,19 +241,21 @@ template <typename Kernel, std::size_t N>
 class part_node final : public dataflow_node {
 public:
     part_node(std::shared_ptr<partitioned_loop<Kernel, N>> grp,
-              std::size_t partition, std::size_t color) noexcept
-      : grp_(std::move(grp)), partition_(partition), color_(color) {}
+              std::size_t partition, std::size_t color,
+              bool first) noexcept
+      : grp_(std::move(grp)), partition_(partition), color_(color),
+        first_(first) {}
 
 private:
     void run_body() override {
         grp_->mark_start();
         auto& ex = grp_->executor(partition_);
         op_plan const& plan = grp_->plan(partition_);
-        if (color_ == 0) {
-            // Colour 0 provably runs first within its partition (every
-            // higher colour conflicts with — and therefore orders after
-            // — some lower-colour block through a shared dat-partition
-            // record), so it owns the run-time scratch initialisation.
+        if (first_) {
+            // The partition's first (lowest non-empty colour) sub-node
+            // runs first — the issue path chains a partition's sub-nodes
+            // in colour order — so it owns the run-time scratch
+            // initialisation.
             grp_->prepare_partition(partition_);
         }
         ex.run_color(plan, color_);
@@ -267,6 +269,7 @@ private:
     std::shared_ptr<partitioned_loop<Kernel, N>> grp_;
     std::size_t partition_;
     std::size_t color_;
+    bool first_;
 };
 
 /// The loop's completion node: depends on every sub-node and is what
@@ -356,6 +359,12 @@ loop_handle issue_whole_set(loop_options const& opts, char const* name,
     return loop_handle(std::move(ref));
 }
 
+/// Monotone id handed to each partitioned-loop issue: the dependency
+/// layer uses it to recognise sub-nodes of one loop (the same-colour
+/// non-conflict exemption applies only within a loop). Shared across
+/// every kernel instantiation, so ids never repeat between loops.
+inline std::atomic<std::uint64_t> g_exemption_loop_seq{1};
+
 /// Partition-granular issue: the loop becomes one sub-node per
 /// (partition, colour) plus a join node. Each sub-node edges on exactly
 /// the dat partitions it can reach — the iteration partition itself for
@@ -366,6 +375,19 @@ loop_handle issue_whole_set(loop_options const& opts, char const* name,
 /// least one dat-partition record (a conflict is a shared target
 /// element, and the element's partition record orders its writers by
 /// issue order), so program order is preserved wherever it matters.
+///
+/// Two per-loop refinements ride on that structure:
+///  * placement (opts.placement == affinity): partition p's sub-nodes
+///    carry the worker hint p % pool_size, so a partition's working set
+///    keeps landing on the same worker across the loops of a chain;
+///  * the same-colour non-conflict exemption (opts.color_exemption):
+///    partition plans are coloured globally, so same-coloured sub-nodes
+///    of THIS loop provably never mutate the same target element and
+///    skip the conservative WAW record edges between each other —
+///    boundary-straddling INC partitions of a single loop overlap. A
+///    partition's own sub-nodes are still chained in colour order
+///    (deterministic scratch prepare, single-threaded per-partition
+///    executor), so the won concurrency is across partitions.
 template <typename Kernel, std::size_t N>
 loop_handle issue_partitioned(loop_options const& opts, char const* name,
                               op_set set, std::array<op_arg, N> args,
@@ -377,14 +399,23 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
     grp->executor(0).validate(name);
 
     // Resolve every partition plan (and bind the executors) up front, so
-    // nothing below the first sub-node issue can throw.
+    // nothing below the first sub-node issue can throw. The colour
+    // countdown counts *live* (non-empty) colours only: global colouring
+    // can leave a partition plan with sparse colour classes, and empty
+    // ones get no sub-node.
     for (std::size_t p = 0; p < nparts; ++p) {
         op_plan const& plan = plan_get(
             set, grp->executor(0).args(),
             plan_desc{opts.part_size, opts.staged_gather, nparts, p});
         grp->bind_plan(plan);
         grp->executor(p).setup(plan);
-        grp->init_colors(p, plan.ncolors);
+        std::size_t live = 0;
+        for (std::size_t c = 0; c < plan.ncolors; ++c) {
+            if (!plan.blocks_of_color(c).empty()) {
+                ++live;
+            }
+        }
+        grp->init_colors(p, live);
     }
 
     // Distinct dats of the loop, with their record tables pinned at
@@ -451,23 +482,46 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
     node_ref jref(join, /*adopt=*/true);
     join->bind_pool(pool);
 
+    bool const affinity = opts.placement == placement_kind::affinity;
+    std::uint64_t const loop_tag =
+        opts.color_exemption
+            ? g_exemption_loop_seq.fetch_add(1, std::memory_order_relaxed)
+            : 0;
+
     std::vector<dep_request> reqs;
     for (std::size_t p = 0; p < nparts; ++p) {
         op_plan const& plan = grp->plan(p);
+        node_ref chain_prev;
         for (std::size_t c = 0; c < plan.ncolors; ++c) {
-            auto* sub = new part_node<Kernel, N>(grp, p, c);
+            if (plan.blocks_of_color(c).empty()) {
+                continue;  // sparse global colour class: nothing to run
+            }
+            auto* sub =
+                new part_node<Kernel, N>(grp, p, c, /*first=*/!chain_prev);
             node_ref sref(sub, /*adopt=*/true);
             join->depend_on(*sub);
+            if (affinity) {
+                sub->set_worker_hint(p % pool.size());
+            }
+            if (chain_prev) {
+                // Chain the partition's own sub-nodes in colour order:
+                // global colouring no longer guarantees that a
+                // partition's colours conflict pairwise, and the
+                // per-partition executor (scratch prepare, per-block
+                // reduction partials) expects one sub-node at a time.
+                sub->depend_on(*chain_prev);
+            }
 
             reqs.clear();
-            auto add = [&reqs](dep_record* rec, bool write) {
+            auto add = [&reqs, loop_tag, c](dep_record* rec, bool write) {
                 for (auto& r : reqs) {
                     if (r.rec == rec) {
                         r.write = r.write || write;
                         return;
                     }
                 }
-                reqs.push_back({rec, write});
+                reqs.push_back({rec, write, loop_tag,
+                                static_cast<std::uint32_t>(c)});
             };
             std::size_t j = 0;
             for (op_arg const& a : grp->executor(0).args()) {
@@ -494,6 +548,7 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
             issue(*sub, std::span<dep_request const>{reqs.data(),
                                                      reqs.size()},
                   pool);
+            chain_prev = std::move(sref);
         }
     }
     join->schedule();

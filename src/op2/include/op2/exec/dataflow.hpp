@@ -217,6 +217,15 @@ public:
         pool_ = &pool;
     }
 
+    /// Pin the node to a pool worker: once runnable it is submitted
+    /// through the pool's affinity path (submit_to) instead of the
+    /// issuer's own queue. Best-effort — stealing still rebalances.
+    /// Must be set before the node is wired into any dep_record, like
+    /// bind_pool.
+    void set_worker_hint(std::size_t worker) noexcept {
+        hint_ = static_cast<std::uint32_t>(worker);
+    }
+
     /// Drop the issue guard: the node becomes runnable as soon as its
     /// last predecessor finishes (or immediately, if none are pending).
     void schedule() { notify_pred_done(); }
@@ -239,7 +248,12 @@ private:
     void notify_pred_done() {
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             add_ref();  // the queue's reference, dropped by pool_action
-            pool_->submit(static_cast<hpxlite::threads::task_node*>(this));
+            auto* n = static_cast<hpxlite::threads::task_node*>(this);
+            if (hint_ != kNoHint) {
+                pool_->submit_to(hint_, n);
+            } else {
+                pool_->submit(n);
+            }
         }
     }
 
@@ -299,8 +313,11 @@ private:
         self->release();  // the queue's reference
     }
 
+    static constexpr std::uint32_t kNoHint = ~std::uint32_t{0};
+
     std::atomic<std::uint32_t> refs_{1};
     std::atomic<std::uint32_t> pending_{1};  // +1 issue guard
+    std::uint32_t hint_ = kNoHint;  // affinity worker, written at issue
     std::atomic<bool> done_{false};
     hpxlite::util::spinlock succ_mtx_;  // guards succs_ / error_ updates
     std::vector<node_ref> succs_;
@@ -324,24 +341,56 @@ inline node_ref::~node_ref() {
     }
 }
 
-/// Per-dat dependency record. `epoch` increases by one per issued
-/// writer; `writer` is the loop that produced the current epoch and
-/// `readers` the loops reading it. Invariant (same as PR 1's future
-/// chains, minus the futures): a writer depends on the current writer
+/// One writer tracked by a dep_record: the node plus the colour tag it
+/// was issued under (meaningful only while the record's same-loop write
+/// burst is open — see dep_record).
+struct dep_writer {
+    node_ref node;
+    std::uint32_t color = 0;
+};
+
+/// Per-dat dependency record. `epoch` increases by one per writing
+/// *loop*; `writers` holds the node(s) that produce the current epoch
+/// and `readers` the loops reading it. Invariant (same as PR 1's future
+/// chains, minus the futures): a writer depends on the current writers
 /// and every current reader (WAW + WAR), a reader depends on the
-/// current writer only (RAW) — so readers of one epoch run concurrently.
+/// current writers only (RAW) — so readers of one epoch run
+/// concurrently.
+///
+/// `writers` is plural because of the loop-local same-colour
+/// non-conflict exemption: the sub-nodes of ONE partitioned loop write a
+/// record as an open "burst" (`burst_loop` holds the loop's id while it
+/// lasts). Partition plans are coloured globally, so two same-coloured
+/// sub-nodes of one loop provably never mutate the same target element;
+/// a burst member therefore skips the WAW edge to same-colour members
+/// already in `writers` — that is what lets boundary-straddling INC
+/// partitions of a single loop run concurrently — while still edging on
+/// different-colour members (those may genuinely conflict) and on
+/// `prev`, the epoch the burst displaced. `prev` stays alive until the
+/// next loop's write closes the burst, so late-arriving members inherit
+/// the displaced epoch's WAW/WAR (and error) edges exactly like the
+/// first member did.
 struct dep_record {
     hpxlite::util::spinlock mtx;
     std::uint64_t epoch = 0;
-    node_ref writer;
+    std::uint64_t burst_loop = 0;  // open same-loop write burst (0 = none)
+    std::vector<dep_writer> writers;
     std::vector<node_ref> readers;
+    std::vector<node_ref> prev;  // displaced epoch, kept while burst open
 
-    /// Snapshot for fences/tests: current writer + readers.
-    void snapshot(node_ref& w, std::vector<node_ref>& rs) const {
+    /// Snapshot for fences/tests: every node the record still tracks
+    /// (current writers, the displaced epoch of an open burst, readers).
+    void snapshot(std::vector<node_ref>& nodes) const {
         auto& self = const_cast<dep_record&>(*this);
         std::lock_guard<hpxlite::util::spinlock> lk(self.mtx);
-        w = self.writer;
-        rs = self.readers;
+        nodes.clear();
+        nodes.reserve(self.writers.size() + self.prev.size() +
+                      self.readers.size());
+        for (auto const& w : self.writers) {
+            nodes.push_back(w.node);
+        }
+        nodes.insert(nodes.end(), self.prev.begin(), self.prev.end());
+        nodes.insert(nodes.end(), self.readers.begin(), self.readers.end());
     }
 };
 
@@ -397,7 +446,12 @@ struct dep_state {
                                 failed.push_back(n);
                             }
                         };
-                        track(r.writer);
+                        for (auto const& w : r.writers) {
+                            track(w.node);
+                        }
+                        for (auto const& p0 : r.prev) {
+                            track(p0);
+                        }
                         for (auto const& rd : r.readers) {
                             track(rd);
                         }
@@ -496,10 +550,15 @@ private:
 
 /// One (record, access) pair of a loop being issued. The backend merges
 /// duplicate dats before issuing (write dominates), so each record
-/// appears at most once per loop.
+/// appears at most once per sub-node. `loop`/`color` carry the
+/// same-colour exemption tag: nonzero `loop` marks a sub-node of a
+/// partitioned loop issued with the exemption enabled, and `color` its
+/// globally-consistent plan colour.
 struct dep_request {
     dep_record* rec = nullptr;
     bool write = false;
+    std::uint64_t loop = 0;
+    std::uint32_t color = 0;
 };
 
 /// Wire `n` into the graph under each record's lock (issue order defines
@@ -516,18 +575,55 @@ inline void issue(dataflow_node& n, std::span<dep_request const> reqs,
         dep_record& r = *rq.rec;
         std::lock_guard<hpxlite::util::spinlock> lk(r.mtx);
         if (rq.write) {
-            if (r.writer) {
-                n.depend_on(*r.writer);  // WAW
+            if (rq.loop != 0 && r.burst_loop == rq.loop) {
+                // Same-loop burst member: inherit the displaced epoch's
+                // WAW/WAR edges, order after readers that slipped in
+                // mid-burst (a concurrent issuer), and after
+                // different-colour members — but NOT after same-colour
+                // members, which the global colouring proves
+                // conflict-free. This missing edge is the exemption.
+                for (auto const& p : r.prev) {
+                    n.depend_on(*p);
+                }
+                for (auto const& rd : r.readers) {
+                    n.depend_on(*rd);
+                }
+                for (auto const& w : r.writers) {
+                    if (w.color != rq.color) {
+                        n.depend_on(*w.node);
+                    }
+                }
+                r.writers.push_back({node_ref(&n), rq.color});
+            } else {
+                for (auto const& w : r.writers) {
+                    n.depend_on(*w.node);  // WAW
+                }
+                for (auto const& rd : r.readers) {
+                    n.depend_on(*rd);  // WAR
+                }
+                r.prev.clear();
+                if (rq.loop != 0) {
+                    // Opening a burst: keep the displaced epoch (its
+                    // writers AND readers) alive, so later members
+                    // inherit the same WAW/WAR edges and errors this
+                    // opener just took.
+                    r.prev.reserve(r.writers.size() + r.readers.size());
+                    for (auto& w : r.writers) {
+                        r.prev.push_back(std::move(w.node));
+                    }
+                    for (auto& rd : r.readers) {
+                        r.prev.push_back(std::move(rd));
+                    }
+                }
+                r.readers.clear();
+                r.writers.clear();
+                r.writers.push_back({node_ref(&n), rq.color});
+                r.burst_loop = rq.loop;
+                ++r.epoch;
             }
-            for (auto const& rd : r.readers) {
-                n.depend_on(*rd);  // WAR
-            }
-            r.readers.clear();
-            r.writer = node_ref(&n);
-            ++r.epoch;
         } else {
-            if (r.writer) {
-                n.depend_on(*r.writer);  // RAW
+            for (auto const& w : r.writers) {
+                n.depend_on(*w.node);  // RAW
             }
             // Readers of a never-rewritten dat would otherwise pile up
             // for the life of the program (read-only dats like airfoil's
@@ -538,6 +634,18 @@ inline void issue(dataflow_node& n, std::span<dep_request const> reqs,
             // WAR edge, exactly as the future chains rethrew it.
             std::erase_if(r.readers, [](node_ref const& rd) {
                 return rd->done() && !rd->failed();
+            });
+            // Same hygiene for the write side: a dat written once by an
+            // exempt loop and then only read would pin the burst's
+            // writers and the displaced epoch (`prev`) for the rest of
+            // the program. Completed healthy entries create no edges
+            // anyway (depend_on is a no-op on done predecessors);
+            // failed ones stay for error inheritance.
+            std::erase_if(r.writers, [](dep_writer const& w) {
+                return w.node->done() && !w.node->failed();
+            });
+            std::erase_if(r.prev, [](node_ref const& p) {
+                return p->done() && !p->failed();
             });
             r.readers.emplace_back(&n);
         }

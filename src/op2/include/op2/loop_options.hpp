@@ -8,6 +8,21 @@
 
 namespace op2 {
 
+/// Where the hpx_dataflow backend places a partition's sub-nodes.
+enum class placement_kind {
+    /// Pin partition p's (partition, colour) sub-nodes to worker
+    /// p % pool_size via the pool's affinity inboxes, so a partition's
+    /// working set keeps hitting the same core's cache across the loops
+    /// of a chain. Stealing remains the fallback: a busy worker's pinned
+    /// work migrates rather than stalling, so skewed partitions cost
+    /// locality, never progress.
+    affinity,
+    /// No hint: sub-nodes land on the issuing thread's queue and drift
+    /// to whichever worker pops or steals them first (the pre-placement
+    /// behaviour, kept as the bench baseline and differential oracle).
+    any,
+};
+
 /// Per-loop execution knobs shared by the parallel backends.
 struct loop_options {
     /// Backend the exec layer dispatches this loop to (op2/exec/backend.hpp).
@@ -43,6 +58,21 @@ struct loop_options {
     /// The seq and staged backends ignore this field: they are
     /// synchronous, so there is no graph to scope.
     std::size_t partitions = 0;
+
+    /// Sub-node placement policy of the hpx_dataflow backend (ignored by
+    /// the synchronous backends and at whole-set granularity, where
+    /// there is one node and nothing to pin).
+    placement_kind placement = placement_kind::affinity;
+
+    /// Loop-local same-colour non-conflict exemption of the hpx_dataflow
+    /// backend: partition plans are coloured *globally* (one
+    /// deterministic sweep over every partition's blocks), so two
+    /// same-coloured sub-nodes of one loop provably never mutate the
+    /// same target element — the dependency layer skips the conservative
+    /// WAW edge between them and boundary-straddling INC partitions of a
+    /// single loop run concurrently. Off reinstates the conservative
+    /// per-record edges (differential oracle / bench baseline).
+    bool color_exemption = true;
 
     /// Use the plan's staged gather tables (pre-resolved byte offsets)
     /// for indirect arguments and pointer-bumping for direct ones. Off

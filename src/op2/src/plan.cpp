@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
 #include <tuple>
@@ -158,15 +159,25 @@ local_cache& local_shard() {
     return cache;
 }
 
-/// Single-pass block-conflict colouring. For every target element we keep
-/// a 64-bit mask of the colours already claimed by blocks touching it;
-/// a block ORs the masks of all its targets and takes the lowest free
-/// colour. One sweep over the set colours up to 64 colours (the old
-/// greedy scheme re-scanned the whole set once per colour); in the
-/// pathological >64-colour case another sweep handles the next 64.
-void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
-    plan.colored = true;
+/// One block to colour: an absolute element range [lo, hi) of the
+/// iteration set, plus the owning plan's block id when the block belongs
+/// to the partition being built (SIZE_MAX for other partitions' blocks,
+/// which participate in conflict detection but whose colours are not
+/// recorded).
+struct color_span {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::size_t mine = SIZE_MAX;
+};
 
+/// The greedy mask sweep at the heart of the colouring (see
+/// color_blocks): for every target element a 64-bit mask of the colours
+/// already claimed by spans touching it; each span ORs its targets'
+/// masks and takes the lowest free colour. One sweep handles 64
+/// colours; the pathological >64-colour case takes another sweep for
+/// the next 64.
+std::vector<int> sweep_colors(std::vector<color_span> const& spans,
+                              std::vector<stage_ref> const& color_refs) {
     // One mask array per distinct target set (conflicts are per target
     // element, regardless of which map reached it).
     std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> masks;
@@ -175,24 +186,21 @@ void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
                           std::vector<std::uint64_t>(r.map.to().size(), 0));
     }
 
-    std::vector<int> block_color(plan.nblocks, -1);
-    std::size_t remaining = plan.nblocks;
+    std::vector<int> span_color(spans.size(), -1);
+    std::size_t remaining = spans.size();
     int base = 0;
-    int max_color = -1;
     while (remaining > 0) {
         for (auto& [id, m] : masks) {
             std::fill(m.begin(), m.end(), std::uint64_t{0});
         }
-        for (std::size_t b = 0; b < plan.nblocks; ++b) {
-            if (block_color[b] != -1) {
+        for (std::size_t s = 0; s < spans.size(); ++s) {
+            if (span_color[s] != -1) {
                 continue;
             }
             std::uint64_t used = 0;
             for (auto const& r : color_refs) {
                 auto const& m = masks.at(r.map.to().id());
-                std::size_t const lo = plan.elem_base + plan.offset[b];
-                std::size_t const hi = lo + plan.nelems[b];
-                for (std::size_t e = lo; e < hi; ++e) {
+                for (std::size_t e = spans[s].lo; e < spans[s].hi; ++e) {
                     used |= m[static_cast<std::size_t>(r.map(e, r.idx))];
                 }
             }
@@ -200,14 +208,11 @@ void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
                 continue;  // all 64 colours of this sweep taken: next sweep
             }
             int const c = std::countr_one(used);
-            block_color[b] = base + c;
-            max_color = std::max(max_color, base + c);
+            span_color[s] = base + c;
             std::uint64_t const bit = std::uint64_t{1} << c;
             for (auto const& r : color_refs) {
                 auto& m = masks.at(r.map.to().id());
-                std::size_t const lo = plan.elem_base + plan.offset[b];
-                std::size_t const hi = lo + plan.nelems[b];
-                for (std::size_t e = lo; e < hi; ++e) {
+                for (std::size_t e = spans[s].lo; e < spans[s].hi; ++e) {
                     m[static_cast<std::size_t>(r.map(e, r.idx))] |= bit;
                 }
             }
@@ -215,7 +220,120 @@ void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs) {
         }
         base += 64;
     }
+    return span_color;
+}
 
+/// Memo of the global sweep shared by the partition plans of one
+/// configuration. The sweep's input is fully determined by (set,
+/// part_size, npartitions, mutating indirect classes) — partition index
+/// and staged_gather do not affect colouring — so the first partition
+/// plan built computes it once and the other P-1 reuse the result
+/// instead of each re-walking the whole set. Entries are dropped by
+/// plan_cache_clear() along with the plans that reference them.
+struct color_memo {
+    std::mutex mtx;
+    std::unordered_map<plan_key, std::shared_ptr<std::vector<int> const>,
+                       plan_key_hash>
+        map;
+};
+color_memo g_color_memo;
+
+std::shared_ptr<std::vector<int> const> sweep_colors_cached(
+    op_plan const& plan, op_set const& set,
+    std::vector<color_span> const& spans,
+    std::vector<stage_ref> const& color_refs) {
+    // Key normalised to the memo's granularity — partition 0,
+    // staged_gather fixed, mutating classes only — so there is one
+    // entry per configuration whose colouring actually differs.
+    plan_key key = make_key(
+        set, plan_desc{plan.part_size, true, plan.npartitions, 0},
+        color_refs);
+    {
+        std::lock_guard<std::mutex> lk(g_color_memo.mtx);
+        if (auto it = g_color_memo.map.find(key);
+            it != g_color_memo.map.end()) {
+            return it->second;
+        }
+    }
+    // Compute outside the lock: the sweep is deterministic, so two
+    // racing builders produce identical vectors and the first insert
+    // wins.
+    auto computed = std::make_shared<std::vector<int> const>(
+        sweep_colors(spans, color_refs));
+    std::lock_guard<std::mutex> lk(g_color_memo.mtx);
+    auto [it, inserted] =
+        g_color_memo.map.try_emplace(std::move(key), std::move(computed));
+    return it->second;
+}
+
+/// Single-pass block-conflict colouring. For every target element we keep
+/// a 64-bit mask of the colours already claimed by blocks touching it;
+/// a block ORs the masks of all its targets and takes the lowest free
+/// colour. One sweep over the set colours up to 64 colours (the old
+/// greedy scheme re-scanned the whole set once per colour); in the
+/// pathological >64-colour case another sweep handles the next 64.
+///
+/// Whole-set plans colour their own blocks. Partition plans colour the
+/// *whole loop* — every partition's blocks, walked in deterministic
+/// (partition, block) order — and record only their own partition's
+/// colours. Every partition plan of one configuration therefore derives
+/// the same global assignment, which gives the colour labels a
+/// cross-partition guarantee: two same-coloured blocks never mutate the
+/// same target element, *no matter which partitions they belong to*.
+/// That invariant is what makes the dataflow backend's loop-local
+/// same-colour non-conflict exemption sound (per-partition colouring
+/// would let the single blocks of two boundary-straddling partitions
+/// both claim colour 0 while INC-ing the same boundary element).
+void color_blocks(op_plan& plan, std::vector<stage_ref> const& color_refs,
+                  op_set const& set) {
+    plan.colored = true;
+
+    // The spans to colour, in the deterministic global walk order.
+    std::vector<color_span> spans;
+    if (plan.npartitions > 1) {
+        auto const part = set.partition(plan.npartitions);
+        for (std::size_t p = 0; p < plan.npartitions; ++p) {
+            std::size_t const base = part->begin(p);
+            std::size_t const n = part->size_of(p);
+            std::size_t const nb =
+                n == 0 ? 0 : (n + plan.part_size - 1) / plan.part_size;
+            for (std::size_t b = 0; b < nb; ++b) {
+                std::size_t const off = b * plan.part_size;
+                spans.push_back({base + off,
+                                 base + off + std::min(plan.part_size, n - off),
+                                 p == plan.partition ? b : SIZE_MAX});
+            }
+        }
+    } else {
+        spans.reserve(plan.nblocks);
+        for (std::size_t b = 0; b < plan.nblocks; ++b) {
+            spans.push_back({plan.offset[b], plan.offset[b] + plan.nelems[b],
+                             b});
+        }
+    }
+
+    std::vector<int> local_colors;
+    std::shared_ptr<std::vector<int> const> shared_colors;
+    if (plan.npartitions > 1) {
+        shared_colors = sweep_colors_cached(plan, set, spans, color_refs);
+    } else {
+        local_colors = sweep_colors(spans, color_refs);
+    }
+    std::vector<int> const& span_color =
+        shared_colors ? *shared_colors : local_colors;
+
+    std::vector<int> block_color(plan.nblocks, -1);
+    int max_color = -1;  // max colour among *this plan's* blocks
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+        if (spans[s].mine != SIZE_MAX) {
+            block_color[spans[s].mine] = span_color[s];
+            max_color = std::max(max_color, span_color[s]);
+        }
+    }
+
+    // Partition plans may own a sparse subset of the global colours
+    // (colour classes with no block here stay empty in color_offset);
+    // the issue path skips empty colours when creating sub-nodes.
     plan.ncolors = static_cast<std::size_t>(max_color + 1);
     plan.color_offset.assign(plan.ncolors + 1, 0);
     for (std::size_t b = 0; b < plan.nblocks; ++b) {
@@ -327,7 +445,15 @@ op_plan plan_build_impl(op_set const& set, plan_desc const& desc,
             color_refs.push_back(r);
         }
     }
-    if (color_refs.empty() || plan.nblocks <= 1) {
+    // Partition plans with mutating indirect args always take the
+    // colouring path, even with a single block: the block's colour must
+    // come from the *global* sweep so it stays comparable with the other
+    // partitions' colours (a lone block is trivially colour 0 locally,
+    // but may conflict with another partition's colour-0 block).
+    bool const trivial =
+        color_refs.empty() || plan.nblocks == 0 ||
+        (plan.nblocks <= 1 && desc.npartitions == 1);
+    if (trivial) {
         plan.colored = false;
         plan.ncolors = plan.nblocks == 0 ? 0 : 1;
         plan.blkmap.resize(plan.nblocks);
@@ -341,7 +467,7 @@ op_plan plan_build_impl(op_set const& set, plan_desc const& desc,
         return plan;
     }
 
-    color_blocks(plan, color_refs);
+    color_blocks(plan, color_refs, set);
     return plan;
 }
 
@@ -425,6 +551,10 @@ void plan_cache_clear() {
     for (auto& shard : g_shards) {
         std::unique_lock<std::shared_mutex> wr(shard.mtx);
         shard.map.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lk(g_color_memo.mtx);
+        g_color_memo.map.clear();
     }
 }
 

@@ -24,15 +24,11 @@ void fence_impl(detail::dat_impl& di) {
     // snapshot keeps the records alive across a concurrent
     // re-partition.
     auto const [recs, count] = di.dep.table();
+    std::vector<exec::node_ref> nodes;
     for (std::size_t p = 0; p < count; ++p) {
-        exec::node_ref w;
-        std::vector<exec::node_ref> rs;
-        recs[p].snapshot(w, rs);
-        if (w) {
-            w->wait();
-        }
-        for (auto& r : rs) {
-            r->wait();
+        recs[p].snapshot(nodes);
+        for (auto& n : nodes) {
+            n->wait();
         }
     }
 }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <thread>
 
@@ -153,6 +155,123 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
         // no wait_idle: destructor must drain
     }
     EXPECT_EQ(count.load(), 500);
+}
+
+// --- affinity-hinted submission (submit_to) -----------------------------
+
+/// Occupy every worker with a spinning task and release them later:
+/// while the blockers hold the pool, nothing can steal, so affinity
+/// submissions stay in their target inboxes and each worker's first
+/// post-release pop is its own pinned task.
+struct pool_blockers {
+    explicit pool_blockers(thread_pool& pool) {
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            pool.submit([this] {
+                running.fetch_add(1);
+                while (!release.load(std::memory_order_acquire)) {
+                    std::this_thread::yield();
+                }
+            });
+        }
+        while (running.load() < pool.size()) {
+            std::this_thread::yield();
+        }
+    }
+    void release_all() { release.store(true, std::memory_order_release); }
+
+    std::atomic<std::size_t> running{0};
+    std::atomic<bool> release{false};
+};
+
+TEST(ThreadPool, SubmitToRunsOnTargetWorker) {
+    thread_pool pool(4);
+    pool_blockers hold(pool);
+
+    // One pinned task per worker, submitted while everyone is held: each
+    // records the worker it actually ran on, and spins until all four
+    // have been claimed so no early finisher can steal a slow worker's
+    // pinned task before that worker popped its own inbox.
+    std::array<std::atomic<std::size_t>, 4> ran_on;
+    for (auto& r : ran_on) {
+        r.store(SIZE_MAX);
+    }
+    std::atomic<std::size_t> claimed{0};
+    for (std::size_t w = 0; w < 4; ++w) {
+        pool.submit_to(w, [&, w] {
+            ran_on[w].store(pool.worker_index());
+            claimed.fetch_add(1);
+            while (claimed.load(std::memory_order_acquire) < 4) {
+                std::this_thread::yield();
+            }
+        });
+    }
+    hold.release_all();
+    // Do not help (wait_idle steals!) until every pinned task is claimed
+    // by a worker; each worker's first post-release pop is its own
+    // inbox, so the claims are exactly the pinned assignments.
+    while (claimed.load() < 4) {
+        std::this_thread::yield();
+    }
+    pool.wait_idle();
+    for (std::size_t w = 0; w < 4; ++w) {
+        EXPECT_EQ(ran_on[w].load(), w) << "pinned task drifted off worker "
+                                       << w;
+    }
+}
+
+TEST(ThreadPool, SubmitToIndexWrapsModuloPoolSize) {
+    thread_pool pool(2);
+    std::atomic<int> count{0};
+    for (std::size_t w = 0; w < 10; ++w) {
+        pool.submit_to(w, [&] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, PinnedWorkIsStolenFromABusyWorker) {
+    thread_pool pool(2);
+    // Hold worker-bound capacity with one long spinner, pin work to
+    // whichever worker it landed on, and verify the other worker steals
+    // and finishes it — the hint must cost locality, never progress.
+    std::atomic<std::size_t> busy_worker{SIZE_MAX};
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+        busy_worker.store(pool.worker_index());
+        while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+        }
+    });
+    while (busy_worker.load() == SIZE_MAX) {
+        std::this_thread::yield();
+    }
+    std::atomic<std::size_t> ran_on{SIZE_MAX};
+    pool.submit_to(busy_worker.load(), [&] {
+        ran_on.store(pool.worker_index());
+    });
+    // The pinned task completes while its target is still spinning.
+    while (ran_on.load() == SIZE_MAX) {
+        std::this_thread::yield();
+    }
+    EXPECT_NE(ran_on.load(), busy_worker.load());
+    release.store(true, std::memory_order_release);
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, SubmitToFromWorkerTargetingSelfAndOthers) {
+    thread_pool pool(3);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        std::size_t const self = pool.worker_index();
+        for (std::size_t w = 0; w < 3; ++w) {
+            pool.submit_to(w, [&] { ++count; });
+        }
+        // Self-targeted submission goes through the lock-free own-deque
+        // path; the others through inboxes. All must run.
+        pool.submit_to(self, [&] { ++count; });
+    });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 4);
 }
 
 TEST(Runtime, InitAndGetPool) {

@@ -68,7 +68,9 @@ struct airfoil_shaped {
         double rms = 0.0;
     };
 
-    outcome run(exec::backend_kind be, int iters, std::size_t partitions = 0) {
+    outcome run(exec::backend_kind be, int iters, std::size_t partitions = 0,
+                placement_kind placement = placement_kind::affinity,
+                bool color_exemption = true) {
         auto qv = q.view<double>();
         std::copy(q_init.begin(), q_init.end(), qv.begin());
         for (auto& x : qold.view<double>()) x = 0.0;
@@ -79,6 +81,8 @@ struct airfoil_shaped {
         o.part_size = 48;
         o.backend = be;
         o.partitions = partitions;
+        o.placement = placement;
+        o.color_exemption = color_exemption;
 
         outcome out;
         // Stable storage for the per-iteration reductions, like the real
@@ -187,6 +191,59 @@ TEST_P(DataflowDifferential, PartitionedChainMatchesWholeSetOracleBitwise) {
     }
 }
 
+/// Affinity placement is a scheduling hint, never a semantic change:
+/// pinning partition p's sub-nodes to worker p (vs letting them drift)
+/// must leave the whole chain bitwise identical. Odd partition counts
+/// exercise partitions-to-workers wrap-around (p % pool_size).
+TEST_P(DataflowDifferential, AffinityVsAnyPlacementBitwiseIdentical) {
+    airfoil_shaped prog(GetParam());
+    for (std::size_t parts : {2u, 3u, 5u}) {
+        auto any = prog.run(exec::backend_kind::hpx_dataflow, 4, parts,
+                            placement_kind::any);
+        auto aff = prog.run(exec::backend_kind::hpx_dataflow, 4, parts,
+                            placement_kind::affinity);
+        ASSERT_EQ(aff.q.size(), any.q.size());
+        EXPECT_EQ(std::memcmp(aff.q.data(), any.q.data(),
+                              any.q.size() * sizeof(double)),
+                  0)
+            << "state q diverged between placements at " << parts
+            << " partitions";
+        EXPECT_EQ(std::memcmp(aff.res.data(), any.res.data(),
+                              any.res.size() * sizeof(double)),
+                  0)
+            << "residual diverged between placements at " << parts
+            << " partitions";
+        EXPECT_EQ(aff.rms, any.rms) << parts << " partitions";
+    }
+}
+
+/// The same-colour exemption drops only provably conflict-free WAW
+/// edges, so switching it off (the conservative pre-exemption graph)
+/// must reproduce the exact same state — res_calc's INC partitions
+/// straddle partition boundaries through the random edges->cells map,
+/// which is precisely the shape the exemption overlaps.
+TEST_P(DataflowDifferential, ExemptionOnVsOffBitwiseIdentical) {
+    airfoil_shaped prog(GetParam());
+    for (std::size_t parts : {2u, 3u, 5u}) {
+        auto off = prog.run(exec::backend_kind::hpx_dataflow, 4, parts,
+                            placement_kind::affinity, false);
+        auto on = prog.run(exec::backend_kind::hpx_dataflow, 4, parts,
+                           placement_kind::affinity, true);
+        ASSERT_EQ(on.q.size(), off.q.size());
+        EXPECT_EQ(std::memcmp(on.q.data(), off.q.data(),
+                              off.q.size() * sizeof(double)),
+                  0)
+            << "state q diverged under the exemption at " << parts
+            << " partitions";
+        EXPECT_EQ(std::memcmp(on.res.data(), off.res.data(),
+                              off.res.size() * sizeof(double)),
+                  0)
+            << "residual diverged under the exemption at " << parts
+            << " partitions";
+        EXPECT_EQ(on.rms, off.rms) << parts << " partitions";
+    }
+}
+
 /// Randomized read/write loop DAGs: every loop reads two random dats and
 /// read-modify-writes a third, giving a dense mix of RAW, WAR and WAW
 /// edges plus reader groups that may run concurrently. The dataflow
@@ -200,7 +257,8 @@ TEST_P(DataflowDifferential, RandomLoopDagMatchesSeqAndEpochCount) {
     auto run = [&](exec::backend_kind be,
                    std::vector<std::vector<double>>* snapshot,
                    std::vector<std::uint64_t>* epochs,
-                   std::size_t partitions = 0) {
+                   std::size_t partitions = 0,
+                   placement_kind placement = placement_kind::affinity) {
         auto set = op_decl_set(kElems, "elems");
         std::vector<op_dat> dats;
         for (int k = 0; k < kDats; ++k) {
@@ -220,6 +278,7 @@ TEST_P(DataflowDifferential, RandomLoopDagMatchesSeqAndEpochCount) {
         o.part_size = 32;
         o.backend = be;
         o.partitions = partitions;
+        o.placement = placement;
         for (int l = 0; l < kLoops; ++l) {
             int const r1 = pick(rng);
             int r2 = pick(rng);
@@ -271,14 +330,21 @@ TEST_P(DataflowDifferential, RandomLoopDagMatchesSeqAndEpochCount) {
     // the issue order's semantics bitwise, and all must count writer
     // loops identically in the dat-level epochs.
     for (std::size_t parts : {0u, 1u, 5u}) {
-        run(exec::backend_kind::hpx_dataflow, &got, &epochs, parts);
-        ASSERT_EQ(ref.size(), got.size());
-        for (std::size_t k = 0; k < ref.size(); ++k) {
-            EXPECT_EQ(std::memcmp(got[k].data(), ref[k].data(),
-                                  ref[k].size() * sizeof(double)),
-                      0)
-                << "dat " << k << " diverged under the randomized DAG at "
-                << parts << " partitions";
+        for (auto placement :
+             {placement_kind::affinity, placement_kind::any}) {
+            run(exec::backend_kind::hpx_dataflow, &got, &epochs, parts,
+                placement);
+            ASSERT_EQ(ref.size(), got.size());
+            for (std::size_t k = 0; k < ref.size(); ++k) {
+                EXPECT_EQ(std::memcmp(got[k].data(), ref[k].data(),
+                                      ref[k].size() * sizeof(double)),
+                          0)
+                    << "dat " << k
+                    << " diverged under the randomized DAG at " << parts
+                    << " partitions ("
+                    << (placement == placement_kind::any ? "any" : "affinity")
+                    << " placement)";
+            }
         }
     }
 }

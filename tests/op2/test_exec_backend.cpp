@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -299,6 +300,169 @@ TEST_F(ExecBackendTest, DependentLoopsOverlapOnDisjointPartitions) {
     auto ev = e.view<double>();
     for (std::size_t i = 0; i < kN; ++i) {
         ASSERT_DOUBLE_EQ(ev[i], (static_cast<double>(i) + 1.0) * 2.0);
+    }
+}
+
+/// The placement tentpole, as a deterministic scheduler trace: under
+/// placement = affinity every partition's sub-nodes must execute on
+/// worker partition % pool_size. Stealing makes a naive version of this
+/// racy (an early-waking worker could rob a slow one's inbox), so the
+/// scenario forces determinism: spinning blockers occupy all four
+/// workers while the loop is issued — the pinned sub-nodes sit
+/// untouchable in their target inboxes — and each sub-node then spins
+/// until all four are claimed. A worker's first pop after its blocker
+/// releases is its own inbox, so the claims are exactly the pinned
+/// assignments; only then does the main thread start helping.
+TEST_F(ExecBackendTest, AffinityPlacementPinsSubNodesToWorkers) {
+    constexpr std::size_t kN = 400;  // 4 partitions of 100
+    auto& pool = hpxlite::get_pool();
+    ASSERT_EQ(pool.size(), 4u);
+
+    auto cells = op_decl_set(kN, "cells");
+    std::vector<double> ids(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        ids[i] = static_cast<double>(i);
+    }
+    auto idx = op_decl_dat<double>(cells, 1, "double", ids, "idx");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+
+    std::array<std::atomic<long>, 4> part_worker;
+    for (auto& w : part_worker) {
+        w.store(-1);
+    }
+    std::atomic<bool> mixed{false};
+    std::atomic<std::size_t> claimed{0};
+    std::atomic<bool> gave_up{false};
+
+    std::atomic<std::size_t> blockers_running{0};
+    std::atomic<bool> release{false};
+    for (std::size_t i = 0; i < 4; ++i) {
+        pool.submit([&] {
+            blockers_running.fetch_add(1);
+            while (!release.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+        });
+    }
+    while (blockers_running.load() < 4) {
+        std::this_thread::yield();
+    }
+
+    loop_options o = opts_;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    o.partitions = 4;
+    o.part_size = 100;
+    o.placement = placement_kind::affinity;
+    auto h = exec::run_loop(
+        o, "pinned", cells,
+        [&](double const* i, double* x) {
+            auto const e = static_cast<std::size_t>(*i);
+            std::size_t const p = e / 100;
+            long const w = static_cast<long>(pool.worker_index());
+            if (e % 100 == 0) {
+                claimed.fetch_add(1);
+                auto const deadline = std::chrono::steady_clock::now() +
+                                      std::chrono::seconds(10);
+                while (claimed.load(std::memory_order_acquire) < 4 &&
+                       !gave_up.load(std::memory_order_relaxed)) {
+                    if (std::chrono::steady_clock::now() > deadline) {
+                        gave_up.store(true, std::memory_order_relaxed);
+                        break;
+                    }
+                    std::this_thread::yield();
+                }
+            }
+            long expect = -1;
+            if (!part_worker[p].compare_exchange_strong(expect, w) &&
+                expect != w) {
+                mixed.store(true, std::memory_order_relaxed);
+            }
+            *x = *i + 1.0;
+        },
+        op_arg_dat(idx, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+
+    release.store(true, std::memory_order_release);
+    // Do not help before every sub-node is claimed by its own worker:
+    // run_loop's handle (and op_fence) steal as a fallback, which would
+    // legitimately run a pinned node on the main thread.
+    while (claimed.load() < 4 && !gave_up.load()) {
+        std::this_thread::yield();
+    }
+    h.get();
+    op_fence_all();
+
+    ASSERT_FALSE(gave_up.load())
+        << "the four pinned sub-nodes never ran concurrently";
+    EXPECT_FALSE(mixed.load()) << "a partition's elements ran on more than "
+                                  "one worker";
+    for (std::size_t p = 0; p < 4; ++p) {
+        EXPECT_EQ(part_worker[p].load(), static_cast<long>(p))
+            << "partition " << p << " did not run on its pinned worker";
+    }
+}
+
+/// The same-colour non-conflict exemption, as a deterministic trace:
+/// a single indirect INC loop over a shifted one-to-one map (edge i ->
+/// cell (i+1) % n) has no intra-loop conflicts, so global colouring
+/// gives every block colour 0 — yet both partitions' footprints span
+/// both target partitions (the map straddles the boundary), which used
+/// to serialise the two sub-nodes through a conservative WAW record
+/// edge. With the exemption they are provably concurrent: partition 0's
+/// kernel blocks until partition 1's has run.
+TEST_F(ExecBackendTest, SameColorExemptionOverlapsStraddlingIncPartitions) {
+    constexpr std::size_t kN = 1000;
+    auto cells = op_decl_set(kN, "cells");
+    auto edges = op_decl_set(kN, "edges");
+    std::vector<int> tab(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        tab[i] = static_cast<int>((i + 1) % kN);
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "em");
+    std::vector<double> ids(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        ids[i] = static_cast<double>(i);
+    }
+    auto idx = op_decl_dat<double>(edges, 1, "double", ids, "idx");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+
+    std::atomic<bool> partner_ran{false};
+    std::atomic<bool> gave_up{false};
+
+    loop_options o = opts_;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    o.partitions = 2;
+    o.part_size = 500;  // one block per partition
+    o.color_exemption = true;
+    auto h = exec::run_loop(
+        o, "straddle", edges,
+        [&](double const* i, double* x) {
+            if (*i < 500.0) {
+                auto const deadline = std::chrono::steady_clock::now() +
+                                      std::chrono::seconds(10);
+                while (!partner_ran.load(std::memory_order_acquire) &&
+                       !gave_up.load(std::memory_order_relaxed)) {
+                    if (std::chrono::steady_clock::now() > deadline) {
+                        gave_up.store(true, std::memory_order_relaxed);
+                        break;
+                    }
+                    std::this_thread::yield();
+                }
+            } else {
+                partner_ran.store(true, std::memory_order_release);
+            }
+            *x += 1.0;
+        },
+        op_arg_dat(idx, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_dat(d, 0, em, 1, "double", OP_INC));
+    h.get();
+    op_fence_all();
+    EXPECT_FALSE(gave_up.load())
+        << "partition 1's same-colour sub-node never ran while partition "
+           "0 was blocked — the exemption did not break the conservative "
+           "WAW edge";
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 1.0);  // every cell has exactly one in-edge
     }
 }
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include <op2/plan.hpp>
@@ -253,6 +255,73 @@ TEST(PlanPartition, FootprintsMatchMapReachabilityExactly) {
             EXPECT_EQ(got, expect) << "partition " << p << " slot " << idx;
         }
     }
+}
+
+/// Partition plans are coloured *globally*: no two same-coloured blocks
+/// may touch the same target element even when they belong to different
+/// partition plans of the configuration. This is the invariant behind
+/// the dataflow backend's same-colour non-conflict exemption, so it is
+/// pinned independently of any scheduler behaviour. Sizes chosen so
+/// partitions straddle the ring's wrap-around edge and have uneven
+/// block counts.
+TEST(PlanPartition, ColoringIsConflictFreeAcrossPartitions) {
+    for (auto [n, part_size, nparts] :
+         {std::tuple<std::size_t, std::size_t, std::size_t>{1000, 64, 3},
+          {1000, 500, 2},
+          {777, 32, 5},
+          {128, 128, 4}}) {
+        ring r(n);
+        auto args = r.inc_args();
+
+        // (colour -> targets) across every partition's blocks.
+        std::map<std::size_t, std::set<int>> targets_by_color;
+        for (std::size_t p = 0; p < nparts; ++p) {
+            auto plan = plan_build(r.edges, args,
+                                   plan_desc{part_size, true, nparts, p});
+            for (std::size_t c = 0; c < plan.ncolors; ++c) {
+                for (std::size_t b : plan.blocks_of_color(c)) {
+                    std::set<int> mine;
+                    for (std::size_t e = plan.elem_base + plan.offset[b];
+                         e < plan.elem_base + plan.offset[b] + plan.nelems[b];
+                         ++e) {
+                        mine.insert(r.em(e, 0));
+                        mine.insert(r.em(e, 1));
+                    }
+                    auto& claimed = targets_by_color[c];
+                    for (int t : mine) {
+                        ASSERT_EQ(claimed.count(t), 0u)
+                            << "colour " << c << " reused target " << t
+                            << " across partitions (n=" << n
+                            << " part_size=" << part_size
+                            << " nparts=" << nparts << ")";
+                    }
+                    claimed.insert(mine.begin(), mine.end());
+                }
+            }
+        }
+    }
+}
+
+/// A partition holding a single block still takes the global colouring
+/// path: two boundary-straddling single-block partitions must not both
+/// claim colour 0 (locally each is trivially colour 0 — globally they
+/// conflict through the shared boundary node).
+TEST(PlanPartition, SingleBlockPartitionsAreColoredGlobally) {
+    ring r(1000);
+    auto args = r.inc_args();
+    std::set<int> colors;
+    for (std::size_t p = 0; p < 2; ++p) {
+        auto plan = plan_build(r.edges, args, plan_desc{500, true, 2, p});
+        ASSERT_EQ(plan.nblocks, 1u);
+        EXPECT_TRUE(plan.colored);
+        // The block's colour is ncolors - 1 (the only non-empty class).
+        std::size_t c = plan.ncolors;
+        ASSERT_GT(c, 0u);
+        colors.insert(static_cast<int>(c - 1));
+    }
+    // Both partitions touch the wrap-around node 0 and the boundary node
+    // 500 — same colour would mean a same-colour conflict.
+    EXPECT_EQ(colors.size(), 2u);
 }
 
 TEST(PlanPartition, WholeSetPlansCarryNoFootprints) {
