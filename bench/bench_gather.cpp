@@ -1,0 +1,215 @@
+// The locality-aware memory subsystem's two perf rows:
+//
+//  * SIMD staged gather (loop_options::simd_gather): an airfoil-
+//    res_calc-shaped loop — dim-4 and dim-2 double operands read
+//    indirectly through an edges->cells map — run on the staged backend
+//    with the vectorised gather (read-only operands staged into
+//    cache-line-aligned scratch by unrolled fixed-stride copy kernels,
+//    then consumed as a pointer bump) against the scalar per-element
+//    staged resolution. The two paths are bitwise-identical by
+//    construction; the bench asserts that before it reports anything.
+//
+//  * Partition-affine first touch (OP2HPX_FIRST_TOUCH /
+//    memory::set_first_touch): the bench_dataflow_chain partition sweep
+//    — a dependent direct RW chain at 4 partitions with affinity
+//    placement — over a dat whose pages were first-touched by their
+//    owning workers vs. one initialised wholesale by the loading
+//    thread. On a single NUMA node this measures cache-warmth at best
+//    (parity is expected on small machines); the row exists so the
+//    trajectory shows the effect the day CI lands on bigger iron.
+//
+// Emits into BENCH_op2.json (schema op2hpx-bench-v1):
+//   gather_simd            ns/iter, staged loop, SIMD gather on
+//   gather_scalar          ns/iter, staged loop, per-element oracle
+//   simd_gather_speedup    x, simd vs scalar
+//   first_touch_on         ns/loop, affinity chain, owner-touched pages
+//   first_touch_off        ns/loop, affinity chain, loader-touched pages
+//   first_touch_speedup    x, on vs off
+//
+// `--quick` shrinks repetitions for the CI smoke run.
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <hpxlite/hpxlite.hpp>
+#include <op2/op2.hpp>
+
+#include "bench_json.hpp"
+
+using namespace op2;
+
+namespace {
+
+constexpr std::size_t kCells = 100000;
+constexpr std::size_t kEdges = 200000;
+int g_gather_iters = 60;  // (--quick: 10)
+
+constexpr std::size_t kChainElems = 262144;
+constexpr int kChainLen = 8;
+int g_chains = 30;  // (--quick: 5)
+
+double time_gather_loop(op_set const& edges, op_dat& q, op_dat& x,
+                        op_dat& out, op_map const& ec, op_map const& en,
+                        bool simd, int iters) {
+    loop_options o;
+    o.backend = exec::backend_kind::staged;
+    o.part_size = 256;
+    o.simd_gather = simd;
+    auto kern = [](double const* qa, double const* qb, double const* xa,
+                   double* r) {
+        r[0] = qa[0] + qb[3] + xa[0] * 0.5;
+        r[1] = qa[1] * qb[2] + xa[1];
+    };
+    auto issue = [&] {
+        exec::run_loop(o, "gather", edges, kern,
+                       op_arg_dat(q, 0, ec, 4, "double", OP_READ),
+                       op_arg_dat(q, 1, ec, 4, "double", OP_READ),
+                       op_arg_dat(x, 0, en, 2, "double", OP_READ),
+                       op_arg_dat(out, -1, OP_ID, 2, "double", OP_WRITE));
+    };
+    for (int w = 0; w < 3; ++w) {
+        issue();
+    }
+    hpxlite::util::stopwatch sw;
+    for (int i = 0; i < iters; ++i) {
+        issue();
+    }
+    return sw.elapsed_s() * 1e9 / iters;
+}
+
+double time_chain(op_dat& d, op_set const& cells, int chains) {
+    loop_options o;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    o.part_size = 256;
+    o.partitions = 4;
+    o.placement = placement_kind::affinity;
+    auto kern = [](double* v) { *v += 1.0; };
+    auto run_chain = [&] {
+        exec::loop_handle last;
+        for (int l = 0; l < kChainLen; ++l) {
+            last = exec::run_loop(o, "ft_chain", cells, kern,
+                                  op_arg_dat(d, -1, OP_ID, 1, "double",
+                                             OP_RW));
+        }
+        last.wait();
+    };
+    for (int w = 0; w < 3; ++w) {
+        run_chain();
+    }
+    hpxlite::util::stopwatch sw;
+    for (int c = 0; c < chains; ++c) {
+        run_chain();
+    }
+    return sw.elapsed_s() * 1e9 /
+           (static_cast<double>(chains) * kChainLen);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            g_gather_iters = 10;
+            g_chains = 5;
+        }
+    }
+    hpxlite::init(hpxlite::runtime_config{4});
+    std::size_t const nworkers = hpxlite::get_num_worker_threads();
+    std::string const workers_label =
+        std::to_string(nworkers) + " workers";
+    benchutil::bench_log log("bench_gather");
+
+    // --- SIMD staged gather vs scalar oracle ---------------------------
+    std::mt19937 rng(1234);
+    std::uniform_int_distribution<int> cd(0, kCells - 1);
+    std::vector<int> ec_tab(2 * kEdges);
+    std::vector<int> en_tab(2 * kEdges);
+    for (auto& v : ec_tab) {
+        v = cd(rng);
+    }
+    for (auto& v : en_tab) {
+        v = cd(rng);
+    }
+    auto cells = op_decl_set(kCells, "g_cells");
+    auto nodes = op_decl_set(kCells, "g_nodes");
+    auto edges = op_decl_set(kEdges, "g_edges");
+    auto ec = op_decl_map(edges, cells, 2, ec_tab, "g_ec");
+    auto en = op_decl_map(edges, nodes, 2, en_tab, "g_en");
+    std::uniform_real_distribution<double> vd(0.0, 1.0);
+    std::vector<double> qv(4 * kCells);
+    std::vector<double> xv(2 * kCells);
+    for (auto& v : qv) {
+        v = vd(rng);
+    }
+    for (auto& v : xv) {
+        v = vd(rng);
+    }
+    auto q = op_decl_dat<double>(cells, 4, "double", qv, "g_q");
+    auto x = op_decl_dat<double>(nodes, 2, "double", xv, "g_x");
+    auto out = op_decl_dat_zero<double>(edges, 2, "double", "g_out");
+
+    double const scalar_ns =
+        time_gather_loop(edges, q, x, out, ec, en, false, g_gather_iters);
+    std::vector<double> scalar_out(out.view<double>().begin(),
+                                   out.view<double>().end());
+    double const simd_ns =
+        time_gather_loop(edges, q, x, out, ec, en, true, g_gather_iters);
+    // Bitwise oracle check before reporting: the SIMD path copies bytes,
+    // it must not change a single bit of the result.
+    if (std::memcmp(scalar_out.data(), out.view<double>().data(),
+                    scalar_out.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: SIMD gather diverged from the scalar path\n");
+        return 1;
+    }
+    std::printf("staged gather (%zu edges, dim-4 + dim-2 reads, %s):\n",
+                kEdges, workers_label.c_str());
+    std::printf("  scalar staged   : %12.1f ns/iter\n", scalar_ns);
+    std::printf("  simd gather     : %12.1f ns/iter\n", simd_ns);
+    std::printf("  speedup         : %12.2fx\n", scalar_ns / simd_ns);
+    log.add("gather_scalar", scalar_ns, "ns/iter",
+            "staged indirect loop, per-element gather, " + workers_label);
+    log.add("gather_simd", simd_ns, "ns/iter",
+            "staged indirect loop, SIMD gather, " + workers_label);
+    log.add("simd_gather_speedup", scalar_ns / simd_ns, "x",
+            "simd_vs_scalar_staged_gather, " + workers_label);
+
+    // --- partition-affine first touch ----------------------------------
+    auto chain_cells = op_decl_set(kChainElems, "ft_cells");
+    auto d_off = [&] {
+        op2::memory::first_touch_scope scope(false);
+        return op_decl_dat_zero<double>(chain_cells, 1, "double", "ft_off");
+    }();
+    double const off_ns = time_chain(d_off, chain_cells, g_chains);
+    auto d_on = [&] {
+        op2::memory::first_touch_scope scope(true);
+        return op_decl_dat_zero<double>(chain_cells, 1, "double", "ft_on");
+    }();
+    double const on_ns = time_chain(d_on, chain_cells, g_chains);
+    // Sanity: both chains executed every loop.
+    double const expect = static_cast<double>((3 + g_chains) * kChainLen);
+    if (d_off.view<double>()[0] != expect ||
+        d_on.view<double>()[0] != expect) {
+        std::fprintf(stderr, "FAIL: first-touch chain dropped loops\n");
+        return 1;
+    }
+    std::printf("first touch (%d-loop affinity chain, %zu elems, %s):\n",
+                kChainLen, kChainElems, workers_label.c_str());
+    std::printf("  loader-touched  : %12.1f ns/loop\n", off_ns);
+    std::printf("  owner-touched   : %12.1f ns/loop\n", on_ns);
+    std::printf("  speedup         : %12.2fx\n", off_ns / on_ns);
+    log.add("first_touch_off", off_ns, "ns/iter",
+            "affinity chain, loader-thread first touch, " + workers_label);
+    log.add("first_touch_on", on_ns, "ns/iter",
+            "affinity chain, partition-affine first touch, " +
+                workers_label);
+    log.add("first_touch_speedup", off_ns / on_ns, "x",
+            "owner_vs_loader_first_touch, " + workers_label);
+
+    log.write();
+    hpxlite::finalize();
+    return 0;
+}

@@ -17,6 +17,22 @@
 
 namespace hpxlite::threads {
 
+/// Construction-time knobs of a thread_pool.
+struct pool_options {
+    /// Bind worker i to CPU i % hardware_concurrency via
+    /// pthread_setaffinity_np, so the dataflow placement hint
+    /// (partition p -> worker p % pool_size) means a *core*, not just a
+    /// thread — a stolen-back worker thread no longer drags a
+    /// partition's working set to whichever CPU the OS scheduler picked.
+    /// Best-effort and portable: a no-op on platforms without the call
+    /// (or when the kernel rejects it, e.g. restrictive cpusets).
+    bool bind_workers = false;
+
+    /// Defaults from the environment: OP2HPX_BIND_WORKERS=1/on/true/yes
+    /// turns worker binding on for every pool that does not override it.
+    [[nodiscard]] static pool_options from_env() noexcept;
+};
+
 /// A fixed-size worker pool with per-worker lock-free deques and work
 /// stealing.
 ///
@@ -36,16 +52,26 @@ namespace hpxlite::threads {
 ///    pending task. future::wait() uses it to "help" instead of blocking,
 ///    which is what makes nested waits deadlock-free even with one OS
 ///    thread in the pool.
-///  * Idle workers park on a condition variable behind a sleeper count:
-///    `submit` only touches the mutex/condvar when a worker is actually
-///    asleep, so the steady-state submit path is lock-free, and parked
-///    workers use a proper predicate wait (no periodic polling).
+///  * Idle workers park on a *per-worker* condition variable behind a
+///    sleeper count: `submit` only touches a mutex/condvar when a worker
+///    is actually asleep, so the steady-state submit path is lock-free,
+///    and parked workers use a proper predicate wait (no periodic
+///    polling). The per-worker slots make wakeups targeted: `submit_to`
+///    wakes the *hinted* worker's slot, so under light load a pinned
+///    task is claimed by its owner instead of whichever arbitrary
+///    sleeper the old shared condvar happened to rouse (which would
+///    then steal the task out of the owner's inbox while the owner
+///    slept on).
 class thread_pool {
 public:
     using task_type = util::unique_function;
 
-    /// Create a pool with `num_threads` OS worker threads (>= 1).
+    /// Create a pool with `num_threads` OS worker threads (>= 1), with
+    /// options from pool_options::from_env().
     explicit thread_pool(std::size_t num_threads);
+
+    /// Create a pool with explicit options.
+    thread_pool(std::size_t num_threads, pool_options opts);
 
     thread_pool(thread_pool const&) = delete;
     thread_pool& operator=(thread_pool const&) = delete;
@@ -107,9 +133,16 @@ public:
         return executed_.load(std::memory_order_relaxed);
     }
 
-    /// Workers currently parked on the sleep condvar (approximate).
+    /// Workers currently parked on their sleep slots (approximate).
     [[nodiscard]] std::size_t sleeping_workers() const noexcept {
         return sleepers_.load(std::memory_order_relaxed);
+    }
+
+    /// Workers whose core binding (pool_options::bind_workers) actually
+    /// took effect. 0 when binding is off or unsupported; tests use this
+    /// to skip affinity assertions under restrictive cpusets.
+    [[nodiscard]] std::size_t bound_workers() const noexcept {
+        return bound_.load(std::memory_order_acquire);
     }
 
 private:
@@ -125,12 +158,24 @@ private:
         std::atomic<std::size_t> approx_size{0};
     };
 
+    /// One worker's private parking spot. The asleep flag participates
+    /// in the same seq_cst Dekker protocol as the sleeper count: a waker
+    /// either observes the flag (and notifies this slot) or the
+    /// registering worker's later read of queued_ observes the enqueue.
+    struct worker_slot {
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::atomic<bool> asleep{false};
+    };
+
     void worker_loop(std::size_t index);
+    void bind_worker(std::size_t index);
     task_node* try_pop(std::size_t index);
     task_node* try_pop_inbox(std::size_t index);
     task_node* try_steal(std::size_t thief);
     task_node* try_pop_global();
     void wake_one();
+    bool wake_worker(std::size_t worker);
     void notify_idle_waiters();
 
     std::vector<std::unique_ptr<ws_deque<task_node>>> queues_;
@@ -141,19 +186,23 @@ private:
     std::vector<std::unique_ptr<injection_queue>> inboxes_;
     injection_queue global_queue_;
 
-    std::vector<std::thread> workers_;
+    /// Per-worker parking slots (targeted wakeups; see class comment).
+    std::vector<std::unique_ptr<worker_slot>> slots_;
 
-    std::mutex sleep_mtx_;
-    std::condition_variable sleep_cv_;
+    std::vector<std::thread> workers_;
 
     std::mutex idle_mtx_;
     std::condition_variable idle_cv_;
+
+    pool_options opts_;
 
     std::atomic<std::size_t> queued_{0};   // enqueued, not yet dequeued
     std::atomic<std::size_t> pending_{0};  // queued + running
     std::atomic<std::size_t> sleepers_{0};
     std::atomic<std::size_t> idle_waiters_{0};  // parked in wait_idle
+    std::atomic<std::size_t> wake_rr_{0};       // wake_one scan rotation
     std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::size_t> bound_{0};  // workers whose binding stuck
     std::atomic<bool> stop_{false};
 };
 

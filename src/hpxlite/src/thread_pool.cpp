@@ -2,6 +2,14 @@
 
 #include <cassert>
 
+#include <hpxlite/util/env.hpp>
+
+#if defined(__linux__) && !defined(__ANDROID__)
+#include <pthread.h>
+#include <sched.h>
+#define HPXLITE_HAS_SETAFFINITY 1
+#endif
+
 namespace hpxlite::threads {
 
 namespace {
@@ -14,15 +22,28 @@ thread_local std::size_t tls_index = 0;
 constexpr int kIdleSpins = 16;
 }  // namespace
 
-thread_pool::thread_pool(std::size_t num_threads) {
+pool_options pool_options::from_env() noexcept {
+    pool_options o;
+    static bool const bind = util::env_flag("OP2HPX_BIND_WORKERS", false);
+    o.bind_workers = bind;
+    return o;
+}
+
+thread_pool::thread_pool(std::size_t num_threads)
+  : thread_pool(num_threads, pool_options::from_env()) {}
+
+thread_pool::thread_pool(std::size_t num_threads, pool_options opts)
+  : opts_(opts) {
     if (num_threads == 0) {
         num_threads = 1;
     }
     queues_.reserve(num_threads);
     inboxes_.reserve(num_threads);
+    slots_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
         queues_.push_back(std::make_unique<ws_deque<task_node>>());
         inboxes_.push_back(std::make_unique<injection_queue>());
+        slots_.push_back(std::make_unique<worker_slot>());
     }
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
@@ -33,12 +54,14 @@ thread_pool::thread_pool(std::size_t num_threads) {
 thread_pool::~thread_pool() {
     wait_idle();
     stop_.store(true, std::memory_order_release);
-    {
-        // Taking the mutex orders the store against a worker that is
-        // between its final predicate check and the wait.
-        std::lock_guard<std::mutex> lk(sleep_mtx_);
+    for (auto& slot : slots_) {
+        {
+            // Taking the mutex orders the store against a worker that is
+            // between its final predicate check and the wait.
+            std::lock_guard<std::mutex> lk(slot->mtx);
+        }
+        slot->cv.notify_all();
     }
-    sleep_cv_.notify_all();
     for (auto& w : workers_) {
         w.join();
     }
@@ -70,18 +93,36 @@ std::size_t thread_pool::worker_index() const noexcept {
     return tls_pool == this ? tls_index : workers_.size();
 }
 
-void thread_pool::wake_one() {
-    // seq_cst pairs with the worker's seq_cst sleeper registration: either
-    // we observe the sleeper (and notify), or the sleeper's later read of
+bool thread_pool::wake_worker(std::size_t worker) {
+    worker_slot& slot = *slots_[worker];
+    // seq_cst pairs with the worker's seq_cst registration (asleep flag
+    // set before the sleeper count): either we observe the flag (and
+    // notify this slot), or the registering worker's later read of
     // queued_ observes our enqueue (and it does not sleep).
+    if (!slot.asleep.load(std::memory_order_seq_cst)) {
+        return false;
+    }
+    {
+        // Empty critical section: a worker that passed its predicate
+        // check but has not entered wait() yet holds the mutex, so
+        // this cannot notify into the gap.
+        std::lock_guard<std::mutex> lk(slot.mtx);
+    }
+    slot.cv.notify_one();
+    return true;
+}
+
+void thread_pool::wake_one() {
     if (sleepers_.load(std::memory_order_seq_cst) > 0) {
-        {
-            // Empty critical section: a worker that passed its predicate
-            // check but has not entered wait() yet holds the mutex, so
-            // this cannot notify into the gap.
-            std::lock_guard<std::mutex> lk(sleep_mtx_);
+        // Rotate the scan start so concurrent wakers tend to rouse
+        // *different* sleepers instead of piling notifies on slot 0.
+        std::size_t const start =
+            wake_rr_.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t k = 0; k < slots_.size(); ++k) {
+            if (wake_worker((start + k) % slots_.size())) {
+                break;
+            }
         }
-        sleep_cv_.notify_one();
     }
     // A parked wait_idle helper can also pick the new task up.
     notify_idle_waiters();
@@ -129,13 +170,29 @@ void thread_pool::submit_to(std::size_t worker, task_node* n) {
         // affinity path allocation- and lock-free for self-submissions
         // (a partition's sub-node completing and readying the next one).
         queues_[worker]->push(n);
+        // The caller will pop it itself; wake an arbitrary sleeper only
+        // as a load-balancing assist, like plain submit.
+        wake_one();
     } else {
-        std::lock_guard<util::spinlock> lk(inboxes_[worker]->mtx);
-        inboxes_[worker]->tasks.push_back(n);
-        inboxes_[worker]->approx_size.store(inboxes_[worker]->tasks.size(),
-                                            std::memory_order_relaxed);
+        {
+            std::lock_guard<util::spinlock> lk(inboxes_[worker]->mtx);
+            inboxes_[worker]->tasks.push_back(n);
+            inboxes_[worker]->approx_size.store(
+                inboxes_[worker]->tasks.size(), std::memory_order_relaxed);
+        }
+        // Targeted wakeup: rouse the *hinted* worker's slot first, not
+        // an arbitrary sleeper (who would steal the task out of the
+        // owner's inbox while the owner slept on — under light load the
+        // hint now sticks). Only when the owner is awake — likely busy —
+        // fall back to waking any sleeper, which may steal the pinned
+        // task: that keeps the old progress/latency property that a
+        // busy owner's pinned work migrates instead of stalling.
+        if (wake_worker(worker)) {
+            notify_idle_waiters();
+        } else {
+            wake_one();
+        }
     }
-    wake_one();
 }
 
 void thread_pool::submit_to(std::size_t worker, task_type t) {
@@ -242,9 +299,32 @@ bool thread_pool::run_one() {
     return true;
 }
 
+void thread_pool::bind_worker(std::size_t index) {
+#if defined(HPXLITE_HAS_SETAFFINITY)
+    std::size_t ncpu = std::thread::hardware_concurrency();
+    if (ncpu == 0) {
+        ncpu = 1;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(index % ncpu, &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+        bound_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // Failure (restricted cpuset, exotic kernel) silently keeps the
+    // unbound behaviour: the hint degrades to thread affinity only.
+#else
+    (void)index;
+#endif
+}
+
 void thread_pool::worker_loop(std::size_t index) {
     tls_pool = this;
     tls_index = index;
+    if (opts_.bind_workers) {
+        bind_worker(index);
+    }
+    worker_slot& slot = *slots_[index];
     while (!stop_.load(std::memory_order_acquire)) {
         if (run_one()) {
             continue;
@@ -263,19 +343,25 @@ void thread_pool::worker_loop(std::size_t index) {
         if (retry) {
             continue;
         }
-        std::unique_lock<std::mutex> lk(sleep_mtx_);
+        std::unique_lock<std::mutex> lk(slot.mtx);
+        // The asleep flag must be visible before the sleeper count: a
+        // waker that observes sleepers_ > 0 scans the flags next, and
+        // must find at least the worker whose registration it saw.
+        slot.asleep.store(true, std::memory_order_seq_cst);
         sleepers_.fetch_add(1, std::memory_order_seq_cst);
         if (queued_.load(std::memory_order_seq_cst) != 0 ||
             stop_.load(std::memory_order_acquire)) {
             // Work (or shutdown) arrived between the sweep and
             // registration; do not sleep.
+            slot.asleep.store(false, std::memory_order_relaxed);
             sleepers_.fetch_sub(1, std::memory_order_relaxed);
             continue;
         }
-        sleep_cv_.wait(lk, [this] {
+        slot.cv.wait(lk, [this] {
             return stop_.load(std::memory_order_acquire) ||
                    queued_.load(std::memory_order_acquire) != 0;
         });
+        slot.asleep.store(false, std::memory_order_relaxed);
         sleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
     tls_pool = nullptr;

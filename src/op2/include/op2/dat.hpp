@@ -11,6 +11,7 @@
 #include <vector>
 
 #include <op2/exec/dataflow.hpp>
+#include <op2/memory.hpp>
 #include <op2/set.hpp>
 
 namespace op2 {
@@ -24,7 +25,12 @@ struct dat_impl {
     std::string type_name;       // "double", "float", "int", ...
     std::string name;
     std::uint64_t id = 0;
-    std::vector<std::byte> data;  // set.size() * dim * elem_bytes
+    // set.size() * dim * elem_bytes logical bytes, allocated through the
+    // locality-aware layer: 64-byte-aligned base, capacity padded to
+    // whole cache lines, and — when memory::first_touch_enabled() —
+    // pages first-touched partition-affinely on their owning workers
+    // (see op2/memory.hpp).
+    memory::aligned_buffer data;
 
     // --- dataflow dependency tracking (hpx_dataflow backend) --------
     // Partition-granular epoch state instead of future chains: one

@@ -12,6 +12,7 @@
 #include <op2/arg.hpp>
 #include <op2/kernel_traits.hpp>
 #include <op2/loop_options.hpp>
+#include <op2/memory.hpp>
 #include <op2/plan.hpp>
 #include <op2/set.hpp>
 
@@ -35,6 +36,10 @@ struct arg_ctx {
     // staged gather table from the plan (indirect args; null -> fall back
     // to per-element map resolution)
     std::uint32_t const* stage = nullptr;
+    // nonzero: gather this read-only staged argument into aligned
+    // contiguous scratch with the fixed-stride copy kernels (the value
+    // is the stride class, 16 or 32 — see loop_options::simd_gather)
+    std::size_t simd = 0;
     bool gbl = false;
     // prefetch geometry
     std::size_t pf_dist_bytes = 0;    // direct: lookahead in bytes
@@ -137,22 +142,27 @@ public:
         bind_plan(plan);
     }
 
-    /// Allocate and initialise the per-block reduction scratch. Must run
-    /// *after* the loop's dependencies resolved and before the first
-    /// block: MIN/MAX partials seed from the user's current value, which
-    /// an earlier loop reducing into the same variable may still be
-    /// updating at issue time. setup(plan) must have run.
+    /// Initialise the per-block reduction scratch. Must run *after* the
+    /// loop's dependencies resolved and before the first block: MIN/MAX
+    /// partials seed from the user's current value, which an earlier
+    /// loop reducing into the same variable may still be updating at
+    /// issue time. setup(plan) must have run. The allocation is cached
+    /// per executor instance (grow-only) and only the *contents* are
+    /// re-seeded, so repeated runs of one executor over the same plan
+    /// allocate nothing.
     void prepare_scratch() {
         for (std::size_t j = 0; j < N; ++j) {
             op_arg& a = args_[j];
-            scratch_[j].clear();
-            if (!a.is_gbl() || a.acc == op_access::OP_READ) {
+            reduction_[j] = a.is_gbl() && a.acc != op_access::OP_READ;
+            if (!reduction_[j]) {
                 continue;
             }
             // Privatise the reduction target per block.
             std::size_t const bytes =
                 a.gbl_elem_bytes * static_cast<std::size_t>(a.dim);
-            scratch_[j].resize(bytes * nblocks_);
+            if (scratch_[j].size() < bytes * nblocks_) {
+                scratch_[j].resize(bytes * nblocks_);
+            }
             for (std::size_t blk = 0; blk < nblocks_; ++blk) {
                 std::byte* p = scratch_[j].data() + blk * bytes;
                 if (a.acc == op_access::OP_INC) {
@@ -181,7 +191,7 @@ public:
     void combine() {
         for (std::size_t j = 0; j < N; ++j) {
             op_arg& a = args_[j];
-            if (scratch_[j].empty()) {
+            if (!reduction_[j]) {
                 continue;
             }
             std::size_t const bytes =
@@ -202,6 +212,9 @@ public:
         if (all_direct_) {
             opts_.prefetch ? run_block_direct<true>(plan, blk)
                            : run_block_direct<false>(plan, blk);
+        } else if (all_indirect_staged_ && any_simd_) {
+            opts_.prefetch ? run_block_simd<true>(plan, blk)
+                           : run_block_simd<false>(plan, blk);
         } else if (all_indirect_staged_) {
             opts_.prefetch ? run_block_staged<true>(plan, blk)
                            : run_block_staged<false>(plan, blk);
@@ -332,6 +345,91 @@ private:
         }
     }
 
+    /// SIMD gather path: like run_block_staged, except that read-only
+    /// staged arguments of a fixed 16/32-byte stride class are first
+    /// copied — with the unrolled fixed-stride kernels over the plan's
+    /// offset table — into cache-line-aligned contiguous scratch
+    /// (memory::tls_scratch), and the inner loop then advances them as
+    /// plain pointer bumps. The kernel reads exactly the bytes the
+    /// scalar path would have read (a gather copies, it never reorders
+    /// arithmetic), so the path is bitwise-identical to run_block_staged
+    /// by construction; what it buys is a vectorised, hardware-
+    /// prefetcher-friendly copy loop instead of a dependent load chain
+    /// inside the kernel, and aligned unit-stride operands for the
+    /// kernel body. Mutating indirect arguments keep the per-element
+    /// table resolution (their writes must land in the dat, in block
+    /// element order).
+    template <bool Prefetch>
+    void run_block_simd(op_plan const& plan, std::size_t blk) {
+        std::byte* ptrs[N];
+        std::byte* base[N];
+        std::uint32_t const* stg[N];  // per-element staged (non-gathered)
+        std::size_t step[N];
+        std::size_t pf_ahead[N];
+        std::size_t const b = plan.offset[blk];
+        std::size_t const e = b + plan.nelems[blk];
+        std::size_t const nel = e - b;
+        std::size_t const n = plan.set_size;
+
+        // Carve one aligned segment per gathered argument out of the
+        // per-thread arena (a block runs inline on one worker, so the
+        // arena cannot be re-entered while the kernel loop is live).
+        std::size_t need = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            if (ctx_[j].simd != 0) {
+                need += memory::pad_to_line(nel * ctx_[j].simd);
+            }
+        }
+        std::byte* const arena = memory::tls_scratch(need);
+
+        std::byte* gblp[N];
+        resolve_gbl_ptrs(blk, gblp);
+        std::size_t cursor = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            arg_ctx const& c = ctx_[j];
+            base[j] = c.base;
+            stg[j] = nullptr;
+            pf_ahead[j] = c.pf_ahead_elems;
+            if (c.gbl) {
+                ptrs[j] = gblp[j];
+                step[j] = 0;
+            } else if (c.map == nullptr) {
+                ptrs[j] = c.base + b * c.stride;
+                step[j] = c.stride;
+            } else if (c.simd != 0) {
+                std::byte* const seg = arena + cursor;
+                cursor += memory::pad_to_line(nel * c.simd);
+                memory::gather(seg, c.base, c.stage + b, nel, c.simd);
+                ptrs[j] = seg;
+                step[j] = c.stride;
+            } else {
+                ptrs[j] = nullptr;  // resolved per element below
+                stg[j] = c.stage;
+                step[j] = 0;
+            }
+        }
+        for (std::size_t i = b; i < e; ++i) {
+            for (std::size_t j = 0; j < N; ++j) {
+                if (stg[j] != nullptr) {
+                    ptrs[j] = base[j] + stg[j][i];
+                    if constexpr (Prefetch) {
+                        std::size_t const a = i + pf_ahead[j];
+                        if (a < n) {
+                            prefetch_ro(base[j] + stg[j][a]);
+                        }
+                    }
+                }
+            }
+            if constexpr (Prefetch) {
+                issue_direct_prefetch(i);
+            }
+            invoke_kernel(kernel_, ptrs);
+            for (std::size_t j = 0; j < N; ++j) {
+                ptrs[j] += step[j];
+            }
+        }
+    }
+
     /// Mixed fallback for the rare loop with an un-staged indirect
     /// argument (target dat beyond 32-bit offsets): staged tables where
     /// available, per-element map resolution where not.
@@ -431,15 +529,32 @@ private:
     void resolve_gbl_ptrs(std::size_t blk, std::byte* (&gblp)[N]) {
         for (std::size_t j = 0; j < N; ++j) {
             if (ctx_[j].gbl) {
-                gblp[j] = scratch_[j].empty()
-                              ? args_[j].gbl_data
-                              : scratch_[j].data() +
+                gblp[j] = reduction_[j]
+                              ? scratch_[j].data() +
                                     blk * args_[j].gbl_elem_bytes *
-                                        static_cast<std::size_t>(args_[j].dim);
+                                        static_cast<std::size_t>(args_[j].dim)
+                              : args_[j].gbl_data;
             } else {
                 gblp[j] = nullptr;
             }
         }
+    }
+
+    /// True when another argument of this loop writes the dat argument j
+    /// reads. The scalar paths hand the kernel live dat pointers, so a
+    /// read of a written dat can observe the loop's own earlier writes;
+    /// a gathered block-start snapshot could not — such arguments stay
+    /// on the per-element path to keep the SIMD gather bitwise-faithful
+    /// even for aliased programs.
+    [[nodiscard]] bool write_aliased(std::size_t j) const {
+        for (std::size_t k = 0; k < N; ++k) {
+            if (k != j && args_[k].dat.valid() &&
+                args_[k].dat == args_[j].dat &&
+                args_[k].acc != op_access::OP_READ) {
+                return true;
+            }
+        }
+        return false;
     }
 
     void prepare_ctx() {
@@ -485,19 +600,27 @@ private:
     void bind_plan(op_plan const& plan) {
         // Bind each indirect argument to its staged table in the plan.
         all_indirect_staged_ = true;
+        any_simd_ = false;
         for (std::size_t j = 0; j < N; ++j) {
             arg_ctx& c = ctx_[j];
+            c.simd = 0;
             if (c.map == nullptr) {
                 continue;
             }
+            plan_stage const* st = nullptr;
             if (opts_.staged_gather) {
-                if (plan_stage const* st = plan.find_stage(
-                        args_[j].map.id(), c.idx, c.stride)) {
+                if ((st = plan.find_stage(args_[j].map.id(), c.idx,
+                                          c.stride))) {
                     c.stage = st->off.data();
                 }
             }
             if (c.stage == nullptr) {
                 all_indirect_staged_ = false;
+            } else if (opts_.simd_gather && st->simd != 0 &&
+                       args_[j].acc == op_access::OP_READ &&
+                       !write_aliased(j)) {
+                c.simd = st->simd;
+                any_simd_ = true;
             }
         }
         // Partition plans index elements relative to elem_base: re-base
@@ -530,9 +653,11 @@ private:
     arg_ctx ctx_[N] = {};
     std::size_t dat_bytes_[N] = {};
     std::array<std::vector<std::byte>, N> scratch_;
+    bool reduction_[N] = {};  // arg j reduces through scratch_[j]
     std::size_t nblocks_ = 0;
     bool all_direct_ = true;
     bool all_indirect_staged_ = false;
+    bool any_simd_ = false;
 };
 
 }  // namespace op2::detail

@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -416,6 +417,12 @@ struct dep_state {
     std::size_t count = 0;        // partition granularity of `recs`
     std::size_t inflight = 0;     // loops pinned mid-issue on `recs`
     std::shared_ptr<dep_record[]> recs;
+    /// Locality hook invoked (outside the state lock, with the new
+    /// granularity) after a *re*-partition — a granularity change, not
+    /// the initial table — so the memory layer can re-warm the dat's
+    /// partitions on their owning workers (see memory::warm_partitions).
+    /// Set once at dat creation, before any concurrent issue.
+    std::function<void(std::size_t)> repartition_hook;
 
     /// Pin the record table at granularity `p` for the duration of one
     /// loop's issue (re-partitioning first if needed). The returned
@@ -427,12 +434,13 @@ struct dep_state {
             std::vector<node_ref> pending;
             std::vector<node_ref> failed;
             {
-                std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+                std::unique_lock<hpxlite::util::spinlock> lk(mtx);
                 if (count == p && recs) {
                     ++inflight;
                     return recs;
                 }
                 if (inflight == 0) {
+                    bool const repartition = count != 0;
                     for (std::size_t i = 0; i < count; ++i) {
                         dep_record& r = recs[i];
                         std::lock_guard<hpxlite::util::spinlock> rlk(r.mtx);
@@ -470,7 +478,12 @@ struct dep_state {
                         recs = std::move(next);
                         count = p;
                         ++inflight;
-                        return recs;
+                        auto pinned = recs;
+                        if (repartition && repartition_hook) {
+                            lk.unlock();  // hook submits pool tasks
+                            repartition_hook(p);
+                        }
+                        return pinned;
                     }
                 }
             }

@@ -8,6 +8,14 @@
 
 namespace op2 {
 
+namespace detail {
+/// Process default of loop_options::simd_gather: true unless the
+/// OP2HPX_SIMD_GATHER environment variable is set to 0/off/false/no —
+/// that is how a CI leg runs the whole tier-1 suite over the scalar
+/// oracle path without touching every test. Read once, cached.
+[[nodiscard]] bool simd_gather_default() noexcept;
+}  // namespace detail
+
 /// Where the hpx_dataflow backend places a partition's sub-nodes.
 enum class placement_kind {
     /// Pin partition p's (partition, colour) sub-nodes to worker
@@ -79,6 +87,19 @@ struct loop_options {
     /// reproduces the seed's per-element map resolution — kept for
     /// differential testing and as the benchmark baseline.
     bool staged_gather = true;
+
+    /// Vectorised gather for read-only indirect arguments whose class is
+    /// uniformly strided at 16/32 bytes per element (dim-2/dim-4
+    /// doubles): the staged executor copies a block's operands into
+    /// cache-line-aligned contiguous scratch with unrolled fixed-stride
+    /// kernels (op2/memory.hpp) and the inner loop reads them as a
+    /// pointer bump — no per-element table load, and the kernel streams
+    /// aligned contiguous memory. Bitwise-identical to the scalar staged
+    /// path (a gather copies, it does not reorder arithmetic); off keeps
+    /// the per-element staged resolution as the oracle and bench
+    /// baseline. Requires staged_gather. Default from
+    /// detail::simd_gather_default() (OP2HPX_SIMD_GATHER env).
+    bool simd_gather = detail::simd_gather_default();
 
     /// Pool override; nullptr uses the global hpxlite pool.
     hpxlite::threads::thread_pool* pool = nullptr;

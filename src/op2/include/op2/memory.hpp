@@ -1,0 +1,246 @@
+#pragma once
+
+// Locality-aware memory layer for dat storage (and executor scratch).
+//
+// The async OP2-on-HPX design wins by keeping each partition's working
+// set hot on one core: the dataflow backend pins partition p's sub-nodes
+// to worker p % pool_size (loop_options::placement). Before this layer,
+// the *data* undercut the hint — every dat was a bare std::vector whose
+// pages were first-touched wholesale by the mesh-loading thread, with no
+// alignment guarantee for the staged copy kernels. This layer closes the
+// gap:
+//
+//  * aligned_buffer — the storage every dat allocates through: the base
+//    is 64-byte (cache-line) aligned and the capacity is padded to a
+//    whole number of cache lines, so fixed-stride copy kernels can be
+//    vectorised without edge peeling and two dats never share a line.
+//  * partition-affine first touch — on request (OP2HPX_FIRST_TOUCH / ​
+//    set_first_touch), a dat's pages are initialised by one task per set
+//    partition, fanned through the pool's affinity inboxes
+//    (thread_pool::submit_to), so partition p's pages are written first
+//    by worker p % pool_size — the worker the placement hint keeps
+//    sending partition p's loops to. Touch ranges are padded to cache
+//    lines with a boundary-straddling line owned by the lower partition,
+//    so no line is written by two touch tasks. Off (the default) keeps
+//    the old loader-thread initialisation as the oracle.
+//  * tls_scratch — a per-thread cache-line-aligned arena for the staged
+//    executor's SIMD gather path (grown geometrically, reused across
+//    blocks and loops; no per-run allocation).
+//  * gather kernels — unrolled fixed-stride copy loops (16/32 bytes per
+//    element: dim-2/dim-4 doubles, dim-4/dim-8 floats) that turn a plan
+//    gather table into one contiguous scratch stream.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <hpxlite/config.hpp>
+#include <hpxlite/threads/thread_pool.hpp>
+#include <op2/set.hpp>
+
+namespace op2::memory {
+
+inline constexpr std::size_t cache_line = hpxlite::cache_line_size;
+
+/// Round `n` up to a whole number of cache lines.
+[[nodiscard]] constexpr std::size_t pad_to_line(std::size_t n) noexcept {
+    return (n + cache_line - 1) & ~(cache_line - 1);
+}
+
+/// Cache-line-aligned byte storage: base aligned to 64, capacity padded
+/// to whole lines (size() stays the logical byte count). Move-only owner;
+/// the moved-from buffer is empty.
+class aligned_buffer {
+public:
+    aligned_buffer() noexcept = default;
+    explicit aligned_buffer(std::size_t bytes) : size_(bytes) {
+        if (bytes != 0) {
+            capacity_ = pad_to_line(bytes);
+            data_ = static_cast<std::byte*>(
+                ::operator new(capacity_, std::align_val_t{cache_line}));
+        }
+    }
+    aligned_buffer(aligned_buffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        capacity_(std::exchange(o.capacity_, 0)) {}
+    aligned_buffer& operator=(aligned_buffer&& o) noexcept {
+        if (this != &o) {
+            destroy();
+            data_ = std::exchange(o.data_, nullptr);
+            size_ = std::exchange(o.size_, 0);
+            capacity_ = std::exchange(o.capacity_, 0);
+        }
+        return *this;
+    }
+    aligned_buffer(aligned_buffer const&) = delete;
+    aligned_buffer& operator=(aligned_buffer const&) = delete;
+    ~aligned_buffer() { destroy(); }
+
+    [[nodiscard]] std::byte* data() noexcept { return data_; }
+    [[nodiscard]] std::byte const* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+private:
+    void destroy() noexcept {
+        if (data_ != nullptr) {
+            ::operator delete(data_, std::align_val_t{cache_line});
+        }
+    }
+
+    std::byte* data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+// --- partition-affine first touch ---------------------------------------
+
+/// The byte range of a dat (element stride `stride`) that partition `p`
+/// of `part` owns for touching purposes: its element range scaled to
+/// bytes, then padded to cache lines. A line straddling the partition
+/// boundary belongs to the *lower* partition (lo rounds up, hi rounds
+/// up), so across p the ranges are disjoint, line-granular away from the
+/// buffer ends, and cover [0, total) exactly. Every non-empty range
+/// therefore starts 64-byte aligned except possibly range 0, which
+/// starts at the (aligned) buffer base anyway.
+struct touch_range {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    [[nodiscard]] std::size_t size() const noexcept { return hi - lo; }
+};
+
+[[nodiscard]] touch_range partition_touch_range(set_partition const& part,
+                                                std::size_t p,
+                                                std::size_t stride,
+                                                std::size_t total);
+
+/// Whether dats initialise their pages partition-affinely. Default comes
+/// from the OP2HPX_FIRST_TOUCH environment variable (off unless set to
+/// 1/on/true/yes); set_first_touch overrides it for the process. Off is
+/// the seed behaviour (loader thread writes everything) and the oracle
+/// the differential suites compare against.
+[[nodiscard]] bool first_touch_enabled() noexcept;
+void set_first_touch(bool on) noexcept;
+/// Drop any set_first_touch override and follow the environment again
+/// (tests and scoped toggles must not pin the process-wide policy).
+void reset_first_touch() noexcept;
+
+/// Scoped first-touch override: applies `on` for the guard's lifetime,
+/// then restores the previous *effective* setting — exception-safe, so
+/// a throwing dat declaration cannot leak the override.
+class first_touch_scope {
+public:
+    explicit first_touch_scope(bool on) noexcept
+      : prev_(first_touch_enabled()) {
+        set_first_touch(on);
+    }
+    first_touch_scope(first_touch_scope const&) = delete;
+    first_touch_scope& operator=(first_touch_scope const&) = delete;
+    ~first_touch_scope() { set_first_touch(prev_); }
+
+private:
+    bool prev_;
+};
+
+/// Test hook: when set, first_touch_init records which pool worker
+/// touched each partition (worker[p], -1 = never ran / ran inline) and
+/// counts enqueued touch tasks, so a trace test can assert the pages
+/// were written by their owners. `on_touch`, when set, is invoked by
+/// each touch task (with its partition id) before it writes — the trace
+/// test's rendezvous point, same blocker protocol as the placement
+/// trace test in test_exec_backend.cpp.
+struct first_touch_trace {
+    std::atomic<std::size_t> enqueued{0};
+    std::vector<long> worker;  // sized by first_touch_init
+    std::function<void(std::size_t)> on_touch;
+};
+void set_first_touch_trace(first_touch_trace* t) noexcept;
+
+/// Initialise `dst[0, total)` from `init` (or zeros when null) with one
+/// task per partition of `part`, submitted through the pool's affinity
+/// inbox of worker p % pool.size() — the same mapping the dataflow
+/// placement hint uses — and wait for all of them. Pages are therefore
+/// *written first* by the worker that will keep executing the
+/// partition's loops. Falls back to inline initialisation when called
+/// from a pool worker (waiting for own-inbox tasks there would
+/// deadlock) or when the set is empty.
+void first_touch_init(std::byte* dst, void const* init, std::size_t total,
+                      set_partition const& part, std::size_t stride,
+                      hpxlite::threads::thread_pool& pool);
+
+/// Fire-and-forget cache re-warm after a dependency-table re-partition:
+/// for each partition of the *new* granularity, submit a prefetch sweep
+/// over its touch range to its owning worker. Prefetch-only (no C++
+/// level loads), so it cannot race the loops about to run on the data.
+/// `keepalive` pins the storage for the duration of the sweep.
+void warm_partitions(std::byte const* base, std::size_t total,
+                     set_partition const& part, std::size_t stride,
+                     hpxlite::threads::thread_pool& pool,
+                     std::shared_ptr<void> keepalive);
+
+// --- per-thread aligned scratch ------------------------------------------
+
+/// A cache-line-aligned scratch block of at least `bytes` bytes, owned by
+/// the calling thread and reused across calls (grown geometrically).
+/// Contents are unspecified on entry. The pointer stays valid until the
+/// next tls_scratch call on the same thread with a larger request.
+[[nodiscard]] std::byte* tls_scratch(std::size_t bytes);
+
+// --- staged gather kernels ------------------------------------------------
+
+/// True when `stride` is one of the fixed-stride classes the vectorised
+/// gather kernels handle (16/32 bytes per element: the paper's dim-2 and
+/// dim-4 double arguments).
+[[nodiscard]] constexpr bool simd_stride(std::size_t stride) noexcept {
+    return stride == 16 || stride == 32;
+}
+
+namespace detail {
+
+/// Fixed-stride gather: dst[k] = base + off[k], S bytes per element,
+/// 4-way unrolled. The compiler turns the fixed-size memcpy into one or
+/// two vector moves per element; with a 64-byte-aligned dst (tls_scratch)
+/// and a 64-byte-aligned dat base the accesses stay naturally aligned.
+template <std::size_t S>
+inline void gather_fixed(std::byte* dst, std::byte const* base,
+                         std::uint32_t const* off, std::size_t n) {
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        std::memcpy(dst + (k + 0) * S, base + off[k + 0], S);
+        std::memcpy(dst + (k + 1) * S, base + off[k + 1], S);
+        std::memcpy(dst + (k + 2) * S, base + off[k + 2], S);
+        std::memcpy(dst + (k + 3) * S, base + off[k + 3], S);
+    }
+    for (; k < n; ++k) {
+        std::memcpy(dst + k * S, base + off[k], S);
+    }
+}
+
+}  // namespace detail
+
+/// Gather `n` elements of `stride` bytes each from `base` through the
+/// plan's byte-offset table `off` into contiguous `dst`. Dispatches to
+/// the unrolled fixed-stride kernels for the simd_stride classes and to
+/// a generic per-element copy otherwise.
+inline void gather(std::byte* dst, std::byte const* base,
+                   std::uint32_t const* off, std::size_t n,
+                   std::size_t stride) {
+    if (stride == 16) {
+        detail::gather_fixed<16>(dst, base, off, n);
+    } else if (stride == 32) {
+        detail::gather_fixed<32>(dst, base, off, n);
+    } else {
+        for (std::size_t k = 0; k < n; ++k) {
+            std::memcpy(dst + k * stride, base + off[k], stride);
+        }
+    }
+}
+
+}  // namespace op2::memory

@@ -11,6 +11,7 @@
 #include <op2/exec/backend.hpp>
 #include <op2/loop_options.hpp>
 #include <op2/map.hpp>
+#include <op2/memory.hpp>
 #include <op2/par_loop.hpp>
 #include <op2/par_loop_hpx.hpp>
 #include <op2/plan.hpp>

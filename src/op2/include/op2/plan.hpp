@@ -27,6 +27,14 @@ struct plan_stage {
     std::uint64_t map_id = 0;
     int idx = 0;
     std::size_t stride = 0;          // bytes per target-set element
+    /// Nonzero when the class is uniformly strided at one of the widths
+    /// the vectorised gather kernels handle (16/32 bytes per element —
+    /// dim-2/dim-4 doubles; every table entry is then a multiple of this
+    /// value by construction). The executor's SIMD gather path
+    /// (loop_options::simd_gather) stages such read-only arguments into
+    /// aligned contiguous scratch with unrolled copy kernels instead of
+    /// resolving them per element.
+    std::size_t simd = 0;
     std::vector<std::uint32_t> off;  // [set_size] byte offsets into the dat
 };
 

@@ -1,0 +1,146 @@
+#include <op2/memory.hpp>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include <hpxlite/prefetching/prefetcher.hpp>
+#include <hpxlite/util/env.hpp>
+
+namespace op2::memory {
+
+namespace {
+
+/// -1 = follow the environment, 0/1 = set_first_touch override.
+std::atomic<int> g_first_touch{-1};
+std::atomic<first_touch_trace*> g_trace{nullptr};
+
+}  // namespace
+
+touch_range partition_touch_range(set_partition const& part, std::size_t p,
+                                  std::size_t stride, std::size_t total) {
+    touch_range r;
+    r.lo = p == 0 ? 0 : pad_to_line(part.begin(p) * stride);
+    r.hi = p + 1 == part.count ? total
+                               : pad_to_line(part.end(p) * stride);
+    if (r.lo > total) {
+        r.lo = total;
+    }
+    if (r.hi > total) {
+        r.hi = total;
+    }
+    if (r.hi < r.lo) {
+        r.hi = r.lo;
+    }
+    return r;
+}
+
+bool first_touch_enabled() noexcept {
+    int const o = g_first_touch.load(std::memory_order_relaxed);
+    if (o >= 0) {
+        return o != 0;
+    }
+    static bool const env =
+        hpxlite::util::env_flag("OP2HPX_FIRST_TOUCH", false);
+    return env;
+}
+
+void set_first_touch(bool on) noexcept {
+    g_first_touch.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void reset_first_touch() noexcept {
+    g_first_touch.store(-1, std::memory_order_relaxed);
+}
+
+void set_first_touch_trace(first_touch_trace* t) noexcept {
+    g_trace.store(t, std::memory_order_release);
+}
+
+void first_touch_init(std::byte* dst, void const* init, std::size_t total,
+                      set_partition const& part, std::size_t stride,
+                      hpxlite::threads::thread_pool& pool) {
+    auto init_span = [&](std::size_t lo, std::size_t hi) {
+        if (hi <= lo) {
+            return;
+        }
+        if (init != nullptr) {
+            std::memcpy(dst + lo, static_cast<std::byte const*>(init) + lo,
+                        hi - lo);
+        } else {
+            std::memset(dst + lo, 0, hi - lo);
+        }
+    };
+    // A pool worker cannot wait for tasks parked in its own affinity
+    // inbox without popping them itself (wrong-worker touches), so dats
+    // declared from inside a kernel/task keep the inline path.
+    if (total == 0 || pool.on_worker_thread()) {
+        init_span(0, total);
+        return;
+    }
+
+    first_touch_trace* const trace = g_trace.load(std::memory_order_acquire);
+    if (trace != nullptr) {
+        trace->worker.assign(part.count, -1);
+    }
+
+    std::atomic<std::size_t> remaining{0};
+    for (std::size_t p = 0; p < part.count; ++p) {
+        touch_range const r = partition_touch_range(part, p, stride, total);
+        if (r.size() == 0) {
+            continue;
+        }
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        std::size_t const owner = p % pool.size();
+        pool.submit_to(owner, [&, p, r] {
+            if (trace != nullptr && trace->on_touch) {
+                trace->on_touch(p);
+            }
+            init_span(r.lo, r.hi);
+            if (trace != nullptr) {
+                trace->worker[p] = static_cast<long>(pool.worker_index());
+            }
+            remaining.fetch_sub(1, std::memory_order_release);
+        });
+        if (trace != nullptr) {
+            trace->enqueued.fetch_add(1, std::memory_order_release);
+        }
+    }
+    // Spin (not help): helping would run a touch task on this thread and
+    // defeat the point. Touch tasks are short memsets/memcpys; dat
+    // declaration is a cold path.
+    while (remaining.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
+}
+
+void warm_partitions(std::byte const* base, std::size_t total,
+                     set_partition const& part, std::size_t stride,
+                     hpxlite::threads::thread_pool& pool,
+                     std::shared_ptr<void> keepalive) {
+    for (std::size_t p = 0; p < part.count; ++p) {
+        touch_range const r = partition_touch_range(part, p, stride, total);
+        if (r.size() == 0) {
+            continue;
+        }
+        pool.submit_to(p % pool.size(), [base, r, keepalive] {
+            for (std::size_t o = r.lo; o < r.hi; o += cache_line) {
+                hpxlite::parallel::detail::prefetch_read(base + o);
+            }
+        });
+    }
+}
+
+std::byte* tls_scratch(std::size_t bytes) {
+    thread_local aligned_buffer arena;
+    if (arena.capacity() < bytes) {
+        std::size_t grown = arena.capacity() == 0 ? 4096 : arena.capacity();
+        while (grown < bytes) {
+            grown *= 2;
+        }
+        arena = aligned_buffer(grown);
+    }
+    return arena.data();
+}
+
+}  // namespace op2::memory

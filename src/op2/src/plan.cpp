@@ -1,5 +1,7 @@
 #include <op2/plan.hpp>
 
+#include <op2/memory.hpp>
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -367,6 +369,7 @@ void build_stages(op_plan& plan, std::vector<stage_ref> const& refs) {
         st.map_id = r.map.id();
         st.idx = r.idx;
         st.stride = r.stride;
+        st.simd = memory::simd_stride(r.stride) ? r.stride : 0;
         st.off.resize(plan.set_size);
         int const* table = r.map.table().data() +
                            plan.elem_base * static_cast<std::size_t>(

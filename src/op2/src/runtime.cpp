@@ -2,7 +2,19 @@
 
 #include <mutex>
 
+#include <hpxlite/util/env.hpp>
+
 namespace op2 {
+
+namespace detail {
+
+bool simd_gather_default() noexcept {
+    static bool const on =
+        hpxlite::util::env_flag("OP2HPX_SIMD_GATHER", true);
+    return on;
+}
+
+}  // namespace detail
 
 config& global_config() {
     static config cfg;

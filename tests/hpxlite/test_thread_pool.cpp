@@ -2,13 +2,20 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <thread>
 
+#if defined(__linux__) && !defined(__ANDROID__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <hpxlite/runtime.hpp>
 #include <hpxlite/threads/thread_pool.hpp>
 
+using hpxlite::threads::pool_options;
 using hpxlite::threads::thread_pool;
 
 TEST(ThreadPool, ExecutesSubmittedTask) {
@@ -272,6 +279,105 @@ TEST(ThreadPool, SubmitToFromWorkerTargetingSelfAndOthers) {
     });
     pool.wait_idle();
     EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, SubmitToWakesTheHintedWorkerUnderLightLoad) {
+    // Targeted inbox wakeups: with every worker parked, a hinted
+    // submission must rouse the *owner's* parking slot — nobody else is
+    // woken, so the owner (whose first pop is its own inbox) claims the
+    // task. Before per-worker slots, the shared condvar woke an
+    // arbitrary sleeper that stole the task out of the owner's inbox.
+    thread_pool pool(4);
+    pool.wait_idle();
+    std::size_t on_owner = 0;
+    constexpr std::size_t kRounds = 40;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+        std::size_t const w = round % 4;
+        // Light load: wait for the whole pool to park first.
+        auto const deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (pool.sleeping_workers() < 4 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::yield();
+        }
+        ASSERT_EQ(pool.sleeping_workers(), 4u) << "pool never parked";
+        std::atomic<std::size_t> ran_on{SIZE_MAX};
+        pool.submit_to(w, [&] { ran_on.store(pool.worker_index()); });
+        while (ran_on.load() == SIZE_MAX) {
+            std::this_thread::yield();
+        }
+        on_owner += ran_on.load() == w ? 1 : 0;
+    }
+    // All rounds should land on the owner; tolerate a stray spurious
+    // condvar wakeup racing the claim, but nothing like the ~1-in-4 the
+    // untargeted wake gave.
+    EXPECT_GE(on_owner, kRounds - 2);
+}
+
+#if defined(__linux__) && !defined(__ANDROID__)
+TEST(ThreadPool, BindWorkersPinsEachWorkerToOneCpu) {
+    pool_options opts;
+    opts.bind_workers = true;
+    thread_pool pool(2, opts);
+    // Binding happens at worker_loop entry, so an immediate
+    // bound_workers() read races thread startup and could skip
+    // spuriously. Two tasks that rendezvous force both workers into
+    // their loops (and therefore past their binding attempt) first.
+    {
+        std::atomic<std::size_t> live{0};
+        for (int i = 0; i < 2; ++i) {
+            pool.submit([&] {
+                live.fetch_add(1);
+                while (live.load(std::memory_order_acquire) < 2) {
+                    std::this_thread::yield();
+                }
+            });
+        }
+        // Spin here (not wait_idle, which would *help* and let this
+        // thread claim a rendezvous task meant to prove a worker live).
+        while (live.load() < 2) {
+            std::this_thread::yield();
+        }
+        pool.wait_idle();
+    }
+    if (pool.bound_workers() != 2) {
+        GTEST_SKIP() << "pthread_setaffinity_np rejected (restricted "
+                        "cpuset?); binding is best-effort";
+    }
+    std::size_t ncpu = std::thread::hardware_concurrency();
+    if (ncpu == 0) {
+        ncpu = 1;
+    }
+    for (std::size_t w = 0; w < 2; ++w) {
+        std::atomic<int> cpus{-1};
+        std::atomic<bool> on_cpu{false};
+        std::atomic<bool> done{false};
+        pool.submit_to(w, [&, w] {
+            cpu_set_t set;
+            CPU_ZERO(&set);
+            if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) ==
+                0) {
+                cpus.store(CPU_COUNT(&set));
+                on_cpu.store(CPU_ISSET(w % ncpu, &set));
+            }
+            done.store(true, std::memory_order_release);
+        });
+        while (!done.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+        }
+        EXPECT_EQ(cpus.load(), 1) << "worker " << w;
+        EXPECT_TRUE(on_cpu.load()) << "worker " << w;
+    }
+}
+#endif
+
+TEST(ThreadPool, UnboundPoolReportsNoBoundWorkers) {
+    thread_pool pool(2, pool_options{});
+    std::atomic<int> count{0};
+    pool.submit([&] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(pool.bound_workers(), 0u);
+    EXPECT_EQ(count.load(), 1);
 }
 
 TEST(Runtime, InitAndGetPool) {

@@ -23,6 +23,8 @@ struct random_program {
     op_set edges;
     op_map em;
     std::vector<op_dat> dats;       // 3 cell dats
+    op_dat vec;                     // dim-2 cell dat (16-byte stride: the
+                                    // SIMD gather class when read via em)
     std::vector<int> ops;           // op codes
     std::vector<int> targets;       // dat index per op
 
@@ -47,6 +49,7 @@ struct random_program {
             dats.push_back(op_decl_dat_zero<double>(cells, 1, "double",
                                                     "d" + std::to_string(d)));
         }
+        vec = op_decl_dat_zero<double>(cells, 2, "double", "vec");
         std::uniform_int_distribution<int> opd(0, 4);
         std::uniform_int_distribution<int> td(0, 2);
         for (int i = 0; i < 24; ++i) {
@@ -62,6 +65,11 @@ struct random_program {
                 x = static_cast<double>(v);
             }
             ++v;
+        }
+        double w = 0.125;
+        for (auto& x : vec.view<double>()) {
+            x = w;
+            w += 0.375;
         }
     }
 
@@ -90,19 +98,27 @@ struct random_program {
                     op_arg_dat(b, -1, OP_ID, 1, "double", OP_READ),
                     op_arg_dat(a, -1, OP_ID, 1, "double", OP_WRITE));
                 break;
-            case 1:  // direct read-modify-write
-                run("scale", cells, [](double* x) { *x = *x * 0.5 + 1.0; },
-                    op_arg_dat(a, -1, OP_ID, 1, "double", OP_RW));
+            case 1:  // direct read-modify-write (keeps vec evolving too)
+                run("scale", cells,
+                    [](double* x, double* v) {
+                        *x = *x * 0.5 + 1.0;
+                        v[0] = v[0] * 0.75 + *x;
+                        v[1] += 0.5;
+                    },
+                    op_arg_dat(a, -1, OP_ID, 1, "double", OP_RW),
+                    op_arg_dat(vec, -1, OP_ID, 2, "double", OP_RW));
                 break;
-            case 2:  // indirect scatter-increment
+            case 2:  // indirect scatter-increment, with a dim-2 (16-byte
+                     // stride) indirect read — the SIMD gather class
                 run("scatter", edges,
-                    [](double const* s1, double const* s2, double* t1,
-                       double* t2) {
-                        *t1 += 0.001 * *s2;
-                        *t2 += 0.002 * *s1;
+                    [](double const* s1, double const* s2, double const* v,
+                       double* t1, double* t2) {
+                        *t1 += 0.001 * *s2 + 0.003 * v[0];
+                        *t2 += 0.002 * *s1 + 0.004 * v[1];
                     },
                     op_arg_dat(b, 0, em, 1, "double", OP_READ),
                     op_arg_dat(b, 1, em, 1, "double", OP_READ),
+                    op_arg_dat(vec, 0, em, 2, "double", OP_READ),
                     op_arg_dat(a, 0, em, 1, "double", OP_INC),
                     op_arg_dat(a, 1, em, 1, "double", OP_INC));
                 break;
@@ -141,6 +157,10 @@ struct random_program {
             auto v = d.view<double>();
             out.fields.emplace_back(v.begin(), v.end());
         }
+        {
+            auto v = vec.view<double>();
+            out.fields.emplace_back(v.begin(), v.end());
+        }
         out.reductions = std::move(reds);
         return out;
     }
@@ -172,6 +192,45 @@ TEST_P(RandomLoops, HpxAndForkJoinMatchSeq) {
             ASSERT_NEAR(got.reductions[k], ref.reductions[k],
                         1e-9 * (1.0 + std::fabs(ref.reductions[k])))
                 << "backend " << to_string(be) << " reduction " << k;
+        }
+    }
+}
+
+/// SIMD-vs-scalar gather differential on the random RW DAG: with an
+/// identical plan and block schedule, gathering the 16-byte-stride
+/// indirect reads into aligned scratch copies bytes but reorders no
+/// arithmetic, so the fields must match *bitwise* (memcmp, non-integer
+/// values and all). Reductions combine in schedule order under the hpx
+/// backend, so they get the usual tolerance there.
+TEST_P(RandomLoops, SimdGatherMatchesScalarGatherBitwise) {
+    random_program prog(GetParam());
+    loop_options simd_on;
+    simd_on.part_size = 48;
+    simd_on.simd_gather = true;
+    loop_options simd_off = simd_on;
+    simd_off.simd_gather = false;
+
+    for (auto be : {backend::fork_join, backend::hpx}) {
+        auto scalar = prog.execute(be, simd_off);
+        auto simd = prog.execute(be, simd_on);
+        ASSERT_EQ(simd.fields.size(), scalar.fields.size());
+        for (std::size_t d = 0; d < scalar.fields.size(); ++d) {
+            ASSERT_EQ(std::memcmp(simd.fields[d].data(),
+                                  scalar.fields[d].data(),
+                                  scalar.fields[d].size() * sizeof(double)),
+                      0)
+                << "backend " << to_string(be) << " dat " << d
+                << ": SIMD gather diverged from the scalar oracle";
+        }
+        for (std::size_t k = 0; k < scalar.reductions.size(); ++k) {
+            if (be == backend::fork_join) {
+                ASSERT_EQ(simd.reductions[k], scalar.reductions[k])
+                    << "reduction " << k;
+            } else {
+                ASSERT_NEAR(simd.reductions[k], scalar.reductions[k],
+                            1e-9 * (1.0 + std::fabs(scalar.reductions[k])))
+                    << "reduction " << k;
+            }
         }
     }
 }

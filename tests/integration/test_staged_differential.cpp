@@ -140,6 +140,13 @@ TEST_P(StagedDifferential, ColoredStagedPathMatchesSequentialBitwise) {
     loop_options staged;
     staged.part_size = 48;
     staged.staged_gather = true;
+    // The src dat is dim-2 doubles read through the map — exactly the
+    // 16-byte uniform-stride class the SIMD gather stages into aligned
+    // scratch — so the simd on/off pair is a genuine vector-vs-scalar
+    // differential, not a no-op.
+    staged.simd_gather = true;
+    loop_options scalar = staged;
+    scalar.simd_gather = false;
     loop_options legacy = staged;
     legacy.staged_gather = false;
     loop_options staged_pf = staged;
@@ -153,10 +160,12 @@ TEST_P(StagedDifferential, ColoredStagedPathMatchesSequentialBitwise) {
         loop_options const* opts;
     };
     variant const variants[] = {
-        {"fork_join/staged", backend::fork_join, &staged},
+        {"fork_join/staged+simd", backend::fork_join, &staged},
+        {"fork_join/staged scalar", backend::fork_join, &scalar},
         {"fork_join/legacy", backend::fork_join, &legacy},
         {"fork_join/staged+prefetch", backend::fork_join, &staged_pf},
-        {"hpx/staged", backend::hpx, &staged},
+        {"hpx/staged+simd", backend::hpx, &staged},
+        {"hpx/staged scalar", backend::hpx, &scalar},
     };
     for (auto const& v : variants) {
         auto got = prog.run(v.be, *v.opts);
@@ -169,6 +178,36 @@ TEST_P(StagedDifferential, ColoredStagedPathMatchesSequentialBitwise) {
         EXPECT_EQ(got.sum, ref.sum) << v.name;
         EXPECT_EQ(got.mn, ref.mn) << v.name;
         EXPECT_EQ(got.mx, ref.mx) << v.name;
+    }
+}
+
+/// Same program, with the dats allocated under partition-affine first
+/// touch: the initialisation path (per-partition tasks on the owning
+/// workers) must be invisible to every backend's results.
+TEST_P(StagedDifferential, FirstTouchAllocationIsBitwiseInvisible) {
+    program ref_prog(GetParam());
+    loop_options opts;
+    opts.part_size = 48;
+    auto ref = ref_prog.run(backend::seq, opts);
+
+    auto ft_prog = [&] {
+        // Scoped: restores the prior effective setting, so the
+        // env-driven scalar-oracle CI leg (OP2HPX_FIRST_TOUCH=1) keeps
+        // first-touching every dat the *other* tests declare.
+        op2::memory::first_touch_scope scope(true);
+        return program(GetParam());
+    }();
+
+    for (auto be : {backend::seq, backend::fork_join, backend::hpx}) {
+        auto got = ft_prog.run(be, opts);
+        ASSERT_EQ(got.acc.size(), ref.acc.size());
+        EXPECT_EQ(std::memcmp(got.acc.data(), ref.acc.data(),
+                              ref.acc.size() * sizeof(double)),
+                  0)
+            << to_string(be) << ": first-touch allocation changed results";
+        EXPECT_EQ(got.sum, ref.sum) << to_string(be);
+        EXPECT_EQ(got.mn, ref.mn) << to_string(be);
+        EXPECT_EQ(got.mx, ref.mx) << to_string(be);
     }
 }
 

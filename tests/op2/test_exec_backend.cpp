@@ -34,6 +34,46 @@ protected:
     }();
 };
 
+/// Reduction scratch is cached per executor instance: repeated runs of
+/// one executor over one plan must re-seed (not re-allocate) the
+/// per-block partials, and every run must produce the exact reduction —
+/// a stale INC partial or a missed MIN/MAX re-seed shows up immediately.
+TEST_F(ExecBackendTest, RepeatedExecutorRunsReseedReductionScratch) {
+    auto cells = op_decl_set(500, "cells");
+    std::vector<double> vals(500);
+    for (std::size_t i = 0; i < 500; ++i) {
+        vals[i] = static_cast<double>(i + 1);
+    }
+    auto d = op_decl_dat<double>(cells, 1, "double", vals, "d");
+
+    double sum = 0.0;
+    double mx = 0.0;
+    auto kern = [](double const* x, double* s, double* hi) {
+        *s += *x;
+        *hi = std::max(*hi, *x);
+    };
+    op2::detail::loop_executor<decltype(kern), 3> ex(
+        cells,
+        std::array<op_arg, 3>{
+            op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_gbl(&sum, 1, "double", OP_INC),
+            op_arg_gbl(&mx, 1, "double", OP_MAX)},
+        kern, opts_);
+    ex.validate("reduce");
+    op_plan const& plan = plan_get(cells, ex.args(), opts_.part_size);
+    for (int run = 0; run < 3; ++run) {
+        sum = 0.0;
+        mx = -1.0;
+        ex.execute(plan, [&](std::span<std::size_t const> blocks) {
+            for (std::size_t b : blocks) {
+                ex.run_block(plan, b);
+            }
+        });
+        EXPECT_EQ(sum, 500.0 * 501.0 / 2.0) << "run " << run;
+        EXPECT_EQ(mx, 500.0) << "run " << run;
+    }
+}
+
 TEST_F(ExecBackendTest, BackendSelectedThroughLoopOptions) {
     auto cells = op_decl_set(3000, "cells");
     auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
