@@ -17,6 +17,15 @@ Speedup rows present in the bench file but absent from the threshold
 file are reported as unguarded, without failing — new rows should get a
 floor in the same PR that introduces them.
 
+A row's "min" is either a plain number (one floor for every runner) or
+an object keyed by minimum hardware-thread count, e.g.
+{"1": 0.5, "4": 1.1}: the entry with the largest key <= the bench
+file's hardware_threads applies. When no key applies (an
+overlap-dependent floor keyed {"2": ...} on a 1-core runner) the row is
+skipped — "required" is waived too, since the measurement is
+meaningless there, not missing. An unreported thread count ("?") is
+treated as 1.
+
 Floors are regression tripwires, not performance targets: they sit well
 below the values a healthy run produces (including single-core runs,
 where overlap-dependent speedups sink to parity) so that only a real
@@ -36,6 +45,18 @@ def load(path):
         sys.exit(2)
 
 
+def resolve_floor(spec, hw_threads):
+    """The floor applying at `hw_threads`, or None when the row is
+    hardware-gated out (no dict key <= the runner's thread count)."""
+    floor = spec["min"]
+    if not isinstance(floor, dict):
+        return floor
+    applicable = [int(k) for k in floor if int(k) <= hw_threads]
+    if not applicable:
+        return None
+    return floor[str(max(applicable))]
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -51,10 +72,18 @@ def main(argv):
     hw = bench.get("hardware_threads", "?")
     print(f"check_bench: {argv[1]}: {len(rows)} rows, "
           f"{hw} hardware thread(s)")
+    try:
+        hw_threads = int(hw)
+    except (TypeError, ValueError):
+        hw_threads = 1
 
     failures = []
     for name, spec in sorted(thresholds.items()):
-        floor = spec["min"]
+        floor = resolve_floor(spec, hw_threads)
+        if floor is None:
+            print(f"  SKIP {name}: no floor at {hw_threads} hardware "
+                  f"thread(s)")
+            continue
         row = rows.get(name)
         if row is None:
             if spec.get("required", False):

@@ -1,15 +1,49 @@
 // The Airfoil CFD application (paper Section II-B) end to end:
-// generates the mesh, runs the five-loop iteration on the chosen
-// backend and reports the residual trajectory and timing.
+// generates (or loads) the mesh, runs the five-loop iteration on the
+// chosen backend and reports the residual trajectory and timing.
+// Doubles as the fault-tolerance demo: with --fault an injection plan
+// is armed, and with --checkpoint-every/--retries the run checkpoints
+// its state dats and recovers from the injected failures — the final
+// output is bitwise-identical to an undisturbed run.
 //
 // Usage: airfoil_app [seq|fork_join|hpx] [nx ny] [niter]
+//                    [--mesh-file PATH] [--checkpoint-every N]
+//                    [--retries K] [--fault PLAN] [--watchdog-ms T]
+//
+//   --mesh-file PATH       load a new_grid.dat mesh instead of
+//                          generating one (errors name file, section
+//                          and line, and exit non-zero)
+//   --checkpoint-every N   checkpoint q/qold/adt/res every N iterations
+//   --retries K            roll a failed segment back up to K times
+//   --fault PLAN           arm an op2::fault plan (see op2/fault.hpp;
+//                          e.g. "kernel=res_calc@1.0")
+//   --watchdog-ms T        report a graph dump after T ms without
+//                          progress
 
 #include <cstdio>
 #include <cstdlib>
-#include <sstream>
 #include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
 
 #include <airfoil/app.hpp>
+#include <airfoil/mesh_io.hpp>
+
+namespace {
+
+int usage(char const* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [seq|fork_join|hpx] [nx ny] [niter]\n"
+                 "          [--mesh-file PATH] [--checkpoint-every N]\n"
+                 "          [--retries K] [--fault PLAN] "
+                 "[--watchdog-ms T]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     airfoil::app_config cfg;
@@ -19,50 +53,128 @@ int main(int argc, char** argv) {
     cfg.rms_stride = 20;
     cfg.be = op2::backend::hpx;
 
-    if (argc > 1) {
-        if (std::strcmp(argv[1], "seq") == 0) {
+    std::string mesh_file;
+    std::string fault_plan;
+    long watchdog_ms = 0;
+
+    // Flags may appear anywhere; positionals keep their seed order
+    // (backend, nx ny, niter).
+    int npos = 0;
+    char const* pos[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (int i = 1; i < argc; ++i) {
+        auto flag_value = [&](char const* name) -> char const* {
+            if (std::strcmp(argv[i], name) != 0) {
+                return nullptr;
+            }
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             name);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (char const* v = flag_value("--mesh-file")) {
+            mesh_file = v;
+        } else if (char const* v = flag_value("--checkpoint-every")) {
+            cfg.checkpoint_every = std::atoi(v);
+        } else if (char const* v = flag_value("--retries")) {
+            cfg.opts.retries = static_cast<std::size_t>(std::atol(v));
+        } else if (char const* v = flag_value("--fault")) {
+            fault_plan = v;
+        } else if (char const* v = flag_value("--watchdog-ms")) {
+            watchdog_ms = std::atol(v);
+        } else if (argv[i][0] == '-') {
+            return usage(argv[0]);
+        } else if (npos < 4) {
+            pos[npos++] = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (npos > 0) {
+        if (std::strcmp(pos[0], "seq") == 0) {
             cfg.be = op2::backend::seq;
-        } else if (std::strcmp(argv[1], "fork_join") == 0) {
+        } else if (std::strcmp(pos[0], "fork_join") == 0) {
             cfg.be = op2::backend::fork_join;
-        } else if (std::strcmp(argv[1], "hpx") == 0) {
+        } else if (std::strcmp(pos[0], "hpx") == 0) {
             cfg.be = op2::backend::hpx;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [seq|fork_join|hpx] [nx ny] [niter]\n",
-                         argv[0]);
+            return usage(argv[0]);
+        }
+    }
+    if (npos > 2) {
+        cfg.mesh.nx = static_cast<std::size_t>(std::atoi(pos[1]));
+        cfg.mesh.ny = static_cast<std::size_t>(std::atoi(pos[2]));
+    }
+    if (npos > 3) {
+        cfg.niter = std::atoi(pos[3]);
+    }
+
+    if (!fault_plan.empty()) {
+        try {
+            op2::fault::arm(fault_plan);
+        } catch (std::exception const& e) {
+            std::fprintf(stderr, "%s\n", e.what());
             return 2;
         }
     }
-    if (argc > 3) {
-        cfg.mesh.nx = static_cast<std::size_t>(std::atoi(argv[2]));
-        cfg.mesh.ny = static_cast<std::size_t>(std::atoi(argv[3]));
-    }
-    if (argc > 4) {
-        cfg.niter = std::atoi(argv[4]);
-    }
 
     hpxlite::init();
-    std::printf("airfoil: %zux%zu cells, %d iterations, backend=%s\n",
-                cfg.mesh.nx, cfg.mesh.ny, cfg.niter, op2::to_string(cfg.be));
+    int rc = 0;
+    try {
+        std::optional<op2::exec::watchdog> dog;
+        if (watchdog_ms > 0) {
+            dog.emplace(std::chrono::milliseconds(watchdog_ms));
+        }
 
-    auto result = airfoil::run(cfg);
+        airfoil::app_result result;
+        if (!mesh_file.empty()) {
+            airfoil::mesh m = airfoil::read_mesh_file(mesh_file);
+            std::printf(
+                "airfoil: %zu nodes / %zu cells from %s, %d iterations, "
+                "backend=%s\n",
+                m.nnode, m.ncell, mesh_file.c_str(), cfg.niter,
+                op2::to_string(cfg.be));
+            airfoil::problem prob = airfoil::make_problem(m);
+            result = airfoil::run(prob, cfg);
+        } else {
+            std::printf(
+                "airfoil: %zux%zu cells, %d iterations, backend=%s\n",
+                cfg.mesh.nx, cfg.mesh.ny, cfg.niter,
+                op2::to_string(cfg.be));
+            result = airfoil::run(cfg);
+        }
 
-    int it = cfg.rms_stride;
-    for (double r : result.rms_history) {
-        std::printf("  iter %6d  rms %.10e\n", it, r);
-        it += cfg.rms_stride;
+        int it = cfg.rms_stride;
+        for (double r : result.rms_history) {
+            std::printf("  iter %6d  rms %.10e\n", it, r);
+            it += cfg.rms_stride;
+        }
+        std::printf("elapsed: %.4f s  (%.2f us per cell-iteration)\n",
+                    result.elapsed_s,
+                    result.elapsed_s * 1e6 /
+                        (static_cast<double>(cfg.mesh.nx * cfg.mesh.ny) *
+                         cfg.niter));
+        if (cfg.checkpoint_every > 0) {
+            std::printf("checkpoint: every %d iteration(s), %d recover%s\n",
+                        cfg.checkpoint_every, result.recoveries,
+                        result.recoveries == 1 ? "y" : "ies");
+        }
+
+        std::printf("\nper-loop timing (op_timing_output):\n");
+        std::ostringstream os;
+        op2::op_timing_output(os);
+        std::fputs(os.str().c_str(), stdout);
+    } catch (airfoil::mesh_io_error const& e) {
+        // Structured mesh failure: the message already names file,
+        // section and line — report it and exit non-zero.
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        rc = 1;
+    } catch (std::exception const& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        rc = 1;
     }
-    std::printf("elapsed: %.4f s  (%.2f us per cell-iteration)\n",
-                result.elapsed_s,
-                result.elapsed_s * 1e6 /
-                    (static_cast<double>(cfg.mesh.nx * cfg.mesh.ny) *
-                     cfg.niter));
-
-    std::printf("\nper-loop timing (op_timing_output):\n");
-    std::ostringstream os;
-    op2::op_timing_output(os);
-    std::fputs(os.str().c_str(), stdout);
 
     hpxlite::finalize();
-    return 0;
+    return rc;
 }

@@ -22,6 +22,17 @@ struct app_config {
     /// run(app_config) overload, which declares the dats itself; follows
     /// the process-wide memory::first_touch_enabled() default.
     bool first_touch = op2::memory::first_touch_enabled();
+    /// Fault-tolerant execution: checkpoint the state dats (q, qold,
+    /// adt, res) every N iterations and, when an iteration segment
+    /// fails (an injected fault, a throwing kernel, a quarantined
+    /// read), roll back to the last checkpoint and re-issue the
+    /// segment, up to opts.retries times. Recovery is exact: the
+    /// rms accumulators of a re-issued segment are re-zeroed and the
+    /// dat bytes restored wholesale, so a recovered run's output is
+    /// bitwise-identical to an undisturbed run of the same
+    /// configuration. 0 disables checkpointing (the seed behaviour:
+    /// issue everything, fence once).
+    int checkpoint_every = 0;
 };
 
 /// Outcome of one run.
@@ -30,6 +41,9 @@ struct app_result {
     double final_rms = 0.0;
     double elapsed_s = 0.0;           ///< wall-clock of the iteration loop
     std::vector<double> q_final;      ///< final conserved state (ncell*4)
+    /// Checkpoint rollbacks taken (checkpoint_every > 0 only): how many
+    /// failed segments were rolled back and re-issued successfully.
+    int recoveries = 0;
 };
 
 /// The OP2 view of the Airfoil mesh: declared sets, maps, and dats.

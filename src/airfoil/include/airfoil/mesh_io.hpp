@@ -20,10 +20,43 @@
 namespace airfoil {
 
 /// Raised on malformed input (bad header, truncated body, out-of-range
-/// connectivity).
+/// connectivity) and on file open/write failures. Parse errors are
+/// *structured*: source() names the file (or "<stream>"), section()
+/// the grid-file section being read ("header", "node coordinates",
+/// "cell connectivity", "edge list", "boundary-edge list"), and line()
+/// the 1-based input line — the what() message carries all three, so a
+/// driver that just prints it and exits non-zero still reports exactly
+/// where the mesh broke.
 class mesh_io_error : public std::runtime_error {
 public:
+    /// Unstructured failure (open/write): message only.
     using std::runtime_error::runtime_error;
+
+    /// Structured parse failure at source:line in `section`.
+    mesh_io_error(std::string source, std::string section,
+                  std::size_t line, std::string const& detail)
+      : std::runtime_error("mesh_io: " + source + ":" +
+                           std::to_string(line) + ": " + section + ": " +
+                           detail),
+        source_(std::move(source)), section_(std::move(section)),
+        line_(line) {}
+
+    /// File (or "<stream>") the error came from; empty when
+    /// unstructured.
+    [[nodiscard]] std::string const& source() const noexcept {
+        return source_;
+    }
+    /// Grid-file section being parsed; empty when unstructured.
+    [[nodiscard]] std::string const& section() const noexcept {
+        return section_;
+    }
+    /// 1-based input line; 0 when unstructured.
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::string source_;
+    std::string section_;
+    std::size_t line_ = 0;
 };
 
 /// Serialise `m` in new_grid.dat layout.
@@ -32,8 +65,12 @@ void write_mesh_file(std::string const& path, mesh const& m);
 
 /// Parse a new_grid.dat stream. The q_init field is set to the free
 /// stream (the file format does not carry flow state). Throws
-/// mesh_io_error on malformed input; the result always passes
-/// check_mesh() range validation.
+/// mesh_io_error on malformed input — with source()/section()/line()
+/// naming exactly where — and the result always passes check_mesh()
+/// range validation. `source` labels the stream in diagnostics
+/// (read_mesh_file passes the path; the plain overload uses
+/// "<stream>").
+mesh read_mesh(std::istream& is, std::string const& source);
 mesh read_mesh(std::istream& is);
 mesh read_mesh_file(std::string const& path);
 

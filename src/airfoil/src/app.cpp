@@ -1,5 +1,6 @@
 #include <airfoil/app.hpp>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -37,9 +38,13 @@ problem make_problem(mesh const& m) {
 namespace {
 
 /// One inner step (the paper's Fig. 2 loop chain, issued on `be`).
-/// `rms` must point to stable storage when be == hpx.
+/// `rms` must point to stable storage when be == hpx. When `handles`
+/// is non-null every issued loop's handle is appended — the
+/// checkpoint-recovering driver gets failures at segment granularity
+/// through handle.get() instead of one terminal fence.
 void issue_step(problem& p, op2::backend be, loop_options const& opts,
-                double* rms) {
+                double* rms,
+                std::vector<exec::loop_handle>* handles = nullptr) {
     namespace k = airfoil::kernels;
 
     // All backends dispatch through the exec layer; with hpx_dataflow the
@@ -50,7 +55,10 @@ void issue_step(problem& p, op2::backend be, loop_options const& opts,
     lo.backend = to_exec_backend(be);
     auto loop = [&](char const* name, op_set const& set, auto kernel,
                     auto... args) {
-        (void)exec::run_loop(lo, name, set, kernel, args...);
+        auto h = exec::run_loop(lo, name, set, kernel, args...);
+        if (handles != nullptr) {
+            handles->push_back(std::move(h));
+        }
     };
 
     loop("save_soln", p.cells, k::save_soln,
@@ -107,11 +115,59 @@ app_result run(problem& p, app_config const& cfg) {
     std::vector<double> rms(static_cast<std::size_t>(cfg.niter), 0.0);
 
     hpxlite::util::stopwatch sw;
-    for (int it = 0; it < cfg.niter; ++it) {
-        issue_step(p, cfg.be, cfg.opts, &rms[static_cast<std::size_t>(it)]);
-    }
-    if (cfg.be == backend::hpx) {
-        op_fence_all();
+    if (cfg.checkpoint_every > 0) {
+        // Fault-tolerant march: checkpoint the state dats every N
+        // iterations and re-issue a failed segment from the last
+        // checkpoint, up to opts.retries rollbacks. Recovery is exact —
+        // the restored bytes and the re-zeroed rms accumulators make a
+        // recovered run bitwise-identical to an undisturbed one.
+        std::vector<op_dat> const state = {p.p_q, p.p_qold, p.p_adt,
+                                           p.p_res};
+        exec::checkpoint ckpt;
+        ckpt.capture(state);
+        std::size_t tries = cfg.opts.retries;
+        std::vector<exec::loop_handle> handles;
+        int it = 0;
+        while (it < cfg.niter) {
+            int const seg_end =
+                std::min(cfg.niter, it + cfg.checkpoint_every);
+            try {
+                handles.clear();
+                for (int i = it; i < seg_end; ++i) {
+                    // Re-issued iterations must re-accumulate from
+                    // zero: OP_INC globals are not covered by the dat
+                    // checkpoint.
+                    rms[static_cast<std::size_t>(i)] = 0.0;
+                    issue_step(p, cfg.be, cfg.opts,
+                               &rms[static_cast<std::size_t>(i)],
+                               &handles);
+                }
+                for (auto const& h : handles) {
+                    h.get();
+                }
+                ckpt.capture(state);  // segment good: advance the epoch
+                it = seg_end;
+            } catch (...) {
+                if (tries == 0) {
+                    throw;
+                }
+                --tries;
+                ++result.recoveries;
+                // Quiesce whatever is still in flight (failed nodes
+                // skip their bodies), then restore the last good epoch
+                // — contents, dependency records, and quarantine.
+                op_fence_all();
+                ckpt.rollback();
+            }
+        }
+    } else {
+        for (int it = 0; it < cfg.niter; ++it) {
+            issue_step(p, cfg.be, cfg.opts,
+                       &rms[static_cast<std::size_t>(it)]);
+        }
+        if (cfg.be == backend::hpx) {
+            op_fence_all();
+        }
     }
     result.elapsed_s = sw.elapsed_s();
 

@@ -1,6 +1,8 @@
 #include <airfoil/mesh_io.hpp>
 
+#include <cctype>
 #include <fstream>
+#include <istream>
 #include <ostream>
 #include <sstream>
 
@@ -10,12 +12,68 @@ namespace airfoil {
 
 namespace {
 
-void check_range(long v, std::size_t limit, char const* what) {
-    if (v < 0 || static_cast<std::size_t>(v) >= limit) {
-        throw mesh_io_error(std::string("mesh_io: ") + what +
-                            " index out of range: " + std::to_string(v));
+/// Whitespace-delimited token extraction that counts input lines, so a
+/// parse failure can name the exact source line. Newlines are consumed
+/// (and counted) *before* each extraction — after the skip, operator>>
+/// sees a non-space character and cannot silently cross lines — so
+/// line() at failure points at the line holding (or missing) the bad
+/// token.
+class token_reader {
+public:
+    token_reader(std::istream& is, std::string source)
+      : is_(is), source_(std::move(source)) {}
+
+    /// Extract the next token into `v`; false at EOF/parse failure.
+    template <typename T>
+    [[nodiscard]] bool next(T& v) {
+        skip_space();
+        return static_cast<bool>(is_ >> v);
     }
-}
+
+    /// Extract, or throw the structured diagnostic.
+    template <typename T>
+    void require(T& v, char const* section, char const* what) {
+        if (!next(v)) {
+            fail(section, std::string("missing or malformed ") + what);
+        }
+    }
+
+    /// Extract a connectivity index and range-check it.
+    void require_index(int& out, std::size_t limit, char const* section,
+                       char const* what) {
+        long v = 0;
+        require(v, section, what);
+        if (v < 0 || static_cast<std::size_t>(v) >= limit) {
+            fail(section, std::string(what) + " index out of range: " +
+                              std::to_string(v) + " (limit " +
+                              std::to_string(limit) + ")");
+        }
+        out = static_cast<int>(v);
+    }
+
+    [[noreturn]] void fail(char const* section,
+                           std::string const& detail) const {
+        throw mesh_io_error(source_, section, line_, detail);
+    }
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    void skip_space() {
+        int c = 0;
+        while ((c = is_.peek()) != std::char_traits<char>::eof() &&
+               std::isspace(static_cast<unsigned char>(c)) != 0) {
+            if (c == '\n') {
+                ++line_;
+            }
+            is_.get();
+        }
+    }
+
+    std::istream& is_;
+    std::string source_;
+    std::size_t line_ = 1;
+};
 
 }  // namespace
 
@@ -48,15 +106,20 @@ void write_mesh_file(std::string const& path, mesh const& m) {
     write_mesh(f, m);
 }
 
-mesh read_mesh(std::istream& is) {
+mesh read_mesh(std::istream& is, std::string const& source) {
+    token_reader in(is, source);
     mesh m;
+
     long nnode = -1;
     long ncell = -1;
     long nedge = -1;
     long nbedge = -1;
-    if (!(is >> nnode >> ncell >> nedge >> nbedge) || nnode < 0 ||
-        ncell < 0 || nedge < 0 || nbedge < 0) {
-        throw mesh_io_error("mesh_io: malformed header");
+    in.require(nnode, "header", "node count");
+    in.require(ncell, "header", "cell count");
+    in.require(nedge, "header", "edge count");
+    in.require(nbedge, "header", "boundary-edge count");
+    if (nnode < 0 || ncell < 0 || nedge < 0 || nbedge < 0) {
+        in.fail("header", "negative entity count");
     }
     m.nnode = static_cast<std::size_t>(nnode);
     m.ncell = static_cast<std::size_t>(ncell);
@@ -65,59 +128,38 @@ mesh read_mesh(std::istream& is) {
 
     m.x.resize(m.nnode * 2);
     for (std::size_t n = 0; n < m.nnode; ++n) {
-        if (!(is >> m.x[2 * n] >> m.x[2 * n + 1])) {
-            throw mesh_io_error("mesh_io: truncated node coordinates");
-        }
+        in.require(m.x[2 * n], "node coordinates", "x coordinate");
+        in.require(m.x[2 * n + 1], "node coordinates", "y coordinate");
     }
 
     m.pcell.resize(m.ncell * 4);
     for (std::size_t c = 0; c < m.ncell * 4; ++c) {
-        long v = 0;
-        if (!(is >> v)) {
-            throw mesh_io_error("mesh_io: truncated cell connectivity");
-        }
-        check_range(v, m.nnode, "cell node");
-        m.pcell[c] = static_cast<int>(v);
+        in.require_index(m.pcell[c], m.nnode, "cell connectivity",
+                         "cell node");
     }
 
     m.pedge.resize(m.nedge * 2);
     m.pecell.resize(m.nedge * 2);
     for (std::size_t e = 0; e < m.nedge; ++e) {
-        long n1 = 0;
-        long n2 = 0;
-        long c1 = 0;
-        long c2 = 0;
-        if (!(is >> n1 >> n2 >> c1 >> c2)) {
-            throw mesh_io_error("mesh_io: truncated edge list");
-        }
-        check_range(n1, m.nnode, "edge node");
-        check_range(n2, m.nnode, "edge node");
-        check_range(c1, m.ncell, "edge cell");
-        check_range(c2, m.ncell, "edge cell");
-        m.pedge[2 * e] = static_cast<int>(n1);
-        m.pedge[2 * e + 1] = static_cast<int>(n2);
-        m.pecell[2 * e] = static_cast<int>(c1);
-        m.pecell[2 * e + 1] = static_cast<int>(c2);
+        in.require_index(m.pedge[2 * e], m.nnode, "edge list", "edge node");
+        in.require_index(m.pedge[2 * e + 1], m.nnode, "edge list",
+                         "edge node");
+        in.require_index(m.pecell[2 * e], m.ncell, "edge list", "edge cell");
+        in.require_index(m.pecell[2 * e + 1], m.ncell, "edge list",
+                         "edge cell");
     }
 
     m.pbedge.resize(m.nbedge * 2);
     m.pbecell.resize(m.nbedge);
     m.bound.resize(m.nbedge);
     for (std::size_t e = 0; e < m.nbedge; ++e) {
-        long n1 = 0;
-        long n2 = 0;
-        long c = 0;
-        long b = 0;
-        if (!(is >> n1 >> n2 >> c >> b)) {
-            throw mesh_io_error("mesh_io: truncated boundary-edge list");
-        }
-        check_range(n1, m.nnode, "bedge node");
-        check_range(n2, m.nnode, "bedge node");
-        check_range(c, m.ncell, "bedge cell");
-        m.pbedge[2 * e] = static_cast<int>(n1);
-        m.pbedge[2 * e + 1] = static_cast<int>(n2);
-        m.pbecell[e] = static_cast<int>(c);
-        m.bound[e] = static_cast<int>(b);
+        in.require_index(m.pbedge[2 * e], m.nnode, "boundary-edge list",
+                         "bedge node");
+        in.require_index(m.pbedge[2 * e + 1], m.nnode, "boundary-edge list",
+                         "bedge node");
+        in.require_index(m.pbecell[e], m.ncell, "boundary-edge list",
+                         "bedge cell");
+        in.require(m.bound[e], "boundary-edge list", "bound flag");
     }
 
     m.q_init.resize(m.ncell * 4);
@@ -129,12 +171,14 @@ mesh read_mesh(std::istream& is) {
     return m;
 }
 
+mesh read_mesh(std::istream& is) { return read_mesh(is, "<stream>"); }
+
 mesh read_mesh_file(std::string const& path) {
     std::ifstream f(path);
     if (!f) {
         throw mesh_io_error("mesh_io: cannot open: " + path);
     }
-    return read_mesh(f);
+    return read_mesh(f, path);
 }
 
 }  // namespace airfoil

@@ -17,6 +17,21 @@
 
 namespace hpxlite::threads {
 
+/// What a task-fault hook asks the pool to do with the task it is about
+/// to run. `drop` discards the node without executing it — the same
+/// path pool teardown takes for never-run tasks — so upper layers can
+/// test their abandoned-work error handling deterministically.
+enum class task_fault { none, drop };
+
+/// Process-wide scheduler fault hook, consulted by run_one() right
+/// before each task executes. The hook may also sleep (delay injection)
+/// before returning. Installed by fault-injection layers; nullptr (the
+/// default) keeps the dispatch path at one relaxed atomic load. The
+/// hook must be safe to call concurrently from every worker.
+using task_fault_hook = task_fault (*)();
+void set_task_fault_hook(task_fault_hook h) noexcept;
+[[nodiscard]] task_fault_hook get_task_fault_hook() noexcept;
+
 /// Construction-time knobs of a thread_pool.
 struct pool_options {
     /// Bind worker i to CPU i % hardware_concurrency via
@@ -131,6 +146,14 @@ public:
     /// relaxed counter). Exposed for the micro benches.
     [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
         return executed_.load(std::memory_order_relaxed);
+    }
+
+    /// Tasks currently queued or running (approximate, relaxed). A
+    /// stall watchdog samples this together with tasks_executed(): a
+    /// nonzero pending count with a frozen executed count is a graph
+    /// making no progress.
+    [[nodiscard]] std::size_t tasks_pending() const noexcept {
+        return pending_.load(std::memory_order_relaxed);
     }
 
     /// Workers currently parked on their sleep slots (approximate).

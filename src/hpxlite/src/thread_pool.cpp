@@ -17,10 +17,22 @@ namespace {
 thread_local thread_pool const* tls_pool = nullptr;
 thread_local std::size_t tls_index = 0;
 
+// Scheduler fault hook (set_task_fault_hook). Constant-initialised so
+// installers running during static initialisation are safe.
+std::atomic<task_fault_hook> g_task_fault_hook{nullptr};
+
 // Yield-spins a worker performs after a fruitless sweep before parking.
 // Small: parking is cheap now that submit only signals actual sleepers.
 constexpr int kIdleSpins = 16;
 }  // namespace
+
+void set_task_fault_hook(task_fault_hook h) noexcept {
+    g_task_fault_hook.store(h, std::memory_order_release);
+}
+
+task_fault_hook get_task_fault_hook() noexcept {
+    return g_task_fault_hook.load(std::memory_order_acquire);
+}
 
 pool_options pool_options::from_env() noexcept {
     pool_options o;
@@ -289,7 +301,17 @@ bool thread_pool::run_one() {
     if (n == nullptr) {
         return false;
     }
-    n->execute();
+    // Fault-injection gate: one relaxed load when no hook is installed.
+    // A hook may sleep (delay injection) or ask for the task to be
+    // discarded — the exact code path teardown uses for never-run
+    // tasks, so upper layers see their real abandoned-work errors.
+    if (task_fault_hook const hook =
+            g_task_fault_hook.load(std::memory_order_relaxed);
+        hook != nullptr && hook() == task_fault::drop) {
+        n->discard();
+    } else {
+        n->execute();
+    }
     executed_.fetch_add(1, std::memory_order_relaxed);
     // seq_cst pairs with wait_idle's waiter registration, mirroring the
     // submit/sleeper protocol.

@@ -92,6 +92,20 @@ public:
         return a.impl_ == b.impl_;
     }
 
+    /// True while any element range of this dat is quarantined (a loop
+    /// writing it failed; readers fail fast until the quarantine lifts).
+    [[nodiscard]] bool quarantined() const {
+        return impl_ != nullptr && impl_->dep.poison_count() != 0;
+    }
+
+    /// Lift this dat's quarantine: drain its in-flight loops, drop the
+    /// poison spans, and prune the failed nodes from its dependency
+    /// records so later loops neither fail fast nor inherit the old
+    /// error. The caller asserts the contents are good again (e.g.
+    /// after rewriting them out-of-band); compare exec::checkpoint
+    /// rollback, which restores contents too. No-op on invalid handles.
+    void clear_quarantine();
+
     /// Internal: dependency/bookkeeping access for the backends.
     [[nodiscard]] detail::dat_impl& internal() { return *impl_; }
     [[nodiscard]] detail::dat_impl const& internal() const { return *impl_; }

@@ -26,6 +26,7 @@
 #include <op2/detail/executor.hpp>
 #include <op2/exec/backend_kind.hpp>
 #include <op2/exec/dataflow.hpp>
+#include <op2/fault.hpp>
 #include <op2/loop_options.hpp>
 #include <op2/plan.hpp>
 #include <op2/timing.hpp>
@@ -64,6 +65,20 @@ public:
         }
     }
 
+    /// Bounded wait: true when the loop completed within `timeout`
+    /// (immediately true for the ready handles of synchronous
+    /// backends). On false the graph is stalled or still running — the
+    /// handle stays waitable, and exec::dump_graph names the pending
+    /// sub-nodes.
+    template <typename Rep, typename Period>
+    [[nodiscard]] bool wait_for(
+        std::chrono::duration<Rep, Period> timeout) const {
+        return !node_ ||
+               node_->wait_for(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       timeout));
+    }
+
 private:
     node_ref node_;
 };
@@ -81,6 +96,84 @@ namespace detail {
 /// the sequential value. Combines are rare (one per partition per
 /// loop) and short, so a single global spinlock costs nothing.
 inline hpxlite::util::spinlock g_combine_mtx;
+
+// --- partition-granular quarantine (issue-side) ---------------------------
+
+/// One dat element span a failing sub-node may have half-written:
+/// registered at issue time, turned into a poison span if the node
+/// completes with an error. Points at the dat's impl (alive as long as
+/// the group/executor holds the arg) so the failure path can reach both
+/// the dep_state and the dat's name without per-issue string copies.
+struct quarantine_target {
+    op2::detail::dat_impl const* dat = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+};
+
+/// Issue-time quarantine gate shared by every backend. Two passes:
+/// first fail fast when any dat the loop *consumes* (any access but
+/// OP_WRITE — OP_RW and OP_INC read their targets) holds a poison
+/// span, composing the structured diagnostic naming the origin loop,
+/// partition and colour; then, for a clean loop, heal dats it fully
+/// overwrites (direct OP_WRITE args), since no stale byte survives a
+/// full overwrite. Behind the any_poisoned() gate the healthy-path
+/// cost is one relaxed load.
+template <typename Args>
+[[nodiscard]] std::exception_ptr check_quarantine(Args const& args,
+                                                  char const* name) {
+    if (!any_poisoned()) {
+        return nullptr;
+    }
+    for (op_arg const& a : args) {
+        if (!a.dat.valid() || a.acc == op_access::OP_WRITE) {
+            continue;
+        }
+        if (auto info =
+                a.dat.internal().dep.find_poison(0, a.dat.set().size())) {
+            std::string msg =
+                "op2.quarantine: loop '" + std::string(name) +
+                "' reads poisoned dat '" + a.dat.name() + "': partition " +
+                std::to_string(info->partition) + " colour " +
+                std::to_string(info->color) + " of loop '" + info->loop +
+                "' failed: " + describe_exception(info->origin);
+            return std::make_exception_ptr(
+                quarantine_error(msg, std::move(info)));
+        }
+    }
+    for (op_arg const& a : args) {
+        if (a.dat.valid() && a.acc == op_access::OP_WRITE &&
+            a.is_direct()) {
+            a.dat.internal().dep.clear_poison();
+        }
+    }
+    return nullptr;
+}
+
+/// Quarantine the written dats of a synchronously failed loop
+/// (seq/staged backends: the kernel threw mid-sweep, so any written
+/// range may be half-updated). Whole-dat spans — synchronous sweeps
+/// have no partition attribution. Best-effort, called from a catch
+/// block (std::current_exception() is the origin).
+template <typename Args>
+void poison_sync_failure(Args const& args, char const* name) noexcept {
+    try {
+        auto const origin = std::current_exception();
+        for (op_arg const& a : args) {
+            if (!a.dat.valid() || a.acc == op_access::OP_READ) {
+                continue;
+            }
+            auto info = std::make_shared<poison_info>();
+            info->loop = name;
+            info->dat = a.dat.name();
+            info->origin = origin;
+            a.dat.internal().dep.add_poison(0, a.dat.set().size(),
+                                            std::move(info));
+        }
+    } catch (...) {
+        // Out of memory while reporting: the original error still
+        // propagates, exactly the pre-quarantine behaviour.
+    }
+}
 
 /// The plan-driven sweep every parallel backend shares: per colour, a
 /// fork-join for_loop over the colour's blocks through the staged
@@ -122,16 +215,44 @@ public:
 
     void bind_plan(op_plan const& p) noexcept { plan_ = &p; }
 
+    /// Register a written dat span to quarantine should this node fail
+    /// (issue time, before the node can run).
+    void add_quarantine_target(quarantine_target t) {
+        qtargets_.push_back(t);
+    }
+
 private:
     void run_body() override {
+        // Deterministic injection point: an armed kernel=NAME@0.0 site
+        // throws here, as if the loop's kernel had failed.
+        fault::on_kernel(name_, 0, 0);
         staged_sweep(ex_, *plan_, backend_kind::hpx_dataflow, name_);
     }
 
-    void on_complete() noexcept override { ex_.release_handles(); }
+    void on_complete() noexcept override {
+        if (error()) {
+            // Whatever this loop was going to write is now stale or
+            // half-written: quarantine it (best-effort — an allocation
+            // failure here leaves plain error propagation, the
+            // pre-quarantine behaviour).
+            try {
+                for (auto const& t : qtargets_) {
+                    auto info = std::make_shared<poison_info>();
+                    info->loop = name_;
+                    info->dat = t.dat->name;
+                    info->origin = error();
+                    t.dat->dep.add_poison(t.lo, t.hi, std::move(info));
+                }
+            } catch (...) {
+            }
+        }
+        ex_.release_handles();
+    }
 
     op2::detail::loop_executor<Kernel, N> ex_;
     op_plan const* plan_ = nullptr;
     char const* name_;
+    std::vector<quarantine_target> qtargets_;
 };
 
 /// Shared state of one partition-granular dataflow loop: one executor
@@ -154,6 +275,7 @@ public:
         }
         colors_left_ =
             std::make_unique<std::atomic<std::size_t>[]>(nparts);
+        qtargets_.resize(nparts);
     }
 
     [[nodiscard]] std::size_t nparts() const noexcept {
@@ -220,6 +342,36 @@ public:
         }
     }
 
+    /// Register a dat element span partition p's failure would taint.
+    /// Issue-side only, and all of partition p's targets land before
+    /// p's first sub-node is issued — the only writer racing a
+    /// potential reader (poison_partition) is pushing to a *different*
+    /// partition's inner vector of the pre-sized outer one.
+    void add_quarantine_target(std::size_t p, quarantine_target t) {
+        qtargets_[p].push_back(t);
+    }
+
+    /// Quarantine every span partition p could have half-written,
+    /// attributed to (this loop, p, `color`) with `origin` chained into
+    /// the diagnostic. Called from a failed sub-node's on_complete
+    /// (noexcept there, so best-effort: an allocation failure leaves
+    /// plain error propagation).
+    void poison_partition(std::size_t p, std::size_t color,
+                          std::exception_ptr origin) noexcept {
+        try {
+            for (auto const& t : qtargets_[p]) {
+                auto info = std::make_shared<poison_info>();
+                info->loop = name_;
+                info->dat = t.dat->name;
+                info->partition = p;
+                info->color = color;
+                info->origin = origin;
+                t.dat->dep.add_poison(t.lo, t.hi, std::move(info));
+            }
+        } catch (...) {
+        }
+    }
+
 private:
     [[nodiscard]] static std::int64_t now_ns() noexcept {
         return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -230,6 +382,7 @@ private:
     std::vector<op2::detail::loop_executor<Kernel, N>> execs_;
     std::vector<op_plan const*> plans_;
     std::unique_ptr<std::atomic<std::size_t>[]> colors_left_;
+    std::vector<std::vector<quarantine_target>> qtargets_;  // [partition]
     std::atomic<std::int64_t> start_ns_{-1};
     char const* name_;
 };
@@ -249,6 +402,9 @@ public:
 private:
     void run_body() override {
         grp_->mark_start();
+        // Deterministic injection point: an armed kernel=NAME@P.C site
+        // throws here, as if this (partition, colour) kernel had failed.
+        fault::on_kernel(grp_->name(), partition_, color_);
         auto& ex = grp_->executor(partition_);
         op_plan const& plan = grp_->plan(partition_);
         if (first_) {
@@ -264,7 +420,15 @@ private:
         }
     }
 
-    void on_complete() noexcept override { grp_.reset(); }
+    void on_complete() noexcept override {
+        if (error()) {
+            // Own failure, inherited failure, or a shutdown discard:
+            // either way the partition's writes never (fully) happened,
+            // so its target spans are stale — quarantine them.
+            grp_->poison_partition(partition_, color_, error());
+        }
+        grp_.reset();
+    }
 
     std::shared_ptr<partitioned_loop<Kernel, N>> grp_;
     std::size_t partition_;
@@ -309,9 +473,26 @@ loop_handle issue_whole_set(loop_options const& opts, char const* name,
     node_ref ref(node, /*adopt=*/true);
     auto& ex = node->executor();
     ex.validate(name);  // throws before publication; ref cleans up
+    node->set_site(name, 0, 0);
     node->bind_plan(plan_get(
         ex.set(), ex.args(),
         plan_desc{opts.part_size, opts.staged_gather}));
+
+    // Quarantine: register the spans a failure would taint (whole dat —
+    // a whole-set node has no partition attribution), and fail fast if
+    // the loop consumes a poisoned dat. The failure is *seeded* into
+    // the node, not thrown: the loop still enters the graph born-failed
+    // and reports at handle.get(), the same point as every other
+    // asynchronous failure.
+    for (op_arg const& a : ex.args()) {
+        if (a.dat.valid() && a.acc != op_access::OP_READ) {
+            node->add_quarantine_target(
+                {&a.dat.internal(), 0, a.dat.set().size()});
+        }
+    }
+    if (std::exception_ptr qerr = check_quarantine(ex.args(), name)) {
+        node->seed_error(std::move(qerr));
+    }
 
     // One dep_request per distinct dat; write dominates, so a loop
     // touching a dat through several args never self-edges. Pins are
@@ -481,6 +662,17 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
     auto* join = new join_node<Kernel, N>(grp);
     node_ref jref(join, /*adopt=*/true);
     join->bind_pool(pool);
+    join->set_site(name, dataflow_node::kJoin, 0);
+
+    // Quarantine gate: a loop consuming a poisoned dat is issued
+    // *born-failed* — every sub-node carries the diagnostic, skips its
+    // body, and the join reports it at handle.get(), the same point as
+    // every other asynchronous failure. (The sub-nodes still enter the
+    // graph, so dependents inherit the error and the written spans are
+    // quarantined in turn.)
+    std::exception_ptr const qerr =
+        check_quarantine(grp->executor(0).args(), name);
+    auto const iter_part = set.partition(nparts);
 
     bool const affinity = opts.placement == placement_kind::affinity;
     std::uint64_t const loop_tag =
@@ -491,6 +683,39 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
     std::vector<dep_request> reqs;
     for (std::size_t p = 0; p < nparts; ++p) {
         op_plan const& plan = grp->plan(p);
+
+        // Partition p's quarantine targets: the dat element spans a
+        // failure of any of p's sub-nodes may have half-written —
+        // direct args taint the iteration partition's own span,
+        // indirect ones the spans of the footprint's dat partitions.
+        // Registered before p's first sub-node is issued (a sub-node
+        // can fail the instant it is wired).
+        {
+            std::size_t j = 0;
+            for (op_arg const& a : grp->executor(0).args()) {
+                std::size_t const i = arg_dat[j++];
+                if (i == static_cast<std::size_t>(-1) ||
+                    a.acc == op_access::OP_READ) {
+                    continue;
+                }
+                auto const* impl = &a.dat.internal();
+                if (a.is_direct()) {
+                    grp->add_quarantine_target(
+                        p, {impl, iter_part->begin(p), iter_part->end(p)});
+                } else if (plan_footprint const* fp =
+                               plan.find_footprint(a.map.id(), a.idx)) {
+                    auto const dp = a.dat.set().partition(nparts);
+                    for (std::uint32_t q : fp->parts) {
+                        grp->add_quarantine_target(
+                            p, {impl, dp->begin(q), dp->end(q)});
+                    }
+                } else {
+                    grp->add_quarantine_target(
+                        p, {impl, 0, a.dat.set().size()});
+                }
+            }
+        }
+
         node_ref chain_prev;
         for (std::size_t c = 0; c < plan.ncolors; ++c) {
             if (plan.blocks_of_color(c).empty()) {
@@ -499,6 +724,10 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
             auto* sub =
                 new part_node<Kernel, N>(grp, p, c, /*first=*/!chain_prev);
             node_ref sref(sub, /*adopt=*/true);
+            sub->set_site(name, p, c);
+            if (qerr) {
+                sub->seed_error(qerr);
+            }
             join->depend_on(*sub);
             if (affinity) {
                 sub->set_worker_hint(p % pool.size());
@@ -581,8 +810,19 @@ loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
                 std::move(set), std::array<op_arg, n>{std::move(args)...},
                 std::move(kernel), opts);
             ex.validate(name);
+            // Synchronous backends fail fast at the call site: reading
+            // a poisoned dat throws the quarantine diagnostic here.
+            if (auto qerr = detail::check_quarantine(ex.args(), name)) {
+                std::rethrow_exception(qerr);
+            }
             hpxlite::util::stopwatch sw;
-            ex.run_sequential();
+            try {
+                fault::on_kernel(name, 0, 0);
+                ex.run_sequential();
+            } catch (...) {
+                detail::poison_sync_failure(ex.args(), name);
+                throw;
+            }
             op_timing_record(name, to_string(backend_kind::seq),
                              sw.elapsed_s());
             return {};
@@ -593,10 +833,19 @@ loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
                 std::move(set), std::array<op_arg, n>{std::move(args)...},
                 std::move(kernel), opts);
             ex.validate(name);
+            if (auto qerr = detail::check_quarantine(ex.args(), name)) {
+                std::rethrow_exception(qerr);
+            }
             op_plan const& plan = plan_get(
                 ex.set(), ex.args(),
                 plan_desc{opts.part_size, opts.staged_gather});
-            detail::staged_sweep(ex, plan, backend_kind::staged, name);
+            try {
+                fault::on_kernel(name, 0, 0);
+                detail::staged_sweep(ex, plan, backend_kind::staged, name);
+            } catch (...) {
+                detail::poison_sync_failure(ex.args(), name);
+                throw;
+            }
             return {};
         }
 

@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -37,6 +38,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -85,6 +87,19 @@ public:
         waiters_.fetch_add(1, std::memory_order_seq_cst);
         cv_.wait(lk, std::forward<Done>(done));
         waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /// Deadline-bounded wait for loop_handle::wait_for. Returns the
+    /// final predicate value (false = timed out with work pending).
+    template <typename Done>
+    bool wait_until(std::chrono::steady_clock::time_point deadline,
+                    Done&& done) {
+        std::unique_lock<std::mutex> lk(mtx_);
+        waiters_.fetch_add(1, std::memory_order_seq_cst);
+        bool const ok = cv_.wait_until(lk, deadline,
+                                       std::forward<Done>(done));
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        return ok;
     }
 
 private:
@@ -180,6 +195,38 @@ public:
         }
     }
 
+    /// Bounded wait: like wait(), but gives up at `timeout`. Helping
+    /// still happens while there is runnable work (a helper can run a
+    /// long task past the deadline — the bound is best-effort, like any
+    /// cooperative wait); once nothing is runnable the caller parks on
+    /// the completion hub with the deadline. Returns done().
+    [[nodiscard]] bool wait_for(std::chrono::nanoseconds timeout) const {
+        if (done()) {
+            return true;
+        }
+        auto const deadline = std::chrono::steady_clock::now() + timeout;
+        auto& pool = *pool_;
+        while (!done()) {
+            if (!pool.run_one()) {
+                if (std::chrono::steady_clock::now() >= deadline) {
+                    return done();
+                }
+                if (pool.on_worker_thread()) {
+                    // Workers never park on the hub (they must stay
+                    // stealable); bounded yield-spin instead.
+                    std::this_thread::yield();
+                } else {
+                    detail::completion_hub::get().wait_until(
+                        deadline, [this] { return done_seq_cst(); });
+                    if (std::chrono::steady_clock::now() >= deadline) {
+                        return done();
+                    }
+                }
+            }
+        }
+        return true;
+    }
+
     /// wait(), then rethrow the loop's (or an inherited dependency's)
     /// failure, if any.
     void wait_and_rethrow() const {
@@ -187,6 +234,34 @@ public:
         if (error_) {
             std::rethrow_exception(error_);
         }
+    }
+
+    // -- diagnostics (stall watchdog / graph dumps) -------------------
+
+    /// Stamp the node's graph-site identity: issuing loop name (a
+    /// static string — loop names are string literals by convention),
+    /// partition and colour. kJoin as partition marks a loop's join
+    /// node. Written at issue, before publication, like the hint.
+    static constexpr std::uint32_t kJoin = ~std::uint32_t{0};
+    void set_site(char const* loop, std::size_t partition,
+                  std::size_t color) noexcept {
+        site_loop_ = loop;
+        site_partition_ = static_cast<std::uint32_t>(partition);
+        site_color_ = static_cast<std::uint32_t>(color);
+    }
+    [[nodiscard]] char const* site_loop() const noexcept {
+        return site_loop_;
+    }
+    [[nodiscard]] std::uint32_t site_partition() const noexcept {
+        return site_partition_;
+    }
+    [[nodiscard]] std::uint32_t site_color() const noexcept {
+        return site_color_;
+    }
+    /// Affinity hint the node was issued with; size() (i.e. no worker)
+    /// is reported as kJoin's ~0 pattern.
+    [[nodiscard]] std::uint32_t worker_hint() const noexcept {
+        return hint_;
     }
 
     // -- issue-side protocol (used by issue(), below) -----------------
@@ -231,8 +306,25 @@ public:
     /// last predecessor finishes (or immediately, if none are pending).
     void schedule() { notify_pred_done(); }
 
+    /// Seed a failure at issue time, before the node is scheduled: the
+    /// body is skipped and waiters/successors see `e`, exactly as if a
+    /// predecessor had failed. The quarantine layer uses this to fail a
+    /// loop that reads poisoned partitions *fast* — asynchronously, at
+    /// the same reporting point (handle.get()) as every other failure.
+    void seed_error(std::exception_ptr e) noexcept {
+        inherit_error(std::move(e));
+    }
+
 protected:
     virtual ~dataflow_node() = default;
+
+    /// The node's failure (own or inherited), readable from run_body /
+    /// on_complete: predecessors are all complete and successors cannot
+    /// write error_ once the node is executing, so no lock is needed
+    /// there.
+    [[nodiscard]] std::exception_ptr const& error() const noexcept {
+        return error_;
+    }
 
     /// The loop body (backend.hpp: the staged executor sweep). Runs on a
     /// pool worker; exceptions are captured and propagated to dependents
@@ -319,6 +411,10 @@ private:
     std::atomic<std::uint32_t> refs_{1};
     std::atomic<std::uint32_t> pending_{1};  // +1 issue guard
     std::uint32_t hint_ = kNoHint;  // affinity worker, written at issue
+    // Graph-site identity for watchdog dumps, written at issue.
+    char const* site_loop_ = nullptr;
+    std::uint32_t site_partition_ = 0;
+    std::uint32_t site_color_ = 0;
     std::atomic<bool> done_{false};
     hpxlite::util::spinlock succ_mtx_;  // guards succs_ / error_ updates
     std::vector<node_ref> succs_;
@@ -393,7 +489,91 @@ struct dep_record {
         nodes.insert(nodes.end(), self.prev.begin(), self.prev.end());
         nodes.insert(nodes.end(), self.readers.begin(), self.readers.end());
     }
+
+    /// Drop completed *failed* nodes from the record: the quarantine
+    /// lift (dat::clear_quarantine). Failed history normally stays so
+    /// later writers inherit the error; after an explicit lift, they
+    /// must not. In-flight nodes are untouched — callers drain first.
+    void prune_failed() {
+        std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+        std::erase_if(writers, [](dep_writer const& w) {
+            return w.node->done() && w.node->failed();
+        });
+        auto const dead = [](node_ref const& n) {
+            return n->done() && n->failed();
+        };
+        std::erase_if(prev, dead);
+        std::erase_if(readers, dead);
+    }
 };
+
+// --- partition-granular quarantine ---------------------------------------
+
+/// Why a byte range of a dat is poisoned: the sub-node that failed
+/// while (potentially) writing it. Shared by every diagnostic derived
+/// from the same failure.
+struct poison_info {
+    std::string loop;        // origin loop name
+    std::string dat;         // written dat's name
+    std::size_t partition = 0;  // failing sub-node's partition
+    std::size_t color = 0;      // failing sub-node's colour
+    std::exception_ptr origin;  // the original failure
+};
+
+/// One quarantined element range [lo, hi) of a dat's set. Spans are
+/// *element*-granular, not record-granular, so a dependency-table
+/// re-partition (any granularity change) carries them unmodified.
+struct poison_span {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::shared_ptr<poison_info const> info;
+};
+
+/// Thrown (asynchronously, through the issued node — or synchronously
+/// by the seq/staged backends) when a loop reads a poisoned partition:
+/// the structured fail-fast diagnostic naming the origin loop,
+/// partition and colour, with the original exception reachable through
+/// info().origin.
+class quarantine_error : public std::runtime_error {
+public:
+    quarantine_error(std::string const& msg,
+                     std::shared_ptr<poison_info const> info)
+      : std::runtime_error(msg), info_(std::move(info)) {}
+
+    [[nodiscard]] poison_info const& info() const noexcept {
+        return *info_;
+    }
+
+private:
+    std::shared_ptr<poison_info const> info_;
+};
+
+namespace detail {
+/// Process-wide count of live poison spans: the issue path's fast gate.
+/// Zero (the steady state of a healthy program) keeps every quarantine
+/// check at one relaxed load.
+inline std::atomic<std::size_t> g_poison_spans{0};
+}  // namespace detail
+
+/// True when any dat anywhere holds a poison span (relaxed; callers
+/// re-check under the dat's lock).
+[[nodiscard]] inline bool any_poisoned() noexcept {
+    return detail::g_poison_spans.load(std::memory_order_relaxed) != 0;
+}
+
+/// Render an exception_ptr's message for diagnostics.
+[[nodiscard]] inline std::string describe_exception(std::exception_ptr e) {
+    if (!e) {
+        return "(no exception)";
+    }
+    try {
+        std::rethrow_exception(std::move(e));
+    } catch (std::exception const& ex) {
+        return ex.what();
+    } catch (...) {
+        return "(non-std exception)";
+    }
+}
 
 /// Partition-granular dependency state of one dat: a table of
 /// dep_records, one per partition of the dat's set, plus a dat-level
@@ -518,6 +698,84 @@ struct dep_state {
     void bump_epoch() {
         std::lock_guard<hpxlite::util::spinlock> lk(mtx);
         ++epoch;
+    }
+
+    // --- quarantine --------------------------------------------------------
+
+    /// Quarantined element spans of this dat (guarded by `mtx`).
+    /// Element-granular, so granularity changes leave them valid; the
+    /// issue path only consults them behind the any_poisoned() gate.
+    std::vector<poison_span> poison;
+
+    /// Quarantine elements [lo, hi): later loops reading them fail fast
+    /// with a diagnostic built from `info`. Called from a failing
+    /// sub-node's completion (best-effort; allocation failure there is
+    /// swallowed by the caller, never worse than pre-quarantine
+    /// behaviour).
+    void add_poison(std::size_t lo, std::size_t hi,
+                    std::shared_ptr<poison_info const> info) {
+        std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+        poison.push_back({lo, hi, std::move(info)});
+        detail::g_poison_spans.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// First poison span overlapping [lo, hi), or null when the range is
+    /// clean.
+    [[nodiscard]] std::shared_ptr<poison_info const>
+    find_poison(std::size_t lo, std::size_t hi) {
+        std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+        for (auto const& s : poison) {
+            if (s.lo < hi && lo < s.hi) {
+                return s.info;
+            }
+        }
+        return nullptr;
+    }
+
+    /// Lift this dat's quarantine (a direct full overwrite heals, and
+    /// dat::clear_quarantine drains + calls this).
+    void clear_poison() {
+        std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+        if (!poison.empty()) {
+            detail::g_poison_spans.fetch_sub(poison.size(),
+                                             std::memory_order_relaxed);
+            poison.clear();
+        }
+    }
+
+    [[nodiscard]] std::size_t poison_count() const {
+        auto& self = const_cast<dep_state&>(*this);
+        std::lock_guard<hpxlite::util::spinlock> lk(self.mtx);
+        return self.poison.size();
+    }
+
+    /// Forget all dependency history *and* quarantine: the checkpoint
+    /// rollback path, called after a full fence (no tracked node can be
+    /// live). Spins out loops mid-issue on the current table first.
+    void reset() {
+        for (;;) {
+            {
+                std::lock_guard<hpxlite::util::spinlock> lk(mtx);
+                if (inflight == 0) {
+                    recs.reset();
+                    count = 0;
+                    if (!poison.empty()) {
+                        detail::g_poison_spans.fetch_sub(
+                            poison.size(), std::memory_order_relaxed);
+                        poison.clear();
+                    }
+                    return;
+                }
+            }
+            std::this_thread::yield();
+        }
+    }
+
+    ~dep_state() {
+        if (!poison.empty()) {
+            detail::g_poison_spans.fetch_sub(poison.size(),
+                                             std::memory_order_relaxed);
+        }
     }
 };
 

@@ -101,6 +101,16 @@ struct loop_options {
     /// detail::simd_gather_default() (OP2HPX_SIMD_GATHER env).
     bool simd_gather = detail::simd_gather_default();
 
+    /// Bounded retry budget for checkpoint-recovering drivers (the
+    /// fault-tolerance layer): how many times an epoch that failed —
+    /// an injected fault, a throwing kernel, a quarantined read — may
+    /// be rolled back to the last exec::checkpoint and re-issued
+    /// before the failure is allowed to propagate. The loop layers
+    /// themselves never retry (a loop is not idempotent mid-flight);
+    /// this knob rides here so drivers (airfoil's --retries) share one
+    /// configuration surface.
+    std::size_t retries = 0;
+
     /// Pool override; nullptr uses the global hpxlite pool.
     hpxlite::threads::thread_pool* pool = nullptr;
 };

@@ -41,6 +41,7 @@
 
 #include <hpxlite/config.hpp>
 #include <hpxlite/threads/thread_pool.hpp>
+#include <op2/fault.hpp>
 #include <op2/set.hpp>
 
 namespace op2::memory {
@@ -60,6 +61,10 @@ public:
     aligned_buffer() noexcept = default;
     explicit aligned_buffer(std::size_t bytes) : size_(bytes) {
         if (bytes != 0) {
+            // Fault-injection point: an armed alloc=K plan makes the
+            // K-th buffer allocation throw (dat declaration, checkpoint
+            // snapshots, executor scratch). One relaxed load when off.
+            fault::on_alloc(bytes);
             capacity_ = pad_to_line(bytes);
             data_ = static_cast<std::byte*>(
                 ::operator new(capacity_, std::align_val_t{cache_line}));
@@ -174,6 +179,18 @@ void set_first_touch_trace(first_touch_trace* t) noexcept;
 void first_touch_init(std::byte* dst, void const* init, std::size_t total,
                       set_partition const& part, std::size_t stride,
                       hpxlite::threads::thread_pool& pool);
+
+/// Copy `total` bytes from `src` to `dst` with one task per partition
+/// of `part`, fanned through the pool's affinity inbox of worker
+/// p % pool.size() — the mapping the dataflow placement hint uses — and
+/// wait for all of them. Checkpoint snapshots and rollback restores go
+/// through this, so a partition's snapshot bytes are read/written by
+/// the worker that owns the partition's cache lines. Falls back to one
+/// inline memcpy when called from a pool worker (waiting on own-inbox
+/// tasks would deadlock) or when the set is empty.
+void copy_partitions(std::byte* dst, std::byte const* src, std::size_t total,
+                     set_partition const& part, std::size_t stride,
+                     hpxlite::threads::thread_pool& pool);
 
 /// Fire-and-forget cache re-warm after a dependency-table re-partition:
 /// for each partition of the *new* granularity, submit a prefetch sweep

@@ -9,6 +9,9 @@
 #include <op2/arg.hpp>
 #include <op2/dat.hpp>
 #include <op2/exec/backend.hpp>
+#include <op2/exec/checkpoint.hpp>
+#include <op2/exec/watchdog.hpp>
+#include <op2/fault.hpp>
 #include <op2/loop_options.hpp>
 #include <op2/map.hpp>
 #include <op2/memory.hpp>

@@ -107,4 +107,26 @@ op_dat detail_make_dat(std::shared_ptr<detail::dat_impl> p) {
     return op_dat(std::move(p));
 }
 
+void op_dat::clear_quarantine() {
+    if (!impl_) {
+        return;
+    }
+    // Per-dat fence (same drain as op_fence): snapshot each record
+    // under its lock, wait outside it. prune_failed below only removes
+    // *completed* failed nodes, so everything in flight must land
+    // first — and waiting helps the pool, so no lock may be held.
+    auto const [recs, count] = impl_->dep.table();
+    std::vector<exec::node_ref> nodes;
+    for (std::size_t p = 0; p < count; ++p) {
+        recs[p].snapshot(nodes);
+        for (auto& n : nodes) {
+            n->wait();
+        }
+    }
+    for (std::size_t p = 0; p < count; ++p) {
+        recs[p].prune_failed();
+    }
+    impl_->dep.clear_poison();
+}
+
 }  // namespace op2

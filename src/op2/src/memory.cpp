@@ -114,6 +114,36 @@ void first_touch_init(std::byte* dst, void const* init, std::size_t total,
     }
 }
 
+void copy_partitions(std::byte* dst, std::byte const* src, std::size_t total,
+                     set_partition const& part, std::size_t stride,
+                     hpxlite::threads::thread_pool& pool) {
+    if (total == 0) {
+        return;
+    }
+    if (pool.on_worker_thread()) {
+        std::memcpy(dst, src, total);
+        return;
+    }
+    std::atomic<std::size_t> remaining{0};
+    for (std::size_t p = 0; p < part.count; ++p) {
+        touch_range const r = partition_touch_range(part, p, stride, total);
+        if (r.size() == 0) {
+            continue;
+        }
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        pool.submit_to(p % pool.size(), [&, r] {
+            std::memcpy(dst + r.lo, src + r.lo, r.size());
+            remaining.fetch_sub(1, std::memory_order_release);
+        });
+    }
+    // Spin (not help): helping could run a copy task on this thread and
+    // undo the owner-affine placement. Snapshot fan-outs are short
+    // memcpys on a cold path (a checkpoint fence).
+    while (remaining.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
+}
+
 void warm_partitions(std::byte const* base, std::size_t total,
                      set_partition const& part, std::size_t stride,
                      hpxlite::threads::thread_pool& pool,

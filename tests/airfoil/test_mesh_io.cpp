@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include <airfoil/constants.hpp>
@@ -102,6 +103,102 @@ TEST(MeshIO, EmptyMeshSectionsAllowed) {
     auto r = read_mesh(ss);
     EXPECT_EQ(r.nnode, 0u);
     EXPECT_EQ(r.nedge, 0u);
+}
+
+// -- structured diagnostics (source / section / line) --------------------
+
+TEST(MeshIO, HeaderErrorNamesSectionAndLine) {
+    std::stringstream ss("not a header");
+    try {
+        read_mesh(ss, "grid.dat");
+        FAIL() << "malformed header must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.source(), "grid.dat");
+        EXPECT_EQ(e.section(), "header");
+        EXPECT_EQ(e.line(), 1u);
+        std::string const msg = e.what();
+        EXPECT_NE(msg.find("grid.dat:1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("header"), std::string::npos) << msg;
+    }
+}
+
+TEST(MeshIO, TruncatedCoordinatesNameExactLine) {
+    // Header on line 1, one full node on line 2; the second node's
+    // coordinates are missing, discovered at end of input on line 3.
+    std::stringstream ss("2 0 0 0\n0.0 1.0\n0.5");
+    try {
+        read_mesh(ss, "mesh.in");
+        FAIL() << "truncated coordinates must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.source(), "mesh.in");
+        EXPECT_EQ(e.section(), "node coordinates");
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(MeshIO, OutOfRangeConnectivityNamesSectionLineAndLimit) {
+    // 1 node, 1 cell on line 3 referencing node 7 (limit 1).
+    std::stringstream ss("1 1 0 0\n0.0 0.0\n0 0 0 7\n");
+    try {
+        read_mesh(ss, "bad_cell.dat");
+        FAIL() << "out-of-range connectivity must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.section(), "cell connectivity");
+        EXPECT_EQ(e.line(), 3u);
+        std::string const msg = e.what();
+        EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("7"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("limit 1"), std::string::npos) << msg;
+    }
+}
+
+TEST(MeshIO, EdgeSectionErrorNamesItself) {
+    // Valid header + node, then an edge line with a malformed cell id.
+    std::stringstream ss("1 1 1 0\n0.0 0.0\n0 0 0 0\n0 0 nope 0\n");
+    try {
+        read_mesh(ss, "bad_edge.dat");
+        FAIL() << "malformed edge must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.section(), "edge list");
+        EXPECT_EQ(e.line(), 4u);
+    }
+}
+
+TEST(MeshIO, StreamOverloadLabelsSourceAsStream) {
+    std::stringstream ss("-1 0 0 0\n");
+    try {
+        read_mesh(ss);
+        FAIL() << "negative count must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.source(), "<stream>");
+        EXPECT_EQ(e.section(), "header");
+    }
+}
+
+TEST(MeshIO, FileParseErrorNamesThePath) {
+    std::string const path = ::testing::TempDir() + "/op2hpx_bad_grid.dat";
+    {
+        std::ofstream f(path);
+        f << "2 0 0 0\n0.0 0.0\n";  // one node short
+    }
+    try {
+        read_mesh_file(path);
+        FAIL() << "truncated file must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.source(), path);
+        EXPECT_EQ(e.section(), "node coordinates");
+    }
+}
+
+TEST(MeshIO, OpenFailureIsUnstructured) {
+    try {
+        read_mesh_file("/nonexistent/dir/grid.dat");
+        FAIL() << "missing file must throw";
+    } catch (mesh_io_error const& e) {
+        EXPECT_EQ(e.source(), "");
+        EXPECT_EQ(e.section(), "");
+        EXPECT_EQ(e.line(), 0u);
+    }
 }
 
 }  // namespace
