@@ -18,10 +18,28 @@
 //    (parity is expected on small machines); the row exists so the
 //    trajectory shows the effect the day CI lands on bigger iron.
 //
+//  * SIMD INC scatter (loop_options::simd_scatter): the write-side
+//    twin of the staged gather — indirect OP_INC operands accumulate
+//    into block-private scratch and scatter back through unrolled
+//    fixed-stride kernels in colour order, vs the scalar per-element
+//    increments. Bitwise-identical by construction; asserted before
+//    reporting, like the gather.
+//
+//  * Chain fusion (loop_options::fuse): a direct producer/consumer
+//    loop pair (save_soln/adt_calc shape) issued fused vs unfused on
+//    the dataflow backend — fusion halves the graph nodes and pins the
+//    intermediate dat hot between the merged passes.
+//
 // Emits into BENCH_op2.json (schema op2hpx-bench-v1):
 //   gather_simd            ns/iter, staged loop, SIMD gather on
 //   gather_scalar          ns/iter, staged loop, per-element oracle
 //   simd_gather_speedup    x, simd vs scalar
+//   scatter_simd           ns/iter, staged INC loop, SIMD scatter on
+//   scatter_scalar         ns/iter, staged INC loop, scalar oracle
+//   simd_scatter_speedup   x, simd vs scalar
+//   fusion_fused           ns/pair, direct loop pair, fused pass
+//   fusion_unfused         ns/pair, direct loop pair, two solo issues
+//   fusion_speedup         x, fused vs unfused
 //   first_touch_on         ns/loop, affinity chain, owner-touched pages
 //   first_touch_off        ns/loop, affinity chain, loader-touched pages
 //   first_touch_speedup    x, on vs off
@@ -78,6 +96,86 @@ double time_gather_loop(op_set const& edges, op_dat& q, op_dat& x,
         issue();
     }
     return sw.elapsed_s() * 1e9 / iters;
+}
+
+/// The res_calc write side: two indirect INC slots on one dim-2 dat,
+/// reading node coordinates. Zeroes the accumulator first so the two
+/// variants integrate identical streams for the bitwise oracle.
+double time_scatter_loop(op_set const& edges, op_dat& x, op_dat& acc,
+                         op_map const& ec, op_map const& en, bool simd,
+                         int iters) {
+    for (auto& v : acc.view<double>()) {
+        v = 0.0;
+    }
+    loop_options o;
+    o.backend = exec::backend_kind::staged;
+    o.part_size = 256;
+    o.simd_scatter = simd;
+    auto kern = [](double const* xa, double const* xb, double* r0,
+                   double* r1) {
+        double const dx = xa[0] - xb[0];
+        double const dy = xa[1] - xb[1];
+        r0[0] += dx;
+        r0[1] += dy * 0.5;
+        r1[0] -= dx * 0.25;
+        r1[1] += dx + dy;
+    };
+    auto issue = [&] {
+        exec::run_loop(o, "scatter", edges, kern,
+                       op_arg_dat(x, 0, en, 2, "double", OP_READ),
+                       op_arg_dat(x, 1, en, 2, "double", OP_READ),
+                       op_arg_dat(acc, 0, ec, 2, "double", OP_INC),
+                       op_arg_dat(acc, 1, ec, 2, "double", OP_INC));
+    };
+    for (int w = 0; w < 3; ++w) {
+        issue();
+    }
+    hpxlite::util::stopwatch sw;
+    for (int i = 0; i < iters; ++i) {
+        issue();
+    }
+    return sw.elapsed_s() * 1e9 / iters;
+}
+
+/// A fusable direct pair per iteration (flux = f(q); q += g(flux)) on
+/// the dataflow backend; with fuse on, each pair runs as one merged
+/// staged pass. Returns ns per pair; the caller compares final fields
+/// bitwise across the fused/unfused runs.
+double time_fusion_chain(op_dat& q, op_dat& flux, op_set const& cells,
+                         bool fuse, int chains) {
+    loop_options o;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    o.part_size = 256;
+    o.partitions = 4;
+    o.placement = placement_kind::affinity;
+    o.fuse = fuse;
+    auto run_chain = [&] {
+        exec::loop_handle last;
+        for (int l = 0; l < kChainLen; ++l) {
+            (void)exec::run_loop(
+                o, "fuse_a", cells,
+                [](double const* qq, double* f) {
+                    *f = *qq * 0.5 + 0.125;
+                },
+                op_arg_dat(q, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(flux, -1, OP_ID, 1, "double", OP_WRITE));
+            last = exec::run_loop(
+                o, "fuse_b", cells,
+                [](double const* f, double* qq) { *qq += *f * 0.25; },
+                op_arg_dat(flux, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_dat(q, -1, OP_ID, 1, "double", OP_RW));
+        }
+        last.wait();  // flushes the fusion window, then drains the chain
+    };
+    for (int w = 0; w < 3; ++w) {
+        run_chain();
+    }
+    hpxlite::util::stopwatch sw;
+    for (int c = 0; c < chains; ++c) {
+        run_chain();
+    }
+    return sw.elapsed_s() * 1e9 /
+           (static_cast<double>(chains) * kChainLen);
 }
 
 double time_chain(op_dat& d, op_set const& cells, int chains) {
@@ -176,6 +274,69 @@ int main(int argc, char** argv) {
             "staged indirect loop, SIMD gather, " + workers_label);
     log.add("simd_gather_speedup", scalar_ns / simd_ns, "x",
             "simd_vs_scalar_staged_gather, " + workers_label);
+
+    // --- SIMD INC scatter vs scalar oracle -----------------------------
+    auto acc = op_decl_dat_zero<double>(cells, 2, "double", "g_acc");
+    double const sc_scalar_ns =
+        time_scatter_loop(edges, x, acc, ec, en, false, g_gather_iters);
+    std::vector<double> scalar_acc(acc.view<double>().begin(),
+                                   acc.view<double>().end());
+    double const sc_simd_ns =
+        time_scatter_loop(edges, x, acc, ec, en, true, g_gather_iters);
+    // Bitwise oracle: the scatter drains block-private partials in the
+    // exact element order the scalar path increments in.
+    if (std::memcmp(scalar_acc.data(), acc.view<double>().data(),
+                    scalar_acc.size() * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: SIMD scatter diverged from the scalar path\n");
+        return 1;
+    }
+    std::printf("staged scatter (%zu edges, two dim-2 INC slots, %s):\n",
+                kEdges, workers_label.c_str());
+    std::printf("  scalar scatter  : %12.1f ns/iter\n", sc_scalar_ns);
+    std::printf("  simd scatter    : %12.1f ns/iter\n", sc_simd_ns);
+    std::printf("  speedup         : %12.2fx\n", sc_scalar_ns / sc_simd_ns);
+    log.add("scatter_scalar", sc_scalar_ns, "ns/iter",
+            "staged indirect INC loop, scalar scatter, " + workers_label);
+    log.add("scatter_simd", sc_simd_ns, "ns/iter",
+            "staged indirect INC loop, SIMD scatter, " + workers_label);
+    log.add("simd_scatter_speedup", sc_scalar_ns / sc_simd_ns, "x",
+            "simd_vs_scalar_staged_scatter, " + workers_label);
+
+    // --- chain fusion --------------------------------------------------
+    auto fu_cells = op_decl_set(kChainElems, "fu_cells");
+    std::vector<double> fu_init(kChainElems);
+    for (auto& v : fu_init) {
+        v = vd(rng);
+    }
+    auto q_unf = op_decl_dat<double>(fu_cells, 1, "double", fu_init, "q_unf");
+    auto f_unf = op_decl_dat_zero<double>(fu_cells, 1, "double", "f_unf");
+    double const unfused_ns =
+        time_fusion_chain(q_unf, f_unf, fu_cells, false, g_chains);
+    auto q_fus = op_decl_dat<double>(fu_cells, 1, "double", fu_init, "q_fus");
+    auto f_fus = op_decl_dat_zero<double>(fu_cells, 1, "double", "f_fus");
+    double const fused_ns =
+        time_fusion_chain(q_fus, f_fus, fu_cells, true, g_chains);
+    // Bitwise oracle: fusion only reorders *issue*, never arithmetic.
+    if (std::memcmp(q_unf.view<double>().data(),
+                    q_fus.view<double>().data(),
+                    kChainElems * sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: fused chain diverged from the unfused run\n");
+        return 1;
+    }
+    std::printf("chain fusion (%d direct pairs, %zu elems, %s):\n",
+                kChainLen, kChainElems, workers_label.c_str());
+    std::printf("  unfused pair    : %12.1f ns/pair\n", unfused_ns);
+    std::printf("  fused pair      : %12.1f ns/pair\n", fused_ns);
+    std::printf("  speedup         : %12.2fx\n", unfused_ns / fused_ns);
+    log.add("fusion_unfused", unfused_ns, "ns/iter",
+            "direct producer/consumer pair, two solo issues, " +
+                workers_label);
+    log.add("fusion_fused", fused_ns, "ns/iter",
+            "direct producer/consumer pair, fused pass, " + workers_label);
+    log.add("fusion_speedup", unfused_ns / fused_ns, "x",
+            "fused_vs_unfused_pair, " + workers_label);
 
     // --- partition-affine first touch ----------------------------------
     auto chain_cells = op_decl_set(kChainElems, "ft_cells");

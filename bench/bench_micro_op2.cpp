@@ -182,20 +182,47 @@ void bm_airfoil_step(benchmark::State& state) {
 }
 BENCHMARK(bm_airfoil_step)->Arg(0)->Arg(1)->Arg(2);
 
+/// Per-issue cost of a tiny loop, the row that prices the runtime's
+/// fixed overhead per op_par_loop:
+///   Arg(0): fork-join dispatch (the seed's row),
+///   Arg(1): hpx_dataflow issue, a fresh executor group per loop,
+///   Arg(2): hpx_dataflow issue through the cross-issue executor pool.
+/// The Arg(1)/Arg(2) ratio is recorded as exec_pool_speedup. The hpx
+/// variants issue a 16-loop dependent chain per iteration and wait once,
+/// so steady-state issue cost dominates over wake-up latency.
 void bm_loop_dispatch_overhead(benchmark::State& state) {
     hpxlite::init();
     auto set = op2::op_decl_set(64, "tiny");
     auto d = op2::op_decl_dat_zero<double>(set, 1, "double", "d");
     op2::loop_options opts;
-    for (auto _ : state) {
-        op2::op_par_loop_fork_join(opts, "tiny", set,
-                                   [](double* x) { *x += 1.0; },
-                                   op2::op_arg_dat(d, -1, op2::OP_ID, 1,
-                                                   "double", op2::OP_RW));
+    if (state.range(0) == 0) {
+        for (auto _ : state) {
+            op2::op_par_loop_fork_join(opts, "tiny", set,
+                                       [](double* x) { *x += 1.0; },
+                                       op2::op_arg_dat(d, -1, op2::OP_ID, 1,
+                                                       "double", op2::OP_RW));
+        }
+        state.SetItemsProcessed(state.iterations() * 64);
+        state.SetLabel("fork_join");
+        return;
     }
-    state.SetItemsProcessed(state.iterations() * 64);
+    constexpr int kChain = 16;
+    opts.backend = op2::exec::backend_kind::hpx_dataflow;
+    opts.partitions = 2;
+    opts.exec_pool = state.range(0) == 2;
+    for (auto _ : state) {
+        op2::exec::loop_handle last;
+        for (int l = 0; l < kChain; ++l) {
+            last = op2::exec::run_loop(
+                opts, "tiny_hpx", set, [](double* x) { *x += 1.0; },
+                op2::op_arg_dat(d, -1, op2::OP_ID, 1, "double", op2::OP_RW));
+        }
+        last.get();
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * kChain);
+    state.SetLabel(opts.exec_pool ? "hpx+pool" : "hpx");
 }
-BENCHMARK(bm_loop_dispatch_overhead);
+BENCHMARK(bm_loop_dispatch_overhead)->Arg(0)->Arg(1)->Arg(2);
 
 /// Console reporter that additionally collects every run so main() can
 /// derive speedups and write the trajectory file.
@@ -251,6 +278,22 @@ int main(int argc, char** argv) {
             "bm_indirect_resolution/1");
     speedup("direct_path_speedup", "bm_direct_resolution/0",
             "bm_direct_resolution/1");
+
+    // Not staged-vs-legacy, but the same shape of derived row: issue
+    // cost of a pooled executor group vs a fresh one per loop.
+    std::printf("\n-- executor pool --\n");
+    {
+        auto const& m = collector.real_ns();
+        auto fresh = m.find("bm_loop_dispatch_overhead/1");
+        auto pooled = m.find("bm_loop_dispatch_overhead/2");
+        if (fresh != m.end() && pooled != m.end() && pooled->second > 0.0) {
+            double const ratio = fresh->second / pooled->second;
+            log.add("exec_pool_speedup", ratio, "x", "pooled_vs_fresh_issue");
+            std::printf("%-28s %.2fx  (fresh %.0f ns -> pooled %.0f ns)\n",
+                        "exec_pool_speedup", ratio, fresh->second,
+                        pooled->second);
+        }
+    }
 
     log.write();
     benchmark::Shutdown();

@@ -9,6 +9,7 @@
 // Usage: airfoil_app [seq|fork_join|hpx] [nx ny] [niter]
 //                    [--mesh-file PATH] [--checkpoint-every N]
 //                    [--retries K] [--fault PLAN] [--watchdog-ms T]
+//                    [--fuse] [--no-simd-scatter] [--no-exec-pool]
 //
 //   --mesh-file PATH       load a new_grid.dat mesh instead of
 //                          generating one (errors name file, section
@@ -19,6 +20,12 @@
 //                          e.g. "kernel=res_calc@1.0")
 //   --watchdog-ms T        report a graph dump after T ms without
 //                          progress
+//   --fuse                 fuse adjacent compatible loops of the chain
+//                          into single staged passes (hpx backend)
+//   --no-simd-scatter      disable the SIMD INC scatter path (scalar
+//                          oracle; also OP2HPX_SIMD_SCATTER=0)
+//   --no-exec-pool         disable cross-issue executor pooling (also
+//                          OP2HPX_EXEC_POOL=0)
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +45,8 @@ int usage(char const* argv0) {
                  "usage: %s [seq|fork_join|hpx] [nx ny] [niter]\n"
                  "          [--mesh-file PATH] [--checkpoint-every N]\n"
                  "          [--retries K] [--fault PLAN] "
-                 "[--watchdog-ms T]\n",
+                 "[--watchdog-ms T]\n"
+                 "          [--fuse] [--no-simd-scatter] [--no-exec-pool]\n",
                  argv0);
     return 2;
 }
@@ -83,6 +91,14 @@ int main(int argc, char** argv) {
             fault_plan = v;
         } else if (char const* v = flag_value("--watchdog-ms")) {
             watchdog_ms = std::atol(v);
+        } else if (std::strcmp(argv[i], "--fuse") == 0) {
+            // Chain fusion (hpx backend): adjacent compatible loops of
+            // the per-iteration chain run as one staged pass.
+            cfg.opts.fuse = true;
+        } else if (std::strcmp(argv[i], "--no-simd-scatter") == 0) {
+            cfg.opts.simd_scatter = false;  // scalar INC scatter oracle
+        } else if (std::strcmp(argv[i], "--no-exec-pool") == 0) {
+            cfg.opts.exec_pool = false;  // fresh executors per issue
         } else if (argv[i][0] == '-') {
             return usage(argv[0]);
         } else if (npos < 4) {

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -36,10 +38,15 @@ struct arg_ctx {
     // staged gather table from the plan (indirect args; null -> fall back
     // to per-element map resolution)
     std::uint32_t const* stage = nullptr;
-    // nonzero: gather this read-only staged argument into aligned
-    // contiguous scratch with the fixed-stride copy kernels (the value
-    // is the stride class, 16 or 32 — see loop_options::simd_gather)
+    // nonzero: stage this argument through aligned contiguous scratch
+    // with the fixed-stride kernels (the value is the stride class, 16
+    // or 32). Direction depends on `scat`: false gathers a read-only
+    // argument up front (loop_options::simd_gather); true hands the
+    // kernel a zeroed block-private accumulation buffer for an OP_INC
+    // argument and scatter-adds it back after the element loop
+    // (loop_options::simd_scatter).
     std::size_t simd = 0;
+    bool scat = false;
     bool gbl = false;
     // prefetch geometry
     std::size_t pf_dist_bytes = 0;    // direct: lookahead in bytes
@@ -73,10 +80,25 @@ public:
                   loop_options opts)
       : set_(std::move(set)),
         args_(std::move(args)),
-        kernel_(std::move(kernel)),
+        kernel_(std::in_place, std::move(kernel)),
         opts_(opts) {
         static_assert(N == kernel_arity_v<Kernel>,
                       "op_par_loop: argument count does not match kernel");
+    }
+
+    /// Re-point a pooled executor at a fresh issue (exec::backend.hpp's
+    /// cross-issue group pool): new set/arg handles, kernel and options.
+    /// The grow-only reduction scratch keeps its capacity — only the
+    /// contents are re-seeded, by the next prepare_scratch() — which is
+    /// what turns the per-issue scratch allocation into a one-time
+    /// warm-up cost. The kernel is re-emplaced because lambdas are
+    /// copy-constructible but not assignable.
+    void rebind(op_set set, std::array<op_arg, N> args, Kernel const& kernel,
+                loop_options const& opts) {
+        set_ = std::move(set);
+        args_ = std::move(args);
+        kernel_.emplace(kernel);
+        opts_ = opts;
     }
 
     /// Check every argument against the iteration set. Throws
@@ -245,7 +267,7 @@ public:
                     ptrs[j] = c.base + i * c.stride;
                 }
             }
-            invoke_kernel(kernel_, ptrs);
+            invoke_kernel(*kernel_, ptrs);
         }
     }
 
@@ -276,7 +298,7 @@ private:
             if constexpr (Prefetch) {
                 issue_direct_prefetch(i);
             }
-            invoke_kernel(kernel_, ptrs);
+            invoke_kernel(*kernel_, ptrs);
             for (std::size_t j = 0; j < N; ++j) {
                 ptrs[j] += step[j];
             }
@@ -338,27 +360,38 @@ private:
             if constexpr (Prefetch) {
                 issue_direct_prefetch(i);
             }
-            invoke_kernel(kernel_, ptrs);
+            invoke_kernel(*kernel_, ptrs);
             for (std::size_t j = 0; j < N; ++j) {
                 ptrs[j] += step[j];
             }
         }
     }
 
-    /// SIMD gather path: like run_block_staged, except that read-only
-    /// staged arguments of a fixed 16/32-byte stride class are first
-    /// copied — with the unrolled fixed-stride kernels over the plan's
-    /// offset table — into cache-line-aligned contiguous scratch
-    /// (memory::tls_scratch), and the inner loop then advances them as
-    /// plain pointer bumps. The kernel reads exactly the bytes the
-    /// scalar path would have read (a gather copies, it never reorders
-    /// arithmetic), so the path is bitwise-identical to run_block_staged
-    /// by construction; what it buys is a vectorised, hardware-
-    /// prefetcher-friendly copy loop instead of a dependent load chain
-    /// inside the kernel, and aligned unit-stride operands for the
-    /// kernel body. Mutating indirect arguments keep the per-element
-    /// table resolution (their writes must land in the dat, in block
-    /// element order).
+    /// SIMD staged path: like run_block_staged, except that arguments
+    /// of a fixed 16/32-byte stride class are staged through cache-
+    /// line-aligned contiguous scratch (memory::tls_scratch) and the
+    /// inner loop advances them as plain pointer bumps:
+    ///  * read-only staged arguments (loop_options::simd_gather) are
+    ///    copied in up front with the unrolled fixed-stride gather
+    ///    kernels — the kernel reads exactly the bytes the scalar path
+    ///    would have read (a gather copies, it never reorders
+    ///    arithmetic), so this is bitwise-identical by construction;
+    ///  * OP_INC staged arguments (loop_options::simd_scatter) get a
+    ///    zeroed block-private accumulation buffer instead of live
+    ///    per-element target pointers, and after the element loop the
+    ///    net contributions are scattered back with the unrolled
+    ///    fixed-stride add kernels *in element order* — the order the
+    ///    scalar path accumulates in — with arguments targeting the
+    ///    same dat scattered jointly element-major to preserve the
+    ///    scalar interleaving. Bitwise identity holds as long as the
+    ///    kernel accumulates each output component once per element
+    ///    (bind_plan already requires every access to a buffered dat
+    ///    to be a buffered INC).
+    /// What the path buys: vectorised, hardware-prefetcher-friendly
+    /// copy/accumulate loops instead of dependent load/store chains
+    /// inside the kernel, and aligned unit-stride kernel operands.
+    /// Other mutating indirect arguments keep the per-element table
+    /// resolution (their writes must land in the dat immediately).
     template <bool Prefetch>
     void run_block_simd(op_plan const& plan, std::size_t blk) {
         std::byte* ptrs[N];
@@ -366,14 +399,17 @@ private:
         std::uint32_t const* stg[N];  // per-element staged (non-gathered)
         std::size_t step[N];
         std::size_t pf_ahead[N];
+        std::byte* scat_seg[N];  // INC accumulation buffer (null: none)
+        bool scat_done[N];
         std::size_t const b = plan.offset[blk];
         std::size_t const e = b + plan.nelems[blk];
         std::size_t const nel = e - b;
         std::size_t const n = plan.set_size;
 
-        // Carve one aligned segment per gathered argument out of the
-        // per-thread arena (a block runs inline on one worker, so the
-        // arena cannot be re-entered while the kernel loop is live).
+        // Carve one aligned segment per staged-through-scratch argument
+        // out of the per-thread arena (a block runs inline on one
+        // worker, so the arena cannot be re-entered while the kernel
+        // loop is live).
         std::size_t need = 0;
         for (std::size_t j = 0; j < N; ++j) {
             if (ctx_[j].simd != 0) {
@@ -389,6 +425,8 @@ private:
             arg_ctx const& c = ctx_[j];
             base[j] = c.base;
             stg[j] = nullptr;
+            scat_seg[j] = nullptr;
+            scat_done[j] = false;
             pf_ahead[j] = c.pf_ahead_elems;
             if (c.gbl) {
                 ptrs[j] = gblp[j];
@@ -399,7 +437,12 @@ private:
             } else if (c.simd != 0) {
                 std::byte* const seg = arena + cursor;
                 cursor += memory::pad_to_line(nel * c.simd);
-                memory::gather(seg, c.base, c.stage + b, nel, c.simd);
+                if (c.scat) {
+                    std::memset(seg, 0, nel * c.simd);
+                    scat_seg[j] = seg;
+                } else {
+                    memory::gather(seg, c.base, c.stage + b, nel, c.simd);
+                }
                 ptrs[j] = seg;
                 step[j] = c.stride;
             } else {
@@ -423,9 +466,47 @@ private:
             if constexpr (Prefetch) {
                 issue_direct_prefetch(i);
             }
-            invoke_kernel(kernel_, ptrs);
+            invoke_kernel(*kernel_, ptrs);
             for (std::size_t j = 0; j < N; ++j) {
                 ptrs[j] += step[j];
+            }
+        }
+        // Scatter the private INC buffers back. A dat targeted by one
+        // argument takes the unrolled fixed-stride kernel; a dat
+        // targeted by several (res_calc's two edge->cell slots) is
+        // scattered jointly element-major across those arguments so the
+        // contribution order matches the scalar path exactly even when
+        // map slots collide across elements.
+        for (std::size_t j = 0; j < N; ++j) {
+            if (scat_seg[j] == nullptr || scat_done[j]) {
+                continue;
+            }
+            std::size_t group[N];
+            std::size_t gn = 0;
+            for (std::size_t k = j; k < N; ++k) {
+                if (scat_seg[k] != nullptr && !scat_done[k] &&
+                    args_[k].dat == args_[j].dat) {
+                    group[gn++] = k;
+                    scat_done[k] = true;
+                }
+            }
+            if (gn == 1) {
+                memory::scatter_add(base[j], scat_seg[j],
+                                    ctx_[j].stage + b, nel, ctx_[j].simd);
+                continue;
+            }
+            std::size_t const dim = ctx_[j].simd / sizeof(double);
+            for (std::size_t k = 0; k < nel; ++k) {
+                for (std::size_t g = 0; g < gn; ++g) {
+                    std::size_t const jj = group[g];
+                    auto* d = reinterpret_cast<double*>(
+                        base[jj] + ctx_[jj].stage[b + k]);
+                    auto const* s = reinterpret_cast<double const*>(
+                        scat_seg[jj] + k * ctx_[jj].simd);
+                    for (std::size_t c2 = 0; c2 < dim; ++c2) {
+                        d[c2] += s[c2];
+                    }
+                }
             }
         }
     }
@@ -468,7 +549,7 @@ private:
                             c.stride;
                 }
             }
-            invoke_kernel(kernel_, ptrs);
+            invoke_kernel(*kernel_, ptrs);
             for (std::size_t j = 0; j < N; ++j) {
                 ptrs[j] += step[j];
             }
@@ -510,7 +591,7 @@ private:
                     }
                 }
             }
-            invoke_kernel(kernel_, ptrs);
+            invoke_kernel(*kernel_, ptrs);
         }
     }
 
@@ -604,6 +685,7 @@ private:
         for (std::size_t j = 0; j < N; ++j) {
             arg_ctx& c = ctx_[j];
             c.simd = 0;
+            c.scat = false;
             if (c.map == nullptr) {
                 continue;
             }
@@ -621,6 +703,40 @@ private:
                        !write_aliased(j)) {
                 c.simd = st->simd;
                 any_simd_ = true;
+            }
+        }
+        // Second pass — SIMD scatter eligibility needs every argument's
+        // stage binding resolved first: an OP_INC argument may only be
+        // buffered when *every* access to its dat in this loop is a
+        // buffered indirect OP_INC. Any other access (a read, a write,
+        // an un-staged INC) would observe the dat mid-block, and the
+        // buffering hides exactly that state. Components are pinned to
+        // doubles because the scatter is a typed accumulation, unlike
+        // the type-agnostic byte-copy gather.
+        if (opts_.staged_gather && opts_.simd_scatter) {
+            for (std::size_t j = 0; j < N; ++j) {
+                arg_ctx& c = ctx_[j];
+                if (c.map == nullptr || c.stage == nullptr ||
+                    args_[j].acc != op_access::OP_INC ||
+                    !memory::simd_stride(c.stride) ||
+                    args_[j].dat.elem_bytes() != sizeof(double)) {
+                    continue;
+                }
+                bool inc_only = true;
+                for (std::size_t k = 0; k < N && inc_only; ++k) {
+                    if (k == j || !args_[k].dat.valid() ||
+                        !(args_[k].dat == args_[j].dat)) {
+                        continue;
+                    }
+                    inc_only = args_[k].acc == op_access::OP_INC &&
+                               ctx_[k].map != nullptr &&
+                               ctx_[k].stage != nullptr;
+                }
+                if (inc_only) {
+                    c.simd = c.stride;
+                    c.scat = true;
+                    any_simd_ = true;
+                }
             }
         }
         // Partition plans index elements relative to elem_base: re-base
@@ -647,7 +763,9 @@ private:
 
     op_set set_;
     std::array<op_arg, N> args_;
-    Kernel kernel_;
+    // optional so a pooled executor can re-emplace a (non-assignable)
+    // lambda on rebind; engaged for the executor's whole lifetime.
+    std::optional<Kernel> kernel_;
     loop_options opts_;
 
     arg_ctx ctx_[N] = {};

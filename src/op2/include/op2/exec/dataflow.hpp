@@ -924,4 +924,29 @@ inline void issue(dataflow_node& n, std::span<dep_request const> reqs,
     n.schedule();
 }
 
+namespace detail {
+
+/// Global gate for the backend's chain-fusion windows (backend.hpp):
+/// nonzero while any thread holds a deferred loop. The flush hook is a
+/// function pointer (registered on first defer) so this low-level
+/// header never depends on the fusion machinery above it.
+inline std::atomic<std::size_t> g_fusion_deferred{0};
+inline std::atomic<void (*)()> g_fusion_flush_all{nullptr};
+
+}  // namespace detail
+
+/// Force every thread's deferred (fusion-window) loop into the graph.
+/// Synchronisation points — fences, handle waits, checkpoint capture —
+/// call this before snapshotting records: a deferred loop is in no dat
+/// record yet, so it would otherwise be invisible to them. Costs one
+/// relaxed load when no window is armed.
+inline void fusion_flush_point() {
+    if (detail::g_fusion_deferred.load(std::memory_order_acquire) != 0) {
+        if (auto* flush =
+                detail::g_fusion_flush_all.load(std::memory_order_acquire)) {
+            flush();
+        }
+    }
+}
+
 }  // namespace op2::exec

@@ -14,6 +14,24 @@ namespace detail {
 /// that is how a CI leg runs the whole tier-1 suite over the scalar
 /// oracle path without touching every test. Read once, cached.
 [[nodiscard]] bool simd_gather_default() noexcept;
+
+/// Process default of loop_options::simd_scatter: true unless
+/// OP2HPX_SIMD_SCATTER is set to 0/off/false/no. The off state is the
+/// scalar scatter oracle the CI differential leg runs the whole suite
+/// over. Read once, cached.
+[[nodiscard]] bool simd_scatter_default() noexcept;
+
+/// Process default of loop_options::exec_pool: true unless
+/// OP2HPX_EXEC_POOL is set to 0/off/false/no (the per-issue
+/// construct-and-discard baseline, kept for differential testing and
+/// as the bench denominator). Read once, cached.
+[[nodiscard]] bool exec_pool_default() noexcept;
+
+/// Process default of loop_options::fuse: false unless OP2HPX_FUSE is
+/// set to 1/on/true/yes — how a CI leg runs the tier-1 suite with the
+/// fusion window forced on without touching every test. Read once,
+/// cached.
+[[nodiscard]] bool fuse_default() noexcept;
 }  // namespace detail
 
 /// Where the hpx_dataflow backend places a partition's sub-nodes.
@@ -100,6 +118,51 @@ struct loop_options {
     /// baseline. Requires staged_gather. Default from
     /// detail::simd_gather_default() (OP2HPX_SIMD_GATHER env).
     bool simd_gather = detail::simd_gather_default();
+
+    /// Vectorised scatter for OP_INC indirect arguments of the same
+    /// 16/32-byte uniform-stride classes: the staged executor gives the
+    /// kernel a zeroed block-private accumulation buffer in tls scratch
+    /// instead of per-element target pointers, then scatters the net
+    /// per-element contributions back with unrolled fixed-stride add
+    /// kernels (memory::scatter_add) in element order — the same order
+    /// the scalar path accumulates in, so the result is bitwise
+    /// identical as long as the kernel accumulates each output
+    /// component once per element (every kernel in this repo does; a
+    /// kernel that read back its own partial increments within one
+    /// element would observe the private buffer instead of the dat).
+    /// When several INC arguments of one loop target the *same* dat,
+    /// their buffers scatter jointly element-major to preserve the
+    /// scalar interleaving. Off keeps per-element scalar scatter as the
+    /// bitwise oracle. Requires staged_gather. Default from
+    /// detail::simd_scatter_default() (OP2HPX_SIMD_SCATTER env).
+    bool simd_scatter = detail::simd_scatter_default();
+
+    /// Cross-issue executor/scratch pooling of the hpx_dataflow
+    /// partitioned path: retired loop groups (executors, plan bindings,
+    /// grow-only reduction/gather scratch, quarantine target vectors)
+    /// park in a sharded, thread-local-first free pool keyed per issue
+    /// site and are rebound on the next issue instead of constructed
+    /// from scratch — the steady state of a time-marching chain
+    /// allocates nothing per loop. Off restores the per-issue
+    /// construct-and-discard lifecycle (differential oracle and the
+    /// bench_micro_op2 dispatch-overhead denominator). Default from
+    /// detail::exec_pool_default() (OP2HPX_EXEC_POOL env).
+    bool exec_pool = detail::exec_pool_default();
+
+    /// Chain fusion of the hpx_dataflow backend: hold an issued loop in
+    /// a per-thread fusion window; when the next issued loop shares its
+    /// iteration set and the two footprints/colourings are provably
+    /// compatible (see exec::detail::fusion_legal), run both kernels in
+    /// one staged pass per (partition, colour) sub-node — one gather,
+    /// two kernels, one scatter, half the graph nodes. Illegal or
+    /// non-adjacent pairs fall back to solo issue; the deferred loop's
+    /// handle resolves either way, and every synchronisation point
+    /// (handle wait/get, op_fence, op_fence_all, checkpoint capture)
+    /// flushes the window first. A fused failure poisons the written
+    /// spans of *both* constituent loops. Default off
+    /// (detail::fuse_default(), OP2HPX_FUSE env) until the differentials
+    /// pin a configuration.
+    bool fuse = detail::fuse_default();
 
     /// Bounded retry budget for checkpoint-recovering drivers (the
     /// fault-tolerance layer): how many times an epoch that failed —

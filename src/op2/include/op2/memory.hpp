@@ -29,6 +29,11 @@
 //  * gather kernels — unrolled fixed-stride copy loops (16/32 bytes per
 //    element: dim-2/dim-4 doubles, dim-4/dim-8 floats) that turn a plan
 //    gather table into one contiguous scratch stream.
+//  * scatter-add kernels — the write-side counterpart for OP_INC
+//    arguments: typed, unrolled fixed-stride accumulation of a block's
+//    private contribution buffer back through the same tables, in
+//    element order so the result stays bitwise identical to the scalar
+//    per-element scatter.
 
 #include <atomic>
 #include <cstddef>
@@ -240,6 +245,39 @@ inline void gather_fixed(std::byte* dst, std::byte const* base,
     }
 }
 
+/// Fixed-stride scatter-add: base[off[k]] += src[k] componentwise, S
+/// bytes (S/8 doubles) per element, 2-way unrolled on the element axis
+/// with the component adds fully unrolled. Unlike gather_fixed this is
+/// typed — an accumulation needs real adds, not byte copies — which is
+/// why the executor's scatter eligibility is pinned to 8-byte (double)
+/// components. Element order is preserved: contribution k lands before
+/// contribution k+1, exactly the order the scalar per-element scatter
+/// accumulates in, so the result is bitwise identical to it.
+template <std::size_t S>
+inline void scatter_add_fixed(std::byte* base, std::byte const* src,
+                              std::uint32_t const* off, std::size_t n) {
+    static_assert(S % sizeof(double) == 0);
+    constexpr std::size_t D = S / sizeof(double);
+    auto const* s = reinterpret_cast<double const*>(src);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        auto* d0 = reinterpret_cast<double*>(base + off[k + 0]);
+        for (std::size_t c = 0; c < D; ++c) {
+            d0[c] += s[(k + 0) * D + c];
+        }
+        auto* d1 = reinterpret_cast<double*>(base + off[k + 1]);
+        for (std::size_t c = 0; c < D; ++c) {
+            d1[c] += s[(k + 1) * D + c];
+        }
+    }
+    for (; k < n; ++k) {
+        auto* d = reinterpret_cast<double*>(base + off[k]);
+        for (std::size_t c = 0; c < D; ++c) {
+            d[c] += s[k * D + c];
+        }
+    }
+}
+
 }  // namespace detail
 
 /// Gather `n` elements of `stride` bytes each from `base` through the
@@ -256,6 +294,31 @@ inline void gather(std::byte* dst, std::byte const* base,
     } else {
         for (std::size_t k = 0; k < n; ++k) {
             std::memcpy(dst + k * stride, base + off[k], stride);
+        }
+    }
+}
+
+/// Scatter-add `n` contiguous double-component elements of `stride`
+/// bytes each from `src` back through the plan's byte-offset table
+/// `off` into `base`, in element order (the scalar accumulation order —
+/// the SIMD scatter path's bitwise-oracle property rests on this).
+/// Dispatches to the unrolled fixed-stride kernels for the simd_stride
+/// classes and to a generic per-element add loop otherwise.
+inline void scatter_add(std::byte* base, std::byte const* src,
+                        std::uint32_t const* off, std::size_t n,
+                        std::size_t stride) {
+    if (stride == 16) {
+        detail::scatter_add_fixed<16>(base, src, off, n);
+    } else if (stride == 32) {
+        detail::scatter_add_fixed<32>(base, src, off, n);
+    } else {
+        std::size_t const dim = stride / sizeof(double);
+        auto const* s = reinterpret_cast<double const*>(src);
+        for (std::size_t k = 0; k < n; ++k) {
+            auto* d = reinterpret_cast<double*>(base + off[k]);
+            for (std::size_t c = 0; c < dim; ++c) {
+                d[c] += s[k * dim + c];
+            }
         }
     }
 }

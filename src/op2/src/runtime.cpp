@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include <hpxlite/util/env.hpp>
+#include <op2/exec/dataflow.hpp>
 
 namespace op2 {
 
@@ -11,6 +12,23 @@ namespace detail {
 bool simd_gather_default() noexcept {
     static bool const on =
         hpxlite::util::env_flag("OP2HPX_SIMD_GATHER", true);
+    return on;
+}
+
+bool simd_scatter_default() noexcept {
+    static bool const on =
+        hpxlite::util::env_flag("OP2HPX_SIMD_SCATTER", true);
+    return on;
+}
+
+bool exec_pool_default() noexcept {
+    static bool const on =
+        hpxlite::util::env_flag("OP2HPX_EXEC_POOL", true);
+    return on;
+}
+
+bool fuse_default() noexcept {
+    static bool const on = hpxlite::util::env_flag("OP2HPX_FUSE", false);
     return on;
 }
 
@@ -51,10 +69,14 @@ void op_fence(op_dat const& d) {
     if (!d.valid()) {
         return;
     }
+    // A loop deferred in a fusion window is in no dat record yet; a
+    // fence must force it into the graph first or it would be missed.
+    exec::fusion_flush_point();
     fence_impl(const_cast<op_dat&>(d).internal());
 }
 
 void op_fence_all() {
+    exec::fusion_flush_point();
     for (auto const& di : detail::all_dats()) {
         fence_impl(*di);
     }

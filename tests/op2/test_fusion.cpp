@@ -1,0 +1,499 @@
+// Chain fusion (loop_options::fuse): a loop issued with opts.fuse may
+// sit in the issuing thread's fusion window until the next issue; when
+// that neighbour shares the iteration set and the fused colouring is
+// provably each constituent's solo colouring, the two run as ONE staged
+// pass (A's blocks of a colour, then B's). Legality is conservative and
+// checked from plans, so fused execution is bitwise-identical to the
+// unfused graph — which these tests pin, along with the deferral/flush
+// contract and the fault semantics of a merged pass.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+class FusionTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override {
+        fault::disarm();
+        hpxlite::finalize();
+    }
+
+    static loop_options hpx_opts(bool fuse, std::size_t parts = 4) {
+        loop_options o;
+        o.backend = exec::backend_kind::hpx_dataflow;
+        o.partitions = parts;
+        o.part_size = 48;
+        o.fuse = fuse;
+        return o;
+    }
+};
+
+void expect_bitwise_equal(std::vector<double> const& a,
+                          std::vector<double> const& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                             a.size() * sizeof(double)));
+}
+
+/// Direct producer/consumer pair — the canonical fusable shape: A
+/// writes flux, B reads flux, both element-wise. Non-integer values so
+/// any reordering of the IEEE arithmetic would break bit-identity.
+TEST_F(FusionTest, FusedDirectPairMatchesUnfusedBitwise) {
+    constexpr std::size_t kN = 700;
+    auto run = [&](bool fuse) {
+        auto cells = op_decl_set(kN, "cells");
+        std::mt19937 rng(3);
+        std::uniform_real_distribution<double> vd(0.1, 1.0);
+        std::vector<double> init(2 * kN);
+        for (auto& v : init) {
+            v = vd(rng);
+        }
+        auto q = op_decl_dat<double>(cells, 2, "double", init, "q");
+        auto flux = op_decl_dat_zero<double>(cells, 2, "double", "flux");
+
+        loop_options o = hpx_opts(fuse);
+        for (int it = 0; it < 8; ++it) {
+            (void)exec::run_loop(
+                o, "fa", cells,
+                [](double const* qq, double* f) {
+                    f[0] = qq[0] * 0.75 + qq[1];
+                    f[1] = qq[1] * 0.5 - qq[0] * 0.125;
+                },
+                op_arg_dat(q, -1, OP_ID, 2, "double", OP_READ),
+                op_arg_dat(flux, -1, OP_ID, 2, "double", OP_WRITE));
+            (void)exec::run_loop(
+                o, "fb", cells,
+                [](double const* f, double* qq) {
+                    qq[0] += 0.25 * f[0];
+                    qq[1] += 0.25 * f[1] - 0.0625 * f[0];
+                },
+                op_arg_dat(flux, -1, OP_ID, 2, "double", OP_READ),
+                op_arg_dat(q, -1, OP_ID, 2, "double", OP_RW));
+        }
+        op_fence_all();
+        auto qv = q.view<double>();
+        auto fv = flux.view<double>();
+        std::vector<double> out(qv.begin(), qv.end());
+        out.insert(out.end(), fv.begin(), fv.end());
+        return out;
+    };
+    auto const unfused = run(false);
+    auto const fused = run(true);
+    expect_bitwise_equal(unfused, fused);
+}
+
+/// Proof the pair actually fuses (the differential above would pass
+/// vacuously if every window just flushed solo): a fused pass bumps a
+/// shared written dat's epoch ONCE, the two solo issues bump it twice.
+TEST_F(FusionTest, FusedPairBumpsSharedEpochOnce) {
+    constexpr std::size_t kN = 256;
+    auto run_delta = [&](bool fuse) {
+        auto cells = op_decl_set(kN, "cells");
+        auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+        loop_options o = hpx_opts(fuse, 2);
+        auto const before = d.internal().dep.epoch;
+        (void)exec::run_loop(o, "ea", cells,
+                             [](double* x) { *x += 1.0; },
+                             op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+        (void)exec::run_loop(o, "eb", cells,
+                             [](double* x) { *x *= 2.0; },
+                             op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+        op_fence_all();
+        for (double x : d.view<double>()) {
+            EXPECT_DOUBLE_EQ(x, 2.0);
+        }
+        return d.internal().dep.epoch - before;
+    };
+    EXPECT_EQ(run_delta(false), 2u);
+    EXPECT_EQ(run_delta(true), 1u);
+}
+
+/// Two loops with IDENTICAL indirect conflict structure (both INC
+/// through the same map slots) colour identically solo and in union,
+/// so they fuse — the hardest bit-identity case, since each loop's
+/// indirect accumulation order must survive the merge.
+TEST_F(FusionTest, FusedIndirectTwinsMatchUnfusedBitwise) {
+    constexpr std::size_t kCells = 500;
+    constexpr std::size_t kEdges = 1400;
+    auto run = [&](bool fuse) {
+        auto cells = op_decl_set(kCells, "cells");
+        auto edges = op_decl_set(kEdges, "edges");
+        std::mt19937 rng(17);
+        std::uniform_int_distribution<int> cd(0, kCells - 1);
+        std::vector<int> tab(2 * kEdges);
+        for (auto& v : tab) {
+            v = cd(rng);
+        }
+        auto em = op_decl_map(edges, cells, 2, tab, "em");
+        std::uniform_real_distribution<double> vd(0.1, 1.0);
+        std::vector<double> init(2 * kCells);
+        for (auto& v : init) {
+            v = vd(rng);
+        }
+        auto src = op_decl_dat<double>(cells, 2, "double", init, "src");
+        auto ra = op_decl_dat_zero<double>(cells, 2, "double", "ra");
+        auto rb = op_decl_dat_zero<double>(cells, 2, "double", "rb");
+
+        loop_options o = hpx_opts(fuse);
+        (void)exec::run_loop(
+            o, "ia", edges,
+            [](double const* s0, double const* s1, double* a0, double* a1) {
+                a0[0] += s0[0] + 0.5 * s1[1];
+                a0[1] += s0[1];
+                a1[0] += s1[0];
+                a1[1] += 0.25 * s0[0];
+            },
+            op_arg_dat(src, 0, em, 2, "double", OP_READ),
+            op_arg_dat(src, 1, em, 2, "double", OP_READ),
+            op_arg_dat(ra, 0, em, 2, "double", OP_INC),
+            op_arg_dat(ra, 1, em, 2, "double", OP_INC));
+        (void)exec::run_loop(
+            o, "ib", edges,
+            [](double const* s0, double const* s1, double* b0, double* b1) {
+                b0[0] += s1[0] * 0.125;
+                b0[1] += s0[1] + s1[1];
+                b1[0] += s0[0] - 0.5 * s1[0];
+                b1[1] += s1[1];
+            },
+            op_arg_dat(src, 0, em, 2, "double", OP_READ),
+            op_arg_dat(src, 1, em, 2, "double", OP_READ),
+            op_arg_dat(rb, 0, em, 2, "double", OP_INC),
+            op_arg_dat(rb, 1, em, 2, "double", OP_INC));
+        op_fence_all();
+        auto av = ra.view<double>();
+        auto bv = rb.view<double>();
+        std::vector<double> out(av.begin(), av.end());
+        out.insert(out.end(), bv.begin(), bv.end());
+        return out;
+    };
+    auto const unfused = run(false);
+    auto const fused = run(true);
+    expect_bitwise_equal(unfused, fused);
+}
+
+/// Reductions fold through the fused combine exactly as in the solo
+/// passes. Partition partials combine into the gbl scalar in
+/// partition-completion order, which scheduling may reorder between
+/// the two runs — so the values are exactly-representable dyadics
+/// (integer inits, x*0.5+0.25 over six rounds stays well inside 53
+/// mantissa bits) and the sums are order-independent: any divergence
+/// is a lost or double-counted partial, not reassociation noise.
+TEST_F(FusionTest, FusedReductionsMatchUnfusedBitwise) {
+    constexpr std::size_t kN = 600;
+    auto run = [&](bool fuse) {
+        auto cells = op_decl_set(kN, "cells");
+        std::mt19937 rng(29);
+        std::uniform_int_distribution<int> vd(1, 1024);
+        std::vector<double> init(kN);
+        for (auto& v : init) {
+            v = static_cast<double>(vd(rng));
+        }
+        auto d = op_decl_dat<double>(cells, 1, "double", init, "d");
+        loop_options o = hpx_opts(fuse);
+        std::vector<double> sums;
+        for (int it = 0; it < 6; ++it) {
+            double s1 = 0.0;
+            double s2 = 0.0;
+            auto ha = exec::run_loop(
+                o, "ra", cells,
+                [](double* x, double* s) {
+                    *x = *x * 0.5 + 0.25;
+                    *s += *x;
+                },
+                op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW),
+                op_arg_gbl(&s1, 1, "double", OP_INC));
+            auto hb = exec::run_loop(
+                o, "rb", cells,
+                [](double const* x, double* s) { *s += *x * 0.125; },
+                op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_gbl(&s2, 1, "double", OP_INC));
+            hb.get();  // flushes the window, then waits
+            ha.get();
+            sums.push_back(s1);
+            sums.push_back(s2);
+        }
+        return sums;
+    };
+    auto const unfused = run(false);
+    auto const fused = run(true);
+    expect_bitwise_equal(unfused, fused);
+}
+
+/// Loops on DIFFERENT iteration sets cannot fuse; the window must
+/// flush the first solo (preserving program order) and the chain stays
+/// correct end to end.
+TEST_F(FusionTest, DifferentSetsFlushSoloAndStayCorrect) {
+    auto cells = op_decl_set(400, "cells");
+    auto nodes = op_decl_set(300, "nodes");
+    auto dc = op_decl_dat_zero<double>(cells, 1, "double", "dc");
+    auto dn = op_decl_dat_zero<double>(nodes, 1, "double", "dn");
+
+    loop_options o = hpx_opts(true, 2);
+    for (int it = 0; it < 5; ++it) {
+        (void)exec::run_loop(o, "on_cells", cells,
+                             [](double* x) { *x += 1.0; },
+                             op_arg_dat(dc, -1, OP_ID, 1, "double", OP_RW));
+        (void)exec::run_loop(o, "on_nodes", nodes,
+                             [](double* x) { *x += 2.0; },
+                             op_arg_dat(dn, -1, OP_ID, 1, "double", OP_RW));
+    }
+    op_fence_all();
+    for (double x : dc.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 5.0);
+    }
+    for (double x : dn.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 10.0);
+    }
+}
+
+/// An ordered dat reached INDIRECTLY fails legality rule (2): B's
+/// indirect INC into what A wrote could cross colour classes inside a
+/// merged sub-node. The pair must run unfused — and exactly.
+TEST_F(FusionTest, IndirectOrderedPairRunsUnfusedAndExact) {
+    constexpr std::size_t kCells = 400;
+    constexpr std::size_t kEdges = 1100;
+    auto run = [&](bool fuse) {
+        auto cells = op_decl_set(kCells, "cells");
+        auto edges = op_decl_set(kEdges, "edges");
+        std::mt19937 rng(53);
+        std::uniform_int_distribution<int> cd(0, kCells - 1);
+        std::vector<int> tab(2 * kEdges);
+        for (auto& v : tab) {
+            v = cd(rng);
+        }
+        auto em = op_decl_map(edges, cells, 2, tab, "em");
+        std::uniform_real_distribution<double> vd(0.1, 1.0);
+        std::vector<double> init(kCells);
+        for (auto& v : init) {
+            v = vd(rng);
+        }
+        auto src = op_decl_dat<double>(cells, 1, "double", init, "src");
+        auto acc = op_decl_dat_zero<double>(cells, 1, "double", "acc");
+        auto out = op_decl_dat_zero<double>(cells, 1, "double", "out");
+
+        loop_options o = hpx_opts(fuse);
+        (void)exec::run_loop(
+            o, "gather", edges,
+            [](double const* s0, double const* s1, double* a0, double* a1) {
+                *a0 += *s1 * 0.5;
+                *a1 += *s0;
+            },
+            op_arg_dat(src, 0, em, 1, "double", OP_READ),
+            op_arg_dat(src, 1, em, 1, "double", OP_READ),
+            op_arg_dat(acc, 0, em, 1, "double", OP_INC),
+            op_arg_dat(acc, 1, em, 1, "double", OP_INC));
+        // Ordered on `acc`, but `acc` was written indirectly: not
+        // fusable with the gather — must still read the fully
+        // accumulated values.
+        (void)exec::run_loop(
+            o, "scale", edges,
+            [](double const* a0, double const* a1, double* o0,
+               double* o1) {
+                *o0 += *a0 * 0.25;
+                *o1 += *a1 * 0.125;
+            },
+            op_arg_dat(acc, 0, em, 1, "double", OP_READ),
+            op_arg_dat(acc, 1, em, 1, "double", OP_READ),
+            op_arg_dat(out, 0, em, 1, "double", OP_INC),
+            op_arg_dat(out, 1, em, 1, "double", OP_INC));
+        op_fence_all();
+        auto av = acc.view<double>();
+        auto ov = out.view<double>();
+        std::vector<double> r(av.begin(), av.end());
+        r.insert(r.end(), ov.begin(), ov.end());
+        return r;
+    };
+    auto const unfused = run(false);
+    auto const fused = run(true);
+    expect_bitwise_equal(unfused, fused);
+}
+
+/// The flush contract: a deferred loop's effects become observable at
+/// every documented flush point — handle.get(), a fence, and a
+/// non-fusing issue.
+TEST_F(FusionTest, FlushPointsDrainTheWindow) {
+    auto cells = op_decl_set(200, "cells");
+    auto d = op_decl_dat_zero<double>(cells, 1, "double", "d");
+    loop_options fuse_o = hpx_opts(true, 2);
+    loop_options plain_o = hpx_opts(false, 2);
+
+    // (a) handle.get() on the deferred loop itself.
+    auto h = exec::run_loop(fuse_o, "w1", cells,
+                            [](double* x) { *x += 1.0; },
+                            op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    h.get();
+    op_fence(d);
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 1.0);
+    }
+
+    // (b) op_fence_all with a loop still parked.
+    (void)exec::run_loop(fuse_o, "w2", cells,
+                         [](double* x) { *x += 1.0; },
+                         op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    op_fence_all();
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 2.0);
+    }
+
+    // (c) a non-fusing issue flushes the window before entering the
+    // graph, so program order holds across the mode switch.
+    (void)exec::run_loop(fuse_o, "w3", cells,
+                         [](double* x) { *x += 1.0; },
+                         op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    (void)exec::run_loop(plain_o, "w4", cells,
+                         [](double* x) { *x *= 3.0; },
+                         op_arg_dat(d, -1, OP_ID, 1, "double", OP_RW));
+    op_fence_all();
+    for (double x : d.view<double>()) {
+        ASSERT_DOUBLE_EQ(x, 9.0);
+    }
+}
+
+/// Satellite interplay with fault tolerance: a fault armed on EITHER
+/// constituent of a fused pass fires inside the merged sub-node, both
+/// loops' handles report the failure, and the poison covers the
+/// written spans of BOTH constituents — attributed to the fused pass.
+TEST_F(FusionTest, FusedFaultPoisonsBothConstituents) {
+    auto cells = op_decl_set(300, "cells");
+    auto da = op_decl_dat_zero<double>(cells, 1, "double", "da");
+    auto db = op_decl_dat_zero<double>(cells, 1, "double", "db");
+
+    fault::arm("kernel=pb@*.*");
+    loop_options o = hpx_opts(true, 2);
+    auto ha = exec::run_loop(o, "pa", cells,
+                             [](double* x) { *x += 1.0; },
+                             op_arg_dat(da, -1, OP_ID, 1, "double", OP_RW));
+    auto hb = exec::run_loop(o, "pb", cells,
+                             [](double* x) { *x += 2.0; },
+                             op_arg_dat(db, -1, OP_ID, 1, "double", OP_RW));
+    EXPECT_THROW(hb.get(), std::runtime_error);
+    EXPECT_THROW(ha.get(), std::runtime_error);
+    op_fence_all();
+    EXPECT_TRUE(da.quarantined());
+    EXPECT_TRUE(db.quarantined());
+    fault::disarm();
+
+    // The diagnostic names the fused pass, so the origin of the merged
+    // failure is traceable from either dat.
+    loop_options seq;
+    seq.backend = exec::backend_kind::seq;
+    try {
+        exec::run_loop(seq, "reader", cells,
+                       [](double* x) { *x += 1.0; },
+                       op_arg_dat(da, -1, OP_ID, 1, "double", OP_INC));
+        FAIL() << "read of a fused-pass casualty must fail";
+    } catch (exec::quarantine_error const& e) {
+        EXPECT_EQ(e.info().loop, "pa+pb");
+        std::string const msg = e.what();
+        EXPECT_NE(msg.find("pa+pb"), std::string::npos) << msg;
+    }
+
+    // Direct whole-set writes heal both, exactly as for solo loops.
+    exec::run_loop(seq, "heal_a", cells, [](double* x) { *x = 1.0; },
+                   op_arg_dat(da, -1, OP_ID, 1, "double", OP_WRITE));
+    exec::run_loop(seq, "heal_b", cells, [](double* x) { *x = 2.0; },
+                   op_arg_dat(db, -1, OP_ID, 1, "double", OP_WRITE));
+    EXPECT_FALSE(da.quarantined());
+    EXPECT_FALSE(db.quarantined());
+}
+
+/// Acceptance differential: a randomized direct read/write DAG — each
+/// step reads one of four dats and read-writes another, with a
+/// periodic reduction — run fused and unfused over several seeds.
+/// Direct-only loops always pass the legality checks, so the sequence
+/// fuses pairwise along its whole length; the dat fields must be
+/// bitwise identical. The probe sums are compared to a tight tolerance
+/// instead: after 40 halving/quartering steps the element values need
+/// more than 53 mantissa bits, so summing them is reassociation-
+/// sensitive, and gbl partials combine in partition-completion order —
+/// an ordering fusion does not (and need not) pin.
+TEST_F(FusionTest, RandomDirectRwDagMatchesUnfusedBitwise) {
+    constexpr std::size_t kN = 350;
+    constexpr int kSteps = 40;
+    for (unsigned seed : {101u, 202u, 303u}) {
+        auto run = [&](bool fuse) {
+            auto cells = op_decl_set(kN, "cells");
+            std::mt19937 rng(seed);
+            std::uniform_real_distribution<double> vd(0.1, 1.0);
+            std::array<op_dat, 4> dats;
+            for (std::size_t k = 0; k < dats.size(); ++k) {
+                std::vector<double> init(kN);
+                for (auto& v : init) {
+                    v = vd(rng);
+                }
+                dats[k] = op_decl_dat<double>(
+                    cells, 1, "double", init,
+                    ("d" + std::to_string(k)).c_str());
+            }
+            loop_options o = hpx_opts(fuse);
+            std::mt19937 pick(seed ^ 0x9e3779b9u);
+            std::uniform_int_distribution<int> di(0, 3);
+            std::vector<double> sums;
+            for (int s = 0; s < kSteps; ++s) {
+                int const a = di(pick);
+                int b = di(pick);
+                while (b == a) {
+                    b = di(pick);
+                }
+                (void)exec::run_loop(
+                    o, "step", cells,
+                    [](double const* x, double* y) {
+                        *y = *y * 0.5 + *x * 0.25;
+                    },
+                    op_arg_dat(dats[static_cast<std::size_t>(a)], -1, OP_ID,
+                               1, "double", OP_READ),
+                    op_arg_dat(dats[static_cast<std::size_t>(b)], -1, OP_ID,
+                               1, "double", OP_RW));
+                if (s % 5 == 4) {
+                    double sum = 0.0;
+                    auto h = exec::run_loop(
+                        o, "probe", cells,
+                        [](double const* x, double* acc) { *acc += *x; },
+                        op_arg_dat(dats[static_cast<std::size_t>(b)], -1,
+                                   OP_ID, 1, "double", OP_READ),
+                        op_arg_gbl(&sum, 1, "double", OP_INC));
+                    h.get();
+                    sums.push_back(sum);
+                }
+            }
+            op_fence_all();
+            std::vector<double> fields;
+            for (auto const& d : dats) {
+                auto v = d.view<double>();
+                fields.insert(fields.end(), v.begin(), v.end());
+            }
+            return std::make_pair(std::move(sums), std::move(fields));
+        };
+        auto const unfused = run(false);
+        auto const fused = run(true);
+        ASSERT_EQ(unfused.second.size(), fused.second.size())
+            << "seed " << seed;
+        EXPECT_EQ(0, std::memcmp(unfused.second.data(), fused.second.data(),
+                                 unfused.second.size() * sizeof(double)))
+            << "seed " << seed;
+        ASSERT_EQ(unfused.first.size(), fused.first.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < unfused.first.size(); ++i) {
+            EXPECT_NEAR(unfused.first[i], fused.first[i],
+                        1e-9 * std::abs(unfused.first[i]))
+                << "seed " << seed << " probe " << i;
+        }
+    }
+}
+
+}  // namespace
