@@ -9,7 +9,8 @@
 // Usage: airfoil_app [seq|fork_join|hpx] [nx ny] [niter]
 //                    [--mesh-file PATH] [--checkpoint-every N]
 //                    [--retries K] [--fault PLAN] [--watchdog-ms T]
-//                    [--fuse] [--no-simd-scatter] [--no-exec-pool]
+//                    [--fuse] [--localities N] [--no-simd-scatter]
+//                    [--no-exec-pool]
 //
 //   --mesh-file PATH       load a new_grid.dat mesh instead of
 //                          generating one (errors name file, section
@@ -22,6 +23,10 @@
 //                          progress
 //   --fuse                 fuse adjacent compatible loops of the chain
 //                          into single staged passes (hpx backend)
+//   --localities N         shard each loop's partitions into N logical
+//                          localities with async halo exchange (hpx
+//                          backend; also OP2HPX_LOCALITIES; default 1
+//                          = shared-everything; fuse takes precedence)
 //   --no-simd-scatter      disable the SIMD INC scatter path (scalar
 //                          oracle; also OP2HPX_SIMD_SCATTER=0)
 //   --no-exec-pool         disable cross-issue executor pooling (also
@@ -46,7 +51,8 @@ int usage(char const* argv0) {
                  "          [--mesh-file PATH] [--checkpoint-every N]\n"
                  "          [--retries K] [--fault PLAN] "
                  "[--watchdog-ms T]\n"
-                 "          [--fuse] [--no-simd-scatter] [--no-exec-pool]\n",
+                 "          [--fuse] [--localities N] [--no-simd-scatter] "
+                 "[--no-exec-pool]\n",
                  argv0);
     return 2;
 }
@@ -95,6 +101,15 @@ int main(int argc, char** argv) {
             // Chain fusion (hpx backend): adjacent compatible loops of
             // the per-iteration chain run as one staged pass.
             cfg.opts.fuse = true;
+        } else if (char const* v = flag_value("--localities")) {
+            // Logical localities with async halo exchange (op2/comm).
+            // The comm layer engages at partition granularity, so a
+            // sharded run implies partitioned issue: two partitions per
+            // locality keeps an interior/halo split inside each shard.
+            cfg.opts.localities = static_cast<std::size_t>(std::atol(v));
+            if (cfg.opts.localities > 1 && cfg.opts.partitions == 0) {
+                cfg.opts.partitions = 2 * cfg.opts.localities;
+            }
         } else if (std::strcmp(argv[i], "--no-simd-scatter") == 0) {
             cfg.opts.simd_scatter = false;  // scalar INC scatter oracle
         } else if (std::strcmp(argv[i], "--no-exec-pool") == 0) {
@@ -175,6 +190,16 @@ int main(int argc, char** argv) {
             std::printf("checkpoint: every %d iteration(s), %d recover%s\n",
                         cfg.checkpoint_every, result.recoveries,
                         result.recoveries == 1 ? "y" : "ies");
+        }
+        auto const& cs = op2::comm::stats();
+        if (cs.exchanges.load() != 0) {
+            std::printf(
+                "halo: %llu exchange(s), %llu pack(s), %llu combine(s), "
+                "%.1f KiB moved\n",
+                static_cast<unsigned long long>(cs.exchanges.load()),
+                static_cast<unsigned long long>(cs.packs.load()),
+                static_cast<unsigned long long>(cs.combines.load()),
+                static_cast<double>(cs.bytes.load()) / 1024.0);
         }
 
         std::printf("\nper-loop timing (op_timing_output):\n");

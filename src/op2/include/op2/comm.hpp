@@ -1,0 +1,206 @@
+#pragma once
+
+// Logical localities with asynchronous halo exchange (op2/comm).
+//
+// The paper's engine proves communication/computation overlap on one
+// shared-memory node; a distributed OP2 backend needs the same loop
+// structure plus halo exchange between localities. This layer groups a
+// set's partitions into N *logical* localities — processes-within-a-
+// process over the existing partition machinery — and runs the full
+// distributed-shape protocol against shared storage:
+//
+//  * every map edge is classified **owned** (source and target
+//    partition live in the same locality) or **halo** (they do not),
+//    with the same deterministic partition arithmetic the plans and
+//    dep records use;
+//  * per (dat, map) halo region, import/export staging buffers are
+//    materialised in memory::aligned_buffers (cache-line padded like
+//    dats, laid out partition-slice by partition-slice);
+//  * halo packs, transfers and unpacks are ordinary dataflow sub-nodes
+//    edging on the same per-partition dep records as compute
+//    (exec::stage_read / stage_write), so exchanges overlap interior
+//    compute: interior sub-nodes of a locality never wait on another
+//    locality's halo;
+//  * OP_INC over halos follows owner-compute semantics: contributions
+//    land first (the export chain RAW-edges on every INC sub-node),
+//    then transfer, then a combine node *closes* the dat partition's
+//    epoch on the owner — later readers see the combined epoch only.
+//
+// Localities are logical: kernels still address one shared heap, so
+// the exchanged bytes are definitionally the bytes compute reads —
+// which is exactly what makes localities = 1/2/3/N bitwise differential
+// oracles of each other. The unpack/combine nodes exploit the aliasing
+// for a built-in end-to-end check: the landed import buffer must equal
+// live storage byte-for-byte, so any pack/transfer/sizing bug fails
+// loudly instead of silently. Replica (non-aliased) storage per
+// locality is the remaining step to a genuinely distributed backend
+// and rides on these exact chains.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <hpxlite/threads/thread_pool.hpp>
+#include <op2/dat.hpp>
+#include <op2/exec/dataflow.hpp>
+#include <op2/map.hpp>
+
+namespace op2::comm {
+
+/// Process default locality count: OP2HPX_LOCALITIES (>= 1; unset,
+/// empty or unparsable means 1 — today's shared-everything behaviour,
+/// the bitwise differential oracle). Read once, cached.
+[[nodiscard]] std::size_t localities_default() noexcept;
+
+/// The locality count a loop actually runs with: `opt` (0 = process
+/// default) clamped to the partition count — a locality needs at least
+/// one partition, and nparts <= 1 has no graph to shard.
+[[nodiscard]] std::size_t effective_localities(std::size_t opt,
+                                               std::size_t nparts) noexcept;
+
+/// Locality owning partition `p` when `nparts` partitions are grouped
+/// into `nloc` contiguous localities. Same deterministic arithmetic as
+/// set_partition's bounds (bounds[p] = p*size/count), so two layers
+/// asking about the same partition always agree.
+[[nodiscard]] constexpr std::size_t locality_of(std::size_t p,
+                                                std::size_t nparts,
+                                                std::size_t nloc) noexcept {
+    return nloc <= 1 || nparts == 0 ? 0 : p * nloc / nparts;
+}
+
+/// First partition of locality `l` (the placement anchor for comm
+/// sub-nodes: packs run where the owner's partitions run).
+[[nodiscard]] constexpr std::size_t
+locality_first_partition(std::size_t l, std::size_t nparts,
+                         std::size_t nloc) noexcept {
+    return nloc == 0 ? 0 : (l * nparts + nloc - 1) / nloc;
+}
+
+/// One halo region of a map at (nparts, nloc): the target partitions of
+/// locality `owner` that locality `reader` reaches through the map.
+/// For reads, `reader` imports the region; for OP_INC, `reader`
+/// exports its contributions and `owner` combines them.
+struct halo_region {
+    std::uint32_t owner = 0;
+    std::uint32_t reader = 0;
+    std::vector<std::uint32_t> parts;  // sorted target partitions
+    std::size_t elems = 0;             // total target elements staged
+};
+
+/// Owned/halo classification of every edge of one map at one
+/// (nparts, nloc) granularity — the comm layer's analogue of the plan's
+/// per-partition footprints, and derived from the same map table and
+/// partition bounds (slot union: an edge is any (element, slot) pair).
+struct halo_plan {
+    std::size_t nparts = 0;
+    std::size_t nloc = 0;
+    std::size_t owned_edges = 0;  // edges staying inside a locality
+    std::size_t halo_edges = 0;   // edges crossing localities
+    std::vector<halo_region> regions;  // sorted by (reader, owner)
+    /// Per source partition p: indices into `regions` whose reader is
+    /// p's locality and that p's own edges reach — exactly the imports
+    /// partition p's compute sub-node must wait for.
+    std::vector<std::vector<std::uint32_t>> part_regions;
+};
+
+/// The (cached, immutable) halo plan of `map` at (nparts, nloc).
+/// nloc <= 1 yields the empty plan: every edge is owned.
+halo_plan const& halo_plan_get(op_map const& map, std::size_t nparts,
+                               std::size_t nloc);
+
+/// Drop every cached halo plan and staging buffer (tests; mirrors the
+/// op_plan cache's lifetime policy of growing with distinct shapes).
+void halo_cache_clear();
+
+/// Process counters for benches and tests (relaxed; read after a
+/// fence). reset via reset_stats().
+struct stats_t {
+    std::atomic<std::uint64_t> packs{0};
+    std::atomic<std::uint64_t> exchanges{0};
+    std::atomic<std::uint64_t> unpacks{0};
+    std::atomic<std::uint64_t> combines{0};
+    std::atomic<std::uint64_t> bytes{0};  // bytes moved by exchanges
+};
+[[nodiscard]] stats_t& stats() noexcept;
+void reset_stats() noexcept;
+
+/// Test hook (the memory::first_touch_trace idiom): when installed,
+/// every exchange node calls `on_exchange` from its body *before*
+/// copying, with the node's site label ("halo.exchange:<dat>:<loop>")
+/// and the region's locality pair. A blocking callback holds that one
+/// exchange in flight — how the overlap trace test proves interior
+/// sub-nodes keep running while a halo exchange is pending.
+struct trace {
+    std::function<void(char const* label, std::uint32_t owner,
+                       std::uint32_t reader, std::size_t bytes)>
+        on_exchange;
+};
+void set_trace(trace* t) noexcept;
+
+/// One partitioned loop's halo machinery, alive for the span of the
+/// issue (pins held). Import chains are added before the compute
+/// sub-nodes are wired — their unpack nodes are what halo-reading
+/// sub-nodes edge on; export chains after — their packs RAW-edge on
+/// the loop's own INC sub-nodes. All chain tails must be handed to the
+/// loop's join node so handle waits and fences cover the exchanges.
+class loop_halos {
+public:
+    loop_halos(std::size_t nparts, std::size_t nloc,
+               hpxlite::threads::thread_pool& pool,
+               char const* loop_name) noexcept
+      : nparts_(nparts), nloc_(nloc), pool_(&pool), loop_(loop_name) {}
+    loop_halos(loop_halos const&) = delete;
+    loop_halos& operator=(loop_halos const&) = delete;
+
+    /// False at nloc <= 1 (or nparts <= 1): the comm layer is inert and
+    /// execution is bit-for-bit today's behaviour.
+    [[nodiscard]] bool active() const noexcept {
+        return nloc_ > 1 && nparts_ > 1;
+    }
+
+    /// Import chains (pack -> exchange -> unpack per halo region) for a
+    /// dat read indirectly through `map`. `recs` is the dat's pinned
+    /// record table at nparts granularity. Dedupes repeated (dat, map)
+    /// pairs (several slots of one map are one region family).
+    void add_import(op_dat const& d, op_map const& map,
+                    exec::dep_record* recs);
+
+    /// Edge partition p's compute sub-node on every import unpack it
+    /// needs for (d, map) — regions p's own halo edges reach. Must run
+    /// before the sub-node is scheduled.
+    void depend_imports(exec::dataflow_node& sub, op_dat const& d,
+                        op_map const& map, std::size_t p) const;
+
+    /// Export chains (export -> exchange -> combine per halo region)
+    /// for a dat mutated indirectly through `map`. Must run after every
+    /// compute sub-node is wired: the export RAW-edges on the loop's
+    /// own writers, and the combine closes the region partitions'
+    /// epochs (owner-compute). Dedupes like add_import.
+    void add_export(op_dat const& d, op_map const& map,
+                    exec::dep_record* recs);
+
+    /// Chain tails (unpack/combine nodes) for the loop's join node.
+    [[nodiscard]] std::vector<exec::node_ref> const& tails() const noexcept {
+        return tails_;
+    }
+
+private:
+    struct entry {
+        detail::dat_impl const* dat = nullptr;
+        std::uint64_t map_id = 0;
+        bool import = false;  // direction this entry covers
+        halo_plan const* plan = nullptr;
+        std::vector<exec::node_ref> tail_by_region;  // unpack nodes
+    };
+
+    std::size_t nparts_;
+    std::size_t nloc_;
+    hpxlite::threads::thread_pool* pool_;
+    char const* loop_;
+    std::vector<entry> entries_;
+    std::vector<exec::node_ref> tails_;
+};
+
+}  // namespace op2::comm

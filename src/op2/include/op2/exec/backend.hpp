@@ -25,6 +25,7 @@
 #include <hpxlite/execution/policy.hpp>
 #include <hpxlite/runtime.hpp>
 #include <hpxlite/util/timing.hpp>
+#include <op2/comm.hpp>
 #include <op2/detail/executor.hpp>
 #include <op2/exec/backend_kind.hpp>
 #include <op2/exec/dataflow.hpp>
@@ -785,12 +786,22 @@ inline std::atomic<std::uint64_t> g_exemption_loop_seq{1};
 ///    partition's own sub-nodes are still chained in colour order
 ///    (deterministic scratch prepare, single-threaded per-partition
 ///    executor), so the won concurrency is across partitions.
+///
+/// With nloc > 1 the partitions are grouped into logical localities
+/// (op2/comm.hpp) and every indirect argument's halo regions travel
+/// through pack -> exchange -> unpack/combine comm sub-nodes wired into
+/// the same per-partition records: import chains are issued *before*
+/// the compute sub-nodes (a halo-reading sub-node edges on its regions'
+/// unpack nodes; interior sub-nodes never do), export chains *after*
+/// them (the export RAW-edges on the loop's own INC sub-nodes and the
+/// combine closes the written partitions' epochs — owner-compute).
+/// nloc <= 1 leaves this function bit-for-bit the shape above.
 template <typename Kernel, std::size_t N>
 loop_handle issue_partitioned(loop_options const& opts, char const* name,
                               op_set set, std::array<op_arg, N> args,
                               Kernel kernel,
                               hpxlite::threads::thread_pool& pool,
-                              std::size_t nparts) {
+                              std::size_t nparts, std::size_t nloc = 1) {
     // Acquire the group from the cross-issue pool when possible: a
     // steady-state chain then re-issues each loop with zero executor
     // construction and zero scratch reallocation (the staging and
@@ -891,6 +902,25 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
                 ++i;
             }
             arg_dat[j++] = i;
+        }
+    }
+
+    // Halo import chains enter the graph before any compute sub-node:
+    // their packs read the previous epoch (RAW through stage_read), and
+    // the per-region unpack nodes are what halo-reading sub-nodes edge
+    // on below. Pins are held, so the records the chains wire into are
+    // the records the sub-nodes wire into.
+    comm::loop_halos halos(nparts, nloc, pool, name);
+    if (halos.active()) {
+        std::size_t j = 0;
+        for (op_arg const& a : grp->executor(0).args()) {
+            std::size_t const i = arg_dat[j++];
+            if (i == static_cast<std::size_t>(-1) || !a.is_indirect()) {
+                continue;
+            }
+            if (a.acc == op_access::OP_READ || a.acc == op_access::OP_RW) {
+                halos.add_import(a.dat, a.map, dats[i].pin.records());
+            }
         }
     }
 
@@ -1015,10 +1045,50 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
                     }
                 }
             }
+            if (halos.active()) {
+                // Halo-reading sub-node: wait for the landed imports of
+                // exactly the regions this partition's edges reach.
+                // Interior sub-nodes (no cross-locality edge) take no
+                // comm dependency — that is the overlap property.
+                std::size_t j2 = 0;
+                for (op_arg const& a : grp->executor(0).args()) {
+                    std::size_t const i = arg_dat[j2++];
+                    if (i == static_cast<std::size_t>(-1) ||
+                        !a.is_indirect()) {
+                        continue;
+                    }
+                    if (a.acc == op_access::OP_READ ||
+                        a.acc == op_access::OP_RW) {
+                        halos.depend_imports(*sub, a.dat, a.map, p);
+                    }
+                }
+            }
             issue(*sub, std::span<dep_request const>{reqs.data(),
                                                      reqs.size()},
                   pool);
             chain_prev = std::move(sref);
+        }
+    }
+    if (halos.active()) {
+        // Export chains enter after every compute sub-node: their packs
+        // RAW-edge on this loop's own INC sub-nodes (all colours — the
+        // contributions must have landed) and the owner-side combine
+        // closes the written partitions' epochs, so later readers order
+        // after the combine: owner-compute semantics for OP_INC halos.
+        std::size_t j = 0;
+        for (op_arg const& a : grp->executor(0).args()) {
+            std::size_t const i = arg_dat[j++];
+            if (i == static_cast<std::size_t>(-1) || !a.is_indirect()) {
+                continue;
+            }
+            if (a.acc != op_access::OP_READ) {
+                halos.add_export(a.dat, a.map, dats[i].pin.records());
+            }
+        }
+        // The join covers the exchanges: handle waits and fences drain
+        // in-flight halos exactly like compute.
+        for (auto const& t : halos.tails()) {
+            join->depend_on(*t);
         }
     }
     join->schedule();
@@ -1801,11 +1871,17 @@ loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
             std::size_t const nparts =
                 opts.partitions != 0 ? opts.partitions : pool.size();
             if (opts.fuse) {
+                // Fusion takes precedence over localities: a fused pass
+                // spans two loops' footprints, which the halo
+                // classifier does not model, so a fusing issue runs
+                // unsharded (loop_options::localities documents this).
                 return detail::fuse_or_defer<Kernel, n>(
                     opts, name, std::move(set),
                     std::array<op_arg, n>{std::move(args)...},
                     std::move(kernel), pool, nparts);
             }
+            std::size_t const nloc =
+                comm::effective_localities(opts.localities, nparts);
             if (nparts <= 1) {
                 return detail::issue_whole_set<Kernel, n>(
                     opts, name, std::move(set),
@@ -1815,7 +1891,7 @@ loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
             return detail::issue_partitioned<Kernel, n>(
                 opts, name, std::move(set),
                 std::array<op_arg, n>{std::move(args)...}, std::move(kernel),
-                pool, nparts);
+                pool, nparts, nloc);
         }
     }
     return {};

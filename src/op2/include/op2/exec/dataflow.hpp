@@ -252,6 +252,15 @@ public:
     [[nodiscard]] char const* site_loop() const noexcept {
         return site_loop_;
     }
+    /// Optional site *kind* tag ("halo-pack", "halo-exchange", ...):
+    /// comm sub-nodes stamp it so a watchdog stall dump names a stuck
+    /// halo wait instead of an anonymous node. Null (the default) marks
+    /// an ordinary compute/join node. Static-string convention, like
+    /// the loop name.
+    void set_site_kind(char const* kind) noexcept { site_kind_ = kind; }
+    [[nodiscard]] char const* site_kind() const noexcept {
+        return site_kind_;
+    }
     [[nodiscard]] std::uint32_t site_partition() const noexcept {
         return site_partition_;
     }
@@ -413,6 +422,7 @@ private:
     std::uint32_t hint_ = kNoHint;  // affinity worker, written at issue
     // Graph-site identity for watchdog dumps, written at issue.
     char const* site_loop_ = nullptr;
+    char const* site_kind_ = nullptr;  // non-null: comm sub-node kind
     std::uint32_t site_partition_ = 0;
     std::uint32_t site_color_ = 0;
     std::atomic<bool> done_{false};
@@ -922,6 +932,72 @@ inline void issue(dataflow_node& n, std::span<dep_request const> reqs,
         }
     }
     n.schedule();
+}
+
+// --- staging-chain registration (op2/comm halo chains) --------------------
+//
+// A halo chain is several nodes long (pack -> exchange -> unpack), but a
+// record must see the whole chain as ONE reader or writer: registering
+// the head and the tail in separate lock holds would let a concurrent
+// issuer's writer slip between them and race the in-flight transfer.
+// These helpers are issue()'s read/write branches generalised to a
+// (head, tail) pair, wired under a single lock hold per record. Both
+// nodes must have their pool bound (and any worker hint set) before the
+// first call — registration publishes them to fences — and the caller
+// schedules the chain only after every record is wired.
+
+/// Read-staging registration: `head` takes RAW edges on the record's
+/// current epoch (it snapshots the epoch's bytes), and `tail` is
+/// published as a reader of that epoch — a later writer WAR-edges on
+/// the tail, so the epoch's bytes stay frozen until the whole chain has
+/// landed. Same reader/writer hygiene as issue()'s read branch.
+inline void stage_read(dataflow_node& head, dataflow_node& tail,
+                       dep_record& r) {
+    std::lock_guard<hpxlite::util::spinlock> lk(r.mtx);
+    std::erase_if(r.readers, [](node_ref const& rd) {
+        return rd->done() && !rd->failed();
+    });
+    std::erase_if(r.writers, [](dep_writer const& w) {
+        return w.node->done() && !w.node->failed();
+    });
+    std::erase_if(r.prev, [](node_ref const& p) {
+        return p->done() && !p->failed();
+    });
+    for (auto const& w : r.writers) {
+        head.depend_on(*w.node);  // RAW
+    }
+    for (auto const& p : r.prev) {
+        head.depend_on(*p);  // open-burst displaced epoch
+    }
+    r.readers.emplace_back(&tail);
+}
+
+/// Write-staging (owner-combine) registration: `head` takes RAW edges
+/// on every current writer — for an open same-loop burst that is every
+/// INC sub-node, any colour, so all contributions have landed before
+/// the head snapshots them — and `tail` *closes* the epoch as its new
+/// sole writer (WAW + WAR), so later readers observe the combined epoch
+/// only: owner-compute semantics for OP_INC over halos.
+inline void stage_write(dataflow_node& head, dataflow_node& tail,
+                        dep_record& r) {
+    std::lock_guard<hpxlite::util::spinlock> lk(r.mtx);
+    for (auto const& w : r.writers) {
+        head.depend_on(*w.node);
+        tail.depend_on(*w.node);  // WAW
+    }
+    for (auto const& p : r.prev) {
+        head.depend_on(*p);
+        tail.depend_on(*p);
+    }
+    for (auto const& rd : r.readers) {
+        tail.depend_on(*rd);  // WAR
+    }
+    r.prev.clear();
+    r.readers.clear();
+    r.writers.clear();
+    r.writers.push_back({node_ref(&tail), 0});
+    r.burst_loop = 0;  // the combine closes any open burst
+    ++r.epoch;
 }
 
 namespace detail {

@@ -164,6 +164,22 @@ struct loop_options {
     /// pin a configuration.
     bool fuse = detail::fuse_default();
 
+    /// Logical localities of the hpx_dataflow partitioned path
+    /// (op2/comm.hpp): the loop's partitions are grouped into this many
+    /// contiguous localities — processes-within-a-process — and every
+    /// indirect argument's halo regions are exchanged through
+    /// pack/exchange/unpack (and, for OP_INC, owner-side combine)
+    /// dataflow sub-nodes edging on the same per-partition dep records
+    /// as compute, so exchanges overlap interior compute. 0 means "the
+    /// process default" (OP2HPX_LOCALITIES env — how a CI leg runs the
+    /// whole tier-1 suite sharded — unset: 1); 1 is today's
+    /// shared-everything behaviour, the bitwise differential oracle.
+    /// Clamped to the partition count; the synchronous backends and the
+    /// whole-set shape ignore it; `fuse` takes precedence (a fused pass
+    /// spans two loops' footprints, which the halo classifier does not
+    /// model, so a fusing issue runs unsharded — see run_loop).
+    std::size_t localities = 0;
+
     /// Bounded retry budget for checkpoint-recovering drivers (the
     /// fault-tolerance layer): how many times an epoch that failed —
     /// an injected fault, a throwing kernel, a quarantined read — may

@@ -7,6 +7,7 @@
 
 #include <op2/access.hpp>
 #include <op2/arg.hpp>
+#include <op2/comm.hpp>
 #include <op2/dat.hpp>
 #include <op2/exec/backend.hpp>
 #include <op2/exec/checkpoint.hpp>

@@ -1,0 +1,555 @@
+#include <op2/comm.hpp>
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include <hpxlite/util/spinlock.hpp>
+#include <op2/fault.hpp>
+#include <op2/memory.hpp>
+
+namespace op2::comm {
+
+// --- knobs ----------------------------------------------------------------
+
+std::size_t localities_default() noexcept {
+    static std::size_t const n = [] {
+        char const* v = std::getenv("OP2HPX_LOCALITIES");
+        if (v == nullptr || *v == '\0') {
+            return std::size_t{1};
+        }
+        std::size_t parsed = 0;
+        auto const* end = v + std::strlen(v);
+        auto const res = std::from_chars(v, end, parsed);
+        if (res.ec != std::errc{} || res.ptr != end || parsed == 0) {
+            return std::size_t{1};
+        }
+        return parsed;
+    }();
+    return n;
+}
+
+std::size_t effective_localities(std::size_t opt,
+                                 std::size_t nparts) noexcept {
+    std::size_t const n = opt != 0 ? opt : localities_default();
+    return n < nparts ? n : nparts;
+}
+
+// --- stats / trace --------------------------------------------------------
+
+stats_t& stats() noexcept {
+    static stats_t s;
+    return s;
+}
+
+void reset_stats() noexcept {
+    auto& s = stats();
+    s.packs.store(0, std::memory_order_relaxed);
+    s.exchanges.store(0, std::memory_order_relaxed);
+    s.unpacks.store(0, std::memory_order_relaxed);
+    s.combines.store(0, std::memory_order_relaxed);
+    s.bytes.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<trace*> g_trace{nullptr};
+}  // namespace
+
+void set_trace(trace* t) noexcept {
+    g_trace.store(t, std::memory_order_release);
+}
+
+// --- halo plan (owned/halo classifier) ------------------------------------
+
+namespace {
+
+halo_plan build_halo_plan(op_map const& map, std::size_t nparts,
+                          std::size_t nloc) {
+    halo_plan hp;
+    hp.nparts = nparts;
+    hp.nloc = nloc;
+    hp.part_regions.resize(nparts);
+    if (nloc <= 1 || nparts <= 1) {
+        return hp;  // one locality: every edge is owned by construction
+    }
+    auto const fp = map.from().partition(nparts);
+    auto const tp = map.to().partition(nparts);
+    auto const dim = static_cast<std::size_t>(map.dim());
+    auto const& tbl = map.table();
+
+    // Per ordered (reader, owner) locality pair: which target partitions
+    // the pair's halo edges reach, and which source partitions
+    // contribute them. nloc^2 * nparts flags — tiny at realistic counts.
+    std::vector<std::uint8_t> tgt_hit(nloc * nloc * nparts, 0);
+    std::vector<std::uint8_t> src_hit(nloc * nloc * nparts, 0);
+    for (std::size_t p = 0; p < nparts; ++p) {
+        std::size_t const reader = locality_of(p, nparts, nloc);
+        for (std::size_t e = fp->begin(p); e < fp->end(p); ++e) {
+            for (std::size_t j = 0; j < dim; ++j) {
+                auto const t = static_cast<std::size_t>(tbl[e * dim + j]);
+                std::size_t const q = tp->find(t);
+                std::size_t const owner = locality_of(q, nparts, nloc);
+                if (owner == reader) {
+                    ++hp.owned_edges;
+                } else {
+                    ++hp.halo_edges;
+                    std::size_t const pair =
+                        (reader * nloc + owner) * nparts;
+                    tgt_hit[pair + q] = 1;
+                    src_hit[pair + p] = 1;
+                }
+            }
+        }
+    }
+
+    // Materialise regions in deterministic (reader, owner) order and
+    // hand every source partition the region indices its own edges
+    // reach (its import wait set).
+    for (std::size_t reader = 0; reader < nloc; ++reader) {
+        for (std::size_t owner = 0; owner < nloc; ++owner) {
+            if (owner == reader) {
+                continue;
+            }
+            std::size_t const pair = (reader * nloc + owner) * nparts;
+            halo_region rg;
+            rg.owner = static_cast<std::uint32_t>(owner);
+            rg.reader = static_cast<std::uint32_t>(reader);
+            for (std::size_t q = 0; q < nparts; ++q) {
+                if (tgt_hit[pair + q] != 0) {
+                    rg.parts.push_back(static_cast<std::uint32_t>(q));
+                    rg.elems += tp->size_of(q);
+                }
+            }
+            if (rg.parts.empty()) {
+                continue;
+            }
+            auto const idx =
+                static_cast<std::uint32_t>(hp.regions.size());
+            for (std::size_t p = 0; p < nparts; ++p) {
+                if (src_hit[pair + p] != 0) {
+                    hp.part_regions[p].push_back(idx);
+                }
+            }
+            hp.regions.push_back(std::move(rg));
+        }
+    }
+    return hp;
+}
+
+using plan_key = std::tuple<std::uint64_t, std::size_t, std::size_t>;
+
+std::mutex g_plan_mtx;
+std::map<plan_key, std::unique_ptr<halo_plan>>& plan_cache() {
+    static auto* c = new std::map<plan_key, std::unique_ptr<halo_plan>>();
+    return *c;
+}
+
+}  // namespace
+
+halo_plan const& halo_plan_get(op_map const& map, std::size_t nparts,
+                               std::size_t nloc) {
+    plan_key const key{map.id(), nparts, nloc};
+    {
+        std::lock_guard<std::mutex> lk(g_plan_mtx);
+        if (auto const it = plan_cache().find(key);
+            it != plan_cache().end()) {
+            return *it->second;
+        }
+    }
+    // Build outside the lock (a big map takes a while); last insert
+    // wins on a race, both builds are identical.
+    auto built = std::make_unique<halo_plan>(
+        build_halo_plan(map, nparts, nloc));
+    std::lock_guard<std::mutex> lk(g_plan_mtx);
+    auto const [it, inserted] =
+        plan_cache().emplace(key, std::move(built));
+    return *it->second;
+}
+
+// --- staging buffers ------------------------------------------------------
+
+namespace {
+
+/// One region's wire: export (packed on the owner-equivalent side) and
+/// import (landed on the consumer side) staging buffers, plus the
+/// serialisation tail — successive chains through one channel are
+/// ordered like messages on a link, so a buffer is never repacked
+/// under an in-flight transfer. Layout is partition slice by partition
+/// slice in `spans` order: partition-affine, cache-line padded
+/// (aligned_buffer) like dat storage.
+struct halo_channel {
+    std::uint32_t owner = 0;
+    std::uint32_t reader = 0;
+    struct span {
+        std::size_t part = 0;
+        std::size_t elem_lo = 0;
+        std::size_t elem_hi = 0;
+        std::size_t dat_off = 0;  // byte offset into dat storage
+        std::size_t bytes = 0;
+    };
+    std::vector<span> spans;
+    std::size_t bytes = 0;
+    memory::aligned_buffer exportbuf;
+    memory::aligned_buffer importbuf;
+    hpxlite::util::spinlock mtx;  // guards `last`
+    exec::node_ref last;          // tail of the newest chain issued
+};
+
+using channel_key =
+    std::tuple<std::uint64_t, std::uint64_t, std::size_t, std::size_t>;
+
+std::mutex g_chan_mtx;
+std::map<channel_key, std::vector<std::shared_ptr<halo_channel>>>&
+channel_cache() {
+    static auto* c = new std::map<
+        channel_key, std::vector<std::shared_ptr<halo_channel>>>();
+    return *c;
+}
+
+/// The per-region channels of (dat, map) at the plan's granularity,
+/// created (and sized) on first use, cached for the life of the
+/// process like op_plans.
+std::vector<std::shared_ptr<halo_channel>>
+channels_for(op_dat const& d, op_map const& map, halo_plan const& hp) {
+    channel_key const key{d.id(), map.id(), hp.nparts, hp.nloc};
+    {
+        std::lock_guard<std::mutex> lk(g_chan_mtx);
+        if (auto const it = channel_cache().find(key);
+            it != channel_cache().end()) {
+            return it->second;
+        }
+    }
+    auto const dp = d.set().partition(hp.nparts);
+    std::size_t const stride =
+        static_cast<std::size_t>(d.dim()) * d.elem_bytes();
+    std::vector<std::shared_ptr<halo_channel>> chans;
+    chans.reserve(hp.regions.size());
+    for (auto const& rg : hp.regions) {
+        auto ch = std::make_shared<halo_channel>();
+        ch->owner = rg.owner;
+        ch->reader = rg.reader;
+        std::size_t off = 0;
+        for (std::uint32_t q : rg.parts) {
+            std::size_t const lo = dp->begin(q);
+            std::size_t const hi = dp->end(q);
+            std::size_t const nbytes = (hi - lo) * stride;
+            ch->spans.push_back({q, lo, hi, lo * stride, nbytes});
+            off += nbytes;
+        }
+        ch->bytes = off;
+        ch->exportbuf = memory::aligned_buffer(off);
+        ch->importbuf = memory::aligned_buffer(off);
+        chans.push_back(std::move(ch));
+    }
+    std::lock_guard<std::mutex> lk(g_chan_mtx);
+    auto const [it, inserted] =
+        channel_cache().emplace(key, std::move(chans));
+    return it->second;
+}
+
+}  // namespace
+
+void halo_cache_clear() {
+    {
+        std::lock_guard<std::mutex> lk(g_plan_mtx);
+        plan_cache().clear();
+    }
+    std::lock_guard<std::mutex> lk(g_chan_mtx);
+    channel_cache().clear();
+}
+
+// --- halo chain nodes -----------------------------------------------------
+
+namespace {
+
+/// One stage of a halo chain. pack/export snapshot dat partition
+/// slices into the export buffer; exchange moves export -> import (the
+/// "wire"; the only stage with a byte counter and the trace hook);
+/// unpack/combine land the import buffer and verify it against live
+/// storage — localities are logical (storage is shared), so the landed
+/// bytes must equal the bytes compute reads, and any pack/transfer/
+/// sizing bug surfaces as a halo-divergence failure instead of silent
+/// corruption.
+class halo_node final : public exec::dataflow_node {
+public:
+    enum class stage { pack, exchange, unpack, combine };
+
+    halo_node(stage st, op_dat d, std::shared_ptr<halo_channel> ch,
+              std::string label)
+      : st_(st), d_(std::move(d)), ch_(std::move(ch)),
+        label_(std::move(label)) {
+        static constexpr char const* kinds[] = {
+            "halo-pack", "halo-exchange", "halo-unpack", "halo-combine"};
+        set_site_kind(kinds[static_cast<int>(st_)]);
+        set_site(label_.c_str(), ch_->owner, ch_->reader);
+    }
+
+    /// The chain tail anchors its predecessors: head and wire sit in no
+    /// dep_record (only the tail is published as the epoch's
+    /// reader/writer), so without this they would be unreferenced while
+    /// still waiting on their own predecessors. The tail is always
+    /// referenced (records, channel tail, the loop's join) and outlives
+    /// both; the refs drop at its completion.
+    void retain_predecessors(exec::node_ref a, exec::node_ref b) noexcept {
+        keep_a_ = std::move(a);
+        keep_b_ = std::move(b);
+    }
+
+private:
+    void run_body() override {
+        // Deterministic injection point, like every compute sub-node:
+        // an armed kernel=<label>@OWNER.READER site (wildcards allowed)
+        // fails this comm stage as if the transfer had died.
+        fault::on_kernel(label_.c_str(), ch_->owner, ch_->reader);
+        auto& s = stats();
+        std::byte* const dat = d_.raw();
+        switch (st_) {
+            case stage::pack: {
+                std::byte* out = ch_->exportbuf.data();
+                for (auto const& sp : ch_->spans) {
+                    if (sp.bytes != 0) {
+                        std::memcpy(out, dat + sp.dat_off, sp.bytes);
+                        out += sp.bytes;
+                    }
+                }
+                s.packs.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+            case stage::exchange: {
+                if (trace* t = g_trace.load(std::memory_order_acquire)) {
+                    if (t->on_exchange) {
+                        t->on_exchange(label_.c_str(), ch_->owner,
+                                       ch_->reader, ch_->bytes);
+                    }
+                }
+                if (ch_->bytes != 0) {
+                    std::memcpy(ch_->importbuf.data(),
+                                ch_->exportbuf.data(), ch_->bytes);
+                }
+                s.exchanges.fetch_add(1, std::memory_order_relaxed);
+                s.bytes.fetch_add(ch_->bytes, std::memory_order_relaxed);
+                break;
+            }
+            case stage::unpack:
+            case stage::combine: {
+                std::byte const* in = ch_->importbuf.data();
+                for (auto const& sp : ch_->spans) {
+                    if (sp.bytes != 0 &&
+                        std::memcmp(in, dat + sp.dat_off, sp.bytes) != 0) {
+                        throw std::runtime_error(
+                            "op2.comm: halo divergence at '" + label_ +
+                            "': landed import bytes differ from owner "
+                            "storage (dat partition " +
+                            std::to_string(sp.part) + ")");
+                    }
+                    in += sp.bytes;
+                }
+                (st_ == stage::unpack ? s.unpacks : s.combines)
+                    .fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+        }
+    }
+
+    void on_complete() noexcept override {
+        // Only the chain tail quarantines (one failure would otherwise
+        // poison the region once per stage): a failed or undelivered
+        // halo leaves the region's consumers without trustworthy
+        // bytes, so readers must fail fast naming the comm site.
+        if (error() &&
+            (st_ == stage::unpack || st_ == stage::combine)) {
+            try {
+                auto info = std::make_shared<exec::poison_info>();
+                info->loop = label_;
+                info->dat = d_.name();
+                info->partition = ch_->owner;
+                info->color = ch_->reader;
+                info->origin = error();
+                auto& dep = d_.internal().dep;
+                for (auto const& sp : ch_->spans) {
+                    dep.add_poison(sp.elem_lo, sp.elem_hi, info);
+                }
+            } catch (...) {  // best-effort, like part_node's poisoning
+            }
+        }
+        d_ = {};     // break the dat <-> node cycle through dep records
+        ch_.reset();  // and the channel <-> node cycle through `last`
+        keep_a_.reset();
+        keep_b_.reset();
+    }
+
+    stage st_;
+    op_dat d_;
+    std::shared_ptr<halo_channel> ch_;
+    std::string const label_;  // site_loop_ points at this
+    exec::node_ref keep_a_;    // tail only: the chain's head ...
+    exec::node_ref keep_b_;    // ... and wire (see retain_predecessors)
+};
+
+std::string chain_label(char const* stage_name, op_dat const& d,
+                        char const* loop) {
+    std::string s(stage_name);
+    s += ':';
+    s += d.name();
+    s += ':';
+    s += loop != nullptr ? loop : "?";
+    return s;
+}
+
+}  // namespace
+
+// --- per-loop wiring ------------------------------------------------------
+
+namespace {
+
+/// Issue one region's chain. Import side (export_side = false):
+/// pack -> exchange -> unpack, registered as one epoch *reader* of the
+/// region's records (stage_read: pack RAW-edges on current writers,
+/// unpack is what later writers WAR-edge on). Export side: export ->
+/// exchange -> combine, registered as the records' next *writer*
+/// (stage_write: export RAW-edges on the loop's own INC sub-nodes,
+/// combine closes the epoch — owner-compute). Returns the chain tail.
+exec::node_ref issue_chain(op_dat const& d, halo_region const& rg,
+                           std::shared_ptr<halo_channel> ch,
+                           exec::dep_record* recs, bool export_side,
+                           hpxlite::threads::thread_pool& pool,
+                           char const* loop, std::size_t nparts,
+                           std::size_t nloc) {
+    auto* head = new halo_node(
+        halo_node::stage::pack, d, ch,
+        chain_label(export_side ? "halo.export" : "halo.pack", d, loop));
+    exec::node_ref href(head, /*adopt=*/true);
+    auto* wire = new halo_node(halo_node::stage::exchange, d, ch,
+                               chain_label("halo.exchange", d, loop));
+    exec::node_ref wref(wire, /*adopt=*/true);
+    auto* tail = new halo_node(export_side ? halo_node::stage::combine
+                                           : halo_node::stage::unpack,
+                               d, ch,
+                               chain_label(export_side ? "halo.combine"
+                                                       : "halo.unpack",
+                                           d, loop));
+    exec::node_ref tref(tail, /*adopt=*/true);
+
+    // Pools and placement before any publication: fences may pick the
+    // nodes up from the records the moment they are registered. The
+    // head runs where the producing locality's partitions run, the
+    // tail where the consuming locality's do (the same p % pool_size
+    // anchor as compute placement); the wire is placement-free.
+    head->bind_pool(pool);
+    wire->bind_pool(pool);
+    tail->bind_pool(pool);
+    std::size_t const producer = export_side ? rg.reader : rg.owner;
+    std::size_t const consumer = export_side ? rg.owner : rg.reader;
+    head->set_worker_hint(
+        locality_first_partition(producer, nparts, nloc) % pool.size());
+    tail->set_worker_hint(
+        locality_first_partition(consumer, nparts, nloc) % pool.size());
+
+    // Serialise chains through the channel like messages on a link: a
+    // later chain's head waits for the previous chain's tail, so the
+    // staging buffers are never repacked under an in-flight transfer.
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(ch->mtx);
+        if (ch->last && !ch->last->done()) {
+            head->depend_on(*ch->last);
+        }
+        ch->last = tref;
+    }
+
+    // One lock hold per region record: the whole chain registers
+    // atomically as one reader (import) or writer (export).
+    for (std::uint32_t q : rg.parts) {
+        if (export_side) {
+            exec::stage_write(*head, *tail, recs[q]);
+        } else {
+            exec::stage_read(*head, *tail, recs[q]);
+        }
+    }
+
+    wire->depend_on(*head);
+    tail->depend_on(*wire);
+    tail->retain_predecessors(href, wref);
+    head->schedule();
+    wire->schedule();
+    tail->schedule();
+    return tref;
+}
+
+}  // namespace
+
+void loop_halos::add_import(op_dat const& d, op_map const& map,
+                            exec::dep_record* recs) {
+    if (!active()) {
+        return;
+    }
+    auto const* di = &d.internal();
+    for (auto const& e : entries_) {
+        if (e.dat == di && e.map_id == map.id() && e.import) {
+            return;  // several slots of one map share one region family
+        }
+    }
+    halo_plan const& hp = halo_plan_get(map, nparts_, nloc_);
+    entry e{di, map.id(), /*import=*/true, &hp, {}};
+    if (!hp.regions.empty()) {
+        auto const chans = channels_for(d, map, hp);
+        e.tail_by_region.reserve(hp.regions.size());
+        for (std::size_t r = 0; r < hp.regions.size(); ++r) {
+            e.tail_by_region.push_back(
+                issue_chain(d, hp.regions[r], chans[r], recs,
+                            /*export_side=*/false, *pool_, loop_,
+                            nparts_, nloc_));
+            tails_.push_back(e.tail_by_region.back());
+        }
+    }
+    entries_.push_back(std::move(e));
+}
+
+void loop_halos::depend_imports(exec::dataflow_node& sub, op_dat const& d,
+                                op_map const& map, std::size_t p) const {
+    auto const* di = &d.internal();
+    for (auto const& e : entries_) {
+        if (e.dat != di || e.map_id != map.id() || !e.import) {
+            continue;
+        }
+        for (std::uint32_t r : e.plan->part_regions[p]) {
+            sub.depend_on(*e.tail_by_region[r]);
+        }
+        return;
+    }
+}
+
+void loop_halos::add_export(op_dat const& d, op_map const& map,
+                            exec::dep_record* recs) {
+    if (!active()) {
+        return;
+    }
+    auto const* di = &d.internal();
+    for (auto const& e : entries_) {
+        if (e.dat == di && e.map_id == map.id() && !e.import) {
+            return;
+        }
+    }
+    halo_plan const& hp = halo_plan_get(map, nparts_, nloc_);
+    entry e{di, map.id(), /*import=*/false, &hp, {}};
+    if (!hp.regions.empty()) {
+        auto const chans = channels_for(d, map, hp);
+        e.tail_by_region.reserve(hp.regions.size());
+        for (std::size_t r = 0; r < hp.regions.size(); ++r) {
+            e.tail_by_region.push_back(
+                issue_chain(d, hp.regions[r], chans[r], recs,
+                            /*export_side=*/true, *pool_, loop_,
+                            nparts_, nloc_));
+            tails_.push_back(e.tail_by_region.back());
+        }
+    }
+    entries_.push_back(std::move(e));
+}
+
+}  // namespace op2::comm

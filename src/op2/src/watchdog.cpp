@@ -40,7 +40,13 @@ void dump_graph(std::ostream& os) {
     for (auto const& n : pending) {
         os << "  pending: loop '"
            << (n->site_loop() != nullptr ? n->site_loop() : "?") << "'";
-        if (n->site_partition() == dataflow_node::kJoin) {
+        if (n->site_kind() != nullptr) {
+            // Comm sub-node: its site is a (dat, loop) halo label plus
+            // the region's locality pair — a stuck halo wait names
+            // itself instead of masquerading as a compute partition.
+            os << " [" << n->site_kind() << "] localities L"
+               << n->site_partition() << "->L" << n->site_color();
+        } else if (n->site_partition() == dataflow_node::kJoin) {
             os << " join";
         } else {
             os << " partition " << n->site_partition() << " colour "

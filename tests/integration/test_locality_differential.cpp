@@ -1,0 +1,436 @@
+// Differential tests of logical-locality execution (op2/comm): the
+// same airfoil-shaped chain and randomized indirect-loop DAGs, issued
+// through partitions grouped into 1/2/3/pool-many localities with live
+// halo pack/exchange/unpack (and owner-combine for OP_INC) chains, must
+// stay bitwise identical to the whole-set oracle and the sequential
+// reference — localities are logical, so any divergence is a protocol
+// bug (a compute sub-node overtaking its import, an epoch closed out
+// of order), not a rounding artefact. A fault fired *inside* an
+// exchange node must quarantine the region naming the comm site.
+//
+// Bit-identity holds for the usual reason: every value is an integer
+// held in a double, far below 2^53.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+/// The five-loop airfoil-shaped time-march of the dataflow
+/// differential, parameterised on the locality count. res_calc's
+/// OP_INC through the edges->cells map is the INC-over-halo loop: at
+/// nloc > 1 its contributions cross localities and flow through the
+/// export -> exchange -> owner-combine chain.
+struct airfoil_sharded {
+    static constexpr std::size_t kCells = 480;
+    static constexpr std::size_t kEdges = 1400;
+
+    op_set cells, edges;
+    op_map em;
+    op_dat q, qold, adt, res;
+    std::vector<double> q_init;
+
+    explicit airfoil_sharded(unsigned seed) {
+        cells = op_decl_set(kCells, "cells");
+        edges = op_decl_set(kEdges, "edges");
+        std::mt19937 rng(seed);
+        std::uniform_int_distribution<int> cd(0, kCells - 1);
+        std::vector<int> tab(2 * kEdges);
+        for (auto& v : tab) {
+            v = cd(rng);
+        }
+        em = op_decl_map(edges, cells, 2, tab, "em");
+
+        std::uniform_int_distribution<int> vd(1, 5);
+        q_init.resize(2 * kCells);
+        for (auto& v : q_init) {
+            v = static_cast<double>(vd(rng));
+        }
+        q = op_decl_dat<double>(cells, 2, "double", q_init, "q");
+        qold = op_decl_dat_zero<double>(cells, 2, "double", "qold");
+        adt = op_decl_dat_zero<double>(cells, 1, "double", "adt");
+        res = op_decl_dat_zero<double>(cells, 2, "double", "res");
+    }
+
+    struct outcome {
+        std::vector<double> q;
+        std::vector<double> res;
+        double rms = 0.0;
+    };
+
+    outcome run(int iters, std::size_t partitions, std::size_t localities) {
+        auto qv = q.view<double>();
+        std::copy(q_init.begin(), q_init.end(), qv.begin());
+        for (auto& x : qold.view<double>()) x = 0.0;
+        for (auto& x : adt.view<double>()) x = 0.0;
+        for (auto& x : res.view<double>()) x = 0.0;
+
+        loop_options o;
+        o.part_size = 48;
+        o.backend = exec::backend_kind::hpx_dataflow;
+        o.partitions = partitions;
+        o.localities = localities;
+        // A fusing issue runs unsharded (fuse takes precedence over
+        // localities); pin fusion off so the halo chains are live even
+        // under an OP2HPX_FUSE=1 leg.
+        o.fuse = false;
+
+        outcome out;
+        std::vector<double> rms(static_cast<std::size_t>(iters), 0.0);
+        for (int it = 0; it < iters; ++it) {
+            (void)exec::run_loop(o, "save_soln", cells,
+                                 [](double const* qq, double* qo) {
+                                     qo[0] = qq[0];
+                                     qo[1] = qq[1];
+                                 },
+                                 op_arg_dat(q, -1, OP_ID, 2, "double",
+                                            OP_READ),
+                                 op_arg_dat(qold, -1, OP_ID, 2, "double",
+                                            OP_WRITE));
+            (void)exec::run_loop(
+                o, "adt_calc", cells,
+                [](double const* qq, double* a) { *a = qq[0] + qq[1]; },
+                op_arg_dat(q, -1, OP_ID, 2, "double", OP_READ),
+                op_arg_dat(adt, -1, OP_ID, 1, "double", OP_WRITE));
+            (void)exec::run_loop(
+                o, "res_calc", edges,
+                [](double const* q0, double const* q1, double const* a0,
+                   double const* a1, double* r0, double* r1) {
+                    double const f = q0[0] + q1[1] + *a0 + *a1;
+                    r0[0] += f;
+                    r0[1] += 2.0 * f;
+                    r1[0] += f;
+                    r1[1] += f + q0[1];
+                },
+                op_arg_dat(q, 0, em, 2, "double", OP_READ),
+                op_arg_dat(q, 1, em, 2, "double", OP_READ),
+                op_arg_dat(adt, 0, em, 1, "double", OP_READ),
+                op_arg_dat(adt, 1, em, 1, "double", OP_READ),
+                op_arg_dat(res, 0, em, 2, "double", OP_INC),
+                op_arg_dat(res, 1, em, 2, "double", OP_INC));
+            (void)exec::run_loop(
+                o, "update", cells,
+                [](double const* qo, double* qq, double* r, double* s) {
+                    qq[0] = qo[0] + std::fmod(r[0], 64.0);
+                    qq[1] = qo[1] + std::fmod(r[1], 64.0);
+                    *s += qq[0];
+                    r[0] = 0.0;
+                    r[1] = 0.0;
+                },
+                op_arg_dat(qold, -1, OP_ID, 2, "double", OP_READ),
+                op_arg_dat(q, -1, OP_ID, 2, "double", OP_WRITE),
+                op_arg_dat(res, -1, OP_ID, 2, "double", OP_RW),
+                op_arg_gbl(&rms[static_cast<std::size_t>(it)], 1, "double",
+                           OP_INC));
+        }
+        op_fence_all();
+        out.rms = rms.back();
+        auto qv2 = q.view<double>();
+        out.q.assign(qv2.begin(), qv2.end());
+        auto rv = res.view<double>();
+        out.res.assign(rv.begin(), rv.end());
+        return out;
+    }
+};
+
+class LocalityDifferential : public ::testing::TestWithParam<unsigned> {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override {
+        fault::disarm();
+        hpxlite::finalize();
+    }
+};
+
+/// The airfoil chain at localities = 1/2/3/pool (4 workers) against
+/// the whole-set oracle (partitions = 1, comm inert by construction):
+/// the full protocol — imports ahead of halo reads, INC exports with
+/// owner-combine epoch close, channel serialisation across iterations
+/// — must be invisible in the bytes.
+TEST_P(LocalityDifferential, AirfoilChainShardedMatchesWholeSetOracle) {
+    airfoil_sharded prog(GetParam());
+    auto oracle = prog.run(4, 1, 1);
+    for (std::size_t nloc : {1, 2, 3, 4}) {
+        auto got = prog.run(4, 6, nloc);
+        ASSERT_EQ(got.q.size(), oracle.q.size());
+        EXPECT_EQ(std::memcmp(got.q.data(), oracle.q.data(),
+                              oracle.q.size() * sizeof(double)),
+                  0)
+            << "state q diverged at " << nloc << " localities";
+        EXPECT_EQ(std::memcmp(got.res.data(), oracle.res.data(),
+                              oracle.res.size() * sizeof(double)),
+                  0)
+            << "residual diverged at " << nloc << " localities";
+        EXPECT_EQ(got.rms, oracle.rms) << nloc << " localities";
+    }
+}
+
+/// Randomized DAGs mixing direct read-modify-writes with indirect
+/// gather (OP_READ through the map) and scatter (OP_INC through the
+/// map) loops: a dense interleaving of import and export chains over
+/// the same dats, seq-replayed bitwise at every locality count.
+TEST_P(LocalityDifferential, RandomIndirectDagMatchesSeqBitwise) {
+    constexpr std::size_t kCells = 192;
+    constexpr std::size_t kEdges = 480;
+    constexpr int kDats = 4;
+    constexpr int kLoops = 28;
+
+    auto run = [&](exec::backend_kind be, std::size_t partitions,
+                   std::size_t localities,
+                   std::vector<std::vector<double>>* snapshot) {
+        auto cells = op_decl_set(kCells, "cells");
+        auto edges = op_decl_set(kEdges, "edges");
+        std::mt19937 rng(GetParam() * 661u + 7u);
+        std::uniform_int_distribution<int> cd(0,
+                                              static_cast<int>(kCells) - 1);
+        std::vector<int> tab(2 * kEdges);
+        for (auto& v : tab) {
+            v = cd(rng);
+        }
+        auto em = op_decl_map(edges, cells, 2, tab, "em");
+
+        std::vector<op_dat> dats;
+        for (int k = 0; k < kDats; ++k) {
+            auto d = op_decl_dat_zero<double>(cells, 1, "double",
+                                              "c" + std::to_string(k));
+            auto v = d.view<double>();
+            for (std::size_t i = 0; i < kCells; ++i) {
+                v[i] = static_cast<double>((i + static_cast<std::size_t>(k)) %
+                                           5);
+            }
+            dats.push_back(d);
+        }
+
+        loop_options o;
+        o.part_size = 32;
+        o.backend = be;
+        o.partitions = partitions;
+        o.localities = localities;
+        o.fuse = false;
+
+        std::uniform_int_distribution<int> pick(0, kDats - 1);
+        std::uniform_int_distribution<int> kind(0, 2);
+        for (int l = 0; l < kLoops; ++l) {
+            int const r1 = pick(rng);
+            int r2 = pick(rng);
+            int w = pick(rng);
+            while (r2 == r1) r2 = (r2 + 1) % kDats;
+            while (w == r1 || w == r2) w = (w + 1) % kDats;
+            auto& dr1 = dats[static_cast<std::size_t>(r1)];
+            auto& dr2 = dats[static_cast<std::size_t>(r2)];
+            auto& dw = dats[static_cast<std::size_t>(w)];
+            switch (kind(rng)) {
+                case 0:  // direct read-modify-write on cells
+                    (void)exec::run_loop(
+                        o, "direct_mix", cells,
+                        [](double const* a, double const* b, double* t) {
+                            *t = std::fmod(*t + *a + 2.0 * *b, 1024.0);
+                        },
+                        op_arg_dat(dr1, -1, OP_ID, 1, "double", OP_READ),
+                        op_arg_dat(dr2, -1, OP_ID, 1, "double", OP_READ),
+                        op_arg_dat(dw, -1, OP_ID, 1, "double", OP_RW));
+                    break;
+                case 1:  // indirect gather: halo imports on both slots
+                    (void)exec::run_loop(
+                        o, "gather_mix", edges,
+                        [](double const* a0, double const* a1, double* t0,
+                           double* t1) {
+                            *t0 += std::fmod(*a0 + 1.0, 32.0);
+                            *t1 += std::fmod(*a1 + 2.0, 32.0);
+                        },
+                        op_arg_dat(dr1, 0, em, 1, "double", OP_READ),
+                        op_arg_dat(dr1, 1, em, 1, "double", OP_READ),
+                        op_arg_dat(dw, 0, em, 1, "double", OP_INC),
+                        op_arg_dat(dw, 1, em, 1, "double", OP_INC));
+                    break;
+                default:  // indirect scatter fed by a direct operand
+                    (void)exec::run_loop(
+                        o, "scatter_mix", edges,
+                        [](double const* a, double* t) {
+                            *t += std::fmod(*a, 16.0) + 1.0;
+                        },
+                        op_arg_dat(dr2, 0, em, 1, "double", OP_READ),
+                        op_arg_dat(dw, 1, em, 1, "double", OP_INC));
+                    break;
+            }
+        }
+        if (be == exec::backend_kind::hpx_dataflow) {
+            op_fence_all();
+        }
+        snapshot->clear();
+        for (auto& d : dats) {
+            auto v = d.view<double>();
+            snapshot->emplace_back(v.begin(), v.end());
+        }
+    };
+
+    std::vector<std::vector<double>> ref, got;
+    run(exec::backend_kind::seq, 0, 1, &ref);
+    for (std::size_t nloc : {1, 2, 3}) {
+        run(exec::backend_kind::hpx_dataflow, 5, nloc, &got);
+        ASSERT_EQ(ref.size(), got.size());
+        for (std::size_t k = 0; k < ref.size(); ++k) {
+            EXPECT_EQ(std::memcmp(got[k].data(), ref[k].data(),
+                                  ref[k].size() * sizeof(double)),
+                      0)
+                << "dat " << k << " diverged under the randomized DAG at "
+                << nloc << " localities";
+        }
+    }
+}
+
+/// OP_INC where *every* contribution crosses the locality boundary:
+/// the owner-combine chain is the only thing standing between a later
+/// reader and a half-landed reduction.
+TEST_P(LocalityDifferential, IncOverAllHaloMapMatchesSeqBitwise) {
+    constexpr std::size_t kN = 60;
+    auto cells = op_decl_set(kN, "cells");
+    auto edges = op_decl_set(kN, "edges");
+    std::vector<int> tab(kN);
+    for (std::size_t e = 0; e < kN; ++e) {
+        tab[e] = static_cast<int>((e + kN / 2) % kN);  // cross-locality
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "em_cross");
+    auto cd = op_decl_dat_zero<double>(cells, 1, "double", "cd");
+    auto ed = op_decl_dat_zero<double>(edges, 1, "double", "ed");
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<int> vd(1, 9);
+    std::vector<double> e_init(kN);
+    for (auto& v : e_init) {
+        v = static_cast<double>(vd(rng));
+    }
+
+    auto scatter = [](double const* ev, double* c) { *c += *ev; };
+    auto reduce = [](double const* c, double* s) { *s += *c; };
+
+    auto run = [&](exec::backend_kind be, std::size_t localities,
+                   std::vector<double>* out, double* sum) {
+        std::copy(e_init.begin(), e_init.end(), ed.view<double>().begin());
+        for (auto& x : cd.view<double>()) {
+            x = 1.0;
+        }
+        loop_options o;
+        o.backend = be;
+        o.partitions = 4;
+        o.part_size = 8;
+        o.localities = localities;
+        o.fuse = false;
+        *sum = 0.0;
+        (void)exec::run_loop(o, "cross_inc", edges, scatter,
+                             op_arg_dat(ed, -1, OP_ID, 1, "double",
+                                        OP_READ),
+                             op_arg_dat(cd, 0, em, 1, "double", OP_INC));
+        // The reader behind the combine: sees the closed epoch only.
+        auto h = exec::run_loop(o, "cross_sum", cells, reduce,
+                                op_arg_dat(cd, -1, OP_ID, 1, "double",
+                                           OP_READ),
+                                op_arg_gbl(sum, 1, "double", OP_INC));
+        if (be == exec::backend_kind::hpx_dataflow) {
+            h.get();
+            op_fence_all();
+        }
+        auto v = cd.view<double>();
+        out->assign(v.begin(), v.end());
+    };
+
+    std::vector<double> ref, got;
+    double ref_sum = 0.0;
+    double got_sum = 0.0;
+    run(exec::backend_kind::seq, 1, &ref, &ref_sum);
+    for (std::size_t nloc : {1, 2, 4}) {
+        run(exec::backend_kind::hpx_dataflow, nloc, &got, &got_sum);
+        EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                              ref.size() * sizeof(double)),
+                  0)
+            << "INC-over-halo diverged at " << nloc << " localities";
+        EXPECT_EQ(got_sum, ref_sum) << nloc << " localities";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalityDifferential,
+                         ::testing::Values(3u, 17u, 29u, 53u));
+
+class LocalityFaultTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override {
+        fault::disarm();
+        hpxlite::finalize();
+    }
+};
+
+/// A fault fired *inside* an exchange node: the chain tail inherits
+/// the error and quarantines exactly the region's element spans, and
+/// the poison names the comm site — a stuck or dead halo fails fast as
+/// itself, not as some innocent compute loop.
+TEST_F(LocalityFaultTest, ExchangeFaultQuarantinesNamingCommSite) {
+    auto cells = op_decl_set(64, "flt_cells");
+    auto edges = op_decl_set(64, "flt_edges");
+    std::vector<int> tab(64);
+    for (int e = 0; e < 64; ++e) {
+        tab[e] = e < 32 ? e : e - 32;  // L1 edges import L0 cells
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "flt_map");
+    auto qd = op_decl_dat_zero<double>(cells, 1, "double", "qd");
+    auto rd = op_decl_dat_zero<double>(edges, 1, "double", "rd");
+
+    loop_options o;
+    o.backend = exec::backend_kind::hpx_dataflow;
+    o.partitions = 4;
+    o.part_size = 16;
+    o.localities = 2;
+    o.fuse = false;
+
+    (void)exec::run_loop(o, "qd_writer", cells,
+                         [](double* x) { *x = 2.0; },
+                         op_arg_dat(qd, -1, OP_ID, 1, "double", OP_WRITE));
+
+    // Kernel sites address comm stages by their chain label; the
+    // locality pair rides in the partition.colour slots.
+    fault::arm("kernel=halo.exchange:qd:halo_reader@*.*");
+    auto h = exec::run_loop(o, "halo_reader", edges,
+                            [](double const* c, double* r) { *r = *c; },
+                            op_arg_dat(qd, 0, em, 1, "double", OP_READ),
+                            op_arg_dat(rd, -1, OP_ID, 1, "double",
+                                       OP_WRITE));
+    EXPECT_THROW(h.get(), std::runtime_error);
+    op_fence_all();
+    fault::disarm();
+
+    EXPECT_TRUE(qd.quarantined())
+        << "a dead exchange must quarantine the halo region";
+
+    loop_options seq;
+    seq.backend = exec::backend_kind::seq;
+    double sum = 0.0;
+    try {
+        exec::run_loop(seq, "late_reader", cells,
+                       [](double const* x, double* s) { *s += *x; },
+                       op_arg_dat(qd, -1, OP_ID, 1, "double", OP_READ),
+                       op_arg_gbl(&sum, 1, "double", OP_INC));
+        FAIL() << "reading the quarantined halo region must fail fast";
+    } catch (exec::quarantine_error const& e) {
+        EXPECT_NE(e.info().loop.find("halo."), std::string::npos)
+            << e.info().loop;
+        EXPECT_NE(e.info().loop.find("halo_reader"), std::string::npos)
+            << e.info().loop;
+        EXPECT_EQ(e.info().dat, "qd");
+        EXPECT_NE(std::string(e.what()).find("halo."), std::string::npos)
+            << e.what();
+    }
+    qd.clear_quarantine();
+    rd.clear_quarantine();
+}
+
+}  // namespace

@@ -1,0 +1,487 @@
+// Comm layer (op2/comm.hpp): locality arithmetic, the owned/halo map
+// classifier, halo-plan caching, exchange stats, the watchdog's comm
+// sub-node labelling, and the overlap guarantee — interior sub-nodes
+// of one locality keep running while another locality's halo exchange
+// is still in flight.
+//
+// The edge cases the locality split makes load-bearing get explicit
+// coverage: sets smaller than the partition count (so some partitions
+// are empty), and a map whose every edge is a halo edge — both through
+// the classifier and through real partitioned execution against the
+// sequential oracle.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+/// Deadline-bounded spin (sanitizer builds are slow; never hang a
+/// failing run).
+bool wait_for(std::function<bool()> pred,
+              std::chrono::milliseconds limit =
+                  std::chrono::milliseconds(20000)) {
+    auto const deadline = std::chrono::steady_clock::now() + limit;
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline) {
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return true;
+}
+
+class CommTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override {
+        comm::set_trace(nullptr);
+        fault::disarm();
+        hpxlite::finalize();
+    }
+
+    /// Partitioned dataflow options with an explicit locality count.
+    /// Fusion is pinned off: a fusing issue runs unsharded (fuse takes
+    /// precedence — see loop_options), and these tests require the
+    /// comm layer to actually engage even under OP2HPX_FUSE=1 legs.
+    loop_options hpx_opts(std::size_t parts, std::size_t nloc) const {
+        loop_options o;
+        o.backend = exec::backend_kind::hpx_dataflow;
+        o.partitions = parts;
+        o.part_size = 16;
+        o.localities = nloc;
+        o.fuse = false;
+        return o;
+    }
+
+    loop_options seq_opts() const {
+        loop_options o;
+        o.backend = exec::backend_kind::seq;
+        return o;
+    }
+};
+
+TEST_F(CommTest, LocalityArithmeticContiguousCoverAndClamp) {
+    // effective_localities clamps an explicit request to the partition
+    // count and never yields zero.
+    EXPECT_EQ(comm::effective_localities(3, 8), 3u);
+    EXPECT_EQ(comm::effective_localities(5, 2), 2u);
+    EXPECT_EQ(comm::effective_localities(1, 8), 1u);
+    EXPECT_GE(comm::effective_localities(0, 8), 1u);
+    EXPECT_LE(comm::effective_localities(0, 8), 8u);
+
+    for (std::size_t nparts : {1, 3, 4, 7, 16}) {
+        for (std::size_t nloc : {1, 2, 3, 5}) {
+            if (nloc > nparts) {
+                continue;
+            }
+            // locality_of is a monotone, contiguous, onto map of
+            // partitions to localities...
+            EXPECT_EQ(comm::locality_of(0, nparts, nloc), 0u);
+            EXPECT_EQ(comm::locality_of(nparts - 1, nparts, nloc),
+                      nloc - 1);
+            std::size_t prev = 0;
+            for (std::size_t p = 0; p < nparts; ++p) {
+                std::size_t const l = comm::locality_of(p, nparts, nloc);
+                EXPECT_GE(l, prev);
+                EXPECT_LE(l, prev + 1);
+                prev = l;
+            }
+            // ... and locality_first_partition is its exact inverse
+            // anchor: the first partition mapping to each locality.
+            for (std::size_t l = 0; l < nloc; ++l) {
+                std::size_t const f =
+                    comm::locality_first_partition(l, nparts, nloc);
+                ASSERT_LT(f, nparts);
+                EXPECT_EQ(comm::locality_of(f, nparts, nloc), l);
+                if (f > 0) {
+                    EXPECT_LT(comm::locality_of(f - 1, nparts, nloc), l);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(CommTest, ClassifierSplitsOwnedAndHaloEdges) {
+    // 64 cells / 32 edges at 4 partitions, 2 localities: cell
+    // partitions are 16 wide (parts 0,1 = L0; 2,3 = L1), edge
+    // partitions 8 wide. Identity map: edges 0..15 stay inside L0
+    // (owned); edges 16..31 live in L1 but target cells 16..31 =
+    // cell partition 1 = L0 (halo).
+    auto cells = op_decl_set(64, "cls_cells");
+    auto edges = op_decl_set(32, "cls_edges");
+    std::vector<int> tab(32);
+    for (int e = 0; e < 32; ++e) {
+        tab[e] = e;
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "cls_map");
+
+    auto const& hp = comm::halo_plan_get(em, 4, 2);
+    EXPECT_EQ(hp.owned_edges, 16u);
+    EXPECT_EQ(hp.halo_edges, 16u);
+    ASSERT_EQ(hp.regions.size(), 1u);
+    EXPECT_EQ(hp.regions[0].owner, 0u);
+    EXPECT_EQ(hp.regions[0].reader, 1u);
+    ASSERT_EQ(hp.regions[0].parts.size(), 1u);
+    EXPECT_EQ(hp.regions[0].parts[0], 1u);  // cell partition 1 only
+    EXPECT_EQ(hp.regions[0].elems, 16u);
+    // Only the halo-side edge partitions (2, 3) wait on the import.
+    ASSERT_EQ(hp.part_regions.size(), 4u);
+    EXPECT_TRUE(hp.part_regions[0].empty());
+    EXPECT_TRUE(hp.part_regions[1].empty());
+    ASSERT_EQ(hp.part_regions[2].size(), 1u);
+    ASSERT_EQ(hp.part_regions[3].size(), 1u);
+    EXPECT_EQ(hp.part_regions[2][0], 0u);
+    EXPECT_EQ(hp.part_regions[3][0], 0u);
+
+    // One locality: the empty plan, every edge owned by construction.
+    auto const& one = comm::halo_plan_get(em, 4, 1);
+    EXPECT_EQ(one.halo_edges, 0u);
+    EXPECT_TRUE(one.regions.empty());
+}
+
+TEST_F(CommTest, HaloPlanCacheReturnsSameInstancePerShape) {
+    auto cells = op_decl_set(48, "hpc_cells");
+    auto edges = op_decl_set(24, "hpc_edges");
+    std::vector<int> tab(24);
+    for (int e = 0; e < 24; ++e) {
+        tab[e] = (e * 7) % 48;
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "hpc_map");
+
+    auto const& a = comm::halo_plan_get(em, 4, 2);
+    auto const& b = comm::halo_plan_get(em, 4, 2);
+    EXPECT_EQ(&a, &b) << "same (map, nparts, nloc) must hit the cache";
+    auto const& c = comm::halo_plan_get(em, 4, 4);
+    EXPECT_NE(&a, &c);
+    auto const& d = comm::halo_plan_get(em, 6, 2);
+    EXPECT_NE(&a, &d);
+}
+
+TEST_F(CommTest, AllHaloMapClassifiesAndExecutesBitwise) {
+    // Every edge crosses the locality boundary: edges in L0 read only
+    // L1 cells and vice versa. The classifier must see zero owned
+    // edges and two symmetric regions; execution through the full
+    // import machinery must still be bitwise the sequential result.
+    auto cells = op_decl_set(64, "ah_cells");
+    auto edges = op_decl_set(32, "ah_edges");
+    std::vector<int> tab(32);
+    for (int e = 0; e < 32; ++e) {
+        tab[e] = e < 16 ? 32 + e : e - 16;  // L0 edges -> L1 cells, L1 -> L0
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "ah_map");
+
+    auto const& hp = comm::halo_plan_get(em, 4, 2);
+    EXPECT_EQ(hp.owned_edges, 0u);
+    EXPECT_EQ(hp.halo_edges, 32u);
+    EXPECT_EQ(hp.regions.size(), 2u);
+
+    auto cd = op_decl_dat_zero<double>(cells, 1, "double", "ah_cd");
+    auto ed = op_decl_dat_zero<double>(edges, 1, "double", "ah_ed");
+    {
+        auto v = cd.view<double>();
+        for (std::size_t i = 0; i < 64; ++i) {
+            v[i] = static_cast<double>(3 + (i % 11));
+        }
+    }
+    auto body = [](double const* c, double* r) { *r += *c + 1.0; };
+    exec::run_loop(seq_opts(), "ah_read", edges, body,
+                   op_arg_dat(cd, 0, em, 1, "double", OP_READ),
+                   op_arg_dat(ed, -1, OP_ID, 1, "double", OP_RW));
+    std::vector<double> ref(ed.view<double>().begin(),
+                            ed.view<double>().end());
+
+    for (auto& x : ed.view<double>()) {
+        x = 0.0;
+    }
+    auto h = exec::run_loop(hpx_opts(4, 2), "ah_read", edges, body,
+                            op_arg_dat(cd, 0, em, 1, "double", OP_READ),
+                            op_arg_dat(ed, -1, OP_ID, 1, "double", OP_RW));
+    h.get();
+    op_fence_all();
+    EXPECT_EQ(std::memcmp(ed.view<double>().data(), ref.data(),
+                          ref.size() * sizeof(double)),
+              0)
+        << "all-halo execution diverged from the sequential oracle";
+}
+
+TEST_F(CommTest, TinySetManyPartitionsMatchesSeqBitwise) {
+    // 3 cells, 5 edges, 8 partitions: most partitions are empty and
+    // every locality holds more empty partitions than elements. The
+    // plan, the classifier and the dep records must all survive the
+    // degenerate bounds, and the result stays bitwise sequential.
+    auto cells = op_decl_set(3, "tiny_cells");
+    auto edges = op_decl_set(5, "tiny_edges");
+    std::vector<int> tab{0, 2, 1, 0, 2};
+    auto em = op_decl_map(edges, cells, 1, tab, "tiny_map");
+
+    auto const& hp = comm::halo_plan_get(em, 8, 2);
+    EXPECT_EQ(hp.owned_edges + hp.halo_edges, 5u);
+    for (auto const& rg : hp.regions) {
+        std::size_t elems = 0;
+        for (std::uint32_t q : rg.parts) {
+            elems += (q + 1) * 3 / 8 - q * 3 / 8;  // set_partition bounds
+        }
+        EXPECT_EQ(rg.elems, elems);
+    }
+
+    auto cd = op_decl_dat_zero<double>(cells, 1, "double", "tiny_cd");
+    auto ed = op_decl_dat_zero<double>(edges, 1, "double", "tiny_ed");
+    {
+        auto v = cd.view<double>();
+        v[0] = 5.0;
+        v[1] = 7.0;
+        v[2] = 9.0;
+    }
+    auto gather = [](double const* c, double* r) { *r += *c + 1.0; };
+    auto scatter = [](double const* r, double* c) { *c += *r; };
+
+    exec::run_loop(seq_opts(), "tiny_gather", edges, gather,
+                   op_arg_dat(cd, 0, em, 1, "double", OP_READ),
+                   op_arg_dat(ed, -1, OP_ID, 1, "double", OP_RW));
+    exec::run_loop(seq_opts(), "tiny_scatter", edges, scatter,
+                   op_arg_dat(ed, -1, OP_ID, 1, "double", OP_READ),
+                   op_arg_dat(cd, 0, em, 1, "double", OP_INC));
+    std::vector<double> ref_e(ed.view<double>().begin(),
+                              ed.view<double>().end());
+    std::vector<double> ref_c(cd.view<double>().begin(),
+                              cd.view<double>().end());
+
+    for (std::size_t nloc : {2, 4, 8}) {
+        {
+            auto v = cd.view<double>();
+            v[0] = 5.0;
+            v[1] = 7.0;
+            v[2] = 9.0;
+        }
+        for (auto& x : ed.view<double>()) {
+            x = 0.0;
+        }
+        auto o = hpx_opts(8, nloc);
+        o.part_size = 1;
+        (void)exec::run_loop(o, "tiny_gather", edges, gather,
+                             op_arg_dat(cd, 0, em, 1, "double", OP_READ),
+                             op_arg_dat(ed, -1, OP_ID, 1, "double", OP_RW));
+        auto h = exec::run_loop(o, "tiny_scatter", edges, scatter,
+                                op_arg_dat(ed, -1, OP_ID, 1, "double",
+                                           OP_READ),
+                                op_arg_dat(cd, 0, em, 1, "double", OP_INC));
+        h.get();
+        op_fence_all();
+        EXPECT_EQ(std::memcmp(ed.view<double>().data(), ref_e.data(),
+                              ref_e.size() * sizeof(double)),
+                  0)
+            << "edge dat diverged at " << nloc << " localities";
+        EXPECT_EQ(std::memcmp(cd.view<double>().data(), ref_c.data(),
+                              ref_c.size() * sizeof(double)),
+                  0)
+            << "cell dat diverged at " << nloc << " localities";
+    }
+}
+
+TEST_F(CommTest, ExchangeStatsCountAndLocalityOneIsInert) {
+    auto cells = op_decl_set(64, "st_cells");
+    auto edges = op_decl_set(64, "st_edges");
+    std::vector<int> tab(64);
+    for (int e = 0; e < 64; ++e) {
+        tab[e] = e < 32 ? e : e - 32;  // L1 edges import L0 cells
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "st_map");
+    auto cd = op_decl_dat_zero<double>(cells, 1, "double", "st_cd");
+    auto ed = op_decl_dat_zero<double>(edges, 1, "double", "st_ed");
+    auto body = [](double const* c, double* r) { *r = *c + 1.0; };
+
+    // localities = 1 pins shared-everything: no comm traffic at all,
+    // even under an OP2HPX_LOCALITIES=2 environment.
+    comm::reset_stats();
+    auto h1 = exec::run_loop(hpx_opts(4, 1), "st_read", edges, body,
+                             op_arg_dat(cd, 0, em, 1, "double", OP_READ),
+                             op_arg_dat(ed, -1, OP_ID, 1, "double",
+                                        OP_WRITE));
+    h1.get();
+    op_fence_all();
+    EXPECT_EQ(comm::stats().exchanges.load(), 0u);
+    EXPECT_EQ(comm::stats().packs.load(), 0u);
+    EXPECT_EQ(comm::stats().bytes.load(), 0u);
+
+    // localities = 2: exactly one import region (reader L1 <- owner
+    // L0, cell partitions 0..1 = 32 dim-1 doubles), one chain.
+    comm::reset_stats();
+    auto h2 = exec::run_loop(hpx_opts(4, 2), "st_read", edges, body,
+                             op_arg_dat(cd, 0, em, 1, "double", OP_READ),
+                             op_arg_dat(ed, -1, OP_ID, 1, "double",
+                                        OP_WRITE));
+    h2.get();
+    op_fence_all();
+    EXPECT_EQ(comm::stats().packs.load(), 1u);
+    EXPECT_EQ(comm::stats().exchanges.load(), 1u);
+    EXPECT_EQ(comm::stats().unpacks.load(), 1u);
+    EXPECT_EQ(comm::stats().combines.load(), 0u);
+    EXPECT_EQ(comm::stats().bytes.load(), 32u * sizeof(double));
+}
+
+/// Per-edge completion flags for the overlap test: the kernel reads
+/// its own element index from a dat and marks itself done.
+std::array<std::atomic<int>, 64> g_edge_done;
+
+TEST_F(CommTest, InteriorComputeRunsWhileExchangePending) {
+    // The acceptance trace: partitions 0..1 (L0) hold only interior
+    // edges; partitions 2..3 (L1) read L0 cells through the map. A
+    // blocking trace hook holds the one halo exchange in flight; every
+    // interior edge must still complete while it is pending, and no
+    // halo-side edge may run before the import lands.
+    auto cells = op_decl_set(64, "ov_cells");
+    auto edges = op_decl_set(64, "ov_edges");
+    std::vector<int> tab(64);
+    for (int e = 0; e < 64; ++e) {
+        tab[e] = e < 32 ? e : e - 32;
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "ov_map");
+    auto q = op_decl_dat_zero<double>(cells, 1, "double", "ov_q");
+    auto eidx = op_decl_dat_zero<double>(edges, 1, "double", "ov_eidx");
+    auto res = op_decl_dat_zero<double>(edges, 1, "double", "ov_res");
+    {
+        auto v = eidx.view<double>();
+        for (std::size_t i = 0; i < 64; ++i) {
+            v[i] = static_cast<double>(i);
+        }
+    }
+    for (auto& f : g_edge_done) {
+        f.store(0, std::memory_order_relaxed);
+    }
+
+    std::atomic<bool> blocked{false};
+    std::atomic<bool> release{false};
+    comm::trace tr;
+    tr.on_exchange = [&](char const*, std::uint32_t, std::uint32_t,
+                         std::size_t) {
+        blocked.store(true, std::memory_order_release);
+        auto const deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(20000);
+        while (!release.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    };
+    comm::set_trace(&tr);
+
+    auto o = hpx_opts(4, 2);
+    auto hw = exec::run_loop(o, "ov_writer", cells,
+                             [](double* x) { *x = 3.0; },
+                             op_arg_dat(q, -1, OP_ID, 1, "double",
+                                        OP_WRITE));
+    auto hr = exec::run_loop(
+        o, "ov_reader", edges,
+        [](double const* idx, double const* c, double* r) {
+            *r = *c + *idx;
+            g_edge_done[static_cast<std::size_t>(*idx)].store(
+                1, std::memory_order_release);
+        },
+        op_arg_dat(eidx, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_dat(q, 0, em, 1, "double", OP_READ),
+        op_arg_dat(res, -1, OP_ID, 1, "double", OP_WRITE));
+
+    ASSERT_TRUE(wait_for([&] {
+        return blocked.load(std::memory_order_acquire);
+    })) << "the halo exchange never started";
+
+    bool const interior_done = wait_for([&] {
+        for (int e = 0; e < 32; ++e) {
+            if (g_edge_done[static_cast<std::size_t>(e)].load(
+                    std::memory_order_acquire) == 0) {
+                return false;
+            }
+        }
+        return true;
+    });
+    EXPECT_FALSE(release.load()) << "exchange released early";
+    EXPECT_TRUE(interior_done)
+        << "interior sub-nodes stalled behind a pending halo exchange";
+    // Halo-side edges must not have run: their sub-nodes edge on the
+    // still-pending unpack.
+    for (int e = 32; e < 64; ++e) {
+        EXPECT_EQ(g_edge_done[static_cast<std::size_t>(e)].load(), 0)
+            << "halo edge " << e << " ran before its import landed";
+    }
+
+    release.store(true, std::memory_order_release);
+    hw.get();
+    hr.get();
+    op_fence_all();
+    comm::set_trace(nullptr);
+
+    auto rv = res.view<double>();
+    for (std::size_t e = 0; e < 64; ++e) {
+        ASSERT_DOUBLE_EQ(rv[e], 3.0 + static_cast<double>(e));
+        ASSERT_EQ(g_edge_done[e].load(), 1);
+    }
+}
+
+TEST_F(CommTest, DumpGraphLabelsPendingCommSubNodes) {
+    // While an exchange is held in flight, the watchdog's graph dump
+    // must name the pending comm sub-node as a comm site — its stage
+    // kind, its (dat, loop) label, and the locality pair — instead of
+    // masquerading as a compute partition.
+    auto cells = op_decl_set(32, "wd_cells");
+    auto edges = op_decl_set(32, "wd_edges");
+    std::vector<int> tab(32);
+    for (int e = 0; e < 32; ++e) {
+        tab[e] = e < 16 ? e : e - 16;
+    }
+    auto em = op_decl_map(edges, cells, 1, tab, "wd_map");
+    auto q = op_decl_dat_zero<double>(cells, 1, "double", "wd_q");
+    auto ed = op_decl_dat_zero<double>(edges, 1, "double", "wd_ed");
+
+    std::atomic<bool> blocked{false};
+    std::atomic<bool> release{false};
+    comm::trace tr;
+    tr.on_exchange = [&](char const*, std::uint32_t, std::uint32_t,
+                         std::size_t) {
+        blocked.store(true, std::memory_order_release);
+        auto const deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(20000);
+        while (!release.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    };
+    comm::set_trace(&tr);
+
+    auto h = exec::run_loop(hpx_opts(4, 2), "wd_reader", edges,
+                            [](double const* c, double* r) { *r = *c; },
+                            op_arg_dat(q, 0, em, 1, "double", OP_READ),
+                            op_arg_dat(ed, -1, OP_ID, 1, "double",
+                                       OP_WRITE));
+    ASSERT_TRUE(wait_for([&] {
+        return blocked.load(std::memory_order_acquire);
+    })) << "the halo exchange never started";
+
+    std::ostringstream os;
+    exec::dump_graph(os);
+    release.store(true, std::memory_order_release);
+    h.get();
+    op_fence_all();
+    comm::set_trace(nullptr);
+
+    std::string const dump = os.str();
+    EXPECT_NE(dump.find("[halo-unpack]"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("halo.unpack:wd_q:wd_reader"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("localities L0->L1"), std::string::npos) << dump;
+}
+
+}  // namespace
