@@ -3,19 +3,142 @@
 // this host: each policy runs the same loop; the task variants return
 // futures. Reports per-policy wall time and the task-policy asynchrony
 // (time to *issue* vs time to *complete*).
+//
+// Service mode (the second section): the same "named policy" idea one
+// level up — op2::service fairness policies scheduling a heavy mixed
+// fleet of independent op2 jobs onto the shared pool. Emits the
+// service_* row family into BENCH_op2.json: aggregate throughput
+// (jobs/s) and p95/p99 job latency per policy (see bench/README.md;
+// floors in bench_thresholds.json gate the throughput rows).
+//
+// Flags: --quick (CI-sized fleet), --help.
 
 #include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
 #include <vector>
 
 #include <hpxlite/hpxlite.hpp>
+#include <op2/op2.hpp>
 
-int main() {
+#include "bench_json.hpp"
+
+namespace {
+
+/// One tenant job for the service fleet: `iters` iterations of a
+/// direct+indirect loop chain (scatter through a random edges->cells
+/// map, one reduction per iteration) over a freshly declared mesh of
+/// `cells` cells. Mixed sizes across the fleet make the fairness
+/// policies actually differ.
+op2::service::job_desc make_fleet_job(std::string name, std::string tenant,
+                                      unsigned seed, std::size_t cells,
+                                      int iters) {
+    using namespace op2;
+    service::job_desc d;
+    d.name = std::move(name);
+    d.tenant = std::move(tenant);
+    d.est_loops = static_cast<std::uint64_t>(iters) * 3;
+    d.est_bytes = cells * 4 * sizeof(double);
+    d.program = [seed, cells, iters] {
+        std::size_t const nedges = cells * 3;
+        auto cset = op_decl_set(cells, "cells");
+        auto eset = op_decl_set(nedges, "edges");
+        std::mt19937 rng(seed);
+        std::uniform_int_distribution<int> cd(
+            0, static_cast<int>(cells) - 1);
+        std::vector<int> tab(2 * nedges);
+        for (auto& v : tab) {
+            v = cd(rng);
+        }
+        auto em = op_decl_map(eset, cset, 2, tab, "em");
+        auto q = op_decl_dat_zero<double>(cset, 1, "double", "q");
+        auto r = op_decl_dat_zero<double>(cset, 1, "double", "r");
+
+        loop_options o;
+        o.backend = exec::backend_kind::hpx_dataflow;
+        std::vector<double> sums(static_cast<std::size_t>(iters), 0.0);
+        for (int it = 0; it < iters; ++it) {
+            (void)exec::run_loop(
+                o, "seed", cset, [](double* v) { *v += 1.0; },
+                op_arg_dat(q, -1, OP_ID, 1, "double", OP_RW));
+            (void)exec::run_loop(
+                o, "scatter", eset,
+                [](double const* a, double const* b, double* ra,
+                   double* rb) {
+                    *ra += *b;
+                    *rb += *a;
+                },
+                op_arg_dat(q, 0, em, 1, "double", OP_READ),
+                op_arg_dat(q, 1, em, 1, "double", OP_READ),
+                op_arg_dat(r, 0, em, 1, "double", OP_INC),
+                op_arg_dat(r, 1, em, 1, "double", OP_INC));
+            (void)exec::run_loop(
+                o, "fold", cset,
+                [](double* v, double* s) {
+                    *v = 0.0;
+                    *s += 1.0;
+                },
+                op_arg_dat(r, -1, OP_ID, 1, "double", OP_RW),
+                op_arg_gbl(&sums[static_cast<std::size_t>(it)], 1, "double",
+                           OP_INC));
+        }
+        op_fence(q);
+        op_fence(r);
+    };
+    return d;
+}
+
+op2::service::scheduler_metrics run_fleet(std::string const& policy,
+                                          int njobs, std::size_t base_cells,
+                                          int iters) {
+    op2::service::scheduler_options so;
+    so.policy = policy;
+    op2::service::scheduler sched(so);
+    for (int k = 0; k < njobs; ++k) {
+        // Three tenants, three job sizes: small jobs queue behind big
+        // ones under fifo, jump them under shortest_chain_first, and
+        // take turns under round_robin.
+        int const cls = k % 3;
+        std::size_t const cells = base_cells << cls;
+        (void)sched.submit(make_fleet_job(
+            "job" + std::to_string(k), "tenant" + std::to_string(cls),
+            static_cast<unsigned>(17 * k + 3), cells, iters));
+    }
+    sched.drain();
+    return sched.metrics();
+}
+
+void usage(char const* argv0) {
+    std::printf(
+        "usage: %s [--quick] [--help]\n"
+        "  --quick  CI-sized run: smaller fleet and meshes, same rows\n"
+        "  --help   this text\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
     std::printf("==============================================================\n");
     std::printf("Table I — execution policies (host-measured, hpxlite)\n");
     std::printf("==============================================================\n");
     hpxlite::init();
 
-    std::size_t const n = 4'000'000;
+    std::size_t const n = quick ? 400'000 : 4'000'000;
     std::vector<double> v(n, 1.0);
     hpxlite::util::irange r(0, n);
     auto body = [&](std::size_t i) { v[i] = v[i] * 1.0001 + 0.5; };
@@ -53,6 +176,35 @@ int main() {
     }
     std::printf("\n(par_vec of the Parallelism TS is not implemented by HPX "
                 "itself — Table I marks it TS-only; hpxlite follows HPX.)\n");
+
+    std::printf("\n==============================================================\n");
+    std::printf("Service mode — fairness policies over a mixed job fleet\n");
+    std::printf("==============================================================\n");
+
+    int const njobs = quick ? 12 : 48;
+    std::size_t const base_cells = quick ? 400 : 2000;
+    int const iters = quick ? 3 : 8;
+    std::printf("fleet: %d jobs, 3 tenants, meshes %zu/%zu/%zu cells, "
+                "%d iteration(s) each\n\n",
+                njobs, base_cells, base_cells * 2, base_cells * 4, iters);
+
+    benchutil::bench_log log("bench_table1_policies");
+    for (auto policy : op2::service::policy_names()) {
+        std::string const pol(policy);
+        auto const m = run_fleet(pol, njobs, base_cells, iters);
+        std::printf("%-22s %7.1f jobs/s   mean wait %7.2f ms   "
+                    "p95 %7.2f ms   p99 %7.2f ms   (%llu loops)\n",
+                    pol.c_str(), m.throughput_jobs_s, m.mean_wait_s * 1e3,
+                    m.p95_latency_s * 1e3, m.p99_latency_s * 1e3,
+                    static_cast<unsigned long long>(m.loops_issued));
+        log.add("service_throughput_" + pol, m.throughput_jobs_s, "jobs/s",
+                "aggregate job throughput, mixed fleet, policy " + pol);
+        log.add("service_p95_ms_" + pol, m.p95_latency_s * 1e3, "ms",
+                "p95 job latency (submit->retire), policy " + pol);
+        log.add("service_p99_ms_" + pol, m.p99_latency_s * 1e3, "ms",
+                "p99 job latency (submit->retire), policy " + pol);
+    }
+    log.write();
 
     hpxlite::finalize();
     return 0;

@@ -32,6 +32,7 @@
 //   --no-exec-pool         disable cross-issue executor pooling (also
 //                          OP2HPX_EXEC_POOL=0)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,21 +40,57 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <airfoil/app.hpp>
 #include <airfoil/mesh_io.hpp>
+#include <op2/service.hpp>
 
 namespace {
 
+void help(char const* argv0, std::FILE* out) {
+    std::fprintf(
+        out,
+        "usage: %s [seq|fork_join|hpx] [nx ny] [niter] [flags]\n"
+        "\n"
+        "positionals (in order):\n"
+        "  backend                seq | fork_join | hpx (default hpx)\n"
+        "  nx ny                  generated mesh size in cells "
+        "(default 120 60)\n"
+        "  niter                  time-march iterations (default 200)\n"
+        "\n"
+        "flags (anywhere on the command line):\n"
+        "  --mesh-file PATH       load a new_grid.dat mesh instead of\n"
+        "                         generating one\n"
+        "  --checkpoint-every N   checkpoint q/qold/adt/res every N\n"
+        "                         iterations\n"
+        "  --retries K            roll a failed segment back up to K times\n"
+        "  --fault PLAN           arm an op2::fault plan (op2/fault.hpp;\n"
+        "                         e.g. \"kernel=res_calc@1.0\")\n"
+        "  --watchdog-ms T        dump the epoch graph after T ms without\n"
+        "                         progress\n"
+        "  --fuse                 fuse adjacent compatible loops into\n"
+        "                         single staged passes (hpx backend)\n"
+        "  --localities N         shard partitions into N logical\n"
+        "                         localities with async halo exchange\n"
+        "                         (hpx backend; also OP2HPX_LOCALITIES;\n"
+        "                         default 1; fuse takes precedence)\n"
+        "  --no-simd-scatter      scalar INC scatter oracle (also\n"
+        "                         OP2HPX_SIMD_SCATTER=0)\n"
+        "  --no-exec-pool         fresh executors per issue (also\n"
+        "                         OP2HPX_EXEC_POOL=0)\n"
+        "  --service N            service mode: run N independent\n"
+        "                         airfoil jobs concurrently through\n"
+        "                         op2::service (see docs/service.md)\n"
+        "  --policy NAME          service fairness policy: fifo |\n"
+        "                         round_robin | shortest_chain_first\n"
+        "                         (default fifo)\n"
+        "  --help                 this text\n",
+        argv0);
+}
+
 int usage(char const* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [seq|fork_join|hpx] [nx ny] [niter]\n"
-                 "          [--mesh-file PATH] [--checkpoint-every N]\n"
-                 "          [--retries K] [--fault PLAN] "
-                 "[--watchdog-ms T]\n"
-                 "          [--fuse] [--localities N] [--no-simd-scatter] "
-                 "[--no-exec-pool]\n",
-                 argv0);
+    help(argv0, stderr);
     return 2;
 }
 
@@ -70,6 +107,8 @@ int main(int argc, char** argv) {
     std::string mesh_file;
     std::string fault_plan;
     long watchdog_ms = 0;
+    int service_jobs = 0;
+    std::string service_policy = "fifo";
 
     // Flags may appear anywhere; positionals keep their seed order
     // (backend, nx ny, niter).
@@ -114,6 +153,13 @@ int main(int argc, char** argv) {
             cfg.opts.simd_scatter = false;  // scalar INC scatter oracle
         } else if (std::strcmp(argv[i], "--no-exec-pool") == 0) {
             cfg.opts.exec_pool = false;  // fresh executors per issue
+        } else if (char const* v = flag_value("--service")) {
+            service_jobs = std::atoi(v);
+        } else if (char const* v = flag_value("--policy")) {
+            service_policy = v;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            help(argv[0], stdout);
+            return 0;
         } else if (argv[i][0] == '-') {
             return usage(argv[0]);
         } else if (npos < 4) {
@@ -156,6 +202,65 @@ int main(int argc, char** argv) {
         std::optional<op2::exec::watchdog> dog;
         if (watchdog_ms > 0) {
             dog.emplace(std::chrono::milliseconds(watchdog_ms));
+        }
+
+        if (service_jobs > 0) {
+            // Service mode: a fleet of independent airfoil jobs (three
+            // tenants, three mesh sizes) admitted by the chosen policy
+            // and run concurrently on the shared pool — each with its
+            // own mesh, plans and fault scope (docs/service.md).
+            std::printf("airfoil service: %d job(s), policy=%s\n",
+                        service_jobs, service_policy.c_str());
+            op2::service::scheduler_options so;
+            so.policy = service_policy;
+            op2::service::scheduler sched(so);
+            auto results = std::vector<airfoil::app_result>(
+                static_cast<std::size_t>(service_jobs));
+            std::vector<op2::service::job> jobs;
+            for (int k = 0; k < service_jobs; ++k) {
+                airfoil::app_config jcfg = cfg;
+                jcfg.mesh.nx =
+                    std::max<std::size_t>(cfg.mesh.nx / 4, 8)
+                    << (k % 3);
+                jcfg.mesh.ny = std::max<std::size_t>(cfg.mesh.ny / 4, 8);
+                jcfg.niter = std::max(cfg.niter / 10, 2);
+                jcfg.rms_stride = jcfg.niter;
+                op2::service::job_desc d;
+                d.name = "airfoil" + std::to_string(k);
+                d.tenant = "tenant" + std::to_string(k % 3);
+                d.est_loops =
+                    static_cast<std::uint64_t>(jcfg.niter) * 4;
+                d.est_bytes =
+                    jcfg.mesh.nx * jcfg.mesh.ny * 7 * sizeof(double);
+                auto* out = &results[static_cast<std::size_t>(k)];
+                d.program = [jcfg, out] { *out = airfoil::run(jcfg); };
+                jobs.push_back(sched.submit(std::move(d)));
+            }
+            sched.drain();
+            for (std::size_t k = 0; k < jobs.size(); ++k) {
+                auto const& j = jobs[k];
+                auto const m = j.metrics();
+                std::printf(
+                    "  %-10s %-9s wait %7.2f ms  run %8.2f ms  "
+                    "%4llu loops  rms %.6e\n",
+                    j.name().c_str(),
+                    j.failed() ? "FAILED" : "completed", m.wait_s * 1e3,
+                    m.run_s * 1e3,
+                    static_cast<unsigned long long>(m.loops_issued),
+                    results[k].rms_history.empty()
+                        ? 0.0
+                        : results[k].rms_history.back());
+            }
+            auto const sm = sched.metrics();
+            std::printf(
+                "service: %llu/%llu job(s) completed, %.1f jobs/s, "
+                "p95 %.2f ms, p99 %.2f ms (policy %s)\n",
+                static_cast<unsigned long long>(sm.completed),
+                static_cast<unsigned long long>(sm.submitted),
+                sm.throughput_jobs_s, sm.p95_latency_s * 1e3,
+                sm.p99_latency_s * 1e3, sm.policy.c_str());
+            hpxlite::finalize();
+            return sm.failed == 0 ? 0 : 1;
         }
 
         airfoil::app_result result;

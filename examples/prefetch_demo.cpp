@@ -4,11 +4,35 @@
 // current one, in sequential or parallel mode (Table I policies).
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include <hpxlite/hpxlite.hpp>
 
-int main() {
+namespace {
+
+void help(char const* argv0, std::FILE* out) {
+    std::fprintf(out,
+        "usage: %s [--help]\n"
+        "\n"
+        "Prefetching-iterator demo (paper Section V, Figures 13-14):\n"
+        "runs the same triad loop with and without the prefetcher\n"
+        "context, in synchronous and task (asynchronous) policies, and\n"
+        "prints the wall time of each. Takes no other options.\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            help(argv[0], stdout);
+            return 0;
+        }
+        help(argv[0], stderr);
+        return 2;
+    }
     hpxlite::init();
 
     std::size_t const n = 4'000'000;

@@ -4,11 +4,35 @@
 // them, on all three backends.
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include <op2/op2.hpp>
 
-int main() {
+namespace {
+
+void help(char const* argv0, std::FILE* out) {
+    std::fprintf(out,
+        "usage: %s [--help]\n"
+        "\n"
+        "Quickstart: the Figure 1 mesh (9 nodes, 12 edges of a 3x3 grid)\n"
+        "processed by an indirect edge loop and a dependent node loop on\n"
+        "all three backends (seq, fork-join, HPX dataflow). Takes no\n"
+        "other options.\n",
+        argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            help(argv[0], stdout);
+            return 0;
+        }
+        help(argv[0], stderr);
+        return 2;
+    }
     hpxlite::init();
 
     // --- Figure 1 mesh: 9 nodes, 12 edges of a 3x3 grid ---------------

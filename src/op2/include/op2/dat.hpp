@@ -25,6 +25,12 @@ struct dat_impl {
     std::string type_name;       // "double", "float", "int", ...
     std::string name;
     std::uint64_t id = 0;
+    // The runtime_context this dat was declared under (the default
+    // context for standalone programs). Keeps the context — and with it
+    // the poison gate dep.poison_gate points at — alive for the dat's
+    // lifetime, and lets the service layer find a job's dats among
+    // all_dats() at fence/teardown.
+    std::shared_ptr<runtime_context> ctx;
     // set.size() * dim * elem_bytes logical bytes, allocated through the
     // locality-aware layer: 64-byte-aligned base, capacity padded to
     // whole cache lines, and — when memory::first_touch_enabled() —

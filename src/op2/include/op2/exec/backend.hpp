@@ -104,17 +104,19 @@ private:
 
 namespace detail {
 
-/// Process-wide guard for partitioned reduction scratch seeding and
-/// combining. One lock across *all* loops, not one per loop: two
-/// partitioned loops reducing into the same user variable can have
-/// their sub-nodes in flight concurrently (gbl args create no graph
-/// edges), and the variable's read-modify-write must not tear between
-/// them. Order under the lock is irrelevant to the result: OP_INC
-/// partials seed from zero and add, OP_MIN/OP_MAX combines are
-/// monotone folds, so any interleaving of seeds and combines produces
-/// the sequential value. Combines are rare (one per partition per
-/// loop) and short, so a single global spinlock costs nothing.
-inline hpxlite::util::spinlock g_combine_mtx;
+// Guard for partitioned reduction scratch seeding and combining: the
+// issuing context's combine lock (runtime_context::combine_mtx),
+// captured into each loop group at issue. One lock across all loops
+// *of one program*, not one per loop: two partitioned loops reducing
+// into the same user variable can have their sub-nodes in flight
+// concurrently (gbl args create no graph edges), and the variable's
+// read-modify-write must not tear between them. Order under the lock
+// is irrelevant to the result: OP_INC partials seed from zero and add,
+// OP_MIN/OP_MAX combines are monotone folds, so any interleaving of
+// seeds and combines produces the sequential value. Combines are rare
+// (one per partition per loop) and short, so one spinlock per context
+// costs nothing — and independent service jobs (which never share
+// reduction variables) never contend on it.
 
 // --- partition-granular quarantine (issue-side) ---------------------------
 
@@ -300,7 +302,7 @@ public:
     partitioned_loop(op_set const& set, std::array<op_arg, N> const& args,
                      Kernel const& kernel, loop_options const& opts,
                      char const* name, std::size_t nparts)
-      : name_(name), pooled_(opts.exec_pool) {
+      : ctx_(current_context()), name_(name), pooled_(opts.exec_pool) {
         execs_.reserve(nparts);
         plans_.reserve(nparts);
         for (std::size_t p = 0; p < nparts; ++p) {
@@ -321,6 +323,10 @@ public:
     void reset(op_set const& set, std::array<op_arg, N> const& args,
                Kernel const& kernel, loop_options const& opts,
                char const* name, std::size_t nparts) {
+        // Pooled groups cross issue sites, and under the service layer
+        // cross jobs: re-capture the issuing context (combine lock,
+        // kept alive for the nodes' lifetime).
+        ctx_ = current_context();
         name_ = name;
         pooled_ = opts.exec_pool;
         start_ns_.store(-1, std::memory_order_relaxed);
@@ -403,22 +409,23 @@ public:
     }
 
     /// Seed partition p's reduction scratch (the partition's colour-0
-    /// sub-node). Under the global combine lock: MIN/MAX partials
+    /// sub-node). Under the context's combine lock: MIN/MAX partials
     /// *read* the user's variable, which another partition's — or
     /// another loop's — combine may be writing at that moment.
     void prepare_partition(std::size_t p) {
-        std::lock_guard<hpxlite::util::spinlock> lk(g_combine_mtx);
+        std::lock_guard<hpxlite::util::spinlock> lk(ctx_->combine_mtx);
         execs_[p].prepare_scratch();
     }
 
     /// Fold partition p's reduction partials into the user's globals.
     /// Runs on the partition's last sub-node — with the sub-nodes, not
     /// after them, so a fence that drains the dat records also covers
-    /// the reductions. The global lock serialises the read-modify-write
-    /// of the user's variable across partitions *and* across loops (see
-    /// g_combine_mtx for why ordering doesn't matter).
+    /// the reductions. The context's lock serialises the
+    /// read-modify-write of the user's variable across partitions *and*
+    /// across loops of the issuing program (see the combine-lock note
+    /// above for why ordering doesn't matter).
     void combine_partition(std::size_t p) {
-        std::lock_guard<hpxlite::util::spinlock> lk(g_combine_mtx);
+        std::lock_guard<hpxlite::util::spinlock> lk(ctx_->combine_mtx);
         execs_[p].combine();
     }
 
@@ -474,6 +481,10 @@ private:
     std::size_t color_cap_ = 0;
     std::vector<std::vector<quarantine_target>> qtargets_;  // [partition]
     std::atomic<std::int64_t> start_ns_{-1};
+    // Issuing context, captured at construction/reset: holds the
+    // combine lock alive for the sub-nodes' lifetime even if the
+    // owning job retires while the loop drains.
+    std::shared_ptr<runtime_context> ctx_;
     char const* name_;
     std::atomic<std::size_t> refs_{0};
     partitioned_loop* pool_next_ = nullptr;  // free-list link while parked
@@ -1125,9 +1136,9 @@ public:
     /// Bind one executor per partition against the fused pass's
     /// *union* plans (legal only after the colour-compatibility proof).
     virtual void bind(std::vector<op_plan const*> const& plans) = 0;
-    virtual void prepare(std::size_t p) = 0;  // caller holds g_combine_mtx
+    virtual void prepare(std::size_t p) = 0;  // caller holds the combine lock
     virtual void run_color(std::size_t p, std::size_t c) = 0;
-    virtual void combine(std::size_t p) = 0;  // caller holds g_combine_mtx
+    virtual void combine(std::size_t p) = 0;  // caller holds the combine lock
     virtual void release_handles() noexcept = 0;
     /// Issue this member alone through the normal backend path (the
     /// window flushed without a fusion partner).
@@ -1253,7 +1264,7 @@ public:
     }
 
     void prepare_partition(std::size_t p) {
-        std::lock_guard<hpxlite::util::spinlock> lk(g_combine_mtx);
+        std::lock_guard<hpxlite::util::spinlock> lk(ctx_->combine_mtx);
         a_->prepare(p);
         b_->prepare(p);
     }
@@ -1266,7 +1277,7 @@ public:
         b_->run_color(p, c);
     }
     void combine_partition(std::size_t p) {
-        std::lock_guard<hpxlite::util::spinlock> lk(g_combine_mtx);
+        std::lock_guard<hpxlite::util::spinlock> lk(ctx_->combine_mtx);
         a_->combine(p);
         b_->combine(p);
     }
@@ -1311,6 +1322,9 @@ private:
     std::unique_ptr<std::atomic<std::size_t>[]> colors_left_;
     std::vector<std::vector<quarantine_target>> qtargets_;  // [partition]
     std::atomic<std::int64_t> start_ns_{-1};
+    // Issuing context (fusion windows are per-thread, so both members
+    // were issued under it): owns the combine lock the pass uses.
+    std::shared_ptr<runtime_context> ctx_ = current_context();
     std::string fused_name_;
 };
 
@@ -1812,6 +1826,8 @@ template <typename Kernel, typename... Args>
 loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
                      Kernel kernel, Args... args) {
     constexpr std::size_t n = sizeof...(Args);
+
+    current_context()->loops_issued.fetch_add(1, std::memory_order_relaxed);
 
     // Program order: a loop parked in a fusion window must enter the
     // graph before any later loop that will not itself join the window

@@ -46,6 +46,7 @@
 #include <hpxlite/threads/task_node.hpp>
 #include <hpxlite/threads/thread_pool.hpp>
 #include <hpxlite/util/spinlock.hpp>
+#include <op2/context.hpp>
 
 namespace op2::exec {
 
@@ -248,9 +249,18 @@ public:
         site_loop_ = loop;
         site_partition_ = static_cast<std::uint32_t>(partition);
         site_color_ = static_cast<std::uint32_t>(color);
+        // Job tag: null under the default context (the pre-service
+        // output); a service job's name otherwise. The context outlives
+        // the node — the loop's dats hold it (dat_impl::ctx).
+        site_job_ = current_context()->label();
     }
     [[nodiscard]] char const* site_loop() const noexcept {
         return site_loop_;
+    }
+    /// Owning job's name when the node was issued under a service
+    /// context, null for the default context. Stamped by set_site.
+    [[nodiscard]] char const* site_job() const noexcept {
+        return site_job_;
     }
     /// Optional site *kind* tag ("halo-pack", "halo-exchange", ...):
     /// comm sub-nodes stamp it so a watchdog stall dump names a stuck
@@ -423,6 +433,7 @@ private:
     // Graph-site identity for watchdog dumps, written at issue.
     char const* site_loop_ = nullptr;
     char const* site_kind_ = nullptr;  // non-null: comm sub-node kind
+    char const* site_job_ = nullptr;   // non-null: service job's name
     std::uint32_t site_partition_ = 0;
     std::uint32_t site_color_ = 0;
     std::atomic<bool> done_{false};
@@ -558,17 +569,14 @@ private:
     std::shared_ptr<poison_info const> info_;
 };
 
-namespace detail {
-/// Process-wide count of live poison spans: the issue path's fast gate.
-/// Zero (the steady state of a healthy program) keeps every quarantine
-/// check at one relaxed load.
-inline std::atomic<std::size_t> g_poison_spans{0};
-}  // namespace detail
-
-/// True when any dat anywhere holds a poison span (relaxed; callers
-/// re-check under the dat's lock).
+/// True when any dat of the *calling thread's context* holds a poison
+/// span (relaxed; callers re-check under the dat's lock). Per-context:
+/// one job's fault never makes another job's issue path scan — or
+/// fail — which is the service layer's fault-isolation guarantee
+/// (runtime_context::poison_spans).
 [[nodiscard]] inline bool any_poisoned() noexcept {
-    return detail::g_poison_spans.load(std::memory_order_relaxed) != 0;
+    return current_context()->poison_spans.load(
+               std::memory_order_relaxed) != 0;
 }
 
 /// Render an exception_ptr's message for diagnostics.
@@ -717,6 +725,19 @@ struct dep_state {
     /// issue path only consults them behind the any_poisoned() gate.
     std::vector<poison_span> poison;
 
+    /// Where this dat's live poison spans are counted: the owning
+    /// context's gate (runtime_context::poison_spans), stamped at dat
+    /// creation before any concurrent issue. Null falls back to the
+    /// default context — a bare dep_state (tests) behaves exactly like
+    /// a pre-context one.
+    std::atomic<std::size_t>* poison_gate = nullptr;
+
+    [[nodiscard]] std::atomic<std::size_t>& gate() noexcept {
+        return poison_gate != nullptr
+                   ? *poison_gate
+                   : runtime_context::default_context()->poison_spans;
+    }
+
     /// Quarantine elements [lo, hi): later loops reading them fail fast
     /// with a diagnostic built from `info`. Called from a failing
     /// sub-node's completion (best-effort; allocation failure there is
@@ -726,7 +747,7 @@ struct dep_state {
                     std::shared_ptr<poison_info const> info) {
         std::lock_guard<hpxlite::util::spinlock> lk(mtx);
         poison.push_back({lo, hi, std::move(info)});
-        detail::g_poison_spans.fetch_add(1, std::memory_order_relaxed);
+        gate().fetch_add(1, std::memory_order_relaxed);
     }
 
     /// First poison span overlapping [lo, hi), or null when the range is
@@ -747,8 +768,7 @@ struct dep_state {
     void clear_poison() {
         std::lock_guard<hpxlite::util::spinlock> lk(mtx);
         if (!poison.empty()) {
-            detail::g_poison_spans.fetch_sub(poison.size(),
-                                             std::memory_order_relaxed);
+            gate().fetch_sub(poison.size(), std::memory_order_relaxed);
             poison.clear();
         }
     }
@@ -770,8 +790,8 @@ struct dep_state {
                     recs.reset();
                     count = 0;
                     if (!poison.empty()) {
-                        detail::g_poison_spans.fetch_sub(
-                            poison.size(), std::memory_order_relaxed);
+                        gate().fetch_sub(poison.size(),
+                                         std::memory_order_relaxed);
                         poison.clear();
                     }
                     return;
@@ -783,8 +803,7 @@ struct dep_state {
 
     ~dep_state() {
         if (!poison.empty()) {
-            detail::g_poison_spans.fetch_sub(poison.size(),
-                                             std::memory_order_relaxed);
+            gate().fetch_sub(poison.size(), std::memory_order_relaxed);
         }
     }
 };

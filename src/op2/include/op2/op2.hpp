@@ -8,6 +8,7 @@
 #include <op2/access.hpp>
 #include <op2/arg.hpp>
 #include <op2/comm.hpp>
+#include <op2/context.hpp>
 #include <op2/dat.hpp>
 #include <op2/exec/backend.hpp>
 #include <op2/exec/checkpoint.hpp>
@@ -20,6 +21,7 @@
 #include <op2/par_loop_hpx.hpp>
 #include <op2/plan.hpp>
 #include <op2/runtime.hpp>
+#include <op2/service.hpp>
 #include <op2/set.hpp>
 #include <op2/timing.hpp>
 

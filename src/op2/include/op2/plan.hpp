@@ -187,4 +187,14 @@ void plan_cache_clear();
 /// Number of plans currently cached.
 std::size_t plan_cache_size();
 
+/// Number of plans cached under one runtime_context (plan keys carry
+/// the issuing context's id — see op2/context.hpp).
+std::size_t plan_cache_size(std::uint64_t ctx_id);
+
+/// Drop the plans cached under one runtime_context, leaving every other
+/// context's plans in place. The service layer calls this at job
+/// retirement so a long-lived process doesn't accumulate dead jobs'
+/// plans.
+void plan_cache_purge(std::uint64_t ctx_id);
+
 }  // namespace op2

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include <hpxlite/runtime.hpp>
+#include <op2/context.hpp>
 #include <op2/memory.hpp>
 #include <op2/set.hpp>
 
@@ -30,11 +31,18 @@ op_dat make_dat(op_set s, int dim, std::size_t elem_bytes,
     impl->type_name = std::string(type);
     impl->name = std::move(name);
     impl->id = next_entity_id();
+    impl->ctx = current_context();
+    impl->dep.poison_gate = &impl->ctx->poison_spans;
     std::size_t const stride = static_cast<std::size_t>(dim) * elem_bytes;
     std::size_t const bytes = impl->set.size() * stride;
     impl->data = memory::aligned_buffer(bytes);
+    // Context override first (service jobs pick their own placement),
+    // process default (OP2HPX_FIRST_TOUCH) otherwise.
+    bool const first_touch = impl->ctx->first_touch >= 0
+                                 ? impl->ctx->first_touch != 0
+                                 : memory::first_touch_enabled();
     if (bytes > 0) {
-        if (memory::first_touch_enabled()) {
+        if (first_touch) {
             // Partition-affine first touch: one init task per partition
             // (at pool granularity, matching the dataflow placement
             // mapping p % pool_size), fanned through the affinity

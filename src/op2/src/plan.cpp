@@ -1,5 +1,6 @@
 #include <op2/plan.hpp>
 
+#include <op2/context.hpp>
 #include <op2/memory.hpp>
 
 #include <algorithm>
@@ -66,8 +67,15 @@ std::vector<stage_ref> collect_stage_refs(std::span<op_arg const> args) {
 /// plan_desc field (part_size, staged_gather, partition granularity and
 /// index) and the indirect argument classes. See the key-collision
 /// regression tests in test_plan.cpp.
+///
+/// The issuing runtime_context's id is part of the key too. Entity ids
+/// are process-unique, so two jobs' same-shaped sets already hash apart
+/// — the ctx field exists so a retired job's entries can be *found* and
+/// purged (plan_cache_purge) without touching other jobs' plans, and as
+/// defense in depth should entity ids ever be recycled.
 struct plan_key {
     std::uint64_t set_id = 0;
+    std::uint64_t ctx = 0;
     std::size_t part_size = 0;
     bool staged_gather = true;
     std::size_t npartitions = 1;
@@ -76,7 +84,8 @@ struct plan_key {
     std::vector<std::tuple<std::uint64_t, int, std::size_t, bool>> refs;
 
     bool operator==(plan_key const& o) const {
-        return set_id == o.set_id && part_size == o.part_size &&
+        return set_id == o.set_id && ctx == o.ctx &&
+               part_size == o.part_size &&
                staged_gather == o.staged_gather &&
                npartitions == o.npartitions && partition == o.partition &&
                refs == o.refs;
@@ -90,6 +99,7 @@ struct plan_key_hash {
             h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
         };
         mix(k.set_id);
+        mix(k.ctx);
         mix(k.part_size);
         mix(k.staged_gather ? 1 : 0);
         mix(k.npartitions);
@@ -108,6 +118,7 @@ plan_key make_key(op_set const& set, plan_desc const& desc,
                   std::vector<stage_ref> const& refs) {
     plan_key key;
     key.set_id = set.id();
+    key.ctx = current_context()->id();
     key.part_size = desc.part_size;
     key.staged_gather = desc.staged_gather;
     key.npartitions = desc.npartitions;
@@ -591,6 +602,38 @@ std::size_t plan_cache_size() {
         n += shard.map.size();
     }
     return n;
+}
+
+std::size_t plan_cache_size(std::uint64_t ctx_id) {
+    std::size_t n = 0;
+    for (auto& shard : g_shards) {
+        std::shared_lock<std::shared_mutex> rd(shard.mtx);
+        for (auto const& [key, plan] : shard.map) {
+            if (key.ctx == ctx_id) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+void plan_cache_purge(std::uint64_t ctx_id) {
+    // Same ordering discipline as plan_cache_clear: invalidate the
+    // per-worker pointer maps before freeing any plan they may point
+    // into. A purge drops *every* thread's local map, not just entries
+    // of the purged context — coarse, but purges happen at job
+    // retirement, not on the issue path.
+    g_cache_version.fetch_add(1, std::memory_order_acq_rel);
+    for (auto& shard : g_shards) {
+        std::unique_lock<std::shared_mutex> wr(shard.mtx);
+        std::erase_if(shard.map,
+                      [&](auto const& kv) { return kv.first.ctx == ctx_id; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(g_color_memo.mtx);
+        std::erase_if(g_color_memo.map,
+                      [&](auto const& kv) { return kv.first.ctx == ctx_id; });
+    }
 }
 
 }  // namespace op2

@@ -40,6 +40,11 @@ void dump_graph(std::ostream& os) {
     for (auto const& n : pending) {
         os << "  pending: loop '"
            << (n->site_loop() != nullptr ? n->site_loop() : "?") << "'";
+        if (n->site_job() != nullptr) {
+            // Service-mode node: name the owning job so a stall in a
+            // multi-tenant process attributes itself.
+            os << " [job " << n->site_job() << "]";
+        }
         if (n->site_kind() != nullptr) {
             // Comm sub-node: its site is a (dat, loop) halo label plus
             // the region's locality pair — a stuck halo wait names
@@ -66,9 +71,13 @@ void dump_graph(std::ostream& os) {
             recs[p].snapshot(scratch);
             tracked += scratch.size();
         }
-        os << "  dat '" << di->name << "': " << count
-           << " record partition(s), " << tracked << " tracked node(s), "
-           << di->dep.poison_count() << " poison span(s)\n";
+        os << "  dat '" << di->name << "'";
+        if (di->ctx && di->ctx->label() != nullptr) {
+            os << " [job " << di->ctx->label() << "]";
+        }
+        os << ": " << count << " record partition(s), " << tracked
+           << " tracked node(s), " << di->dep.poison_count()
+           << " poison span(s)\n";
     }
     os.flush();
 }

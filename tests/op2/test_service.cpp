@@ -1,0 +1,263 @@
+// Unit tests of the multi-tenant service layer (op2/service.hpp): the
+// policy registry, the scheduler's admission control, per-job metrics,
+// failure reporting, and plan-cache namespacing. The heavyweight
+// concurrent-vs-sequential differential lives in
+// tests/integration/test_service_isolation.cpp.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <hpxlite/runtime.hpp>
+#include <op2/op2.hpp>
+
+using namespace op2;
+
+namespace {
+
+class ServiceTest : public ::testing::Test {
+protected:
+    void SetUp() override { hpxlite::init(hpxlite::runtime_config{4}); }
+    void TearDown() override { hpxlite::finalize(); }
+};
+
+TEST(PolicyRegistry, EveryAdvertisedPolicyConstructsByName) {
+    for (auto name : service::policy_names()) {
+        auto p = service::make_policy(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(name, p->name());
+    }
+    EXPECT_EQ(service::policy_names().size(), 3u);
+}
+
+TEST(PolicyRegistry, UnknownPolicyNameThrows) {
+    EXPECT_THROW((void)service::make_policy("unfair"),
+                 std::invalid_argument);
+}
+
+TEST(PolicyRegistry, FifoPicksSubmissionOrder) {
+    auto p = service::make_policy("fifo");
+    std::vector<service::job_view> w = {
+        {"a", "a", 3.0, 1}, {"b", "b", 1.0, 2}, {"c", "c", 2.0, 3}};
+    EXPECT_EQ(p->pick(w), 0u);
+}
+
+TEST(PolicyRegistry, ShortestChainFirstPicksCheapest) {
+    auto p = service::make_policy("shortest_chain_first");
+    std::vector<service::job_view> w = {
+        {"a", "a", 3.0, 1}, {"b", "b", 1.0, 2}, {"c", "c", 2.0, 3}};
+    EXPECT_EQ(p->pick(w), 1u);
+    // Ties (including all-unknown cost 0) fall back to submission order.
+    std::vector<service::job_view> tied = {
+        {"a", "a", 0.0, 1}, {"b", "b", 0.0, 2}};
+    EXPECT_EQ(p->pick(tied), 0u);
+}
+
+TEST(PolicyRegistry, RoundRobinAlternatesTenants) {
+    auto p = service::make_policy("round_robin");
+    std::vector<service::job_view> w = {{"a1", "alice", 0.0, 1},
+                                        {"a2", "alice", 0.0, 2},
+                                        {"b1", "bob", 0.0, 3}};
+    // First pick serves the head; the next must switch tenants.
+    std::size_t const first = p->pick(w);
+    EXPECT_EQ(first, 0u);
+    w.erase(w.begin());
+    EXPECT_EQ(p->pick(w), 1u) << "bob's job should jump alice's second";
+    // Single-tenant queues degrade to fifo rather than starving.
+    std::vector<service::job_view> solo = {{"b2", "bob", 0.0, 4},
+                                           {"b3", "bob", 0.0, 5}};
+    EXPECT_EQ(p->pick(solo), 0u);
+}
+
+TEST_F(ServiceTest, JobsRunAndReportMetrics) {
+    service::scheduler sched;
+    std::vector<double> sums(3, 0.0);
+    std::vector<service::job> jobs;
+    for (int k = 0; k < 3; ++k) {
+        service::job_desc d;
+        d.name = "job" + std::to_string(k);
+        d.est_loops = 4;
+        d.program = [k, &sums] {
+            auto set = op_decl_set(256, "elems");
+            auto x = op_decl_dat_zero<double>(set, 1, "double", "x");
+            loop_options o;
+            o.backend = exec::backend_kind::hpx_dataflow;
+            for (int it = 0; it < 3; ++it) {
+                (void)exec::run_loop(
+                    o, "bump", set, [](double* v) { *v += 1.0; },
+                    op_arg_dat(x, -1, OP_ID, 1, "double", OP_RW));
+            }
+            double sum = 0.0;
+            (void)exec::run_loop(
+                o, "sum", set,
+                [](double const* v, double* s) { *s += *v; },
+                op_arg_dat(x, -1, OP_ID, 1, "double", OP_READ),
+                op_arg_gbl(&sum, 1, "double", OP_INC));
+            op_fence_all();
+            sums[static_cast<std::size_t>(k)] = sum;
+        };
+        jobs.push_back(sched.submit(std::move(d)));
+    }
+    sched.drain();
+
+    for (int k = 0; k < 3; ++k) {
+        auto const& j = jobs[static_cast<std::size_t>(k)];
+        EXPECT_EQ(j.state(), service::job_state::completed) << j.name();
+        EXPECT_FALSE(j.failed());
+        EXPECT_EQ(sums[static_cast<std::size_t>(k)], 256.0 * 3.0);
+        auto const m = j.metrics();
+        EXPECT_EQ(m.loops_issued, 4u) << j.name();
+        EXPECT_GE(m.latency_s, m.run_s);
+        EXPECT_NE(j.context()->id(), 0u);
+    }
+    // Two jobs never share a context.
+    EXPECT_NE(jobs[0].context()->id(), jobs[1].context()->id());
+
+    auto const sm = sched.metrics();
+    EXPECT_EQ(sm.policy, "fifo");
+    EXPECT_EQ(sm.submitted, 3u);
+    EXPECT_EQ(sm.completed, 3u);
+    EXPECT_EQ(sm.failed, 0u);
+    EXPECT_EQ(sm.loops_issued, 12u);
+    EXPECT_GT(sm.throughput_jobs_s, 0.0);
+    EXPECT_GE(sm.p99_latency_s, sm.p95_latency_s);
+}
+
+TEST_F(ServiceTest, JobAdmissionRespectsInFlightLimit) {
+    service::scheduler_options so;
+    so.max_in_flight_jobs = 1;
+    service::scheduler sched(so);
+
+    std::atomic<int> running{0};
+    std::atomic<int> peak{0};
+    for (int k = 0; k < 6; ++k) {
+        service::job_desc d;
+        d.name = "serial" + std::to_string(k);
+        d.program = [&] {
+            int const now = running.fetch_add(1) + 1;
+            int prev = peak.load();
+            while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            running.fetch_sub(1);
+        };
+        (void)sched.submit(std::move(d));
+    }
+    sched.drain();
+    EXPECT_EQ(peak.load(), 1) << "admission let two jobs overlap";
+    EXPECT_EQ(sched.metrics().completed, 6u);
+}
+
+TEST_F(ServiceTest, JobAdmissionRespectsByteBudget) {
+    service::scheduler_options so;
+    so.max_in_flight_bytes = 100;
+    service::scheduler sched(so);
+
+    std::atomic<int> running{0};
+    std::atomic<int> peak{0};
+    auto body = [&] {
+        int const now = running.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        running.fetch_sub(1);
+    };
+    for (int k = 0; k < 4; ++k) {
+        service::job_desc d;
+        d.name = "fat" + std::to_string(k);
+        d.est_bytes = 60;  // any two together blow the 100-byte budget
+        d.program = body;
+        (void)sched.submit(std::move(d));
+    }
+    // Bigger than the whole budget: must still run (alone), not starve.
+    service::job_desc huge;
+    huge.name = "oversized";
+    huge.est_bytes = 1000;
+    huge.program = body;
+    (void)sched.submit(std::move(huge));
+
+    sched.drain();
+    EXPECT_EQ(peak.load(), 1) << "byte budget admitted overlapping jobs";
+    EXPECT_EQ(sched.metrics().completed, 5u);
+}
+
+TEST_F(ServiceTest, JobFailureIsReportedAndIsolated) {
+    service::scheduler sched;
+    service::job_desc bad;
+    bad.name = "throws";
+    bad.program = [] { throw std::runtime_error("tenant bug"); };
+    auto jb = sched.submit(std::move(bad));
+
+    double sum = 0.0;
+    service::job_desc good;
+    good.name = "fine";
+    good.program = [&sum] {
+        auto set = op_decl_set(64, "elems");
+        auto x = op_decl_dat_zero<double>(set, 1, "double", "x");
+        loop_options o;
+        o.backend = exec::backend_kind::hpx_dataflow;
+        (void)exec::run_loop(o, "one", set, [](double* v) { *v = 1.0; },
+                             op_arg_dat(x, -1, OP_ID, 1, "double",
+                                        OP_WRITE));
+        (void)exec::run_loop(
+            o, "sum", set, [](double const* v, double* s) { *s += *v; },
+            op_arg_dat(x, -1, OP_ID, 1, "double", OP_READ),
+            op_arg_gbl(&sum, 1, "double", OP_INC));
+        op_fence_all();
+    };
+    auto jg = sched.submit(std::move(good));
+    sched.drain();
+
+    EXPECT_EQ(jb.state(), service::job_state::failed);
+    EXPECT_TRUE(jb.failed());
+    EXPECT_THROW(jb.rethrow(), std::runtime_error);
+    EXPECT_EQ(jg.state(), service::job_state::completed);
+    jg.rethrow();  // no-op on success
+    EXPECT_EQ(sum, 64.0);
+    EXPECT_EQ(sched.metrics().failed, 1u);
+    EXPECT_EQ(sched.metrics().completed, 1u);
+}
+
+TEST_F(ServiceTest, JobPlansArePurgedAtRetirement) {
+    std::uint64_t ctx_id = 0;
+    {
+        service::scheduler sched;  // purge_plans defaults on
+        service::job_desc d;
+        d.name = "planner";
+        d.program = [] {
+            auto cells = op_decl_set(128, "cells");
+            auto edges = op_decl_set(200, "edges");
+            std::vector<int> tab(2 * 200);
+            for (std::size_t i = 0; i < tab.size(); ++i) {
+                tab[i] = static_cast<int>(i % 128);
+            }
+            auto em = op_decl_map(edges, cells, 2, tab, "em");
+            auto x = op_decl_dat_zero<double>(cells, 1, "double", "x");
+            loop_options o;
+            o.backend = exec::backend_kind::hpx_dataflow;
+            (void)exec::run_loop(
+                o, "scatter", edges,
+                [](double* a, double* b) {
+                    *a += 1.0;
+                    *b += 1.0;
+                },
+                op_arg_dat(x, 0, em, 1, "double", OP_INC),
+                op_arg_dat(x, 1, em, 1, "double", OP_INC));
+            op_fence_all();
+        };
+        auto j = sched.submit(std::move(d));
+        j.wait();
+        ctx_id = j.context()->id();
+        sched.drain();
+    }
+    EXPECT_NE(ctx_id, 0u);
+    EXPECT_EQ(plan_cache_size(ctx_id), 0u)
+        << "retired job left plans behind";
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Docs gate: keep ARCHITECTURE.md and the rest of the handbook honest.
+
+Two checks, run by the CI `docs` job (no dependencies beyond the
+standard library):
+
+1. **Markdown links.** Every relative link in the repo's tracked *.md
+   files must resolve to an existing file (external http(s)/mailto
+   links and pure #anchors are skipped; a #fragment on a relative link
+   is checked for file existence only).
+
+2. **Knob-table coverage.** Every field of `struct loop_options`
+   (parsed from src/op2/include/op2/loop_options.hpp) and every
+   `OP2HPX_*` environment variable that appears anywhere in the
+   sources must be mentioned in ARCHITECTURE.md's "Knob table"
+   section. Adding a knob without documenting it fails this script,
+   and therefore CI.
+
+Exit status: 0 clean, 1 with findings (each printed on its own line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARCHITECTURE = REPO / "ARCHITECTURE.md"
+LOOP_OPTIONS = REPO / "src" / "op2" / "include" / "op2" / "loop_options.hpp"
+
+# Directories whose *.md / sources are ours to check. ISSUE.md and the
+# paper-metadata files are driver-managed inputs, not handbook pages.
+DOC_FILES = [
+    p
+    for p in sorted(REPO.rglob("*.md"))
+    if not any(part in {"build", ".git", "build-tsan", "build-asan"}
+               for part in p.parts)
+    and p.name not in {"ISSUE.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+]
+SOURCE_DIRS = [REPO / "src", REPO / "bench", REPO / "examples",
+               REPO / "tests"]
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ENV_RE = re.compile(r"\bOP2HPX_[A-Z_]+\b")
+
+
+def check_links() -> list[str]:
+    problems = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}")
+    return problems
+
+
+def loop_option_fields() -> list[str]:
+    """Field names of struct loop_options, parsed from the header."""
+    text = LOOP_OPTIONS.read_text(encoding="utf-8")
+    m = re.search(r"struct loop_options \{(.*?)\n\};", text, re.DOTALL)
+    if m is None:
+        raise SystemExit(f"cannot find struct loop_options in {LOOP_OPTIONS}")
+    body = m.group(1)
+    fields = []
+    for line in body.splitlines():
+        line = line.strip()
+        if line.startswith(("//", "///")) or not line:
+            continue
+        # A field declaration line: `<type...> name = default;` or
+        # `<type...> name;` — take the identifier left of `=`/`;`.
+        decl = re.match(r"[A-Za-z_][\w:<>,\s*&{}]*?(\w+)\s*(?:=[^;]*)?;", line)
+        if decl:
+            fields.append(decl.group(1))
+    if not fields:
+        raise SystemExit("parsed zero loop_options fields — parser broken?")
+    return fields
+
+
+def env_vars_in_sources() -> set[str]:
+    found = set()
+    for root in SOURCE_DIRS:
+        for src in root.rglob("*"):
+            if src.suffix not in SOURCE_SUFFIXES or not src.is_file():
+                continue
+            found.update(ENV_RE.findall(src.read_text(encoding="utf-8",
+                                                      errors="replace")))
+    return found
+
+
+def knob_table_section() -> str:
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    m = re.search(r"^## Knob table$(.*?)(?=^## )", text,
+                  re.DOTALL | re.MULTILINE)
+    if m is None:
+        raise SystemExit("ARCHITECTURE.md has no '## Knob table' section")
+    return m.group(1)
+
+
+def check_knob_table() -> list[str]:
+    section = knob_table_section()
+    problems = []
+    for field in loop_option_fields():
+        if f"loop_options::{field}" not in section:
+            problems.append(
+                "ARCHITECTURE.md knob table: missing loop_options field "
+                f"`loop_options::{field}` (declared in "
+                "src/op2/include/op2/loop_options.hpp)")
+    for var in sorted(env_vars_in_sources()):
+        if var not in section:
+            problems.append(
+                f"ARCHITECTURE.md knob table: missing env var `{var}` "
+                "(referenced in the sources)")
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_knob_table()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\ncheck_docs: {len(problems)} problem(s)")
+        return 1
+    print(f"check_docs: OK ({len(DOC_FILES)} markdown files, "
+          f"{len(loop_option_fields())} loop_options fields, "
+          f"{len(env_vars_in_sources())} OP2HPX_* vars)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
