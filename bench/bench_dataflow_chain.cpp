@@ -30,6 +30,12 @@
 //   dataflow_chain_partition_speedup  x, partitioned (P=4) vs whole-set
 //   dataflow_chain_part4_anyplace     ns per loop, P=4 with placement=any
 //   affinity_placement_speedup        x, affinity vs any placement (P=4)
+//   dataflow_chain_default            ns per loop, untuned default
+//                                     (partitions = pool size, affinity)
+//   dataflow_chain_auto               ns per loop, partitions=auto_tune
+//                                     (exploration retired in warmup; the
+//                                     label names the chosen config)
+//   partition_autotune_speedup        x, tuned vs untuned default
 //   dataflow_chain_straddle_exempt    ns per loop, indirect INC chain,
 //                                     same-colour exemption on
 //   dataflow_chain_straddle_serial    ns per loop, exemption off
@@ -314,6 +320,49 @@ int main(int argc, char** argv) {
                     anyplace_ns / part4_ns);
     }
 
+    // --- online auto-tuning: measured config vs the static default ----
+    // The same sweep chain with partitions = op2::auto_tune: the tuner
+    // explores its ladder ({1, 2, 4, 8} partitions x placement here)
+    // during warmup — every candidate is issued once, measured through
+    // the loop's own join-node timing tap — then exploits the measured
+    // argmin for the timed chains. Compared against a fresh run of the
+    // untuned default (partitions = 0 -> pool size, affinity), timed
+    // the same way at the same moment. The tuner can at worst settle on
+    // the default config itself, so the ratio is a regression gate on
+    // the tuner's decision quality, not a guaranteed win.
+    double default_ns = 0.0;
+    double auto_ns = 0.0;
+    std::string auto_label = "untuned";
+    {
+        loop_options po = opts;
+        po.backend = exec::backend_kind::hpx_dataflow;
+        po.partitions = 0;  // the untuned default: pool-size partitions
+        default_ns = time_sweep_chain(po);
+        std::printf("  default (P=%zu)  : %9.1f ns/loop\n", nworkers,
+                    default_ns);
+
+        po.partitions = op2::auto_tune;
+        // Extra warmup chains so the whole ladder retires before timing:
+        // 7 candidates at 4 workers vs 3 x 8 = 24 warmup issues.
+        for (int w = 0; w < 3; ++w) {
+            exec::loop_handle last;
+            for (int l = 0; l < kSweepChainLen; ++l) {
+                last = exec::run_loop(po, "sweep_chain", sweep_cells, kern,
+                                      sweep_arg());
+            }
+            last.wait();
+        }
+        auto_ns = time_sweep_chain(po);
+        auto const st =
+            tune::stats("sweep_chain", kSweepElems, nworkers);
+        auto_label = tune::describe(st.configs[st.chosen]);
+        std::printf("  autotuned       : %9.1f ns/loop (chose %s%s)\n",
+                    auto_ns, auto_label.c_str(),
+                    st.exploring ? ", still exploring" : "");
+        std::printf("  autotune spdup  : %9.2fx (tuned vs default)\n",
+                    default_ns / auto_ns);
+    }
+
     // --- same-colour exemption: boundary-straddling INC chain ---------
     // A dependent indirect chain: every loop INCs a cells dat through a
     // ring map (edge i -> cells i, i+1 mod n), so consecutive loops
@@ -393,6 +442,15 @@ int main(int argc, char** argv) {
                 workers_label);
     log.add("affinity_placement_speedup", anyplace_ns / part4_ns, "x",
             "affinity_vs_any_placement, 4 partitions, " + workers_label);
+    log.add("dataflow_chain_default", default_ns, "ns/iter",
+            "dependent RW chain, default pool-size partitions, " +
+                workers_label);
+    log.add("dataflow_chain_auto", auto_ns, "ns/iter",
+            "dependent RW chain, autotuned, chose " + auto_label + ", " +
+                workers_label);
+    log.add("partition_autotune_speedup", default_ns / auto_ns, "x",
+            "autotuned_vs_default_pool_partitions, chose " + auto_label +
+                ", " + workers_label);
     log.add("dataflow_chain_straddle_exempt", exempt_ns, "ns/iter",
             "indirect INC straddle chain, exemption on, " + workers_label);
     log.add("dataflow_chain_straddle_serial", serial_ns, "ns/iter",

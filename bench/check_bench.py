@@ -98,7 +98,12 @@ def main(argv):
             continue
         value = row["value"]
         status = "ok" if value >= floor else "FAIL"
-        print(f"  {status:4} {name}: {value:.3f} (floor {floor})")
+        # The label carries the row's configuration (e.g. the config the
+        # auto-tuner chose) — print it so a CI log shows *what* was
+        # measured, not just the number.
+        label = row.get("label", "")
+        detail = f"  [{label}]" if label else ""
+        print(f"  {status:4} {name}: {value:.3f} (floor {floor}){detail}")
         if value < floor:
             failures.append(f"{name}: {value:.3f} below floor {floor}")
 

@@ -34,13 +34,16 @@ void set_task_fault_hook(task_fault_hook h) noexcept;
 
 /// Construction-time knobs of a thread_pool.
 struct pool_options {
-    /// Bind worker i to CPU i % hardware_concurrency via
-    /// pthread_setaffinity_np, so the dataflow placement hint
-    /// (partition p -> worker p % pool_size) means a *core*, not just a
-    /// thread — a stolen-back worker thread no longer drags a
-    /// partition's working set to whichever CPU the OS scheduler picked.
-    /// Best-effort and portable: a no-op on platforms without the call
-    /// (or when the kernel rejects it, e.g. restrictive cpusets).
+    /// Bind worker i to a core chosen *node-major* from the probed
+    /// topology (threads/topology.hpp): consecutive workers fill one
+    /// NUMA node's cores before spilling to the next, so the dataflow
+    /// placement hint (partition p -> worker p % pool_size) means a
+    /// core *and* a memory controller — neighbouring partitions share
+    /// a node and their first-touched pages land on it. Single-node
+    /// machines reduce to the classic i % hardware_concurrency
+    /// binding. Best-effort and portable: a no-op on platforms without
+    /// pthread_setaffinity_np (or when the kernel rejects/ignores it,
+    /// e.g. restrictive cpusets — see bound_workers()).
     bool bind_workers = false;
 
     /// Defaults from the environment: OP2HPX_BIND_WORKERS=1/on/true/yes
@@ -162,8 +165,11 @@ public:
     }
 
     /// Workers whose core binding (pool_options::bind_workers) actually
-    /// took effect. 0 when binding is off or unsupported; tests use this
-    /// to skip affinity assertions under restrictive cpusets.
+    /// took effect — verified by re-reading the applied mask after the
+    /// worker started, not by trusting the set call's return code
+    /// (restricted runners can acknowledge a bind they don't keep).
+    /// 0 when binding is off or unsupported; tests use this to skip
+    /// affinity assertions under restrictive cpusets.
     [[nodiscard]] std::size_t bound_workers() const noexcept {
         return bound_.load(std::memory_order_acquire);
     }

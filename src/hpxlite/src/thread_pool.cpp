@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include <hpxlite/threads/topology.hpp>
 #include <hpxlite/util/env.hpp>
 
 #if defined(__linux__) && !defined(__ANDROID__)
@@ -323,18 +324,40 @@ bool thread_pool::run_one() {
 
 void thread_pool::bind_worker(std::size_t index) {
 #if defined(HPXLITE_HAS_SETAFFINITY)
-    std::size_t ncpu = std::thread::hardware_concurrency();
-    if (ncpu == 0) {
-        ncpu = 1;
-    }
+    // Node-major core choice: worker i takes the i-th CPU of the
+    // node-grouped order (topology.hpp), so consecutive workers fill
+    // one NUMA node's cores before spilling to the next — a partition's
+    // owner (p % pool_size) and its neighbours share a memory
+    // controller, and the pages their first touch faults in land on
+    // that node. Single-node machines get the identity order, i.e.
+    // exactly the old i % hardware_concurrency binding.
+    topology_info const& topo = topology();
+    std::size_t const ncpu = topo.cpus() == 0 ? 1 : topo.cpus();
+    std::size_t const cpu =
+        static_cast<std::size_t>(topo.node_major[index % ncpu]);
     cpu_set_t set;
     CPU_ZERO(&set);
-    CPU_SET(index % ncpu, &set);
-    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    CPU_SET(cpu, &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+        // Failure (restricted cpuset, exotic kernel) silently keeps the
+        // unbound behaviour: the hint degrades to thread affinity only.
+        return;
+    }
+    // Re-read the mask the kernel actually applied before counting the
+    // worker as bound: on restricted runners (cgroup cpusets, some
+    // container hosts) the set call can report success while a later
+    // cpuset reconciliation widens the mask again, so counting on
+    // set-success overstated bound_workers() and affinity tests
+    // trusted bindings that were not in force. Only a verified
+    // single-CPU mask on the requested core counts.
+    cpu_set_t applied;
+    CPU_ZERO(&applied);
+    if (pthread_getaffinity_np(pthread_self(), sizeof(applied),
+                               &applied) == 0 &&
+        CPU_COUNT(&applied) == 1 &&
+        CPU_ISSET(cpu, &applied)) {
         bound_.fetch_add(1, std::memory_order_acq_rel);
     }
-    // Failure (restricted cpuset, exotic kernel) silently keeps the
-    // unbound behaviour: the hint degrades to thread affinity only.
 #else
     (void)index;
 #endif

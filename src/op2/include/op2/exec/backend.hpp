@@ -33,6 +33,7 @@
 #include <op2/loop_options.hpp>
 #include <op2/plan.hpp>
 #include <op2/timing.hpp>
+#include <op2/tune.hpp>
 
 namespace op2::exec {
 
@@ -236,6 +237,10 @@ public:
 
     void bind_plan(op_plan const& p) noexcept { plan_ = &p; }
 
+    /// Attach the tuner's measurement token (issue time). The default
+    /// token is inactive, so untuned loops skip the report.
+    void set_probe(tune::probe p) noexcept { probe_ = p; }
+
     /// Register a written dat span to quarantine should this node fail
     /// (issue time, before the node can run).
     void add_quarantine_target(quarantine_target t) {
@@ -247,7 +252,11 @@ private:
         // Deterministic injection point: an armed kernel=NAME@0.0 site
         // throws here, as if the loop's kernel had failed.
         fault::on_kernel(name_, 0, 0);
+        hpxlite::util::stopwatch sw;
         staged_sweep(ex_, *plan_, backend_kind::hpx_dataflow, name_);
+        // Whole-set granularity has no join to merge sub-node spans;
+        // the sweep time *is* the loop's wall span.
+        tune::report(probe_, sw.elapsed_s());
     }
 
     void on_complete() noexcept override {
@@ -273,6 +282,7 @@ private:
     op2::detail::loop_executor<Kernel, N> ex_;
     op_plan const* plan_ = nullptr;
     char const* name_;
+    tune::probe probe_{};
     std::vector<quarantine_target> qtargets_;
 };
 
@@ -329,6 +339,7 @@ public:
         ctx_ = current_context();
         name_ = name;
         pooled_ = opts.exec_pool;
+        probe_ = {};
         start_ns_.store(-1, std::memory_order_relaxed);
         plans_.clear();
         plans_.reserve(nparts);
@@ -382,6 +393,11 @@ public:
     }
     void bind_plan(op_plan const& pl) { plans_.push_back(&pl); }
     [[nodiscard]] char const* name() const noexcept { return name_; }
+
+    /// Tuner measurement token (issue time; inactive by default). The
+    /// join node reports the loop's wall span against it.
+    void set_probe(tune::probe p) noexcept { probe_ = p; }
+    [[nodiscard]] tune::probe probe() const noexcept { return probe_; }
 
     /// First sub-node to run stamps the loop's execution start; the
     /// join reads the span. This keeps the hpx_dataflow timing row a
@@ -480,6 +496,7 @@ private:
     std::unique_ptr<std::atomic<std::size_t>[]> colors_left_;
     std::size_t color_cap_ = 0;
     std::vector<std::vector<quarantine_target>> qtargets_;  // [partition]
+    tune::probe probe_{};
     std::atomic<std::int64_t> start_ns_{-1};
     // Issuing context, captured at construction/reset: holds the
     // combine lock alive for the sub-nodes' lifetime even if the
@@ -676,8 +693,14 @@ public:
 
 private:
     void run_body() override {
+        double const wall = grp_->wall_seconds();
         op_timing_record(grp_->name(), to_string(backend_kind::hpx_dataflow),
-                         grp_->wall_seconds());
+                         wall);
+        // The tuner's measurement tap: the join is where the per-worker
+        // sub-node spans have been merged into one wall time
+        // (mark_start CAS / wall_seconds), so the report itself is two
+        // lock-free atomic adds on the site's cell.
+        tune::report(grp_->probe(), wall);
     }
 
     void on_complete() noexcept override {
@@ -695,13 +718,15 @@ template <typename Kernel, std::size_t N>
 loop_handle issue_whole_set(loop_options const& opts, char const* name,
                             op_set set, std::array<op_arg, N> args,
                             Kernel kernel,
-                            hpxlite::threads::thread_pool& pool) {
+                            hpxlite::threads::thread_pool& pool,
+                            tune::probe probe = {}) {
     auto* node = new loop_node<Kernel, N>(std::move(set), std::move(args),
                                           std::move(kernel), opts, name);
     node_ref ref(node, /*adopt=*/true);
     auto& ex = node->executor();
     ex.validate(name);  // throws before publication; ref cleans up
     node->set_site(name, 0, 0);
+    node->set_probe(probe);
     node->bind_plan(plan_get(
         ex.set(), ex.args(),
         plan_desc{opts.part_size, opts.staged_gather}));
@@ -812,7 +837,8 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
                               op_set set, std::array<op_arg, N> args,
                               Kernel kernel,
                               hpxlite::threads::thread_pool& pool,
-                              std::size_t nparts, std::size_t nloc = 1) {
+                              std::size_t nparts, std::size_t nloc = 1,
+                              tune::probe probe = {}) {
     // Acquire the group from the cross-issue pool when possible: a
     // steady-state chain then re-issues each loop with zero executor
     // construction and zero scratch reallocation (the staging and
@@ -827,6 +853,7 @@ loop_handle issue_partitioned(loop_options const& opts, char const* name,
                                                name, nparts);
     }
     group_ref<Kernel, N> grp(graw);
+    grp->set_probe(probe);
     try {
         grp->executor(0).validate(name);
     } catch (...) {
@@ -1451,13 +1478,41 @@ inline void flush_window(fusion_window& w) {
 
 /// Global flush (installed as exec::detail::g_fusion_flush_all):
 /// fences and handle waits must force EVERY thread's deferred loop
-/// into the graph, not just the calling thread's. The registry lock is
-/// held across the flushes so an exiting thread's window (erased by
-/// its registration destructor, below) cannot vanish mid-walk.
+/// into the graph, not just the calling thread's. The pending loops
+/// are *popped* under the registry lock (so an exiting thread's
+/// window — erased by its registration destructor, below — cannot
+/// vanish mid-walk) but *issued* after it is released: an issue can
+/// drain a dat's records, and a draining thread helps the pool, so it
+/// may execute a task that itself reaches for a fusion window — with
+/// the registry lock still held that task would spin on a lock its
+/// own stack transitively owns.
 inline void flush_all_fusion_windows() {
-    std::lock_guard<hpxlite::util::spinlock> lk(g_fusion_windows_mtx);
-    for (fusion_window* w : fusion_windows()) {
-        flush_window(*w);
+    std::vector<std::unique_ptr<deferred_issue>> popped;
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(g_fusion_windows_mtx);
+        for (fusion_window* w : fusion_windows()) {
+            std::lock_guard<hpxlite::util::spinlock> wlk(w->mtx);
+            if (w->pending) {
+                popped.push_back(std::move(w->pending));
+                g_fusion_deferred.fetch_sub(1, std::memory_order_release);
+            }
+        }
+    }
+    // Every loop is flushed even if one throws (flush_solo fails the
+    // thrower's promise before rethrowing, so nobody hangs); the first
+    // error propagates to the fencing caller, like a solo flush's.
+    std::exception_ptr first;
+    for (auto& d : popped) {
+        try {
+            flush_solo(std::move(d));
+        } catch (...) {
+            if (!first) {
+                first = std::current_exception();
+            }
+        }
+    }
+    if (first) {
+        std::rethrow_exception(first);
     }
 }
 
@@ -1884,30 +1939,55 @@ loop_handle run_loop(loop_options const& opts, char const* name, op_set set,
         case backend_kind::hpx_dataflow: {
             auto& pool =
                 opts.pool != nullptr ? *opts.pool : hpxlite::get_pool();
+            std::array<op_arg, n> argv{std::move(args)...};
+            // Tuner consult: an explicit op2::auto_tune opts this loop
+            // in; OP2HPX_AUTOTUNE re-routes every *defaulted* loop
+            // (explicit partition counts stay pinned — they are the
+            // differential oracles). The resolved count and placement
+            // flow through the unchanged issue paths below, so a tuned
+            // issue is bit-for-bit an ordinary issue of that
+            // configuration plus one measurement token.
+            loop_options eff = opts;
+            tune::probe probe{};
+            if (opts.partitions == auto_tune ||
+                (opts.partitions == 0 && tune::autotune_default())) {
+                auto d = tune::choose(name, set.size(), pool.size());
+                eff.partitions = d.chosen.partitions;
+                eff.placement = d.chosen.placement;
+                probe = d.token;
+                if (!d.prewarm.empty()) {
+                    // First consult of this site: warm the ladder's
+                    // candidate plans so exploration never measures a
+                    // cold plan build (plans are cached per context).
+                    plan_prewarm(set, argv, eff.part_size,
+                                 eff.staged_gather, d.prewarm);
+                }
+            }
             std::size_t const nparts =
-                opts.partitions != 0 ? opts.partitions : pool.size();
-            if (opts.fuse) {
+                eff.partitions != 0 ? eff.partitions : pool.size();
+            if (eff.fuse) {
                 // Fusion takes precedence over localities: a fused pass
                 // spans two loops' footprints, which the halo
                 // classifier does not model, so a fusing issue runs
                 // unsharded (loop_options::localities documents this).
+                // A fused pass spans two loops, so its wall span is
+                // unattributable to either site — the probe is dropped
+                // and the tuner's unmeasured candidates keep their
+                // psim prior.
                 return detail::fuse_or_defer<Kernel, n>(
-                    opts, name, std::move(set),
-                    std::array<op_arg, n>{std::move(args)...},
+                    eff, name, std::move(set), std::move(argv),
                     std::move(kernel), pool, nparts);
             }
             std::size_t const nloc =
-                comm::effective_localities(opts.localities, nparts);
+                comm::effective_localities(eff.localities, nparts);
             if (nparts <= 1) {
                 return detail::issue_whole_set<Kernel, n>(
-                    opts, name, std::move(set),
-                    std::array<op_arg, n>{std::move(args)...},
-                    std::move(kernel), pool);
+                    eff, name, std::move(set), std::move(argv),
+                    std::move(kernel), pool, probe);
             }
             return detail::issue_partitioned<Kernel, n>(
-                opts, name, std::move(set),
-                std::array<op_arg, n>{std::move(args)...}, std::move(kernel),
-                pool, nparts, nloc);
+                eff, name, std::move(set), std::move(argv),
+                std::move(kernel), pool, nparts, nloc, probe);
         }
     }
     return {};

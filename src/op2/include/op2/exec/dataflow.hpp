@@ -662,6 +662,26 @@ struct dep_state {
                             track(rd);
                         }
                     }
+                    // Dedupe before seeding: a carried-failed node sits
+                    // in *every* record's readers, so the per-record
+                    // scan collects it `count` times. Seeding the
+                    // duplicates back would multiply the carried set by
+                    // the partition count on every re-partition —
+                    // exponential once granularity changes repeat (the
+                    // auto-tuner's exploration does exactly that).
+                    auto dedupe = [](std::vector<node_ref>& v) {
+                        std::sort(v.begin(), v.end(),
+                                  [](node_ref const& a, node_ref const& b) {
+                                      return a.get() < b.get();
+                                  });
+                        v.erase(std::unique(
+                                    v.begin(), v.end(),
+                                    [](node_ref const& a, node_ref const& b) {
+                                        return a.get() == b.get();
+                                    }),
+                                v.end());
+                    };
+                    dedupe(failed);
                     if (pending.empty()) {
                         auto next = std::shared_ptr<dep_record[]>(
                             new dep_record[p]);

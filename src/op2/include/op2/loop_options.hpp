@@ -34,6 +34,13 @@ namespace detail {
 [[nodiscard]] bool fuse_default() noexcept;
 }  // namespace detail
 
+/// Sentinel for loop_options::partitions: resolve the partition count
+/// *and* placement through the online tuner (op2/tune.hpp) — explore
+/// the candidate ladder once per (loop site, shape), then exploit the
+/// measured argmin. OP2HPX_AUTOTUNE=1 applies the same resolution to
+/// every defaulted (partitions == 0) hpx_dataflow loop.
+inline constexpr std::size_t auto_tune = static_cast<std::size_t>(-1);
+
 /// Where the hpx_dataflow backend places a partition's sub-nodes.
 enum class placement_kind {
     /// Pin partition p's (partition, colour) sub-nodes to worker
@@ -81,7 +88,8 @@ struct loop_options {
     /// graph. 0 means "one per pool worker". 1 pins whole-set
     /// granularity (one node per loop — the PR 2 shape, kept as the
     /// differential oracle). Plans are built and cached per partition.
-    /// The seq and staged backends ignore this field: they are
+    /// op2::auto_tune delegates the count (and placement) to the online
+    /// tuner. The seq and staged backends ignore this field: they are
     /// synchronous, so there is no graph to scope.
     std::size_t partitions = 0;
 

@@ -46,10 +46,26 @@
 
 #include <hpxlite/config.hpp>
 #include <hpxlite/threads/thread_pool.hpp>
+#include <hpxlite/threads/topology.hpp>
 #include <op2/fault.hpp>
 #include <op2/set.hpp>
 
 namespace op2::memory {
+
+// --- machine topology ----------------------------------------------------
+
+/// The probed NUMA topology (re-exported from hpxlite so op2 users and
+/// the tuner's placement ladder see the same map the worker binding
+/// uses). Single-node machines get the identity map; see
+/// hpxlite/threads/topology.hpp for probe order and fallbacks.
+using hpxlite::threads::topology;
+using hpxlite::threads::topology_info;
+
+/// The NUMA node of the core that pool worker `worker` binds to under
+/// node-major binding (pool_options::bind_workers). This is the node a
+/// partition owned by `worker` should place its pages on. Always 0 on
+/// single-node machines, so callers can use it unconditionally.
+[[nodiscard]] int worker_node(std::size_t worker) noexcept;
 
 inline constexpr std::size_t cache_line = hpxlite::cache_line_size;
 
@@ -178,9 +194,13 @@ void set_first_touch_trace(first_touch_trace* t) noexcept;
 /// inbox of worker p % pool.size() — the same mapping the dataflow
 /// placement hint uses — and wait for all of them. Pages are therefore
 /// *written first* by the worker that will keep executing the
-/// partition's loops. Falls back to inline initialisation when called
-/// from a pool worker (waiting for own-inbox tasks there would
-/// deadlock) or when the set is empty.
+/// partition's loops. On multi-node machines each touch task
+/// additionally advises the kernel (bind_range_to_node) to place the
+/// partition's pages on the owning worker's node *before* writing, so
+/// placement holds even when the touching thread migrated or binding is
+/// off. Falls back to inline initialisation when called from a pool
+/// worker (waiting for own-inbox tasks there would deadlock) or when
+/// the set is empty.
 void first_touch_init(std::byte* dst, void const* init, std::size_t total,
                       set_partition const& part, std::size_t stride,
                       hpxlite::threads::thread_pool& pool);

@@ -113,11 +113,16 @@ private:
     std::shared_ptr<detail::job_impl> impl_;
 };
 
-/// What a policy sees of one waiting job.
+/// What a policy sees of one waiting job. est_cost_s starts as the
+/// psim price computed at submission; once the job's tenant has
+/// retired a job, the scheduler re-prices with the tenant's measured
+/// run-time EWMA instead (measured beats modelled — the same principle
+/// as the loop tuner's explore-then-exploit, applied at job
+/// granularity).
 struct job_view {
     char const* name = "";
     char const* tenant = "";
-    double est_cost_s = 0.0;  ///< psim-priced runtime estimate (0 unknown)
+    double est_cost_s = 0.0;  ///< EWMA of measured runs, else psim price
     std::uint64_t seq = 0;    ///< submission order, monotone
 };
 
@@ -194,6 +199,12 @@ public:
     void drain();
 
     [[nodiscard]] scheduler_metrics metrics() const;
+
+    /// The tenant's measured run-time EWMA (what re-prices its waiting
+    /// jobs' est_cost_s), or 0.0 while the tenant has not completed a
+    /// job yet — the psim price still applies then. Exposed so tests
+    /// can pin the psim -> measured switch-over.
+    [[nodiscard]] double measured_tenant_cost(std::string_view tenant) const;
 
 private:
     struct state;

@@ -17,6 +17,17 @@ std::atomic<first_touch_trace*> g_trace{nullptr};
 
 }  // namespace
 
+int worker_node(std::size_t worker) noexcept {
+    topology_info const& topo = topology();
+    if (topo.nodes <= 1 || topo.cpus() == 0) {
+        return 0;
+    }
+    // Same core choice as thread_pool::bind_worker: worker i takes the
+    // i-th core in node-major order, wrapping at the cpu count.
+    int const cpu = topo.node_major[worker % topo.cpus()];
+    return topo.node_of(static_cast<std::size_t>(cpu));
+}
+
 touch_range partition_touch_range(set_partition const& part, std::size_t p,
                                   std::size_t stride, std::size_t total) {
     touch_range r;
@@ -92,9 +103,16 @@ void first_touch_init(std::byte* dst, void const* init, std::size_t total,
         }
         remaining.fetch_add(1, std::memory_order_relaxed);
         std::size_t const owner = p % pool.size();
-        pool.submit_to(owner, [&, p, r] {
+        pool.submit_to(owner, [&, p, r, owner] {
             if (trace != nullptr && trace->on_touch) {
                 trace->on_touch(p);
+            }
+            // Multi-node: pin the partition's pages to the owner's node
+            // before the first write, so placement holds even if this
+            // task got stolen off the owner or binding is disabled.
+            if (topology().nodes > 1) {
+                hpxlite::threads::bind_range_to_node(dst + r.lo, r.size(),
+                                                     worker_node(owner));
             }
             init_span(r.lo, r.hi);
             if (trace != nullptr) {
@@ -153,7 +171,17 @@ void warm_partitions(std::byte const* base, std::size_t total,
         if (r.size() == 0) {
             continue;
         }
-        pool.submit_to(p % pool.size(), [base, r, keepalive] {
+        std::size_t const owner = p % pool.size();
+        pool.submit_to(owner, [base, r, keepalive, owner] {
+            // Re-partitioned ownership: advise the kernel about the new
+            // owner's node alongside the cache prefetch. Advisory-only
+            // for already-touched pages (no migration), so it cannot
+            // race the loops about to run on the data either.
+            if (topology().nodes > 1) {
+                hpxlite::threads::bind_range_to_node(
+                    const_cast<std::byte*>(base) + r.lo, r.size(),
+                    worker_node(owner));
+            }
             for (std::size_t o = r.lo; o < r.hi; o += cache_line) {
                 hpxlite::parallel::detail::prefetch_read(base + o);
             }

@@ -558,6 +558,21 @@ op_plan const& plan_get(op_set const& set, std::span<op_arg const> args,
     return plan_get(set, args, plan_desc{part_size});
 }
 
+void plan_prewarm(op_set const& set, std::span<op_arg const> args,
+                  std::size_t part_size, bool staged_gather,
+                  std::span<std::size_t const> candidates) {
+    for (std::size_t nparts : candidates) {
+        if (nparts <= 1) {
+            (void)plan_get(set, args, plan_desc{part_size, staged_gather});
+            continue;
+        }
+        for (std::size_t p = 0; p < nparts; ++p) {
+            (void)plan_get(set, args,
+                           plan_desc{part_size, staged_gather, nparts, p});
+        }
+    }
+}
+
 bool plan_colors_equal(op_plan const& a, op_plan const& b) {
     if (a.nblocks != b.nblocks || a.offset != b.offset ||
         a.nelems != b.nelems) {

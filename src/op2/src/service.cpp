@@ -7,6 +7,8 @@
 #include <deque>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include <op2/dat.hpp>
 #include <op2/exec/dataflow.hpp>
 #include <op2/plan.hpp>
+#include <op2/tune.hpp>
 #include <psim/scheduler.hpp>
 
 namespace op2::service {
@@ -231,6 +234,14 @@ struct scheduler::state {
     std::size_t in_flight_bytes = 0;
     std::uint64_t next_seq = 1;
 
+    // Measured-cost re-pricing (under mtx): EWMA of each tenant's
+    // completed jobs' run_s. admit_locked substitutes it for the psim
+    // price in the job_views, so shortest_chain_first orders by what
+    // the tenant's jobs actually cost once one has retired. Failed
+    // jobs don't feed it — a job that died early would advertise the
+    // tenant as cheap.
+    std::unordered_map<std::string, double> tenant_ewma;
+
     // Aggregate metrics (under mtx).
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
@@ -308,8 +319,13 @@ void scheduler::admit_locked() {
         std::vector<job_view> views;
         views.reserve(s.waiting.size());
         for (auto const& w : s.waiting) {
+            double cost = w->est_cost_s;
+            if (auto it = s.tenant_ewma.find(w->desc.tenant);
+                it != s.tenant_ewma.end()) {
+                cost = it->second;  // measured beats modelled
+            }
             views.push_back({w->desc.name.c_str(), w->desc.tenant.c_str(),
-                             w->est_cost_s, w->seq});
+                             cost, w->seq});
         }
         std::size_t idx = s.policy->pick(views);
         if (idx >= s.waiting.size()) {
@@ -365,6 +381,10 @@ void scheduler::run_job(std::shared_ptr<detail::job_impl> const& j) {
     }
     if (st_->opts.purge_plans) {
         plan_cache_purge(j->ctx->id());
+        // The tuner's measurement sites share the plan cache's
+        // per-context namespace discipline; the job is fenced, so no
+        // in-flight probe still points at them.
+        tune::purge(j->ctx->id());
     }
 
     auto const t_end = clock::now();
@@ -385,6 +405,17 @@ void scheduler::run_job(std::shared_ptr<detail::job_impl> const& j) {
         std::lock_guard<std::mutex> lk(st_->mtx);
         --st_->in_flight;
         st_->in_flight_bytes -= j->desc.est_bytes;
+        if (!err) {
+            // Feed the tenant's EWMA with the measured run time. The
+            // first sample seeds it outright; later samples blend, so
+            // one outlier run does not whipsaw the ordering.
+            constexpr double alpha = 0.5;
+            auto [it, inserted] =
+                st_->tenant_ewma.try_emplace(j->desc.tenant, m.run_s);
+            if (!inserted) {
+                it->second = alpha * m.run_s + (1.0 - alpha) * it->second;
+            }
+        }
         ++(err ? st_->failed : st_->completed);
         st_->loops_issued += m.loops_issued;
         st_->wait_samples.push_back(m.wait_s);
@@ -403,6 +434,12 @@ void scheduler::drain() {
     st_->cv.wait(lk, [&] {
         return st_->waiting.empty() && st_->in_flight == 0;
     });
+}
+
+double scheduler::measured_tenant_cost(std::string_view tenant) const {
+    std::lock_guard<std::mutex> lk(st_->mtx);
+    auto const it = st_->tenant_ewma.find(std::string(tenant));
+    return it == st_->tenant_ewma.end() ? 0.0 : it->second;
 }
 
 scheduler_metrics scheduler::metrics() const {

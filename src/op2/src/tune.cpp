@@ -1,0 +1,298 @@
+#include <op2/tune.hpp>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include <hpxlite/util/env.hpp>
+#include <hpxlite/util/spinlock.hpp>
+#include <op2/context.hpp>
+#include <psim/machine.hpp>
+
+namespace op2::tune {
+
+namespace {
+
+/// Deterministic prior penalty of `any` placement over `affinity` at
+/// the same partition count: unpinned sub-nodes drift to whichever
+/// worker steals them, so a chain's partitions keep changing cores and
+/// pay cold caches. Only the ordering matters (affinity is probed
+/// first); measurements replace the prior after one run each.
+constexpr double kAnyPlacementPrior = 1.05;
+
+struct site_key {
+    std::uint64_t ctx = 0;
+    std::string name;
+    std::size_t set_size = 0;
+    std::size_t pool_size = 0;
+
+    bool operator==(site_key const& o) const noexcept {
+        return ctx == o.ctx && set_size == o.set_size &&
+               pool_size == o.pool_size && name == o.name;
+    }
+};
+
+struct site_key_hash {
+    std::size_t operator()(site_key const& k) const noexcept {
+        std::size_t h = std::hash<std::string>{}(k.name);
+        auto mix = [&h](std::size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        };
+        mix(static_cast<std::size_t>(k.ctx));
+        mix(k.set_size);
+        mix(k.pool_size);
+        return h;
+    }
+};
+
+/// One (site, config) measurement cell. The totals accumulate
+/// lock-free: report() runs on whichever worker executes the loop's
+/// join node — the point where mark_start/wall_seconds has already
+/// merged the per-worker sub-node spans into one wall time — and does
+/// two relaxed atomic adds. Readers (the exploit decision) tolerate
+/// tearing between the two counters: a run counted before its total
+/// lands momentarily reads a low mean, which the next issue corrects.
+struct cell {
+    std::atomic<std::int64_t> total_ns{0};
+    std::atomic<std::uint32_t> runs{0};
+};
+
+struct site {
+    site_key key;
+    std::vector<config> configs;      // the ladder (immutable)
+    std::vector<double> prior_s;      // psim prior per config (immutable)
+    std::vector<std::uint32_t> order; // exploration order (immutable)
+    std::unique_ptr<cell[]> cells;
+
+    hpxlite::util::spinlock mtx;      // guards the choose-side counters
+    std::vector<std::uint64_t> issues;  // choose() picks per config
+    std::size_t explored = 0;           // next index into `order`
+
+    [[nodiscard]] double cost_s(std::size_t c) const noexcept {
+        std::uint32_t const r = cells[c].runs.load(std::memory_order_relaxed);
+        if (r == 0) {
+            return prior_s[c];
+        }
+        std::int64_t const t =
+            cells[c].total_ns.load(std::memory_order_relaxed);
+        return static_cast<double>(t) * 1e-9 / static_cast<double>(r);
+    }
+
+    /// Argmin of the measured means (prior where unmeasured); ties go
+    /// to the lowest ladder index, so the choice is a pure function of
+    /// the accumulated measurements.
+    [[nodiscard]] std::size_t argmin() const noexcept {
+        std::size_t best = 0;
+        double best_s = cost_s(0);
+        for (std::size_t c = 1; c < configs.size(); ++c) {
+            double const s = cost_s(c);
+            if (s < best_s) {
+                best = c;
+                best_s = s;
+            }
+        }
+        return best;
+    }
+};
+
+/// Sharded owning store + thread-local pointer cache, mirroring the
+/// plan cache: repeat lookups from one worker hit the local map with no
+/// locking; the version counter invalidates every local map wholesale
+/// on purge()/clear() (coarse, but purges happen at job retirement).
+constexpr std::size_t kShards = 8;
+
+struct shard {
+    hpxlite::util::spinlock mtx;
+    // shared_ptr: choose() hands each issued token an owning reference,
+    // so a site purged at job retirement outlives any probe still
+    // waiting to report (the join node is not covered by the fence).
+    std::unordered_map<site_key, std::shared_ptr<site>, site_key_hash> m;
+};
+
+shard g_shards[kShards];
+std::atomic<std::uint64_t> g_version{1};
+
+std::size_t shard_of(site_key const& k) noexcept {
+    return site_key_hash{}(k) % kShards;
+}
+
+std::shared_ptr<site> resolve(site_key&& key) {
+    struct local_cache {
+        std::uint64_t version = 0;
+        std::unordered_map<site_key, std::shared_ptr<site>, site_key_hash> m;
+    };
+    thread_local local_cache cache;
+    auto const v = g_version.load(std::memory_order_acquire);
+    if (cache.version != v) {
+        cache.m.clear();
+        cache.version = v;
+    }
+    if (auto it = cache.m.find(key); it != cache.m.end()) {
+        return it->second;
+    }
+    shard& sh = g_shards[shard_of(key)];
+    std::shared_ptr<site> s;
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(sh.mtx);
+        auto it = sh.m.find(key);
+        if (it == sh.m.end()) {
+            auto fresh = std::make_shared<site>();
+            fresh->key = key;
+            fresh->configs = ladder(key.pool_size);
+            fresh->cells = std::make_unique<cell[]>(fresh->configs.size());
+            fresh->issues.assign(fresh->configs.size(), 0);
+            psim::machine_model m;
+            fresh->prior_s.reserve(fresh->configs.size());
+            for (config const& c : fresh->configs) {
+                double us = m.partition_prior_us(
+                    key.set_size, c.partitions,
+                    static_cast<int>(key.pool_size));
+                if (c.placement == placement_kind::any &&
+                    c.partitions > 1) {
+                    us *= kAnyPlacementPrior;
+                }
+                fresh->prior_s.push_back(us * 1e-6);
+            }
+            // Exploration order: ascending prior, ties by ladder index
+            // (stable sort) — the first issue is the prior's argmin.
+            fresh->order.resize(fresh->configs.size());
+            for (std::uint32_t c = 0; c < fresh->order.size(); ++c) {
+                fresh->order[c] = c;
+            }
+            std::stable_sort(fresh->order.begin(), fresh->order.end(),
+                             [&](std::uint32_t a, std::uint32_t b) {
+                                 return fresh->prior_s[a] <
+                                        fresh->prior_s[b];
+                             });
+            it = sh.m.emplace(std::move(key), std::move(fresh)).first;
+        }
+        s = it->second;
+    }
+    cache.m.emplace(s->key, s);
+    return s;
+}
+
+site_key make_key(char const* name, std::size_t set_size,
+                  std::size_t pool_size) {
+    return {current_context()->id(), name == nullptr ? "" : name, set_size,
+            pool_size == 0 ? 1 : pool_size};
+}
+
+}  // namespace
+
+std::vector<config> ladder(std::size_t pool_size) {
+    std::size_t const pool = pool_size == 0 ? 1 : pool_size;
+    std::size_t counts[4] = {1, pool / 2, pool, 2 * pool};
+    std::sort(std::begin(counts), std::end(counts));
+    std::vector<config> out;
+    std::size_t prev = 0;
+    for (std::size_t c : counts) {
+        if (c == 0 || c == prev) {
+            continue;
+        }
+        prev = c;
+        out.push_back({c, placement_kind::affinity});
+        if (c > 1) {
+            out.push_back({c, placement_kind::any});
+        }
+    }
+    return out;
+}
+
+bool autotune_default() noexcept {
+    static bool const on = hpxlite::util::env_flag("OP2HPX_AUTOTUNE", false);
+    return on;
+}
+
+decision choose(char const* name, std::size_t set_size,
+                std::size_t pool_size) {
+    std::shared_ptr<site> s = resolve(make_key(name, set_size, pool_size));
+    decision d;
+    std::size_t pick;
+    bool first = false;
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(s->mtx);
+        if (s->explored < s->order.size()) {
+            first = s->explored == 0;
+            pick = s->order[s->explored++];
+            d.exploring = true;
+        } else {
+            pick = s->argmin();
+        }
+        ++s->issues[pick];
+    }
+    d.chosen = s->configs[pick];
+    d.token = {s, static_cast<std::uint32_t>(pick)};
+    if (first) {
+        // Distinct candidate partition counts for the issue path's plan
+        // prewarm, emitted once per site.
+        for (config const& c : s->configs) {
+            if (d.prewarm.empty() || d.prewarm.back() != c.partitions) {
+                d.prewarm.push_back(c.partitions);
+            }
+        }
+    }
+    return d;
+}
+
+void report(probe const& p, double wall_s) noexcept {
+    if (!p.active() || wall_s <= 0.0) {
+        return;
+    }
+    auto* s = static_cast<site*>(p.site.get());
+    auto const ns = static_cast<std::int64_t>(wall_s * 1e9);
+    s->cells[p.cfg].total_ns.fetch_add(ns, std::memory_order_relaxed);
+    s->cells[p.cfg].runs.fetch_add(1, std::memory_order_relaxed);
+}
+
+site_stats stats(char const* name, std::size_t set_size,
+                 std::size_t pool_size) {
+    std::shared_ptr<site> s = resolve(make_key(name, set_size, pool_size));
+    site_stats out;
+    out.configs = s->configs;
+    out.prior_s = s->prior_s;
+    {
+        std::lock_guard<hpxlite::util::spinlock> lk(s->mtx);
+        out.issues = s->issues;
+        out.exploring = s->explored < s->order.size();
+        out.chosen = s->argmin();
+    }
+    out.runs.reserve(s->configs.size());
+    out.mean_s.reserve(s->configs.size());
+    for (std::size_t c = 0; c < s->configs.size(); ++c) {
+        std::uint32_t const r =
+            s->cells[c].runs.load(std::memory_order_relaxed);
+        out.runs.push_back(r);
+        out.mean_s.push_back(r == 0 ? 0.0 : s->cost_s(c));
+    }
+    return out;
+}
+
+std::string describe(config const& c) {
+    return "parts=" + std::to_string(c.partitions) +
+           (c.partitions <= 1
+                ? std::string{}
+                : c.placement == placement_kind::affinity ? " affinity"
+                                                          : " any");
+}
+
+void purge(std::uint64_t ctx_id) {
+    for (shard& sh : g_shards) {
+        std::lock_guard<hpxlite::util::spinlock> lk(sh.mtx);
+        std::erase_if(sh.m,
+                      [&](auto const& e) { return e.first.ctx == ctx_id; });
+    }
+    g_version.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void clear() {
+    for (shard& sh : g_shards) {
+        std::lock_guard<hpxlite::util::spinlock> lk(sh.mtx);
+        sh.m.clear();
+    }
+    g_version.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace op2::tune

@@ -29,6 +29,14 @@ protected:
         cfg.niter = 16;
         cfg.rms_stride = 4;
         cfg.be = be;
+        // Every assertion here compares two *separate* runs bitwise, so
+        // the partition structure must be identical between them: pin
+        // it to the pool size explicitly. Under OP2HPX_AUTOTUNE a
+        // defaulted (0) count would let the tuner vary partitioning
+        // per issue — legitimate, but the two runs then accumulate INC
+        // contributions in different orders and the comparison is
+        // meaningless. Explicit counts always bypass the tuner.
+        cfg.opts.partitions = 4;
         return cfg;
     }
 

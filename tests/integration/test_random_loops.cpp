@@ -206,6 +206,11 @@ TEST_P(RandomLoops, SimdGatherMatchesScalarGatherBitwise) {
     random_program prog(GetParam());
     loop_options simd_on;
     simd_on.part_size = 48;
+    // The bitwise claim rests on both runs sharing one plan and block
+    // schedule; pin the partition count so OP2HPX_AUTOTUNE cannot give
+    // the two runs different partitionings (explicit counts bypass the
+    // tuner).
+    simd_on.partitions = 4;
     simd_on.simd_gather = true;
     loop_options simd_off = simd_on;
     simd_off.simd_gather = false;

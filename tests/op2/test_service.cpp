@@ -223,6 +223,91 @@ TEST_F(ServiceTest, JobFailureIsReportedAndIsolated) {
     EXPECT_EQ(sched.metrics().completed, 1u);
 }
 
+TEST_F(ServiceTest, MeasuredEwmaRepricesTenantsOverPsim) {
+    service::scheduler_options so;
+    so.max_in_flight_jobs = 1;
+    so.policy = "shortest_chain_first";
+    service::scheduler sched(so);
+
+    EXPECT_EQ(sched.measured_tenant_cost("quick"), 0.0)
+        << "tenant with no completed job must still be psim-priced";
+
+    // Seed the EWMAs with one measured run per tenant: "quick" is fast,
+    // "lumbering" is slow — the opposite of what their phase-2 psim
+    // estimates will claim.
+    auto seed = [&](char const* tenant, int ms) {
+        service::job_desc d;
+        d.name = std::string(tenant) + "-seed";
+        d.tenant = tenant;
+        d.program = [ms] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        };
+        (void)sched.submit(std::move(d));
+    };
+    seed("quick", 1);
+    seed("lumbering", 40);
+    sched.drain();
+
+    double const quick = sched.measured_tenant_cost("quick");
+    double const lumbering = sched.measured_tenant_cost("lumbering");
+    EXPECT_GT(quick, 0.0) << "completed job must seed the EWMA";
+    EXPECT_GT(lumbering, quick) << "EWMA must order by measured run time";
+
+    // Phase 2: both tenants queue behind a blocker with *misleading*
+    // psim estimates — "quick" claims a huge loop count, "lumbering" a
+    // tiny one. Priced by psim alone, shortest_chain_first would admit
+    // lumbering first; the measured EWMA must flip the order.
+    std::atomic<bool> release{false};
+    service::job_desc blocker;
+    blocker.name = "blocker";
+    blocker.tenant = "blocker";
+    blocker.program = [&release] {
+        while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    };
+    auto jb = sched.submit(std::move(blocker));
+    while (jb.state() != service::job_state::running) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    std::atomic<int> turn{0};
+    int quick_turn = -1;
+    int lumbering_turn = -1;
+    service::job_desc big;
+    big.name = "quick-but-overpriced";
+    big.tenant = "quick";
+    big.est_loops = 100000;  // psim: very expensive
+    big.program = [&] { quick_turn = turn.fetch_add(1); };
+    (void)sched.submit(std::move(big));
+
+    service::job_desc small;
+    small.name = "lumbering-but-underpriced";
+    small.tenant = "lumbering";
+    small.est_loops = 1;  // psim: nearly free
+    small.program = [&] { lumbering_turn = turn.fetch_add(1); };
+    (void)sched.submit(std::move(small));
+
+    release.store(true, std::memory_order_release);
+    sched.drain();
+
+    EXPECT_EQ(quick_turn, 0) << "measured-cheap tenant should run first";
+    EXPECT_EQ(lumbering_turn, 1);
+}
+
+TEST_F(ServiceTest, FailedJobsDoNotFeedTheTenantEwma) {
+    service::scheduler sched;
+    service::job_desc bad;
+    bad.name = "crashy";
+    bad.tenant = "crashy";
+    bad.program = [] { throw std::runtime_error("boom"); };
+    auto j = sched.submit(std::move(bad));
+    sched.drain();
+    EXPECT_TRUE(j.failed());
+    EXPECT_EQ(sched.measured_tenant_cost("crashy"), 0.0)
+        << "a failed run is not a cost sample";
+}
+
 TEST_F(ServiceTest, JobPlansArePurgedAtRetirement) {
     std::uint64_t ctx_id = 0;
     {
